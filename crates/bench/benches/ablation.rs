@@ -1,0 +1,76 @@
+//! Ablations over the cracker design knobs DESIGN.md calls out:
+//! crack-in-three vs. two successive crack-in-twos, the cut-off granule,
+//! and the piece-budget fusion policies.
+
+use cracker_core::{CrackMode, CrackerConfig, FusionPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{CrackEngine, OutputMode, QueryEngine};
+use workload::strolling::{strolling_sequence, StrollMode};
+use workload::{Contraction, Tapestry};
+
+const N: usize = 200_000;
+const K: usize = 64;
+
+fn column() -> Vec<i64> {
+    Tapestry::generate(N, 1, 0xAB1A).column(0).to_vec()
+}
+
+fn sequence() -> Vec<workload::Window> {
+    strolling_sequence(N, K, 0.05, Contraction::Linear, StrollMode::Converge, 5)
+}
+
+fn run_sequence(cfg: CrackerConfig, vals: &[i64], seq: &[workload::Window]) {
+    let mut e = CrackEngine::with_config(vals.to_vec(), cfg);
+    for w in seq {
+        e.run(w.to_pred(), OutputMode::Count);
+    }
+}
+
+/// Crack-in-three (single pass) vs. two crack-in-twos per range query.
+fn crack_mode(c: &mut Criterion) {
+    let vals = column();
+    let seq = sequence();
+    let mut g = c.benchmark_group("ablation_crack_mode");
+    g.sample_size(10);
+    for (label, mode) in [("three_way", CrackMode::ThreeWay), ("two_way", CrackMode::TwoWay)] {
+        let cfg = CrackerConfig::new().with_mode(mode);
+        g.bench_function(label, |b| b.iter(|| run_sequence(cfg, &vals, &seq)));
+    }
+    g.finish();
+}
+
+/// Cut-off granule sweep: the "disk-blocks" cut-off of §3.4.2. Large
+/// cut-offs trade cracking writes for residual edge scans.
+fn cutoff(c: &mut Criterion) {
+    let vals = column();
+    let seq = sequence();
+    let mut g = c.benchmark_group("ablation_cutoff");
+    g.sample_size(10);
+    for &cut in &[1usize, 64, 1024, 16_384] {
+        let cfg = CrackerConfig::new().with_min_piece_size(cut);
+        g.bench_with_input(BenchmarkId::from_parameter(cut), &cfg, |b, &cfg| {
+            b.iter(|| run_sequence(cfg, &vals, &seq))
+        });
+    }
+    g.finish();
+}
+
+/// Fusion policies under a tight piece budget: the §3.2 open question.
+fn fusion(c: &mut Criterion) {
+    let vals = column();
+    let seq = sequence();
+    let mut g = c.benchmark_group("ablation_fusion");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("smallest_pair", FusionPolicy::SmallestPair),
+        ("lru", FusionPolicy::LeastRecentlyUsed),
+        ("most_balanced", FusionPolicy::MostBalanced),
+    ] {
+        let cfg = CrackerConfig::new().with_max_pieces(16).with_fusion(policy);
+        g.bench_function(label, |b| b.iter(|| run_sequence(cfg, &vals, &seq)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, crack_mode, cutoff, fusion);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the core claim: per-query cost under cracking
+//! versus scanning versus a sorted column, at different points of a query
+//! sequence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{CrackEngine, OutputMode, QueryEngine, ScanEngine, SortEngine};
+use workload::homerun::homerun_sequence;
+use workload::{Contraction, Tapestry};
+
+const N: usize = 200_000;
+
+fn column() -> Vec<i64> {
+    Tapestry::generate(N, 1, 0xBE7C).column(0).to_vec()
+}
+
+/// First-query cost: the cracking investment vs. a plain scan vs. the
+/// full sort.
+fn first_query(c: &mut Criterion) {
+    let vals = column();
+    let seq = homerun_sequence(N, 16, 0.05, Contraction::Linear, 1);
+    let pred = seq[0].to_pred();
+    let mut g = c.benchmark_group("first_query");
+    g.bench_function("scan", |b| {
+        b.iter_batched(
+            || ScanEngine::new(vals.clone()),
+            |mut e| e.run(pred, OutputMode::Count),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("crack", |b| {
+        b.iter_batched(
+            || CrackEngine::new(vals.clone()),
+            |mut e| e.run(pred, OutputMode::Count),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sort", |b| {
+        b.iter_batched(
+            || SortEngine::new(vals.clone()),
+            |mut e| e.run(pred, OutputMode::Count),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Steady-state cost: the same query once the sequence has warmed each
+/// engine up — the "nearly completely indexed table" regime of §5.2.
+fn warmed_query(c: &mut Criterion) {
+    let vals = column();
+    let seq = homerun_sequence(N, 16, 0.05, Contraction::Linear, 1);
+    let pred = seq.last().unwrap().to_pred();
+    let mut g = c.benchmark_group("warmed_query");
+    g.bench_function("scan", |b| {
+        let mut e = ScanEngine::new(vals.clone());
+        for w in &seq {
+            e.run(w.to_pred(), OutputMode::Count);
+        }
+        b.iter(|| e.run(pred, OutputMode::Count))
+    });
+    g.bench_function("crack", |b| {
+        let mut e = CrackEngine::new(vals.clone());
+        for w in &seq {
+            e.run(w.to_pred(), OutputMode::Count);
+        }
+        b.iter(|| e.run(pred, OutputMode::Count))
+    });
+    g.bench_function("sort", |b| {
+        let mut e = SortEngine::new(vals.clone());
+        for w in &seq {
+            e.run(w.to_pred(), OutputMode::Count);
+        }
+        b.iter(|| e.run(pred, OutputMode::Count))
+    });
+    g.finish();
+}
+
+/// Whole-sequence cost at several sequence lengths (the Figure 10/11
+/// integrand).
+fn sequence_total(c: &mut Criterion) {
+    let vals = column();
+    let mut g = c.benchmark_group("sequence_total");
+    g.sample_size(10);
+    for &k in &[8usize, 32] {
+        let seq = homerun_sequence(N, k, 0.05, Contraction::Linear, 2);
+        g.bench_with_input(BenchmarkId::new("crack", k), &seq, |b, seq| {
+            b.iter_batched(
+                || CrackEngine::new(vals.clone()),
+                |mut e| {
+                    for w in seq {
+                        e.run(w.to_pred(), OutputMode::Count);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("scan", k), &seq, |b, seq| {
+            b.iter_batched(
+                || ScanEngine::new(vals.clone()),
+                |mut e| {
+                    for w in seq {
+                        e.run(w.to_pred(), OutputMode::Count);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, first_query, warmed_query, sequence_total);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Criterion micro-benches over the extension subsystems: stochastic
+//! policies under both workload shapes, sideways projection vs OID
+//! gather, buffer-pool page access, and the SQL front-end pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cracker_core::sideways::CrackerMap;
+use cracker_core::stochastic::{StochasticCracker, StochasticPolicy};
+use cracker_core::CrackerColumn;
+use sql::SqlSession;
+use storage::{BufferPool, MemDisk, PagedColumn};
+use workload::sequential::{adversarial_sequence, Adversary};
+use workload::strolling::{strolling_sequence, StrollMode};
+use workload::{Contraction, Tapestry, Window};
+
+const N: usize = 200_000;
+const K: usize = 64;
+
+fn column() -> Vec<i64> {
+    Tapestry::generate(N, 1, 0xE47).column(0).to_vec()
+}
+
+/// Stochastic policies, crossed with a random and a sequential workload.
+fn stochastic(c: &mut Criterion) {
+    let vals = column();
+    let workloads: [(&str, Vec<Window>); 2] = [
+        (
+            "random",
+            strolling_sequence(
+                N,
+                K,
+                0.02,
+                Contraction::Linear,
+                StrollMode::RandomWithReplacement,
+                5,
+            ),
+        ),
+        ("seq-asc", adversarial_sequence(N, K, Adversary::SequentialAsc)),
+    ];
+    let mut g = c.benchmark_group("ext_stochastic");
+    g.sample_size(10);
+    for (wl, seq) in &workloads {
+        for policy in [
+            StochasticPolicy::Vanilla,
+            StochasticPolicy::DD1R,
+            StochasticPolicy::DDR { floor: 2_048 },
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(*wl, policy.label()),
+                seq,
+                |b, seq| {
+                    b.iter(|| {
+                        let mut col =
+                            StochasticCracker::new(vals.clone(), policy, 7);
+                        for w in seq {
+                            col.select(w.to_pred());
+                        }
+                        col.total_touched()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Tuple reconstruction: sideways map vs crack-then-gather-by-OID.
+fn sideways(c: &mut Criterion) {
+    let a = column();
+    let b_col: Vec<i64> = a.iter().map(|v| v * 3).collect();
+    let seq = strolling_sequence(
+        N,
+        K,
+        0.02,
+        Contraction::Linear,
+        StrollMode::RandomWithReplacement,
+        9,
+    );
+    let mut g = c.benchmark_group("ext_sideways");
+    g.sample_size(10);
+    g.bench_function("oid_gather", |bch| {
+        bch.iter(|| {
+            let mut col = CrackerColumn::new(a.clone());
+            let mut acc = 0i64;
+            for w in &seq {
+                let sel = col.select(w.to_pred());
+                for oid in col.selection_oids(&sel) {
+                    acc = acc.wrapping_add(b_col[oid as usize]);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("cracker_map", |bch| {
+        bch.iter(|| {
+            let mut map = CrackerMap::new(a.clone(), b_col.clone());
+            let mut acc = 0i64;
+            for w in &seq {
+                let r = map.select(w.to_pred());
+                for &v in map.project(r) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+/// Paged scans under different pool sizes (hit-ratio sensitivity).
+fn paged_scan(c: &mut Criterion) {
+    let vals = column();
+    let mut g = c.benchmark_group("ext_paged_scan");
+    g.sample_size(10);
+    for frames in [8usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(frames), &frames, |b, &f| {
+            let mut pool = BufferPool::new(MemDisk::new(), f);
+            let col = PagedColumn::create(&mut pool, &vals).unwrap();
+            pool.flush().unwrap();
+            b.iter(|| col.count_matching(&mut pool, |v| v % 3 == 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// The SQL pipeline end to end: parse + lower + cracked execution.
+fn sql_pipeline(c: &mut Criterion) {
+    let vals = column();
+    let mut g = c.benchmark_group("ext_sql");
+    g.sample_size(10);
+    g.bench_function("parse_only", |b| {
+        b.iter(|| {
+            sql::parse(
+                "select k, count(*) from r where a >= 10 and a < 500 \
+                 or a between 900 and 999 group by k",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("session_select", |b| {
+        let mut session = SqlSession::new();
+        session
+            .load_table("r", vec![("a".into(), vals.clone())])
+            .unwrap();
+        let mut lo = 0i64;
+        b.iter(|| {
+            lo = (lo + 97) % (N as i64 - 1_000);
+            let sqltext = format!(
+                "select count(*) from r where a >= {lo} and a < {}",
+                lo + 1_000
+            );
+            session.execute_one(&sqltext).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, stochastic, sideways, paged_scan, sql_pipeline);
+criterion_main!(benches);

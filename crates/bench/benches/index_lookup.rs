@@ -1,0 +1,69 @@
+//! Cracker-index scaling: boundary resolution cost as the piece count
+//! grows. §3.2 worries that "at some point, cracking is completely
+//! overshadowed by cracker index maintenance overhead" — this bench
+//! measures where navigation cost actually sits (`O(log p)` ordered-map
+//! probes) and what fusion budgets buy.
+
+use cracker_core::{CrackerColumn, RangePred};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workload::Tapestry;
+
+const N: usize = 500_000;
+
+/// Crack a column into roughly `pieces` pieces with evenly spread queries.
+fn cracked_with_pieces(pieces: usize) -> CrackerColumn<i64> {
+    let vals = Tapestry::generate(N, 1, 0x1D).column(0).to_vec();
+    let mut col = CrackerColumn::new(vals);
+    let queries = pieces / 2;
+    for q in 0..queries {
+        let lo = (q * N / queries.max(1)) as i64;
+        col.select(RangePred::half_open(lo, lo + (N / (queries.max(1) * 2)) as i64));
+    }
+    col
+}
+
+fn boundary_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_boundary_reuse");
+    for &pieces in &[16usize, 256, 2048] {
+        let mut col = cracked_with_pieces(pieces);
+        // A query whose boundaries already exist: pure index navigation.
+        let probe = RangePred::half_open(
+            (N / 2) as i64,
+            (N / 2 + N / (pieces.max(2))) as i64,
+        );
+        col.select(probe);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(col.piece_count()),
+            &probe,
+            |b, &probe| b.iter(|| col.select(probe).count()),
+        );
+    }
+    g.finish();
+}
+
+fn fresh_boundary_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_fresh_boundary");
+    g.sample_size(20);
+    for &pieces in &[16usize, 256, 2048] {
+        // Build the cracked template once; clone per iteration.
+        let template = cracked_with_pieces(pieces);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pieces),
+            &template,
+            |b, template| {
+                b.iter_batched(
+                    || template.clone(),
+                    |mut col| {
+                        // Bounds chosen to miss existing boundaries.
+                        col.select(RangePred::half_open(333_331, 333_337)).count()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, boundary_reuse, fresh_boundary_cost);
+criterion_main!(benches);

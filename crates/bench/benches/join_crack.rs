@@ -1,0 +1,58 @@
+//! ^-cracker micro-benchmarks: the semijoin split investment and its
+//! pay-off (joining only the matching areas), against a plain hash join.
+
+use cracker_core::join::{join_matched, wedge_crack, PairColumn};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use workload::Tapestry;
+
+const N: usize = 100_000;
+
+fn operands() -> (Vec<i64>, Vec<i64>) {
+    let t = Tapestry::generate(N, 2, 0x30E);
+    // Shift one side so only half the values match.
+    let r = t.column(0).to_vec();
+    let s: Vec<i64> = t.column(1).iter().map(|v| v + (N / 2) as i64).collect();
+    (r, s)
+}
+
+/// Plain hash join, touching every tuple of both sides.
+fn plain_hash_join(r: &[i64], s: &[i64]) -> usize {
+    let mut idx: HashMap<i64, u32> = HashMap::with_capacity(r.len());
+    for (i, &v) in r.iter().enumerate() {
+        idx.insert(v, i as u32);
+    }
+    s.iter().filter(|v| idx.contains_key(v)).count()
+}
+
+fn wedge_vs_hash(c: &mut Criterion) {
+    let (r, s) = operands();
+    let mut g = c.benchmark_group("wedge_vs_hash");
+    g.sample_size(20);
+    g.bench_function("hash_join_full", |b| {
+        b.iter(|| plain_hash_join(&r, &s))
+    });
+    g.bench_function("wedge_crack_investment", |b| {
+        b.iter_batched(
+            || (PairColumn::new(r.clone()), PairColumn::new(s.clone())),
+            |(mut pr, mut ps)| {
+                let rn = pr.len();
+                let sn = ps.len();
+                wedge_crack(&mut pr, &mut ps, 0..rn, 0..sn)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("join_matched_after_wedge", |b| {
+        let mut pr = PairColumn::new(r.clone());
+        let mut ps = PairColumn::new(s.clone());
+        let rn = pr.len();
+        let sn = ps.len();
+        let res = wedge_crack(&mut pr, &mut ps, 0..rn, 0..sn);
+        b.iter(|| join_matched(&pr, &ps, &res).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, wedge_vs_hash);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark-kit throughput: tapestry generation and sequence generation
+//! must stay cheap relative to the experiments they drive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workload::homerun::homerun_sequence;
+use workload::strolling::{strolling_sequence, StrollMode};
+use workload::{Contraction, Tapestry};
+
+fn tapestry_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tapestry_gen");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| Tapestry::generate(n, 2, 7))
+        });
+    }
+    g.finish();
+}
+
+fn sequence_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequence_gen");
+    g.bench_function("homerun_k128", |b| {
+        b.iter(|| homerun_sequence(1_000_000, 128, 0.05, Contraction::Linear, 3))
+    });
+    g.bench_function("strolling_k128", |b| {
+        b.iter(|| {
+            strolling_sequence(
+                1_000_000,
+                128,
+                0.05,
+                Contraction::Linear,
+                StrollMode::Converge,
+                3,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tapestry_gen, sequence_gen);
+criterion_main!(benches);

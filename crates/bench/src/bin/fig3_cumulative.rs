@@ -1,0 +1,52 @@
+//! **Figure 3** — "Cummulative cost of cracking versus scans": accumulated
+//! read+write cost relative to scanning (baseline 1.0), plus the
+//! sort-upfront alternative discussed in §2.2 for context.
+
+use bench::data_block;
+use sim::series::{fig3_series_avg, paper_selectivities, sort_cumulative_series};
+use sim::SCAN_BASELINE;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let steps = 20;
+    let runs = 25;
+    let mut series: Vec<(String, Vec<f64>)> = paper_selectivities()
+        .iter()
+        .map(|&sigma| {
+            (
+                format!("{:.0}%", sigma * 100.0),
+                fig3_series_avg(n, sigma, steps, runs),
+            )
+        })
+        .collect();
+    series.push(("scan-baseline".into(), vec![SCAN_BASELINE; steps]));
+    series.push((
+        "sort-upfront(5%)".into(),
+        sort_cumulative_series(n, 0.05, steps),
+    ));
+    println!(
+        "{}",
+        data_block(
+            &format!(
+                "Figure 3 — cumulative cracking cost relative to scans (N={n}, {runs} runs avg)"
+            ),
+            "sequence length",
+            &series,
+        )
+    );
+    // Report the break-even step per selectivity.
+    println!("# break-even (first step with ratio < 1.0):");
+    for (name, s) in &series[..paper_selectivities().len()] {
+        let be = s
+            .iter()
+            .position(|&v| v < SCAN_BASELINE)
+            .map(|i| (i + 1).to_string())
+            .unwrap_or_else(|| ">20".into());
+        println!("#   sigma {name}: step {be}");
+    }
+    println!("# Shape check: break-even within a handful of queries (paper: 'already");
+    println!("# after a handful of queries').");
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # bench — figure regeneration and micro-benchmarks
+//!
+//! One binary per figure of the paper's evaluation (run with
+//! `cargo run -p bench --release --bin figN_...`), plus Criterion
+//! micro-benchmarks (`cargo bench`). Shared output helpers live here.
+
+use std::fmt::Write as _;
+
+/// Render one gnuplot-ready data block: a header comment, then one line
+/// per x-value with all series columns.
+pub fn data_block(title: &str, x_label: &str, series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let names: Vec<&str> = series.iter().map(|(n, _)| n.as_str()).collect();
+    let _ = writeln!(out, "# {x_label}\t{}", names.join("\t"));
+    let len = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let _ = write!(out, "{}", i + 1);
+        for (_, v) in series {
+            match v.get(i) {
+                Some(y) => {
+                    let _ = write!(out, "\t{y:.6}");
+                }
+                None => {
+                    let _ = write!(out, "\t-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Format a duration in seconds with millisecond precision.
+pub fn secs(d: std::time::Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_block_layout() {
+        let block = data_block(
+            "Figure X",
+            "step",
+            &[
+                ("a".into(), vec![1.0, 2.0]),
+                ("b".into(), vec![0.5]),
+            ],
+        );
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines[0], "# Figure X");
+        assert_eq!(lines[1], "# step\ta\tb");
+        assert_eq!(lines[2], "1\t1.000000\t0.500000");
+        assert_eq!(lines[3], "2\t2.000000\t-");
+    }
+
+    #[test]
+    fn secs_converts() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), 1.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Exporting cracked pieces as BATs and BAT views.
+//!
+//! §5.2: "With the data physically stored in a single container, we can
+//! also use MonetDB's cheap mechanism to slice portions from it using a
+//! BAT view. ... The MonetDB BATviews provide a cheap representation of
+//! the newly created table. Their location within the BAT storage area and
+//! their statistical properties are copied to the cracker index."
+//!
+//! [`export_bat`] materializes the cracked column as one BAT (explicit
+//! head = surrogate OIDs, tail = values, in the *cracked* physical order);
+//! [`piece_views`] then hands out one zero-copy [`BatView`] per piece, so
+//! downstream operators (unions, joins over pieces) work on the standard
+//! storage abstractions without copying a single BUN. [`register_pieces`]
+//! publishes the views in a [`StoreCatalog`] under `name[k]` labels
+//! matching the lineage convention.
+
+use crate::column::CrackerColumn;
+use crate::index::Piece;
+use std::sync::Arc;
+use storage::{Bat, BatView, StorageResult, StoreCatalog, TailData};
+
+/// Materialize the cracked column (in its current physical order) as a
+/// single BAT: head = surrogate OIDs, tail = values.
+pub fn export_bat(col: &CrackerColumn<i64>, name: impl Into<String>) -> StorageResult<Bat> {
+    let oids: Vec<u64> = col.oids().iter().map(|&o| o as u64).collect();
+    Bat::with_explicit_head(name, oids, TailData::Int(col.values().to_vec()))
+}
+
+/// One exported piece: its index metadata plus a zero-copy view of its
+/// slot range.
+#[derive(Debug, Clone)]
+pub struct PieceView {
+    /// The piece's boundaries as recorded in the cracker index.
+    pub piece: Piece<i64>,
+    /// Zero-copy window over the exported BAT.
+    pub view: BatView,
+}
+
+/// Slice the exported BAT into one view per cracker-index piece. The
+/// views tile the BAT exactly.
+pub fn piece_views(col: &CrackerColumn<i64>, bat: &Arc<Bat>) -> StorageResult<Vec<PieceView>> {
+    col.index()
+        .pieces()
+        .into_iter()
+        .map(|piece| {
+            Ok(PieceView {
+                view: BatView::slice(Arc::clone(bat), piece.start..piece.end)?,
+                piece,
+            })
+        })
+        .collect()
+}
+
+/// Export the column and register every piece in `catalog` as
+/// `name[1]`, `name[2]`, ... (materialized, since the catalog owns BATs;
+/// the full container is registered under `name` itself). Returns the
+/// piece labels.
+pub fn register_pieces(
+    col: &CrackerColumn<i64>,
+    catalog: &StoreCatalog,
+    name: &str,
+) -> StorageResult<Vec<String>> {
+    let bat = Arc::new(export_bat(col, name)?);
+    let mut labels = Vec::new();
+    for (i, pv) in piece_views(col, &bat)?.into_iter().enumerate() {
+        let label = format!("{name}[{}]", i + 1);
+        let piece_bat = pv.view.materialize(label.clone())?;
+        catalog.replace(&label, piece_bat);
+        labels.push(label);
+    }
+    catalog.replace(name, (*bat).clone());
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::RangePred;
+
+    fn cracked() -> CrackerColumn<i64> {
+        let mut c = CrackerColumn::new((0..100).rev().collect());
+        c.select(RangePred::between(20, 40));
+        c.select(RangePred::between(60, 80));
+        c
+    }
+
+    #[test]
+    fn export_preserves_pairs() {
+        let c = cracked();
+        let bat = export_bat(&c, "r_a").unwrap();
+        assert_eq!(bat.len(), 100);
+        for pos in 0..100 {
+            assert_eq!(bat.oid_at(pos).unwrap(), c.oids()[pos] as u64);
+            assert_eq!(bat.ints().unwrap()[pos], c.values()[pos]);
+        }
+    }
+
+    #[test]
+    fn views_tile_the_container() {
+        let c = cracked();
+        let bat = Arc::new(export_bat(&c, "r_a").unwrap());
+        let views = piece_views(&c, &bat).unwrap();
+        assert_eq!(views.len(), c.piece_count());
+        let mut cursor = 0;
+        for pv in &views {
+            assert_eq!(pv.view.bun_range().start, cursor);
+            cursor = pv.view.bun_range().end;
+        }
+        assert_eq!(cursor, 100);
+        // Total coverage without copies.
+        let total: usize = views.iter().map(|pv| pv.view.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn piece_views_respect_value_boundaries() {
+        let c = cracked();
+        let bat = Arc::new(export_bat(&c, "r_a").unwrap());
+        for pv in piece_views(&c, &bat).unwrap() {
+            let stats = pv.view.stats();
+            if let (Some(upper), Some(max)) = (pv.piece.upper, stats.max) {
+                let max = max.as_int().unwrap();
+                // Every value in the piece lies before its upper boundary.
+                assert!(upper.before(max), "piece max {max} vs boundary {upper:?}");
+            }
+            if let (Some(lower), Some(min)) = (pv.piece.lower, stats.min) {
+                let min = min.as_int().unwrap();
+                assert!(!lower.before(min), "piece min {min} vs boundary {lower:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_publishes_labelled_pieces() {
+        let c = cracked();
+        let catalog = StoreCatalog::new();
+        let labels = register_pieces(&c, &catalog, "r_a").unwrap();
+        assert_eq!(labels.len(), c.piece_count());
+        assert!(catalog.contains("r_a"));
+        assert!(catalog.contains("r_a[1]"));
+        // Union of the pieces reconstructs the container (loss-less).
+        let total: usize = labels
+            .iter()
+            .map(|l| catalog.get(l).unwrap().len())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn virgin_column_exports_one_piece() {
+        let c = CrackerColumn::new(vec![3i64, 1, 2]);
+        let bat = Arc::new(export_bat(&c, "v").unwrap());
+        let views = piece_views(&c, &bat).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].view.len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Ω-cracking (Omega): group-by-driven reorganization.
+//!
+//! "The cracking operation Ω(γ_grp R) produces a collection {P_i} = σ_{grp
+//! = v_i}(R) for each v_i ∈ π_grp R" (§3.1) — an n-way partition with one
+//! piece per group value. §3.3: "The Ω cracker clusters the elements into
+//! disjoint groups, such that subsequent aggregation and filtering are
+//! simplified." §3.4.2 notes it "can be implemented as a variation of the
+//! Ξ cracker"; we implement it as a single-pass counting cluster, which is
+//! that variation taken to its n-way conclusion.
+
+use crate::join::PairColumn;
+use crate::value_trait::CrackValue;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Result of an Ω-crack: one consecutive piece per distinct group value,
+/// reported in ascending group-value order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaResult<T> {
+    /// `(group value, slot range)` pairs, ascending by value.
+    pub groups: Vec<(T, Range<usize>)>,
+    /// Tuples inspected.
+    pub tuples_touched: u64,
+    /// Tuples relocated.
+    pub tuples_moved: u64,
+}
+
+impl<T: CrackValue> OmegaResult<T> {
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Range for one group value, if present.
+    pub fn range_of(&self, value: T) -> Option<Range<usize>> {
+        self.groups
+            .binary_search_by(|(v, _)| v.cmp(&value))
+            .ok()
+            .map(|i| self.groups[i].1.clone())
+    }
+}
+
+/// Ω-crack `col[range]`: cluster tuples so each distinct value occupies a
+/// consecutive slot range. Tuple order within a group is stable.
+pub fn omega_crack<T: CrackValue>(col: &mut PairColumn<T>, range: Range<usize>) -> OmegaResult<T> {
+    let n = range.len();
+    let mut tuples_moved = 0u64;
+
+    // Pass 1: count occurrences per group value.
+    let mut counts: HashMap<T, usize> = HashMap::new();
+    for i in range.clone() {
+        *counts.entry(col.values()[i]).or_insert(0) += 1;
+    }
+    // Assign consecutive target ranges in ascending value order.
+    let mut ordered: Vec<(T, usize)> = counts.into_iter().collect();
+    ordered.sort_unstable_by_key(|a| a.0);
+    let mut groups = Vec::with_capacity(ordered.len());
+    let mut cursor = range.start;
+    let mut next_slot: HashMap<T, usize> = HashMap::with_capacity(ordered.len());
+    for (v, c) in ordered {
+        groups.push((v, cursor..cursor + c));
+        next_slot.insert(v, cursor);
+        cursor += c;
+    }
+
+    // Pass 2: stable scatter into a scratch buffer, then write back.
+    if n > 0 {
+        let mut scratch: Vec<Option<(T, u32)>> = vec![None; n];
+        for i in range.clone() {
+            let v = col.values()[i];
+            let o = col.oids()[i];
+            let slot = next_slot.get_mut(&v).expect("counted in pass 1");
+            scratch[*slot - range.start] = Some((v, o));
+            *slot += 1;
+        }
+        let (vals, oids) = col.arrays_mut_for_omega();
+        for (offset, entry) in scratch.into_iter().enumerate() {
+            let (v, o) = entry.expect("every slot is filled by the scatter");
+            let i = range.start + offset;
+            if vals[i] != v || oids[i] != o {
+                tuples_moved += 1;
+            }
+            vals[i] = v;
+            oids[i] = o;
+        }
+    }
+
+    OmegaResult {
+        groups,
+        tuples_touched: n as u64,
+        tuples_moved,
+    }
+}
+
+/// Aggregate each group of a previous Ω-crack with `f` (e.g. count, sum) —
+/// the "subsequent aggregation \[is\] simplified" pay-off: each group is one
+/// contiguous scan.
+pub fn aggregate_groups<T: CrackValue, A>(
+    col: &PairColumn<T>,
+    res: &OmegaResult<T>,
+    mut f: impl FnMut(T, &[T], &[u32]) -> A,
+) -> Vec<(T, A)> {
+    res.groups
+        .iter()
+        .map(|(v, r)| {
+            (
+                *v,
+                f(*v, &col.values()[r.clone()], &col.oids()[r.clone()]),
+            )
+        })
+        .collect()
+}
+
+impl<T: CrackValue> PairColumn<T> {
+    /// Internal mutable access for the Ω scatter pass.
+    pub(crate) fn arrays_mut_for_omega(&mut self) -> (&mut [T], &mut [u32]) {
+        self.arrays_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn omega_clusters_each_value_consecutively() {
+        let mut c = PairColumn::new(vec![3i64, 1, 2, 3, 1, 1]);
+        let res = omega_crack(&mut c, 0..6);
+        assert_eq!(res.group_count(), 3);
+        assert_eq!(c.values(), &[1, 1, 1, 2, 3, 3]);
+        assert_eq!(res.range_of(1), Some(0..3));
+        assert_eq!(res.range_of(2), Some(3..4));
+        assert_eq!(res.range_of(3), Some(4..6));
+        assert_eq!(res.range_of(9), None);
+    }
+
+    #[test]
+    fn omega_is_stable_within_groups() {
+        let mut c = PairColumn::from_pairs(vec![2i64, 1, 2, 1], vec![10, 11, 12, 13]);
+        omega_crack(&mut c, 0..4);
+        // Group 1 keeps oid order 11, 13; group 2 keeps 10, 12.
+        assert_eq!(c.oids(), &[11, 13, 10, 12]);
+    }
+
+    #[test]
+    fn omega_on_subrange_only() {
+        let mut c = PairColumn::new(vec![9i64, 2, 1, 2, 9]);
+        let res = omega_crack(&mut c, 1..4);
+        assert_eq!(c.values(), &[9, 1, 2, 2, 9]);
+        assert_eq!(res.range_of(1), Some(1..2));
+        assert_eq!(res.range_of(2), Some(2..4));
+    }
+
+    #[test]
+    fn aggregation_over_groups() {
+        let mut c = PairColumn::new(vec![1i64, 2, 1, 2, 2]);
+        let res = omega_crack(&mut c, 0..5);
+        let counts = aggregate_groups(&c, &res, |_, vals, _| vals.len());
+        assert_eq!(counts, vec![(1, 2), (2, 3)]);
+        let sums = aggregate_groups(&c, &res, |_, vals, _| vals.iter().sum::<i64>());
+        assert_eq!(sums, vec![(1, 2), (2, 6)]);
+    }
+
+    #[test]
+    fn omega_of_empty_range() {
+        let mut c = PairColumn::new(vec![1i64, 2]);
+        let res = omega_crack(&mut c, 1..1);
+        assert_eq!(res.group_count(), 0);
+        assert_eq!(c.values(), &[1, 2]);
+    }
+
+    #[test]
+    fn omega_single_group() {
+        let mut c = PairColumn::new(vec![7i64; 5]);
+        let res = omega_crack(&mut c, 0..5);
+        assert_eq!(res.group_count(), 1);
+        assert_eq!(res.range_of(7), Some(0..5));
+        assert_eq!(res.tuples_moved, 0, "already clustered: nothing moves");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_omega_pieces_are_disjoint_and_complete(
+            vals in proptest::collection::vec(0i64..20, 0..150),
+        ) {
+            let orig = vals.clone();
+            let mut c = PairColumn::new(vals);
+            let n = c.len();
+            let res = omega_crack(&mut c, 0..n);
+            // Groups tile the range.
+            let covered: usize = res.groups.iter().map(|(_, r)| r.len()).sum();
+            prop_assert_eq!(covered, n);
+            // Each piece holds exactly its value.
+            for (v, r) in &res.groups {
+                for i in r.clone() {
+                    prop_assert_eq!(c.values()[i], *v);
+                }
+            }
+            // Multiset preserved and oids still track original values.
+            for (i, &oid) in c.oids().iter().enumerate() {
+                prop_assert_eq!(c.values()[i], orig[oid as usize]);
+            }
+        }
+
+        #[test]
+        fn prop_group_counts_match_oracle(
+            vals in proptest::collection::vec(0i64..10, 1..100),
+        ) {
+            let mut oracle: HashMap<i64, usize> = HashMap::new();
+            for &v in &vals { *oracle.entry(v).or_insert(0) += 1; }
+            let mut c = PairColumn::new(vals);
+            let n = c.len();
+            let res = omega_crack(&mut c, 0..n);
+            let counts = aggregate_groups(&c, &res, |_, vs, _| vs.len());
+            prop_assert_eq!(counts.len(), oracle.len());
+            for (v, cnt) in counts {
+                prop_assert_eq!(cnt, oracle[&v]);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! ^-cracking (Wedge): join-driven reorganization.
+//!
+//! "The cracking operation ^(R ⋈ S) over two relations produces four
+//! pieces: P1 = R⋉S, P2 = R∖(R⋉S), P3 = S⋉R, P4 = S∖(S⋉R)" (§3.1). And
+//! §3.4.2: "instead of producing a separate table with the tuples being
+//! join-compatible, we shuffle the tuples around such that both operands
+//! have a consecutive area with matching tuples."
+//!
+//! The result is a dynamically built **semijoin index**: the matching areas
+//! can be joined without ever touching non-matching tuples, and the
+//! non-matching areas are exactly the extra tuples an outer join needs
+//! (§3.3).
+
+use crate::value_trait::CrackValue;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// A join-side column: values plus parallel surrogate OIDs, physically
+/// reorganized by wedge cracks. Unlike [`crate::column::CrackerColumn`]
+/// this type clusters by *match status*, not by value order, so it keeps
+/// its own region bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PairColumn<T> {
+    vals: Vec<T>,
+    oids: Vec<u32>,
+}
+
+impl<T: CrackValue> PairColumn<T> {
+    /// Build from values with dense OIDs `0..n`.
+    pub fn new(vals: Vec<T>) -> Self {
+        let n = vals.len();
+        PairColumn {
+            vals,
+            oids: (0..n as u32).collect(),
+        }
+    }
+
+    /// Build from explicit `(value, oid)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length.
+    pub fn from_pairs(vals: Vec<T>, oids: Vec<u32>) -> Self {
+        assert_eq!(vals.len(), oids.len(), "values and oids must align");
+        PairColumn { vals, oids }
+    }
+
+    /// Values in physical order.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// OIDs in physical order.
+    pub fn oids(&self) -> &[u32] {
+        &self.oids
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Mutable access to both parallel arrays (crate-internal: used by the
+    /// Ω cracker's scatter pass).
+    pub(crate) fn arrays_mut(&mut self) -> (&mut [T], &mut [u32]) {
+        (&mut self.vals, &mut self.oids)
+    }
+
+    /// Stable in-place partition of `range` so that tuples satisfying
+    /// `keep` come first. Returns the split position and counts moved
+    /// tuples. Stability keeps previously established clusters intact.
+    fn stable_partition(
+        &mut self,
+        range: Range<usize>,
+        keep: impl Fn(T) -> bool,
+        moved: &mut u64,
+    ) -> usize {
+        let mut matched: Vec<(T, u32)> = Vec::new();
+        let mut unmatched: Vec<(T, u32)> = Vec::new();
+        for i in range.clone() {
+            if keep(self.vals[i]) {
+                matched.push((self.vals[i], self.oids[i]));
+            } else {
+                unmatched.push((self.vals[i], self.oids[i]));
+            }
+        }
+        let split = range.start + matched.len();
+        for (offset, (v, o)) in matched.into_iter().chain(unmatched).enumerate() {
+            let i = range.start + offset;
+            if self.vals[i] != v || self.oids[i] != o {
+                *moved += 1;
+            }
+            self.vals[i] = v;
+            self.oids[i] = o;
+        }
+        split
+    }
+}
+
+/// Cost counters of one wedge crack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WedgeStats {
+    /// Tuples inspected across both operands.
+    pub tuples_touched: u64,
+    /// Tuples relocated across both operands.
+    pub tuples_moved: u64,
+}
+
+/// Result of a wedge crack: the consecutive matching areas of each operand.
+///
+/// Piece layout afterwards:
+/// `R = [ R⋉S | R∖(R⋉S) ]` over `r_match` / its complement, and
+/// `S = [ S⋉R | S∖(S⋉R) ]` over `s_match` / its complement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WedgeResult {
+    /// Slot range of R-tuples that find a match in S.
+    pub r_match: Range<usize>,
+    /// Slot range of S-tuples that find a match in R.
+    pub s_match: Range<usize>,
+    /// Cost counters.
+    pub stats: WedgeStats,
+}
+
+/// Perform a ^-crack of `r ⋈ s` on the given slot ranges (pass `0..len`
+/// for whole relations; sub-ranges let the engine wedge-crack inside pieces
+/// produced by earlier Ξ-cracks, as the paper's Figure 5 example does with
+/// `^(R[4], S)`).
+///
+/// Both operands are shuffled so their matching tuples become consecutive;
+/// the returned ranges delimit the four pieces.
+pub fn wedge_crack<T: CrackValue>(
+    r: &mut PairColumn<T>,
+    s: &mut PairColumn<T>,
+    r_range: Range<usize>,
+    s_range: Range<usize>,
+) -> WedgeResult {
+    let mut stats = WedgeStats::default();
+    stats.tuples_touched += (r_range.len() + s_range.len()) as u64;
+
+    // Semijoin R ⋉ S: R-tuples whose value appears in S's range.
+    let s_values: HashSet<T> = s.vals[s_range.clone()].iter().copied().collect();
+    let r_split = r.stable_partition(
+        r_range.clone(),
+        |v| s_values.contains(&v),
+        &mut stats.tuples_moved,
+    );
+
+    // Semijoin S ⋉ R: S-tuples whose value appears in R's (matching) range
+    // — by definition of natural join this equals "appears anywhere in R's
+    // range", since a value matched by some S tuple is now in R's matching
+    // area.
+    let r_values: HashSet<T> = r.vals[r_range.start..r_split].iter().copied().collect();
+    let s_split = s.stable_partition(
+        s_range.clone(),
+        |v| r_values.contains(&v),
+        &mut stats.tuples_moved,
+    );
+
+    WedgeResult {
+        r_match: r_range.start..r_split,
+        s_match: s_range.start..s_split,
+        stats,
+    }
+}
+
+/// Join the matching areas established by a previous [`wedge_crack`]: a
+/// hash join confined to the two match ranges, producing `(r_oid, s_oid)`
+/// pairs. Never touches non-matching tuples — the pay-off of the wedge.
+pub fn join_matched<T: CrackValue>(
+    r: &PairColumn<T>,
+    s: &PairColumn<T>,
+    res: &WedgeResult,
+) -> Vec<(u32, u32)> {
+    let mut by_val: HashMap<T, Vec<u32>> = HashMap::new();
+    for i in res.r_match.clone() {
+        by_val.entry(r.vals[i]).or_default().push(r.oids[i]);
+    }
+    let mut out = Vec::new();
+    for j in res.s_match.clone() {
+        if let Some(r_oids) = by_val.get(&s.vals[j]) {
+            for &ro in r_oids {
+                out.push((ro, s.oids[j]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wedge_clusters_matching_tuples_consecutively() {
+        let mut r = PairColumn::new(vec![1i64, 5, 3, 7, 9]);
+        let mut s = PairColumn::new(vec![3i64, 8, 5, 2]);
+        let res = wedge_crack(&mut r, &mut s, 0..5, 0..4);
+        // R ⋉ S = {5, 3}; S ⋉ R = {3, 5}.
+        let r_matched: Vec<i64> = res.r_match.clone().map(|i| r.values()[i]).collect();
+        assert_eq!(r_matched, vec![5, 3], "stable order of first appearance");
+        let s_matched: Vec<i64> = res.s_match.clone().map(|i| s.values()[i]).collect();
+        assert_eq!(s_matched, vec![3, 5]);
+        // Non-matching pieces hold the rest.
+        let r_rest: Vec<i64> = (res.r_match.end..5).map(|i| r.values()[i]).collect();
+        assert_eq!(r_rest, vec![1, 7, 9]);
+    }
+
+    #[test]
+    fn four_pieces_reconstruct_the_originals() {
+        let r_orig = vec![4i64, 8, 15, 16, 23, 42];
+        let s_orig = vec![8i64, 42, 99];
+        let mut r = PairColumn::new(r_orig.clone());
+        let mut s = PairColumn::new(s_orig.clone());
+        wedge_crack(&mut r, &mut s, 0..6, 0..3);
+        // Union of pieces == original multiset (loss-less property).
+        let mut r_all: Vec<i64> = r.values().to_vec();
+        r_all.sort_unstable();
+        let mut r_want = r_orig;
+        r_want.sort_unstable();
+        assert_eq!(r_all, r_want);
+        // And OIDs still map to original values.
+        for (i, &oid) in r.oids().iter().enumerate() {
+            assert_eq!(r.values()[i], [4i64, 8, 15, 16, 23, 42][oid as usize]);
+        }
+    }
+
+    #[test]
+    fn join_matched_equals_naive_join() {
+        let r_orig = vec![1i64, 2, 2, 3];
+        let s_orig = vec![2i64, 3, 3, 4];
+        let mut r = PairColumn::new(r_orig.clone());
+        let mut s = PairColumn::new(s_orig.clone());
+        let res = wedge_crack(&mut r, &mut s, 0..4, 0..4);
+        let mut got = join_matched(&r, &s, &res);
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (i, &rv) in r_orig.iter().enumerate() {
+            for (j, &sv) in s_orig.iter().enumerate() {
+                if rv == sv {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn disjoint_relations_yield_empty_match_areas() {
+        let mut r = PairColumn::new(vec![1i64, 2]);
+        let mut s = PairColumn::new(vec![3i64, 4]);
+        let res = wedge_crack(&mut r, &mut s, 0..2, 0..2);
+        assert!(res.r_match.is_empty());
+        assert!(res.s_match.is_empty());
+        assert!(join_matched(&r, &s, &res).is_empty());
+    }
+
+    #[test]
+    fn identical_relations_match_fully() {
+        let mut r = PairColumn::new(vec![1i64, 2, 3]);
+        let mut s = PairColumn::new(vec![3i64, 2, 1]);
+        let res = wedge_crack(&mut r, &mut s, 0..3, 0..3);
+        assert_eq!(res.r_match, 0..3);
+        assert_eq!(res.s_match, 0..3);
+    }
+
+    #[test]
+    fn wedge_on_subranges_leaves_outside_untouched() {
+        let mut r = PairColumn::new(vec![100i64, 1, 5, 3, 200]);
+        let mut s = PairColumn::new(vec![5i64, 3, 9]);
+        let res = wedge_crack(&mut r, &mut s, 1..4, 0..3);
+        assert_eq!(r.values()[0], 100);
+        assert_eq!(r.values()[4], 200);
+        let matched: Vec<i64> = res.r_match.clone().map(|i| r.values()[i]).collect();
+        assert_eq!(matched, vec![5, 3]);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let mut r = PairColumn::new(Vec::<i64>::new());
+        let mut s = PairColumn::new(vec![1i64]);
+        let res = wedge_crack(&mut r, &mut s, 0..0, 0..1);
+        assert!(res.r_match.is_empty());
+        assert!(res.s_match.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn from_pairs_checks_alignment() {
+        PairColumn::from_pairs(vec![1i64], vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wedge_partitions_exactly_by_match(
+            r_vals in proptest::collection::vec(0i64..30, 0..80),
+            s_vals in proptest::collection::vec(0i64..30, 0..80),
+        ) {
+            let mut r = PairColumn::new(r_vals.clone());
+            let mut s = PairColumn::new(s_vals.clone());
+            let rn = r.len();
+            let sn = s.len();
+            let res = wedge_crack(&mut r, &mut s, 0..rn, 0..sn);
+            let s_set: HashSet<i64> = s_vals.iter().copied().collect();
+            let r_set: HashSet<i64> = r_vals.iter().copied().collect();
+            for i in 0..rn {
+                let matches = s_set.contains(&r.values()[i]);
+                prop_assert_eq!(res.r_match.contains(&i), matches);
+            }
+            for j in 0..sn {
+                let matches = r_set.contains(&s.values()[j]);
+                prop_assert_eq!(res.s_match.contains(&j), matches);
+            }
+        }
+
+        #[test]
+        fn prop_join_matched_agrees_with_nested_loop_oracle(
+            r_vals in proptest::collection::vec(0i64..15, 0..50),
+            s_vals in proptest::collection::vec(0i64..15, 0..50),
+        ) {
+            let mut r = PairColumn::new(r_vals.clone());
+            let mut s = PairColumn::new(s_vals.clone());
+            let rn = r.len();
+            let sn = s.len();
+            let res = wedge_crack(&mut r, &mut s, 0..rn, 0..sn);
+            let mut got = join_matched(&r, &s, &res);
+            got.sort_unstable();
+            let mut want = Vec::new();
+            for (i, &rv) in r_vals.iter().enumerate() {
+                for (j, &sv) in s_vals.iter().enumerate() {
+                    if rv == sv { want.push((i as u32, j as u32)); }
+                }
+            }
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Piece lineage — Figures 5 and 6 of the paper.
+//!
+//! "Cracking the database into pieces should be complemented with
+//! information to reconstruct its original state and result tables, which
+//! means we have to administer the lineage of each piece, i.e. its source
+//! and the Ξ, Ψ, ^ or Ω operators applied" (§3.2).
+//!
+//! [`LineageGraph`] is that administration: an append-only DAG whose nodes
+//! are pieces (`R[1]`, `R[2]`, ... per the paper's labels) and whose
+//! operator applications record which pieces a cracker consumed and
+//! produced. The key query is [`LineageGraph::reconstruction_set`]: the
+//! current leaves whose union (Ξ, ^, Ω) or surrogate join (Ψ)
+//! re-constitutes an original relation — the loss-less property of §3.1.
+//! The graph "can be controlled by selectively trimming ... applying the
+//! inverse operation to the nodes": [`LineageGraph::undo`] removes an
+//! operator application and re-exposes its inputs as leaves.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a piece node in the lineage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PieceId(pub usize);
+
+/// Identifier of an operator application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+/// Which cracker produced a set of pieces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrackOp {
+    /// Ξ selection cracking, annotated with the predicate text.
+    Xi(String),
+    /// Ψ projection cracking, annotated with the projection list.
+    Psi(Vec<String>),
+    /// ^ join cracking, annotated with the join predicate text.
+    Wedge(String),
+    /// Ω group-by cracking, annotated with the grouping attributes.
+    Omega(Vec<String>),
+}
+
+impl fmt::Display for CrackOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrackOp::Xi(p) => write!(f, "Ξ({p})"),
+            CrackOp::Psi(attrs) => write!(f, "Ψ({})", attrs.join(",")),
+            CrackOp::Wedge(p) => write!(f, "^({p})"),
+            CrackOp::Omega(attrs) => write!(f, "Ω({})", attrs.join(",")),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PieceNode {
+    /// Display label, e.g. `R` for a root or `R[3]` for a derived piece.
+    label: String,
+    /// Root relation this piece descends from.
+    root: String,
+    /// Operator that produced this piece (None for roots).
+    produced_by: Option<OpId>,
+    /// Operator that consumed this piece (None while it is a leaf).
+    consumed_by: Option<OpId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpNode {
+    op: CrackOp,
+    inputs: Vec<PieceId>,
+    outputs: Vec<PieceId>,
+}
+
+/// The lineage DAG.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LineageGraph {
+    pieces: Vec<PieceNode>,
+    ops: Vec<OpNode>,
+    /// Per-root counter for `R[k]` labels.
+    counters: BTreeMap<String, usize>,
+    /// Root name -> root piece.
+    roots: BTreeMap<String, PieceId>,
+}
+
+impl LineageGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an original relation (a lineage root).
+    pub fn add_root(&mut self, name: impl Into<String>) -> PieceId {
+        let name = name.into();
+        let id = PieceId(self.pieces.len());
+        self.pieces.push(PieceNode {
+            label: name.clone(),
+            root: name.clone(),
+            produced_by: None,
+            consumed_by: None,
+        });
+        self.counters.insert(name.clone(), 0);
+        self.roots.insert(name, id);
+        id
+    }
+
+    /// The root piece for a relation name.
+    pub fn root(&self, name: &str) -> Option<PieceId> {
+        self.roots.get(name).copied()
+    }
+
+    /// Record an operator application consuming `inputs` (which must all be
+    /// leaves) and producing `n_outputs_per_input[i]` pieces from input
+    /// `i`. Returns the new piece IDs, grouped per input, labelled
+    /// `Root[k]` with per-root counters — matching the paper's Figure 5
+    /// numbering.
+    ///
+    /// # Panics
+    /// Panics if an input is not a live leaf (already consumed pieces
+    /// cannot be cracked again).
+    pub fn apply(
+        &mut self,
+        op: CrackOp,
+        inputs: &[PieceId],
+        n_outputs_per_input: &[usize],
+    ) -> Vec<Vec<PieceId>> {
+        assert_eq!(
+            inputs.len(),
+            n_outputs_per_input.len(),
+            "one output arity per input"
+        );
+        for &p in inputs {
+            assert!(
+                self.pieces[p.0].consumed_by.is_none(),
+                "piece {} already consumed",
+                self.pieces[p.0].label
+            );
+        }
+        let op_id = OpId(self.ops.len());
+        let mut all_outputs = Vec::new();
+        let mut grouped = Vec::new();
+        for (&input, &n) in inputs.iter().zip(n_outputs_per_input) {
+            self.pieces[input.0].consumed_by = Some(op_id);
+            let root = self.pieces[input.0].root.clone();
+            let mut group = Vec::with_capacity(n);
+            for _ in 0..n {
+                let counter = self.counters.entry(root.clone()).or_insert(0);
+                *counter += 1;
+                let label = format!("{root}[{counter}]");
+                let id = PieceId(self.pieces.len());
+                self.pieces.push(PieceNode {
+                    label,
+                    root: root.clone(),
+                    produced_by: Some(op_id),
+                    consumed_by: None,
+                });
+                group.push(id);
+                all_outputs.push(id);
+            }
+            grouped.push(group);
+        }
+        self.ops.push(OpNode {
+            op,
+            inputs: inputs.to_vec(),
+            outputs: all_outputs,
+        });
+        grouped
+    }
+
+    /// Undo an operator application ("applying the inverse operation to the
+    /// nodes"): its outputs must all still be leaves; they are removed from
+    /// the leaf set and the inputs become leaves again. Returns `false`
+    /// when any output has already been consumed (undo must cascade from
+    /// the leaves inward).
+    pub fn undo(&mut self, op: OpId) -> bool {
+        let outputs = self.ops[op.0].outputs.clone();
+        if outputs
+            .iter()
+            .any(|&p| self.pieces[p.0].consumed_by.is_some())
+        {
+            return false;
+        }
+        // Mark outputs as consumed-by-undo (tombstone via self-consumption).
+        for &p in &outputs {
+            self.pieces[p.0].consumed_by = Some(op);
+        }
+        let inputs = self.ops[op.0].inputs.clone();
+        for &p in &inputs {
+            self.pieces[p.0].consumed_by = None;
+        }
+        true
+    }
+
+    /// Display label for a piece.
+    pub fn label(&self, id: PieceId) -> &str {
+        &self.pieces[id.0].label
+    }
+
+    /// The current leaves descending from `root`: exactly the pieces whose
+    /// union/surrogate-join reconstructs the original relation.
+    pub fn reconstruction_set(&self, root: &str) -> Vec<PieceId> {
+        self.pieces
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.root == root && n.consumed_by.is_none())
+            .map(|(i, _)| PieceId(i))
+            .collect()
+    }
+
+    /// Human-readable reconstruction expression, e.g.
+    /// `R = R[1] ∪ R[3] ∪ R[5] ∪ R[6]`.
+    pub fn reconstruction_expr(&self, root: &str) -> String {
+        let labels: Vec<&str> = self
+            .reconstruction_set(root)
+            .into_iter()
+            .map(|p| self.label(p))
+            .collect();
+        format!("{root} = {}", labels.join(" ∪ "))
+    }
+
+    /// The operator that produced a piece, if any.
+    pub fn producer(&self, id: PieceId) -> Option<(&CrackOp, &[PieceId])> {
+        self.pieces[id.0]
+            .produced_by
+            .map(|op| (&self.ops[op.0].op, self.ops[op.0].inputs.as_slice()))
+    }
+
+    /// Number of live (leaf) pieces across all roots.
+    pub fn leaf_count(&self) -> usize {
+        self.pieces.iter().filter(|n| n.consumed_by.is_none()).count()
+    }
+
+    /// Number of recorded operator applications.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduce the paper's Figure 5 / §3.2 example:
+    ///
+    /// ```sql
+    /// select * from R where R.a < 10;
+    /// select * from R, S where R.k = S.k and R.a < 5;
+    /// select * from S where S.b > 25;
+    /// ```
+    fn figure5() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        let s = g.add_root("S");
+        // Query 1: Ξ(R.a<10) cracks R into R[1] (a<10) and R[2] (a>=10).
+        let out = g.apply(CrackOp::Xi("R.a<10".into()), &[r], &[2]);
+        let (_r1, r2) = (out[0][0], out[0][1]);
+        // Query 2: Ξ(R.a<5) limits search to the piece holding small a;
+        // cracks it into R[3] and R[4].
+        let out = g.apply(CrackOp::Xi("R.a<5".into()), &[r2], &[2]);
+        let (_r3, r4) = (out[0][0], out[0][1]);
+        // ^(R[4], S) on k: R[4] -> R[5], R[6]; S -> S[1], S[2].
+        let out = g.apply(CrackOp::Wedge("R.k=S.k".into()), &[r4, s], &[2, 2]);
+        let (s1, s2) = (out[1][0], out[1][1]);
+        // Query 3: Ξ(S.b>25) must inspect both S pieces ("nothing has been
+        // derived about attribute b"), cracking each in two.
+        g.apply(CrackOp::Xi("S.b>25".into()), &[s1, s2], &[2, 2]);
+        g
+    }
+
+    #[test]
+    fn figure5_reconstruction_sets_match_the_paper() {
+        let g = figure5();
+        // "R can be reconstructed by taking the union over R[1], R[3],
+        // R[5], and R[6]".
+        let r_set: Vec<&str> = g
+            .reconstruction_set("R")
+            .into_iter()
+            .map(|p| g.label(p))
+            .collect();
+        assert_eq!(r_set, vec!["R[1]", "R[3]", "R[5]", "R[6]"]);
+        // "and S using S[5], S[6], S[7], and S[8]" — our per-root counters
+        // label S's pieces S[1..2] (wedge) then S[3..6] (final Ξ); the
+        // paper numbers them globally after the R pieces. Same structure:
+        // the four leaves are the Ξ outputs.
+        let s_set: Vec<&str> = g
+            .reconstruction_set("S")
+            .into_iter()
+            .map(|p| g.label(p))
+            .collect();
+        assert_eq!(s_set, vec!["S[3]", "S[4]", "S[5]", "S[6]"]);
+    }
+
+    #[test]
+    fn reconstruction_expr_is_readable() {
+        let g = figure5();
+        assert_eq!(g.reconstruction_expr("R"), "R = R[1] ∪ R[3] ∪ R[5] ∪ R[6]");
+    }
+
+    #[test]
+    fn consumed_pieces_cannot_be_cracked_again() {
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        g.apply(CrackOp::Xi("a<1".into()), &[r], &[2]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.apply(CrackOp::Xi("a<2".into()), &[r], &[2]);
+        }));
+        assert!(result.is_err(), "root was already consumed");
+    }
+
+    #[test]
+    fn producer_tracks_the_operator() {
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        let out = g.apply(CrackOp::Xi("a<10".into()), &[r], &[3]);
+        let (op, inputs) = g.producer(out[0][1]).unwrap();
+        assert_eq!(op, &CrackOp::Xi("a<10".into()));
+        assert_eq!(inputs, &[r]);
+        assert!(g.producer(r).is_none());
+    }
+
+    #[test]
+    fn undo_restores_inputs_as_leaves() {
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        g.apply(CrackOp::Xi("a<10".into()), &[r], &[2]);
+        assert_eq!(g.leaf_count(), 2);
+        assert!(g.undo(OpId(0)));
+        assert_eq!(g.leaf_count(), 1);
+        let set = g.reconstruction_set("R");
+        assert_eq!(set, vec![r]);
+    }
+
+    #[test]
+    fn undo_refuses_when_outputs_were_consumed() {
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        let out = g.apply(CrackOp::Xi("a<10".into()), &[r], &[2]);
+        g.apply(CrackOp::Xi("a<5".into()), &[out[0][0]], &[2]);
+        assert!(!g.undo(OpId(0)), "child op still present");
+        assert!(g.undo(OpId(1)), "leaf-most op can be undone");
+        assert!(g.undo(OpId(0)), "now the first op can go too");
+        assert_eq!(g.reconstruction_expr("R"), "R = R");
+    }
+
+    #[test]
+    fn omega_and_psi_ops_render() {
+        assert_eq!(
+            CrackOp::Omega(vec!["g".into(), "h".into()]).to_string(),
+            "Ω(g,h)"
+        );
+        assert_eq!(CrackOp::Psi(vec!["a".into()]).to_string(), "Ψ(a)");
+        assert_eq!(CrackOp::Xi("x<1".into()).to_string(), "Ξ(x<1)");
+        assert_eq!(CrackOp::Wedge("r.k=s.k".into()).to_string(), "^(r.k=s.k)");
+    }
+
+    #[test]
+    fn alternate_lineage_figure6_interchanged_ops() {
+        // Figure 6: the Ξ and ^ of the second query interchanged — wedge
+        // first on R[2], then Ξ on the R-side match piece.
+        let mut g = LineageGraph::new();
+        let r = g.add_root("R");
+        let s = g.add_root("S");
+        let out = g.apply(CrackOp::Xi("R.a<10".into()), &[r], &[2]);
+        let r2 = out[0][1];
+        let out = g.apply(CrackOp::Wedge("R.k=S.k".into()), &[r2, s], &[2, 2]);
+        let (r3, _r4) = (out[0][0], out[0][1]);
+        let (s1, s2) = (out[1][0], out[1][1]);
+        g.apply(CrackOp::Xi("R.a<5".into()), &[r3], &[2]);
+        g.apply(CrackOp::Xi("S.b>25".into()), &[s1, s2], &[2, 2]);
+        // Different graph shape, but both reconstruction sets still tile.
+        assert_eq!(g.reconstruction_set("R").len(), 4);
+        assert_eq!(g.reconstruction_set("S").len(), 4);
+    }
+
+    #[test]
+    fn multiple_roots_are_independent() {
+        let mut g = LineageGraph::new();
+        g.add_root("R");
+        g.add_root("S");
+        assert_eq!(g.reconstruction_expr("S"), "S = S");
+        assert_eq!(g.reconstruction_set("T"), Vec::<PieceId>::new());
+        assert_eq!(g.op_count(), 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Cracking a disk-resident column at disk-block granularity.
+//!
+//! §3.4.2 names the natural cut-off for cracking: "possible cut-off
+//! points to consider are the disk-blocks, being the slowest granularity
+//! in the system". [`PagedCracker`] implements exactly that regime over
+//! the storage crate's paged substrate: the column lives on pages behind
+//! a [`BufferPool`], boundary cracks shuffle tuples *through the pool*
+//! (every swap is page traffic), and pieces are never cracked below one
+//! page — residual filtering scans inside the border block instead.
+//!
+//! What the experiments observe here is Figure 1's large-table regime
+//! ("linear in the number of disk IOs") turning adaptive: a scan reads
+//! every page on every query, while the cracked column's page footprint
+//! per query shrinks to the blocks overlapping the answer.
+
+use crate::crack::BoundaryKey;
+use crate::index::CrackerIndex;
+use crate::pred::RangePred;
+use crate::stats::CrackStats;
+use std::ops::Range;
+use storage::{BufferPool, PageStore, PagedColumn, StorageResult};
+
+/// Result of a paged cracked selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagedSelection {
+    /// Contiguous slot range of (exactly) matching positions.
+    pub core: Range<usize>,
+    /// Matching tuples found by scanning uncracked border blocks.
+    pub edge_matches: usize,
+}
+
+impl PagedSelection {
+    /// Number of qualifying tuples.
+    pub fn count(&self) -> usize {
+        self.core.len() + self.edge_matches
+    }
+}
+
+/// How a boundary resolved.
+enum Resolved {
+    Exact(usize),
+    CutOff(Range<usize>),
+}
+
+/// A continuously cracked paged column; pieces bottom out at one disk
+/// block.
+#[derive(Debug)]
+pub struct PagedCracker {
+    col: PagedColumn,
+    index: CrackerIndex<i64>,
+    stats: CrackStats,
+}
+
+impl PagedCracker {
+    /// Materialize `vals` onto the pool's store and wrap them for
+    /// cracking.
+    pub fn create<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        vals: &[i64],
+    ) -> StorageResult<Self> {
+        let col = PagedColumn::create(pool, vals)?;
+        let n = col.len();
+        Ok(PagedCracker {
+            col,
+            index: CrackerIndex::new(n),
+            stats: CrackStats::default(),
+        })
+    }
+
+    /// The underlying paged column.
+    pub fn column(&self) -> &PagedColumn {
+        &self.col
+    }
+
+    /// Number of pieces currently administered.
+    pub fn piece_count(&self) -> usize {
+        self.index.piece_count()
+    }
+
+    /// Tuple-level cost counters (page-level counters live on the pool).
+    pub fn stats(&self) -> &CrackStats {
+        &self.stats
+    }
+
+    /// Answer a range predicate, cracking border pieces down to (but
+    /// never below) one page.
+    pub fn select<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        pred: RangePred<i64>,
+    ) -> StorageResult<PagedSelection> {
+        self.stats.queries += 1;
+        self.index.next_tick();
+        if pred.is_empty_range() || self.col.is_empty() {
+            return Ok(PagedSelection {
+                core: 0..0,
+                edge_matches: 0,
+            });
+        }
+        let start = match pred.low {
+            None => Resolved::Exact(0),
+            Some(b) => {
+                let key = if b.inclusive {
+                    BoundaryKey::lt(b.value)
+                } else {
+                    BoundaryKey::le(b.value)
+                };
+                self.resolve(pool, key)?
+            }
+        };
+        let end = match pred.high {
+            None => Resolved::Exact(self.col.len()),
+            Some(b) => {
+                let key = if b.inclusive {
+                    BoundaryKey::le(b.value)
+                } else {
+                    BoundaryKey::lt(b.value)
+                };
+                self.resolve(pool, key)?
+            }
+        };
+        let mut edge_matches = 0;
+        let core = match (start, end) {
+            (Resolved::Exact(s), Resolved::Exact(e)) => s..e.max(s),
+            (Resolved::CutOff(p), Resolved::Exact(e)) => {
+                edge_matches += self.scan_edge(pool, p.start..p.end.min(e), &pred)?;
+                p.end.min(e)..e.max(p.end.min(e))
+            }
+            (Resolved::Exact(s), Resolved::CutOff(p)) => {
+                edge_matches += self.scan_edge(pool, p.start.max(s)..p.end, &pred)?;
+                s..p.start.max(s)
+            }
+            (Resolved::CutOff(p1), Resolved::CutOff(p2)) => {
+                if p1 == p2 {
+                    edge_matches += self.scan_edge(pool, p1.clone(), &pred)?;
+                    p1.end..p1.end
+                } else {
+                    edge_matches += self.scan_edge(pool, p1.clone(), &pred)?;
+                    edge_matches += self.scan_edge(pool, p2.clone(), &pred)?;
+                    p1.end..p2.start.max(p1.end)
+                }
+            }
+        };
+        Ok(PagedSelection { core, edge_matches })
+    }
+
+    /// Count qualifying tuples.
+    pub fn count<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        pred: RangePred<i64>,
+    ) -> StorageResult<usize> {
+        Ok(self.select(pool, pred)?.count())
+    }
+
+    fn resolve<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        key: BoundaryKey<i64>,
+    ) -> StorageResult<Resolved> {
+        if let Some(pos) = self.index.lookup(key) {
+            return Ok(Resolved::Exact(pos));
+        }
+        let piece = self.index.enclosing_piece(key);
+        // The disk-block cut-off: a piece within one block is scanned,
+        // never shuffled.
+        if piece.len() <= self.col.per_page() {
+            return Ok(Resolved::CutOff(piece));
+        }
+        let pos = self.crack_two_paged(pool, piece.clone(), key)?;
+        self.stats.tuples_touched += piece.len() as u64;
+        self.stats.cracks += 1;
+        self.index.insert(key, pos);
+        Ok(Resolved::Exact(pos))
+    }
+
+    /// Hoare partition through the buffer pool.
+    fn crack_two_paged<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        piece: Range<usize>,
+        key: BoundaryKey<i64>,
+    ) -> StorageResult<usize> {
+        let (mut i, mut j) = (piece.start, piece.end);
+        loop {
+            while i < j && key.before(self.col.get(pool, i)?) {
+                i += 1;
+            }
+            while i < j && !key.before(self.col.get(pool, j - 1)?) {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            self.col.swap(pool, i, j - 1)?;
+            self.stats.tuples_moved += 2;
+            i += 1;
+            j -= 1;
+        }
+        Ok(i)
+    }
+
+    fn scan_edge<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        range: Range<usize>,
+        pred: &RangePred<i64>,
+    ) -> StorageResult<usize> {
+        self.stats.edge_scanned += range.len() as u64;
+        self.col.fold_range(pool, range.start, range.end, 0usize, |n, v| {
+            n + usize::from(pred.matches(v))
+        })
+    }
+
+    /// Check the cracker-index invariants against the materialized
+    /// column (test/debug helper; reads every page).
+    pub fn validate<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+    ) -> StorageResult<Result<(), String>> {
+        let vals = self.col.to_vec(pool)?;
+        Ok(self.index.validate(&vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::MemDisk;
+
+    fn oracle(orig: &[i64], pred: &RangePred<i64>) -> usize {
+        orig.iter().filter(|&&v| pred.matches(v)).count()
+    }
+
+    /// Tiny pages (7 values) so block boundaries are everywhere.
+    fn setup(n: usize, frames: usize) -> (BufferPool<MemDisk>, PagedCracker, Vec<i64>) {
+        let mut pool = BufferPool::new(MemDisk::with_page_size(64), frames);
+        let vals: Vec<i64> = (0..n as i64).rev().collect();
+        let cracker = PagedCracker::create(&mut pool, &vals).unwrap();
+        (pool, cracker, vals)
+    }
+
+    #[test]
+    fn cracked_answers_match_the_oracle() {
+        let (mut pool, mut c, vals) = setup(500, 8);
+        for (lo, hi) in [(100, 200), (0, 500), (250, 251), (490, 600), (-10, 5)] {
+            let pred = RangePred::half_open(lo, hi);
+            let got = c.count(&mut pool, pred).unwrap();
+            assert_eq!(got, oracle(&vals, &pred), "[{lo},{hi})");
+            assert_eq!(c.validate(&mut pool).unwrap(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn pieces_never_crack_below_one_block() {
+        let (mut pool, mut c, vals) = setup(700, 16);
+        // An unrestricted in-memory cracker over the same data and
+        // queries, as the piece-count reference. Two passes: a coarse one
+        // carving ~20-value pieces, then a fine one whose bounds land
+        // *inside* those pieces — where only the unrestricted cracker may
+        // keep cracking.
+        let mut unrestricted = crate::CrackerColumn::new(vals.clone());
+        let coarse = (0..700).step_by(21).map(|lo| (lo, lo + 2));
+        let fine = (0..699).map(|lo| (lo, lo + 1));
+        for (lo, hi) in coarse.chain(fine) {
+            let pred = RangePred::half_open(lo, hi);
+            let got = c.count(&mut pool, pred).unwrap();
+            assert_eq!(got, unrestricted.count(pred), "answers agree");
+        }
+        // The cut-off refused the cracks that would have split blocks:
+        // strictly fewer pieces than the unrestricted cracker, and the
+        // refusals show up as border scans.
+        assert!(
+            c.piece_count() < unrestricted.piece_count() * 3 / 4,
+            "block cut-off must suppress a large share of the cracks ({} !< {}*3/4)",
+            c.piece_count(),
+            unrestricted.piece_count()
+        );
+        assert!(c.stats().edge_scanned > 0, "borders are scanned, not cracked");
+        // And no recorded piece was produced by cracking inside a block:
+        // every crack's source piece exceeded one page, so every *crack*
+        // counter increment touched > per_page tuples on average.
+        assert!(
+            c.stats().tuples_touched >= c.stats().cracks as u64 * c.column().per_page() as u64,
+            "every crack partitioned more than one block"
+        );
+    }
+
+    #[test]
+    fn page_traffic_shrinks_as_the_column_cracks() {
+        let n = 7 * 256; // 256 blocks
+        let (mut pool, mut c, _) = setup(n, 64);
+        pool.flush().unwrap();
+
+        // First query: the virgin column is fully partitioned — reads
+        // every page (possibly several times; the pool holds only 64).
+        pool.reset_stats();
+        let r0 = pool.io_stats();
+        c.count(&mut pool, RangePred::half_open(400, 600)).unwrap();
+        let first_reads = pool.io_stats().reads - r0.reads;
+
+        // Repeat query: only the (already resident or at worst re-read)
+        // answer blocks are touched.
+        let r1 = pool.io_stats();
+        c.count(&mut pool, RangePred::half_open(400, 600)).unwrap();
+        let repeat_reads = pool.io_stats().reads - r1.reads;
+
+        assert!(first_reads >= 256, "virgin crack reads the whole column");
+        let answer_blocks = 200 / 7 + 2;
+        assert!(
+            repeat_reads <= answer_blocks as u64,
+            "repeat touches only answer blocks ({repeat_reads} > {answer_blocks})"
+        );
+    }
+
+    #[test]
+    fn scan_baseline_reads_everything_every_time() {
+        let n = 7 * 64;
+        let mut pool = BufferPool::new(MemDisk::with_page_size(64), 8);
+        let vals: Vec<i64> = (0..n as i64).collect();
+        let col = PagedColumn::create(&mut pool, &vals).unwrap();
+        pool.flush().unwrap();
+        let mut last = pool.io_stats().reads;
+        for _ in 0..3 {
+            col.count_matching(&mut pool, |v| v < 10).unwrap();
+            let now = pool.io_stats().reads;
+            assert!(
+                now - last >= 56,
+                "a thrashing scan re-reads most blocks every query"
+            );
+            last = now;
+        }
+    }
+
+    #[test]
+    fn works_under_extreme_memory_pressure() {
+        // Two frames for a 72-block column: every cursor move faults.
+        let (mut pool, mut c, vals) = setup(500, 2);
+        let pred = RangePred::between(123, 345);
+        assert_eq!(c.count(&mut pool, pred).unwrap(), oracle(&vals, &pred));
+        assert_eq!(c.validate(&mut pool).unwrap(), Ok(()));
+        assert!(pool.stats().evictions > 0);
+    }
+
+    #[test]
+    fn empty_column_and_empty_ranges() {
+        let mut pool = BufferPool::new(MemDisk::with_page_size(64), 2);
+        let mut c = PagedCracker::create(&mut pool, &[]).unwrap();
+        assert_eq!(c.count(&mut pool, RangePred::lt(5)).unwrap(), 0);
+        let (mut pool, mut c, _) = setup(100, 4);
+        assert_eq!(c.count(&mut pool, RangePred::between(50, 10)).unwrap(), 0);
+        assert_eq!(c.stats().cracks, 0);
+    }
+
+    #[test]
+    fn sequence_converges_like_the_in_memory_cracker() {
+        let (mut pool, mut c, vals) = setup(2_000, 32);
+        let mut last_touched = u64::MAX;
+        for (lo, hi) in [(200, 1800), (400, 1600), (600, 1400), (800, 1200)] {
+            let before = c.stats().tuples_touched + c.stats().edge_scanned;
+            let pred = RangePred::half_open(lo, hi);
+            assert_eq!(c.count(&mut pool, pred).unwrap(), oracle(&vals, &pred));
+            let delta = c.stats().tuples_touched + c.stats().edge_scanned - before;
+            assert!(delta <= last_touched, "narrowing queries touch less");
+            last_touched = delta;
+        }
+    }
+}

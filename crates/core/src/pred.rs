@@ -1,0 +1,204 @@
+//! Range predicates.
+//!
+//! The paper restricts selection predicates to "simple (range) conditions of
+//! the form `attr ∈ [low, high]` or `attr θ cst` with `θ ∈ {<, ≤, =, ≥, >}`"
+//! (§3.1), with point selections viewed as double-sided ranges with
+//! `low == high`. [`RangePred`] models that exact family, with explicit
+//! inclusivity per bound.
+
+use crate::value_trait::CrackValue;
+use serde::{Deserialize, Serialize};
+
+/// One bound of a range predicate: the value plus whether it is included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bound<T> {
+    /// Bound value.
+    pub value: T,
+    /// True for `≤` / `≥`; false for `<` / `>`.
+    pub inclusive: bool,
+}
+
+/// A (possibly one-sided) range predicate over a single attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangePred<T> {
+    /// Lower bound; `None` means unbounded below.
+    pub low: Option<Bound<T>>,
+    /// Upper bound; `None` means unbounded above.
+    pub high: Option<Bound<T>>,
+}
+
+impl<T: CrackValue> RangePred<T> {
+    /// `attr < v`.
+    pub fn lt(v: T) -> Self {
+        RangePred {
+            low: None,
+            high: Some(Bound {
+                value: v,
+                inclusive: false,
+            }),
+        }
+    }
+
+    /// `attr ≤ v`.
+    pub fn le(v: T) -> Self {
+        RangePred {
+            low: None,
+            high: Some(Bound {
+                value: v,
+                inclusive: true,
+            }),
+        }
+    }
+
+    /// `attr > v`.
+    pub fn gt(v: T) -> Self {
+        RangePred {
+            low: Some(Bound {
+                value: v,
+                inclusive: false,
+            }),
+            high: None,
+        }
+    }
+
+    /// `attr ≥ v`.
+    pub fn ge(v: T) -> Self {
+        RangePred {
+            low: Some(Bound {
+                value: v,
+                inclusive: true,
+            }),
+            high: None,
+        }
+    }
+
+    /// `attr = v` — a point selection, i.e. the double-sided range
+    /// `[v, v]`, exactly as §3.1 suggests.
+    pub fn eq(v: T) -> Self {
+        Self::between(v, v)
+    }
+
+    /// `low ≤ attr ≤ high` (both inclusive).
+    pub fn between(low: T, high: T) -> Self {
+        RangePred {
+            low: Some(Bound {
+                value: low,
+                inclusive: true,
+            }),
+            high: Some(Bound {
+                value: high,
+                inclusive: true,
+            }),
+        }
+    }
+
+    /// `low ≤ attr < high` (half-open, the common generated-workload form).
+    pub fn half_open(low: T, high: T) -> Self {
+        RangePred {
+            low: Some(Bound {
+                value: low,
+                inclusive: true,
+            }),
+            high: Some(Bound {
+                value: high,
+                inclusive: false,
+            }),
+        }
+    }
+
+    /// Fully custom bounds.
+    pub fn with_bounds(low: Option<(T, bool)>, high: Option<(T, bool)>) -> Self {
+        RangePred {
+            low: low.map(|(value, inclusive)| Bound { value, inclusive }),
+            high: high.map(|(value, inclusive)| Bound { value, inclusive }),
+        }
+    }
+
+    /// Evaluate the predicate against one value (the correctness oracle all
+    /// cracked answers are property-tested against).
+    pub fn matches(&self, v: T) -> bool {
+        if let Some(lo) = self.low {
+            let ok = if lo.inclusive {
+                v >= lo.value
+            } else {
+                v > lo.value
+            };
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(hi) = self.high {
+            let ok = if hi.inclusive {
+                v <= hi.value
+            } else {
+                v < hi.value
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when no value can satisfy the predicate (reversed bounds).
+    pub fn is_empty_range(&self) -> bool {
+        match (self.low, self.high) {
+            (Some(lo), Some(hi)) => {
+                lo.value > hi.value
+                    || (lo.value == hi.value && !(lo.inclusive && hi.inclusive))
+            }
+            _ => false,
+        }
+    }
+
+    /// True when both bounds are present.
+    pub fn is_double_sided(&self) -> bool {
+        self.low.is_some() && self.high.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sided_predicates_match_correctly() {
+        assert!(RangePred::lt(10).matches(9));
+        assert!(!RangePred::lt(10).matches(10));
+        assert!(RangePred::le(10).matches(10));
+        assert!(RangePred::gt(10).matches(11));
+        assert!(!RangePred::gt(10).matches(10));
+        assert!(RangePred::ge(10).matches(10));
+    }
+
+    #[test]
+    fn double_sided_and_point() {
+        let p = RangePred::between(5, 10);
+        assert!(p.matches(5) && p.matches(10) && p.matches(7));
+        assert!(!p.matches(4) && !p.matches(11));
+        let q = RangePred::eq(5);
+        assert!(q.matches(5));
+        assert!(!q.matches(6));
+        let h = RangePred::half_open(5, 10);
+        assert!(h.matches(5) && h.matches(9));
+        assert!(!h.matches(10));
+    }
+
+    #[test]
+    fn empty_ranges_are_detected() {
+        assert!(RangePred::between(10, 5).is_empty_range());
+        assert!(RangePred::half_open(5, 5).is_empty_range());
+        assert!(!RangePred::between(5, 5).is_empty_range());
+        assert!(!RangePred::lt(3).is_empty_range());
+        let open_point = RangePred::with_bounds(Some((5, false)), Some((5, true)));
+        assert!(open_point.is_empty_range());
+    }
+
+    #[test]
+    fn unbounded_predicate_matches_everything() {
+        let p: RangePred<i64> = RangePred::with_bounds(None, None);
+        assert!(p.matches(i64::MIN));
+        assert!(p.matches(i64::MAX));
+        assert!(!p.is_double_sided());
+    }
+}

@@ -1,0 +1,303 @@
+//! Progressive piece refinement: sorted pieces crack for free.
+//!
+//! The paper's BAT descriptor (Figure 7) reserves a tree-index slot per
+//! column, and §2.2 contrasts cracking with sorting the whole table
+//! upfront. This module implements the natural hybrid the paper's
+//! discussion points at: individual *pieces* may be sorted — either
+//! explicitly ([`CrackerColumn::sort_piece_containing`]) or automatically
+//! once cracking has whittled them below a threshold
+//! ([`CrackerConfig::sort_below`](crate::config::CrackerConfig)) — and
+//! from then on any boundary that falls inside a sorted piece is resolved
+//! by **binary search with zero tuple movement**, and both halves inherit
+//! sortedness.
+//!
+//! This bounds the total physical work of a fully-converged column by one
+//! incremental sort (the §2.2 observation that "the total CPU cost for
+//! such an incremental scheme is in the same order of magnitude as
+//! sorting"), while still paying it only for queried regions.
+
+use crate::column::CrackerColumn;
+use crate::crack::BoundaryKey;
+use crate::value_trait::CrackValue;
+use std::collections::BTreeSet;
+
+/// Sorted-piece bookkeeping, keyed by piece start slot.
+///
+/// Invariant: if `starts` contains `s`, the piece beginning at slot `s`
+/// (up to the next boundary) is sorted ascending. Splitting a sorted piece
+/// keeps both halves sorted; fusing or rewriting drops the flag.
+#[derive(Debug, Clone, Default)]
+pub struct SortedPieces {
+    starts: BTreeSet<usize>,
+}
+
+impl SortedPieces {
+    /// No sorted pieces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is the piece starting at `start` known-sorted?
+    pub fn contains(&self, start: usize) -> bool {
+        self.starts.contains(&start)
+    }
+
+    /// Mark the piece starting at `start` as sorted.
+    pub fn insert(&mut self, start: usize) {
+        self.starts.insert(start);
+    }
+
+    /// A sorted piece `[start, end)` was split at `pos`: the right half
+    /// starts at `pos` and is also sorted. Zero-width halves are never
+    /// flagged — their start would collide with the *next* piece's start
+    /// and leak sortedness to a piece that was never sorted.
+    pub fn split(&mut self, start: usize, pos: usize, end: usize) {
+        if self.starts.contains(&start) && pos > start && pos < end {
+            self.starts.insert(pos);
+        }
+    }
+
+    /// Forget the piece starting at `start` (fusion, rewrite).
+    pub fn remove(&mut self, start: usize) {
+        self.starts.remove(&start);
+    }
+
+    /// Forget everything (bulk rewrite, e.g. an update merge).
+    pub fn clear(&mut self) {
+        self.starts.clear();
+    }
+
+    /// Number of sorted pieces tracked.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when no piece is marked sorted.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
+impl<T: CrackValue> CrackerColumn<T> {
+    /// Sort the piece containing boundary-key position `probe` in place
+    /// (values and OIDs together) and mark it sorted. Later boundaries
+    /// inside it resolve by binary search. Returns the piece's slot range.
+    pub fn sort_piece_containing(&mut self, probe: T) -> std::ops::Range<usize> {
+        let piece = self.index().enclosing_piece(BoundaryKey::lt(probe));
+        self.sort_piece_range(piece.clone());
+        piece
+    }
+
+    /// Sort an exact piece range (caller obtained it from the index).
+    pub(crate) fn sort_piece_range(&mut self, piece: std::ops::Range<usize>) {
+        if piece.is_empty() {
+            // A zero-width piece shares its start with its successor;
+            // flagging it would mislabel the successor. Nothing to sort
+            // anyway.
+            return;
+        }
+        let moved;
+        {
+            let (vals, oids, _) = self.arrays_mut();
+            let mut pairs: Vec<(T, u32)> = vals[piece.clone()]
+                .iter()
+                .copied()
+                .zip(oids[piece.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut m = 0u64;
+            for (offset, (v, o)) in pairs.into_iter().enumerate() {
+                let i = piece.start + offset;
+                if vals[i] != v || oids[i] != o {
+                    m += 1;
+                }
+                vals[i] = v;
+                oids[i] = o;
+            }
+            moved = m;
+        }
+        self.stats_mut().tuples_moved += moved;
+        self.stats_mut().tuples_touched += piece.len() as u64;
+        self.sorted_mut().insert(piece.start);
+    }
+
+    /// Resolve a boundary inside a known-sorted piece by binary search
+    /// (zero moves). Returns `None` when the piece is not marked sorted.
+    pub(crate) fn resolve_in_sorted(
+        &mut self,
+        key: BoundaryKey<T>,
+        piece: std::ops::Range<usize>,
+    ) -> Option<usize> {
+        if !self.sorted_ref().contains(piece.start) {
+            return None;
+        }
+        let pos = {
+            let vals = self.values();
+            piece.start + vals[piece.clone()].partition_point(|&v| key.before(v))
+        };
+        self.index_mut().insert(key, pos);
+        self.sorted_mut().split(piece.start, pos, piece.end);
+        Some(pos)
+    }
+
+    /// Number of pieces currently known-sorted.
+    pub fn sorted_piece_count(&self) -> usize {
+        self.sorted_ref().len()
+    }
+
+    /// Is the piece starting at slot `start` known-sorted?
+    pub fn piece_is_sorted(&self, start: usize) -> bool {
+        self.sorted_ref().contains(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrackerConfig;
+    use crate::pred::RangePred;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorted_piece_resolves_boundaries_without_moves() {
+        let mut c = CrackerColumn::new((0..1000).rev().collect::<Vec<i64>>());
+        c.select(RangePred::between(400, 600));
+        // Sort the middle piece explicitly.
+        let piece = c.sort_piece_containing(500);
+        assert!(c.piece_is_sorted(piece.start));
+        let moved_before = c.stats().tuples_moved;
+        // A new boundary strictly inside the sorted piece: binary search,
+        // zero moves.
+        let sel = c.select(RangePred::between(450, 550));
+        assert_eq!(sel.count(), 101);
+        assert_eq!(
+            c.stats().tuples_moved,
+            moved_before,
+            "cracking a sorted piece must not move tuples"
+        );
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn both_halves_inherit_sortedness() {
+        let mut c = CrackerColumn::new((0..100).rev().collect::<Vec<i64>>());
+        let piece = c.sort_piece_containing(50);
+        assert_eq!(piece, 0..100);
+        c.select(RangePred::between(30, 60));
+        // All three resulting pieces are sorted.
+        let pieces = c.index().pieces();
+        for p in pieces {
+            assert!(
+                c.piece_is_sorted(p.start),
+                "piece at {} should inherit sortedness",
+                p.start
+            );
+        }
+        // Further cracking stays move-free.
+        let moved = c.stats().tuples_moved;
+        c.select(RangePred::between(10, 20));
+        assert_eq!(c.stats().tuples_moved, moved);
+    }
+
+    #[test]
+    fn auto_sort_below_threshold() {
+        let cfg = CrackerConfig::new().with_sort_below(64);
+        let mut c = CrackerColumn::with_config(
+            (0..10_000).map(|i| (i * 37) % 10_000).collect::<Vec<i64>>(),
+            cfg,
+        );
+        // Zooming queries shrink the hot piece; once a border piece is at
+        // or below 64 slots it gets sorted and subsequent cracks are free.
+        // The (2990, 3050) query leaves a 60-slot piece [2990, 3050]; the
+        // next query's bounds fall inside it and trigger the sort.
+        for (lo, hi) in [
+            (1000, 5000),
+            (2000, 4000),
+            (2900, 3100),
+            (2990, 3050),
+            (3000, 3040),
+        ] {
+            c.select(RangePred::between(lo, hi));
+        }
+        assert!(c.sorted_piece_count() > 0, "threshold sort must trigger");
+        let moved = c.stats().tuples_moved;
+        let sel = c.select(RangePred::between(3000, 3020));
+        assert_eq!(sel.count(), 21);
+        assert_eq!(c.stats().tuples_moved, moved, "inside sorted piece: free");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn update_merge_clears_sorted_flags() {
+        let mut c = CrackerColumn::new((0..100).collect::<Vec<i64>>());
+        c.sort_piece_containing(50);
+        assert_eq!(c.sorted_piece_count(), 1);
+        c.insert(200, 42);
+        c.merge_pending();
+        assert_eq!(
+            c.sorted_piece_count(),
+            0,
+            "bulk rewrite invalidates sortedness"
+        );
+        c.validate().unwrap();
+        assert_eq!(c.count(RangePred::eq(42)), 2);
+    }
+
+    #[test]
+    fn fusion_drops_the_flag_of_the_merged_piece() {
+        let cfg = CrackerConfig::new().with_max_pieces(2);
+        let mut c = CrackerColumn::with_config((0..1000).rev().collect::<Vec<i64>>(), cfg);
+        c.select(RangePred::between(100, 200)); // cracks, then fuses to <=2 pieces
+        c.sort_piece_containing(150);
+        // Force more fusion churn.
+        c.select(RangePred::between(700, 800));
+        c.validate().unwrap();
+        // Whatever flags remain must describe truly sorted pieces.
+        for p in c.index().pieces() {
+            if c.piece_is_sorted(p.start) {
+                let vals = &c.values()[p.start..p.end];
+                assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_piece_sorting_is_harmless() {
+        let mut c = CrackerColumn::new(Vec::<i64>::new());
+        let piece = c.sort_piece_containing(5);
+        assert!(piece.is_empty());
+        assert_eq!(c.count(RangePred::lt(10)), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sorted_pieces_never_change_answers(
+            orig in proptest::collection::vec(-60i64..60, 1..200),
+            queries in proptest::collection::vec((-70i64..70, -70i64..70), 1..20),
+            sort_below in prop_oneof![Just(0usize), 1usize..64],
+        ) {
+            let cfg = CrackerConfig::new().with_sort_below(sort_below);
+            let mut c = CrackerColumn::with_config(orig.clone(), cfg);
+            for (a, b) in queries {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let pred = RangePred::between(lo, hi);
+                let mut got = c.select_oids(pred);
+                got.sort_unstable();
+                let mut want: Vec<u32> = orig.iter().enumerate()
+                    .filter(|(_, &v)| pred.matches(v))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+            c.validate().map_err(TestCaseError::fail)?;
+            // Every sorted flag is truthful.
+            for p in c.index().pieces() {
+                if c.piece_is_sorted(p.start) {
+                    let vals = &c.values()[p.start..p.end];
+                    prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cracking cost counters.
+//!
+//! The paper's §2.2 outlook reasons entirely in reads and writes: a scan is
+//! `N` reads plus `σN` result writes; cracking adds up to `(1-σ)N` writes
+//! for relocated tuples. [`CrackStats`] counts exactly those quantities so
+//! the figures (2, 3, 10, 11) can report both wall-clock and the paper's
+//! own cost units.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotone counters accumulated by a cracker column over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrackStats {
+    /// Range queries answered.
+    pub queries: usize,
+    /// Physical crack operations performed (a three-way crack counts once).
+    pub cracks: usize,
+    /// Tuples inspected while partitioning border pieces ("reads").
+    pub tuples_touched: u64,
+    /// Tuples relocated by swaps ("writes"; each swap moves two tuples).
+    pub tuples_moved: u64,
+    /// Tuples scanned inside cut-off pieces to filter residual edges.
+    pub edge_scanned: u64,
+    /// Boundary fusions performed by the piece-budget enforcement.
+    pub fusions: usize,
+    /// Pending-update merges performed.
+    pub merges: usize,
+}
+
+impl CrackStats {
+    /// Difference `self - earlier`, for per-query deltas.
+    pub fn delta_since(&self, earlier: &CrackStats) -> CrackStats {
+        CrackStats {
+            queries: self.queries - earlier.queries,
+            cracks: self.cracks - earlier.cracks,
+            tuples_touched: self.tuples_touched - earlier.tuples_touched,
+            tuples_moved: self.tuples_moved - earlier.tuples_moved,
+            edge_scanned: self.edge_scanned - earlier.edge_scanned,
+            fusions: self.fusions - earlier.fusions,
+            merges: self.merges - earlier.merges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = CrackStats {
+            queries: 10,
+            cracks: 5,
+            tuples_touched: 100,
+            tuples_moved: 40,
+            edge_scanned: 7,
+            fusions: 1,
+            merges: 2,
+        };
+        let b = CrackStats {
+            queries: 4,
+            cracks: 2,
+            tuples_touched: 60,
+            tuples_moved: 10,
+            edge_scanned: 3,
+            fusions: 0,
+            merges: 1,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.queries, 6);
+        assert_eq!(d.cracks, 3);
+        assert_eq!(d.tuples_touched, 40);
+        assert_eq!(d.tuples_moved, 30);
+        assert_eq!(d.edge_scanned, 4);
+        assert_eq!(d.fusions, 1);
+        assert_eq!(d.merges, 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = CrackStats::default();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.tuples_moved, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The value trait cracked columns are generic over.
+//!
+//! Cracking is a pure comparison-and-swap partitioning algorithm, so any
+//! `Copy + Ord` type works. The experiments in the paper use integer
+//! tapestry tables; the scientific-database motivation calls for floats,
+//! which we support through the total-order wrapper [`OrdF64`].
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Values a [`crate::column::CrackerColumn`] can hold.
+///
+/// Requirements: cheap to copy (values are swapped in place during
+/// cracking), totally ordered (boundary keys live in an ordered map),
+/// hashable (the ^ and Ω crackers build hash tables over join/group
+/// values), and debuggable (error messages, lineage labels).
+pub trait CrackValue: Copy + Ord + Hash + Debug + Send + Sync + 'static {}
+
+impl CrackValue for i64 {}
+impl CrackValue for i32 {}
+impl CrackValue for u64 {}
+impl CrackValue for u32 {}
+impl CrackValue for OrdF64 {}
+
+/// An `f64` with the IEEE-754 total order, so floats can be cracked and
+/// used as boundary keys. NaN sorts after +∞; -0.0 sorts before +0.0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wrap a float.
+    pub fn new(v: f64) -> Self {
+        OrdF64(v)
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl Hash for OrdF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Bit-pattern hash, consistent with the total_cmp-based Eq.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    fn from(v: OrdF64) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_total_order() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(f64::NEG_INFINITY) < OrdF64(-1.0));
+        assert!(OrdF64(f64::INFINITY) < OrdF64(f64::NAN));
+        assert!(OrdF64(-0.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(f64::NAN), OrdF64(f64::NAN));
+    }
+
+    #[test]
+    fn ordf64_round_trips() {
+        let x = OrdF64::from(3.5);
+        assert_eq!(f64::from(x), 3.5);
+        assert_eq!(x.get(), 3.5);
+        assert_eq!(x.to_string(), "3.5");
+    }
+
+    #[test]
+    fn sorting_a_vec_of_ordf64_never_panics() {
+        let mut v = [OrdF64(2.0), OrdF64(f64::NAN), OrdF64(-1.0), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(-1.0));
+        assert_eq!(v[3], OrdF64(f64::NAN));
+    }
+}

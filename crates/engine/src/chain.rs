@@ -1,0 +1,316 @@
+//! k-way linear join chains — the Figure 9 experiment.
+//!
+//! "The tuples form random integer pairs, which means we can 'unroll' the
+//! reachability relation using lengthy join sequences. We tested the
+//! systems with sequences of up to 128 joins. ... the join-optimizer
+//! currently deployed (too) quickly reaches its limitations and falls back
+//! to a default solution. The effect is an expensive nested-loop join or
+//! even breaking the system by running out of optimizer resource space.
+//! ... A notable exception is MonetDB, which is built around the notion of
+//! binary tables and is capable \[of\] handling such lengthy join sequences
+//! efficiently" (§5.1).
+//!
+//! A chain joins `R1.b = R2.a`, `R2.b = R3.a`, ..., unrolling reachability
+//! through `k` copies of a binary relation. Three strategies:
+//!
+//! * [`ChainStrategy::HashChain`] — MonetDB-like: one hash join per step,
+//!   linear in `k·N`;
+//! * [`ChainStrategy::NestedLoop`] — the degraded default, `O(k·N²)`;
+//! * [`ChainStrategy::Optimizer`] — a traditional optimizer with a
+//!   resource budget: within budget it produces the hash plan (but pays
+//!   plan-search cost growing exponentially with the chain length), beyond
+//!   it falls back to nested loops, and past a hard cap it gives up —
+//!   exactly the three regimes the paper observed.
+
+use crate::error::{EngineError, EngineResult};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A binary relation `a -> b` as two aligned columns.
+#[derive(Debug, Clone)]
+pub struct BinaryRelation {
+    /// Source values.
+    pub a: Vec<i64>,
+    /// Destination values.
+    pub b: Vec<i64>,
+}
+
+impl BinaryRelation {
+    /// Construct, verifying alignment.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length.
+    pub fn new(a: Vec<i64>, b: Vec<i64>) -> Self {
+        assert_eq!(a.len(), b.len(), "binary relation columns must align");
+        BinaryRelation { a, b }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True when the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+}
+
+/// How the chain is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStrategy {
+    /// One hash join per step (binary-table engine behaviour).
+    HashChain,
+    /// Exhaustive nested loops per step (the degraded default).
+    NestedLoop,
+    /// Budgeted traditional optimizer: hash plan within `plan_budget`
+    /// joins, nested-loop fallback up to `fail_cap`, error beyond.
+    Optimizer {
+        /// Chain length up to which the optimizer still finds the hash plan.
+        plan_budget: usize,
+        /// Chain length at which the optimizer runs out of resource space.
+        fail_cap: usize,
+    },
+}
+
+/// Outcome of a chain evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainReport {
+    /// Number of join steps performed (`k`-way join = `k-1` steps over
+    /// `k` relations).
+    pub steps: usize,
+    /// Result cardinality.
+    pub rows: usize,
+    /// Tuples read across all steps.
+    pub tuples_read: u64,
+    /// Tuple comparisons (meaningful for nested loops).
+    pub comparisons: u64,
+    /// Simulated optimizer plan states explored (Optimizer strategy only).
+    pub plan_states: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Evaluate the k-way linear join over `relations` (joining each
+/// relation's `b` to the next one's `a`) with the given strategy. Returns
+/// the report, or [`EngineError::OptimizerExhausted`] when the budgeted
+/// optimizer breaks — the paper's "breaking the system" regime.
+pub fn run_chain(
+    relations: &[BinaryRelation],
+    strategy: ChainStrategy,
+) -> EngineResult<ChainReport> {
+    let start = Instant::now();
+    let steps = relations.len().saturating_sub(1);
+    let mut report = ChainReport {
+        steps,
+        rows: 0,
+        tuples_read: 0,
+        comparisons: 0,
+        plan_states: 0,
+        elapsed: Duration::ZERO,
+    };
+    if relations.is_empty() {
+        report.elapsed = start.elapsed();
+        return Ok(report);
+    }
+
+    let effective = match strategy {
+        ChainStrategy::HashChain => ChainStrategy::HashChain,
+        ChainStrategy::NestedLoop => ChainStrategy::NestedLoop,
+        ChainStrategy::Optimizer {
+            plan_budget,
+            fail_cap,
+        } => {
+            if steps >= fail_cap {
+                return Err(EngineError::OptimizerExhausted {
+                    joins: steps,
+                    budget: fail_cap,
+                });
+            }
+            // Left-deep plan enumeration: the search space grows
+            // exponentially in the chain length; count (capped) explored
+            // states so experiments can display the blow-up.
+            report.plan_states = 1u64.checked_shl(steps.min(40) as u32).unwrap_or(u64::MAX);
+            if steps <= plan_budget {
+                ChainStrategy::HashChain
+            } else {
+                ChainStrategy::NestedLoop
+            }
+        }
+    };
+
+    // The running frontier: (origin row, current destination value).
+    let first = &relations[0];
+    let mut frontier: Vec<(u32, i64)> = first
+        .b
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+    report.tuples_read += first.len() as u64;
+
+    for rel in &relations[1..] {
+        match effective {
+            ChainStrategy::HashChain => {
+                let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+                for (i, &av) in rel.a.iter().enumerate() {
+                    index.entry(av).or_default().push(i);
+                }
+                report.tuples_read += rel.len() as u64 + frontier.len() as u64;
+                let mut next = Vec::with_capacity(frontier.len());
+                for &(origin, v) in &frontier {
+                    if let Some(rows) = index.get(&v) {
+                        for &row in rows {
+                            next.push((origin, rel.b[row]));
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            ChainStrategy::NestedLoop => {
+                report.tuples_read += rel.len() as u64 + frontier.len() as u64;
+                let mut next = Vec::with_capacity(frontier.len());
+                for &(origin, v) in &frontier {
+                    for (i, &av) in rel.a.iter().enumerate() {
+                        report.comparisons += 1;
+                        if av == v {
+                            next.push((origin, rel.b[i]));
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            ChainStrategy::Optimizer { .. } => unreachable!("resolved above"),
+        }
+    }
+    report.rows = frontier.len();
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// Build `k` copies of a permutation relation (`a` = identity, `b` = the
+/// permutation), the self-join-chain workload of Figure 9: every join is
+/// 1:1, so the result stays at `N` rows while the work per strategy
+/// diverges.
+pub fn permutation_chain(perm: &[i64], k: usize) -> Vec<BinaryRelation> {
+    let identity: Vec<i64> = (0..perm.len() as i64).collect();
+    (0..k)
+        .map(|_| BinaryRelation::new(identity.clone(), perm.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm(n: usize) -> Vec<i64> {
+        // A fixed-point-free-ish deterministic permutation.
+        (0..n as i64).map(|i| (i * 7 + 3) % n as i64).collect()
+    }
+
+    #[test]
+    fn hash_chain_on_permutations_keeps_n_rows() {
+        let rels = permutation_chain(&perm(100), 5);
+        let r = run_chain(&rels, ChainStrategy::HashChain).unwrap();
+        assert_eq!(r.rows, 100);
+        assert_eq!(r.steps, 4);
+        assert_eq!(r.comparisons, 0);
+    }
+
+    #[test]
+    fn nested_loop_agrees_with_hash_chain() {
+        let rels = permutation_chain(&perm(40), 4);
+        let h = run_chain(&rels, ChainStrategy::HashChain).unwrap();
+        let n = run_chain(&rels, ChainStrategy::NestedLoop).unwrap();
+        assert_eq!(h.rows, n.rows);
+        // 3 steps x 40 x 40 exhaustive comparisons.
+        assert_eq!(n.comparisons, 3 * 40 * 40);
+    }
+
+    #[test]
+    fn chain_composition_is_correct() {
+        // Permutation p: i -> i+1 mod 4; chain of 3 relations computes p∘p.
+        let p = vec![1i64, 2, 3, 0];
+        let rels = permutation_chain(&p, 3);
+        let r = run_chain(&rels, ChainStrategy::HashChain).unwrap();
+        assert_eq!(r.rows, 4);
+        // Verify one composed path explicitly via a manual frontier.
+        // Start origin 0: b=1, then rel2 a=1 -> b=2, rel3 a=2 -> b=3.
+        // (The report only carries counts; correctness of composition is
+        // covered by the row count staying 4 for a permutation and by the
+        // nested-loop agreement test.)
+        assert_eq!(r.steps, 2);
+    }
+
+    #[test]
+    fn optimizer_within_budget_uses_hash_plan() {
+        let rels = permutation_chain(&perm(50), 6);
+        let r = run_chain(
+            &rels,
+            ChainStrategy::Optimizer {
+                plan_budget: 10,
+                fail_cap: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.comparisons, 0, "hash plan chosen");
+        assert_eq!(r.plan_states, 1 << 5);
+    }
+
+    #[test]
+    fn optimizer_beyond_budget_falls_back_to_nested_loop() {
+        let rels = permutation_chain(&perm(30), 6);
+        let r = run_chain(
+            &rels,
+            ChainStrategy::Optimizer {
+                plan_budget: 3,
+                fail_cap: 100,
+            },
+        )
+        .unwrap();
+        assert!(r.comparisons > 0, "nested-loop fallback");
+        let h = run_chain(&rels, ChainStrategy::HashChain).unwrap();
+        assert_eq!(r.rows, h.rows, "fallback is slower, not wrong");
+    }
+
+    #[test]
+    fn optimizer_past_fail_cap_breaks() {
+        let rels = permutation_chain(&perm(10), 20);
+        let err = run_chain(
+            &rels,
+            ChainStrategy::Optimizer {
+                plan_budget: 4,
+                fail_cap: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::OptimizerExhausted { .. }));
+    }
+
+    #[test]
+    fn non_permutation_relations_can_grow_or_shrink() {
+        // Fan-out: one a-value maps to two b-values.
+        let r1 = BinaryRelation::new(vec![0, 0], vec![1, 2]);
+        let r2 = BinaryRelation::new(vec![1, 2, 2], vec![7, 8, 9]);
+        let r = run_chain(&[r1, r2], ChainStrategy::HashChain).unwrap();
+        assert_eq!(r.rows, 3, "1 path via b=1, 2 paths via b=2");
+    }
+
+    #[test]
+    fn empty_and_single_relation_chains() {
+        assert_eq!(run_chain(&[], ChainStrategy::HashChain).unwrap().rows, 0);
+        let rels = permutation_chain(&perm(10), 1);
+        let r = run_chain(&rels, ChainStrategy::HashChain).unwrap();
+        assert_eq!(r.rows, 10);
+        assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn hash_chain_reads_scale_linearly_with_k() {
+        let p = perm(200);
+        let r4 = run_chain(&permutation_chain(&p, 4), ChainStrategy::HashChain).unwrap();
+        let r8 = run_chain(&permutation_chain(&p, 8), ChainStrategy::HashChain).unwrap();
+        let ratio = r8.tuples_read as f64 / r4.tuples_read as f64;
+        assert!((1.5..2.5).contains(&ratio), "roughly linear in k: {ratio}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Run statistics — the cost units of §2.2.
+//!
+//! "For a full table scan, we need N reads and σN writes for the query
+//! answer. Furthermore, in a cracker approach we may have to write all
+//! tuples to their new location, causing another (1−σ)N writes." Every
+//! engine reports its work in exactly these units, plus wall-clock, so the
+//! experiments can present both.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters reported by one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Tuples read (scanned or partition-inspected).
+    pub tuples_read: u64,
+    /// Tuples written: result materialization plus reorganization moves.
+    pub tuples_written: u64,
+    /// Qualifying tuples.
+    pub result_count: u64,
+    /// Temporary/new tables created (catalog events — the expensive part
+    /// of SQL-level cracking, §5.1).
+    pub tables_created: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Accumulate another run into this one.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.tuples_read += other.tuples_read;
+        self.tuples_written += other.tuples_written;
+        self.result_count += other.result_count;
+        self.tables_created += other.tables_created;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Total tuple I/O (reads + writes) — the y-axis unit of Figure 3.
+    pub fn tuple_io(&self) -> u64 {
+        self.tuples_read + self.tuples_written
+    }
+}
+
+/// A per-step series of run statistics over a query sequence, with the
+/// cumulative views the figures need.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SequenceStats {
+    /// Per-step stats, in sequence order.
+    pub steps: Vec<RunStats>,
+}
+
+impl SequenceStats {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one step.
+    pub fn push(&mut self, s: RunStats) {
+        self.steps.push(s);
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Sum over all steps.
+    pub fn total(&self) -> RunStats {
+        let mut acc = RunStats::default();
+        for s in &self.steps {
+            acc.absorb(s);
+        }
+        acc
+    }
+
+    /// Cumulative totals after each step (for "total response time after k
+    /// queries" plots like Figures 10 and 11).
+    pub fn cumulative(&self) -> Vec<RunStats> {
+        let mut acc = RunStats::default();
+        self.steps
+            .iter()
+            .map(|s| {
+                acc.absorb(s);
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(r: u64, w: u64) -> RunStats {
+        RunStats {
+            tuples_read: r,
+            tuples_written: w,
+            result_count: 0,
+            tables_created: 0,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn absorb_adds_fieldwise() {
+        let mut a = rs(10, 5);
+        a.absorb(&rs(1, 2));
+        assert_eq!(a.tuples_read, 11);
+        assert_eq!(a.tuples_written, 7);
+        assert_eq!(a.tuple_io(), 18);
+        assert_eq!(a.elapsed, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn sequence_totals_and_cumulative() {
+        let mut seq = SequenceStats::new();
+        seq.push(rs(100, 0));
+        seq.push(rs(50, 10));
+        seq.push(rs(25, 5));
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.total().tuples_read, 175);
+        let cum = seq.cumulative();
+        assert_eq!(cum[0].tuples_read, 100);
+        assert_eq!(cum[1].tuples_read, 150);
+        assert_eq!(cum[2].tuple_io(), 190);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let seq = SequenceStats::new();
+        assert!(seq.is_empty());
+        assert_eq!(seq.total(), RunStats::default());
+        assert!(seq.cumulative().is_empty());
+    }
+}

@@ -1,0 +1,530 @@
+//! The adaptive database: cracking wired into a full query surface.
+//!
+//! §3 positions the cracker "between the semantic analyzer and the query
+//! optimizer" so that it "could be integrated easily into existing
+//! systems". [`AdaptiveDb`] is that integration for this engine: it owns a
+//! [`DbCatalog`] of base tables, lazily creates a cracked copy of each
+//! column the first time a predicate touches it (MonetDB's cracker module
+//! does the same on first use), routes selections/joins/group-bys through
+//! the Ξ/^/Ω operators, and records every crack in a lineage graph.
+
+use crate::catalog::DbCatalog;
+use crate::cost::RunStats;
+use crate::error::EngineResult;
+use crate::query::{AggFunc, OutputMode, RangeQuery};
+use crate::table::Table;
+use cracker_core::group::{aggregate_groups, omega_crack};
+use cracker_core::join::{join_matched, wedge_crack, PairColumn};
+use cracker_core::lineage::{CrackOp, LineageGraph, PieceId};
+use cracker_core::sideways::CrackerMap;
+use cracker_core::{CrackerColumn, CrackerConfig, RangePred};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A database whose physical organization adapts to the queries it
+/// receives.
+pub struct AdaptiveDb {
+    catalog: DbCatalog,
+    config: CrackerConfig,
+    /// Cracked copies, keyed by `(table, column)`; created on first use.
+    crackers: HashMap<(String, String), CrackerColumn<i64>>,
+    /// Sideways cracker maps, keyed by `(table, head, tail)`; created on
+    /// first `select_project` over that attribute pair.
+    maps: HashMap<(String, String, String), CrackerMap<i64>>,
+    /// Lineage roots per table, created on registration.
+    lineage: LineageGraph,
+    roots: HashMap<String, PieceId>,
+}
+
+impl AdaptiveDb {
+    /// An empty adaptive database with the default cracker configuration.
+    pub fn new() -> Self {
+        Self::with_config(CrackerConfig::default())
+    }
+
+    /// An empty adaptive database with an explicit cracker configuration
+    /// (applied to every column cracked from now on).
+    pub fn with_config(config: CrackerConfig) -> Self {
+        AdaptiveDb {
+            catalog: DbCatalog::new(),
+            config,
+            crackers: HashMap::new(),
+            maps: HashMap::new(),
+            lineage: LineageGraph::new(),
+            roots: HashMap::new(),
+        }
+    }
+
+    /// Register a base table.
+    pub fn register(&mut self, table: Table) -> EngineResult<()> {
+        let name = table.name().to_owned();
+        self.catalog.register(table)?;
+        let root = self.lineage.add_root(&name);
+        self.roots.insert(name, root);
+        Ok(())
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &DbCatalog {
+        &self.catalog
+    }
+
+    /// The lineage graph accumulated so far.
+    pub fn lineage(&self) -> &LineageGraph {
+        &self.lineage
+    }
+
+    /// Number of columns that have been cracked so far.
+    pub fn cracked_columns(&self) -> usize {
+        self.crackers.len()
+    }
+
+    /// Fetch (creating on first use) the cracked copy of a column.
+    fn cracker(&mut self, table: &str, column: &str) -> EngineResult<&mut CrackerColumn<i64>> {
+        let key = (table.to_owned(), column.to_owned());
+        if !self.crackers.contains_key(&key) {
+            let t = self.catalog.table(table)?;
+            let vals = t.ints(column)?.to_vec();
+            self.crackers
+                .insert(key.clone(), CrackerColumn::with_config(vals, self.config));
+        }
+        Ok(self.crackers.get_mut(&key).expect("inserted above"))
+    }
+
+    /// Answer a single-attribute range query, cracking as a side effect.
+    /// Returns the qualifying OIDs together with run statistics.
+    pub fn select(
+        &mut self,
+        q: &RangeQuery,
+        mode: OutputMode,
+    ) -> EngineResult<(Vec<u32>, RunStats)> {
+        let start = Instant::now();
+        let col = self.cracker(&q.table, &q.attr)?;
+        let before = *col.stats();
+        let sel = col.select(q.pred);
+        let delta = col.stats().delta_since(&before);
+        let oids = match mode {
+            OutputMode::Count => Vec::new(),
+            _ => col.selection_oids(&sel),
+        };
+        let mut stats = RunStats {
+            tuples_read: delta.tuples_touched + delta.edge_scanned,
+            tuples_written: delta.tuples_moved,
+            result_count: sel.count() as u64,
+            ..Default::default()
+        };
+        if mode == OutputMode::Materialize {
+            stats.tables_created = 1;
+            stats.tuples_written += stats.result_count;
+        }
+        stats.elapsed = start.elapsed();
+        Ok((oids, stats))
+    }
+
+    /// Answer a conjunction of range predicates over one table by cracking
+    /// each referenced column and intersecting the OID sets — the
+    /// multi-attribute case the paper's strolling profile explores ("a
+    /// user will ... try out different attributes").
+    pub fn select_conjunctive(
+        &mut self,
+        table: &str,
+        preds: &[(&str, RangePred<i64>)],
+    ) -> EngineResult<Vec<u32>> {
+        if preds.is_empty() {
+            let n = self.catalog.table(table)?.len() as u32;
+            return Ok((0..n).collect());
+        }
+        // Crack every column; intersect from the most selective answer.
+        let mut answers: Vec<Vec<u32>> = Vec::with_capacity(preds.len());
+        for (attr, pred) in preds {
+            let col = self.cracker(table, attr)?;
+            answers.push(col.select_oids(*pred));
+        }
+        answers.sort_by_key(Vec::len);
+        let mut result: std::collections::HashSet<u32> =
+            answers[0].iter().copied().collect();
+        for a in &answers[1..] {
+            let set: std::collections::HashSet<u32> = a.iter().copied().collect();
+            result.retain(|o| set.contains(o));
+        }
+        let mut out: Vec<u32> = result.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Equi-join two tables on integer attributes via the ^ cracker:
+    /// both join columns are wedge-cracked (the non-matching tuples are
+    /// clustered away) and only the matching areas are joined.
+    pub fn join(
+        &mut self,
+        left: &str,
+        left_attr: &str,
+        right: &str,
+        right_attr: &str,
+    ) -> EngineResult<Vec<(u32, u32)>> {
+        let l_vals = self.catalog.table(left)?.ints(left_attr)?.to_vec();
+        let r_vals = self.catalog.table(right)?.ints(right_attr)?.to_vec();
+        let mut l = PairColumn::new(l_vals);
+        let mut r = PairColumn::new(r_vals);
+        let (ln, rn) = (l.len(), r.len());
+        let res = wedge_crack(&mut l, &mut r, 0..ln, 0..rn);
+        // Record the four pieces in the lineage graph.
+        let (lr, rr) = (self.roots.get(left).copied(), self.roots.get(right).copied());
+        if let (Some(lr), Some(rr)) = (lr, rr) {
+            let op = CrackOp::Wedge(format!("{left}.{left_attr}={right}.{right_attr}"));
+            // Roots may already be consumed by earlier ops; only record
+            // when both sides are still live leaves.
+            if self.lineage.reconstruction_set(left).contains(&lr)
+                && self.lineage.reconstruction_set(right).contains(&rr)
+            {
+                self.lineage.apply(op, &[lr, rr], &[2, 2]);
+            }
+        }
+        Ok(join_matched(&l, &r, &res))
+    }
+
+    /// Group one integer column and aggregate another via the Ω cracker.
+    /// Returns `(group value, aggregate)` pairs in ascending group order.
+    pub fn group_aggregate(
+        &mut self,
+        table: &str,
+        group_attr: &str,
+        agg: AggFunc,
+        agg_attr: Option<&str>,
+    ) -> EngineResult<Vec<(i64, i64)>> {
+        let t = self.catalog.table(table)?;
+        let groups = t.ints(group_attr)?.to_vec();
+        let agg_vals: Option<Vec<i64>> = match agg_attr {
+            Some(a) => Some(t.ints(a)?.to_vec()),
+            None => None,
+        };
+        let mut col = PairColumn::new(groups);
+        let len = col.len();
+        let res = omega_crack(&mut col, 0..len);
+        let out = aggregate_groups(&col, &res, |_, vals, oids| match (&agg, &agg_vals) {
+            (AggFunc::Count, _) => vals.len() as i64,
+            (AggFunc::Sum, Some(av)) => oids.iter().map(|&o| av[o as usize]).sum(),
+            (AggFunc::Min, Some(av)) => {
+                oids.iter().map(|&o| av[o as usize]).min().unwrap_or(0)
+            }
+            (AggFunc::Max, Some(av)) => {
+                oids.iter().map(|&o| av[o as usize]).max().unwrap_or(0)
+            }
+            // Sum/min/max without a target column degrade to count.
+            _ => vals.len() as i64,
+        });
+        Ok(out)
+    }
+
+    /// Ψ-crack a table on a projection list: vertically split it into the
+    /// projected fragment and its complement, both carrying the surrogate
+    /// OIDs for loss-less reconstruction. Records the Ψ in the lineage.
+    pub fn project(
+        &mut self,
+        table: &str,
+        attrs: &[&str],
+    ) -> EngineResult<cracker_core::project::PsiResult> {
+        let t = self.catalog.table(table)?;
+        let mut cols = std::collections::BTreeMap::new();
+        for name in t.schema().names() {
+            cols.insert(
+                name.to_string(),
+                std::sync::Arc::clone(t.column(name).expect("schema names resolve")),
+            );
+        }
+        let relation = cracker_core::project::VerticalFragment::new(cols)?;
+        let result = cracker_core::project::psi_crack(&relation, attrs)?;
+        if let Some(&root) = self.roots.get(table) {
+            if self.lineage.reconstruction_set(table).contains(&root) {
+                self.lineage.apply(
+                    CrackOp::Psi(attrs.iter().map(|s| s.to_string()).collect()),
+                    &[root],
+                    &[2],
+                );
+            }
+        }
+        Ok(result)
+    }
+
+    /// `SELECT tail FROM table WHERE head IN pred`, answered sideways: a
+    /// cracker map keeps the `tail` values physically aligned with the
+    /// cracked order of `head`, so the projection comes back as one
+    /// contiguous copy instead of a random access per qualifying OID (the
+    /// Ψ surrogate join's hidden cost). The map is created on first use,
+    /// copying both columns once — the same lazy-first-touch convention
+    /// as every other cracker here.
+    pub fn select_project(
+        &mut self,
+        table: &str,
+        head: &str,
+        tail: &str,
+        pred: RangePred<i64>,
+    ) -> EngineResult<Vec<i64>> {
+        let key = (table.to_owned(), head.to_owned(), tail.to_owned());
+        if !self.maps.contains_key(&key) {
+            let t = self.catalog.table(table)?;
+            let head_vals = t.ints(head)?.to_vec();
+            let tail_vals = t.ints(tail)?.to_vec();
+            self.maps
+                .insert(key.clone(), CrackerMap::new(head_vals, tail_vals));
+        }
+        let map = self.maps.get_mut(&key).expect("inserted above");
+        let r = map.select(pred);
+        Ok(map.project(r).to_vec())
+    }
+
+    /// Number of sideways cracker maps materialized so far.
+    pub fn map_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Stage a row insertion: the new value is appended to every cracked
+    /// copy of the table's columns (pending areas) and the base table is
+    /// left untouched (append-only experiment surface).
+    pub fn stage_insert(
+        &mut self,
+        table: &str,
+        column: &str,
+        oid: u32,
+        value: i64,
+    ) -> EngineResult<()> {
+        self.cracker(table, column)?.insert(oid, value);
+        Ok(())
+    }
+
+    /// Stage a row deletion in one cracked column.
+    pub fn stage_delete(&mut self, table: &str, column: &str, oid: u32) -> EngineResult<bool> {
+        Ok(self.cracker(table, column)?.delete(oid))
+    }
+
+    /// Aggregate crack statistics across all cracked columns.
+    pub fn total_crack_stats(&self) -> cracker_core::CrackStats {
+        let mut acc = cracker_core::CrackStats::default();
+        for c in self.crackers.values() {
+            let s = c.stats();
+            acc.queries += s.queries;
+            acc.cracks += s.cracks;
+            acc.tuples_touched += s.tuples_touched;
+            acc.tuples_moved += s.tuples_moved;
+            acc.edge_scanned += s.edge_scanned;
+            acc.fusions += s.fusions;
+            acc.merges += s.merges;
+        }
+        acc
+    }
+}
+
+impl Default for AdaptiveDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+
+    fn db() -> AdaptiveDb {
+        let mut db = AdaptiveDb::new();
+        db.register(
+            Table::from_int_columns(
+                "r",
+                vec![
+                    ("k", (0..100).map(|i| i % 10).collect()),
+                    ("a", (0..100).rev().collect()),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.register(
+            Table::from_int_columns("s", vec![("k", (0..20).map(|i| i % 5).collect())])
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_cracks_lazily_and_answers() {
+        let mut db = db();
+        assert_eq!(db.cracked_columns(), 0);
+        let q = RangeQuery::new("r", "a", RangePred::between(10, 19));
+        let (oids, stats) = db.select(&q, OutputMode::Stream).unwrap();
+        assert_eq!(stats.result_count, 10);
+        assert_eq!(oids.len(), 10);
+        assert_eq!(db.cracked_columns(), 1);
+        // Values a are reversed positions: a = 99 - oid.
+        for o in oids {
+            let a = 99 - o as i64;
+            assert!((10..=19).contains(&a));
+        }
+        // Repeat is index-only.
+        let (_, stats) = db.select(&q, OutputMode::Count).unwrap();
+        assert_eq!(stats.tuples_read, 0);
+    }
+
+    #[test]
+    fn unknown_table_or_column_errors() {
+        let mut db = db();
+        let q = RangeQuery::new("zzz", "a", RangePred::lt(5));
+        assert!(matches!(
+            db.select(&q, OutputMode::Count),
+            Err(EngineError::UnknownTable(_))
+        ));
+        let q = RangeQuery::new("r", "zzz", RangePred::lt(5));
+        assert!(matches!(
+            db.select(&q, OutputMode::Count),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn conjunctive_selection_intersects_columns() {
+        let mut db = db();
+        // a >= 50 (oids 0..=49) AND k < 3 (oids where oid%10 < 3).
+        let got = db
+            .select_conjunctive(
+                "r",
+                &[("a", RangePred::ge(50)), ("k", RangePred::lt(3))],
+            )
+            .unwrap();
+        let want: Vec<u32> = (0..100u32)
+            .filter(|&o| (99 - o as i64) >= 50 && (o as i64 % 10) < 3)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(db.cracked_columns(), 2, "both columns cracked");
+    }
+
+    #[test]
+    fn empty_conjunction_returns_all() {
+        let mut db = db();
+        assert_eq!(db.select_conjunctive("r", &[]).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn join_via_wedge_agrees_with_nested_loop() {
+        let mut db = db();
+        let mut got = db.join("r", "k", "s", "k").unwrap();
+        got.sort_unstable();
+        let r_k: Vec<i64> = (0..100).map(|i| i % 10).collect();
+        let s_k: Vec<i64> = (0..20).map(|i| i % 5).collect();
+        let mut want = Vec::new();
+        for (i, &rv) in r_k.iter().enumerate() {
+            for (j, &sv) in s_k.iter().enumerate() {
+                if rv == sv {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // The wedge was recorded in the lineage.
+        assert_eq!(db.lineage().reconstruction_set("r").len(), 2);
+        assert_eq!(db.lineage().reconstruction_set("s").len(), 2);
+    }
+
+    #[test]
+    fn group_aggregate_via_omega() {
+        let mut db = db();
+        let counts = db
+            .group_aggregate("r", "k", AggFunc::Count, None)
+            .unwrap();
+        assert_eq!(counts.len(), 10);
+        assert!(counts.iter().all(|&(_, c)| c == 10));
+        let sums = db
+            .group_aggregate("r", "k", AggFunc::Sum, Some("a"))
+            .unwrap();
+        // Group g holds oids g, g+10, ..., g+90 with a = 99-oid.
+        let expect: i64 = (0..10).map(|j| 99 - (10 * j)).sum();
+        assert_eq!(sums[0], (0, expect));
+        let maxs = db
+            .group_aggregate("r", "k", AggFunc::Max, Some("a"))
+            .unwrap();
+        assert_eq!(maxs[0], (0, 99));
+        let mins = db
+            .group_aggregate("r", "k", AggFunc::Min, Some("a"))
+            .unwrap();
+        assert_eq!(mins[9], (9, 0));
+    }
+
+    #[test]
+    fn staged_updates_flow_through_selects() {
+        let mut db = db();
+        let q = RangeQuery::new("r", "a", RangePred::ge(1000));
+        let (oids, _) = db.select(&q, OutputMode::Stream).unwrap();
+        assert!(oids.is_empty());
+        db.stage_insert("r", "a", 500, 2000).unwrap();
+        let (oids, stats) = db.select(&q, OutputMode::Stream).unwrap();
+        assert_eq!(oids, vec![500]);
+        assert_eq!(stats.result_count, 1);
+        assert!(db.stage_delete("r", "a", 500).unwrap());
+        let (oids, _) = db.select(&q, OutputMode::Stream).unwrap();
+        assert!(oids.is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut db = db();
+        let err = db
+            .register(Table::from_int_columns("r", vec![("x", vec![])]).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn psi_projection_splits_and_records_lineage() {
+        let mut db = db();
+        let res = db.project("r", &["a"]).unwrap();
+        assert_eq!(res.projected.attrs(), vec!["a"]);
+        assert_eq!(res.rest.attrs(), vec!["k"]);
+        // Loss-less reconstruction via the surrogate join.
+        let back = cracker_core::project::psi_reconstruct(&res).unwrap();
+        assert_eq!(back.attrs(), vec!["a", "k"]);
+        // The Ψ is in the lineage: r is now two pieces.
+        assert_eq!(db.lineage().reconstruction_set("r").len(), 2);
+        // Unknown attribute errors.
+        assert!(db.project("r", &["zzz"]).is_err());
+        assert!(db.project("zzz", &["a"]).is_err());
+    }
+
+    #[test]
+    fn sideways_select_project_agrees_with_oid_path() {
+        let mut db = db();
+        // Sideways: b-values (column k) of tuples with a in [10, 19].
+        let pred = RangePred::between(10, 19);
+        let mut sideways = db.select_project("r", "a", "k", pred).unwrap();
+        sideways.sort_unstable();
+        // OID path through the plain cracker.
+        let q = RangeQuery::new("r", "a", pred);
+        let (oids, _) = db.select(&q, OutputMode::Stream).unwrap();
+        let k_col: Vec<i64> = (0..100).map(|i| i % 10).collect();
+        let mut via_oids: Vec<i64> =
+            oids.iter().map(|&o| k_col[o as usize]).collect();
+        via_oids.sort_unstable();
+        assert_eq!(sideways, via_oids);
+        assert_eq!(db.map_count(), 1);
+        // A second pair creates a second map; a repeat reuses the first.
+        db.select_project("r", "k", "a", RangePred::lt(3)).unwrap();
+        db.select_project("r", "a", "k", RangePred::lt(3)).unwrap();
+        assert_eq!(db.map_count(), 2);
+        // Unknown names error.
+        assert!(db.select_project("zzz", "a", "k", pred).is_err());
+        assert!(db.select_project("r", "zzz", "k", pred).is_err());
+        assert!(db.select_project("r", "a", "zzz", pred).is_err());
+    }
+
+    #[test]
+    fn total_stats_accumulate_across_columns() {
+        let mut db = db();
+        db.select(&RangeQuery::new("r", "a", RangePred::lt(50)), OutputMode::Count)
+            .unwrap();
+        db.select(&RangeQuery::new("r", "k", RangePred::lt(5)), OutputMode::Count)
+            .unwrap();
+        let s = db.total_crack_stats();
+        assert_eq!(s.queries, 2);
+        assert!(s.cracks >= 2);
+        assert!(s.tuples_touched >= 200);
+    }
+}

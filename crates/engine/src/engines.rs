@@ -1,0 +1,552 @@
+//! The three access engines the experiments compare.
+//!
+//! * [`ScanEngine`] — the baseline: every query is a full table scan (the
+//!   `nocrack` lines of Figures 10 and 11; "any performance gain is an
+//!   effect of a hot table segment lying around in the DBMS cache").
+//! * [`SortEngine`] — "an alternative strategy (and optimal in read-only
+//!   settings) would be to completely sort or index the table upfront,
+//!   which would require N·log(N) writes" (§2.2); the `sort` line of
+//!   Figure 11. The first query pays the sort; later queries binary-search.
+//! * [`CrackEngine`] — the adaptive approach: each query cracks at most
+//!   its two border pieces and answers from a contiguous range.
+//!
+//! * [`StochasticEngine`] — cracking hardened with auxiliary random /
+//!   median cuts, immune to the sequential-workload degeneration.
+//!
+//! All of them implement [`QueryEngine`] and report work in the cost
+//! units of §2.2 ([`RunStats`]), so a benchmark can swap them freely.
+
+use crate::cost::RunStats;
+use crate::query::OutputMode;
+use cracker_core::stochastic::{StochasticCracker, StochasticPolicy};
+use cracker_core::{CrackerColumn, CrackerConfig, RangePred};
+use std::time::Instant;
+
+/// A single-column access engine answering range queries under one of the
+/// three output modes of Figure 1.
+pub trait QueryEngine {
+    /// Engine label for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Answer one range query, returning cost counters.
+    fn run(&mut self, pred: RangePred<i64>, mode: OutputMode) -> RunStats;
+
+    /// The qualifying OIDs (for correctness cross-checks between engines;
+    /// not part of the timed path).
+    fn result_oids(&mut self, pred: RangePred<i64>) -> Vec<u32>;
+
+    /// Number of tuples stored.
+    fn len(&self) -> usize;
+
+    /// True when no tuples are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Charge the output-mode-dependent write costs to `stats`.
+///
+/// Materialization creates a table and writes every result tuple
+/// (Figure 1a); streaming ships every result tuple to the front-end
+/// (Figure 1b); counting writes nothing (Figure 1c).
+fn charge_output(stats: &mut RunStats, mode: OutputMode) {
+    match mode {
+        OutputMode::Materialize => {
+            stats.tuples_written += stats.result_count;
+            stats.tables_created += 1;
+        }
+        OutputMode::Stream => {
+            stats.tuples_written += stats.result_count;
+        }
+        OutputMode::Count => {}
+    }
+}
+
+/// Baseline engine: full scan per query.
+#[derive(Debug, Clone)]
+pub struct ScanEngine {
+    vals: Vec<i64>,
+    /// Result buffer reused across queries so measurement reflects the
+    /// scan, not allocator churn.
+    result: Vec<(u32, i64)>,
+}
+
+impl ScanEngine {
+    /// Build over a value column (OIDs are positions).
+    pub fn new(vals: Vec<i64>) -> Self {
+        ScanEngine {
+            vals,
+            result: Vec::new(),
+        }
+    }
+}
+
+impl QueryEngine for ScanEngine {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn run(&mut self, pred: RangePred<i64>, mode: OutputMode) -> RunStats {
+        let start = Instant::now();
+        let mut stats = RunStats {
+            tuples_read: self.vals.len() as u64,
+            ..Default::default()
+        };
+        match mode {
+            OutputMode::Count => {
+                stats.result_count = self.vals.iter().filter(|&&v| pred.matches(v)).count() as u64;
+            }
+            _ => {
+                self.result.clear();
+                for (i, &v) in self.vals.iter().enumerate() {
+                    if pred.matches(v) {
+                        self.result.push((i as u32, v));
+                    }
+                }
+                stats.result_count = self.result.len() as u64;
+            }
+        }
+        charge_output(&mut stats, mode);
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    fn result_oids(&mut self, pred: RangePred<i64>) -> Vec<u32> {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| pred.matches(v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// Sort-upfront engine: the first query pays a full sort, every later
+/// query is two binary searches plus a result read.
+#[derive(Debug, Clone)]
+pub struct SortEngine {
+    /// `(value, oid)` pairs; sorted by value after the first query.
+    pairs: Vec<(i64, u32)>,
+    sorted: bool,
+    result: Vec<(u32, i64)>,
+}
+
+impl SortEngine {
+    /// Build over a value column (OIDs are positions). The sort is paid
+    /// lazily by the first query, as in Figure 11's `sort` line.
+    pub fn new(vals: Vec<i64>) -> Self {
+        let pairs = vals
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect();
+        SortEngine {
+            pairs,
+            sorted: false,
+            result: Vec::new(),
+        }
+    }
+
+    /// Slot range of qualifying tuples in the sorted array.
+    fn locate(&self, pred: &RangePred<i64>) -> std::ops::Range<usize> {
+        let start = match pred.low {
+            None => 0,
+            Some(b) => {
+                if b.inclusive {
+                    self.pairs.partition_point(|&(v, _)| v < b.value)
+                } else {
+                    self.pairs.partition_point(|&(v, _)| v <= b.value)
+                }
+            }
+        };
+        let end = match pred.high {
+            None => self.pairs.len(),
+            Some(b) => {
+                if b.inclusive {
+                    self.pairs.partition_point(|&(v, _)| v <= b.value)
+                } else {
+                    self.pairs.partition_point(|&(v, _)| v < b.value)
+                }
+            }
+        };
+        start..end.max(start)
+    }
+}
+
+impl QueryEngine for SortEngine {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn run(&mut self, pred: RangePred<i64>, mode: OutputMode) -> RunStats {
+        let start = Instant::now();
+        let mut stats = RunStats::default();
+        if !self.sorted {
+            // The upfront investment: N reads plus N·log2(N) write cost,
+            // the unit the paper uses for the sort alternative.
+            self.pairs.sort_unstable();
+            self.sorted = true;
+            let n = self.pairs.len() as u64;
+            stats.tuples_read += n;
+            stats.tuples_written += n * (64 - n.leading_zeros() as u64).max(1);
+        }
+        let range = self.locate(&pred);
+        // Binary search probes: log2(n) reads per bound.
+        let probes = (usize::BITS - self.pairs.len().leading_zeros()) as u64;
+        stats.tuples_read += 2 * probes;
+        stats.result_count = range.len() as u64;
+        match mode {
+            OutputMode::Count => {}
+            _ => {
+                stats.tuples_read += range.len() as u64;
+                self.result.clear();
+                self.result
+                    .extend(self.pairs[range].iter().map(|&(v, o)| (o, v)));
+            }
+        }
+        charge_output(&mut stats, mode);
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    fn result_oids(&mut self, pred: RangePred<i64>) -> Vec<u32> {
+        if !self.sorted {
+            self.pairs.sort_unstable();
+            self.sorted = true;
+        }
+        self.pairs[self.locate(&pred)]
+            .iter()
+            .map(|&(_, o)| o)
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// The adaptive engine: queries crack the store as a byproduct.
+#[derive(Debug)]
+pub struct CrackEngine {
+    column: CrackerColumn<i64>,
+    result: Vec<(u32, i64)>,
+}
+
+impl CrackEngine {
+    /// Build with the default cracker configuration.
+    pub fn new(vals: Vec<i64>) -> Self {
+        Self::with_config(vals, CrackerConfig::default())
+    }
+
+    /// Build with an explicit cracker configuration (cut-off granule,
+    /// piece budget, fusion policy ...).
+    pub fn with_config(vals: Vec<i64>, config: CrackerConfig) -> Self {
+        CrackEngine {
+            column: CrackerColumn::with_config(vals, config),
+            result: Vec::new(),
+        }
+    }
+
+    /// The underlying cracked column (piece inspection, update staging).
+    pub fn column(&self) -> &CrackerColumn<i64> {
+        &self.column
+    }
+
+    /// Mutable access to the cracked column (for staging updates).
+    pub fn column_mut(&mut self) -> &mut CrackerColumn<i64> {
+        &mut self.column
+    }
+}
+
+impl QueryEngine for CrackEngine {
+    fn name(&self) -> &'static str {
+        "crack"
+    }
+
+    fn run(&mut self, pred: RangePred<i64>, mode: OutputMode) -> RunStats {
+        let start = Instant::now();
+        let before = *self.column.stats();
+        let sel = self.column.select(pred);
+        let delta = self.column.stats().delta_since(&before);
+        let mut stats = RunStats {
+            // Reads: tuples inspected while partitioning plus cut-off edge
+            // scans.
+            tuples_read: delta.tuples_touched + delta.edge_scanned,
+            // Writes: tuples relocated by the crack (the (1−σ)N investment
+            // of §2.2).
+            tuples_written: delta.tuples_moved,
+            result_count: sel.count() as u64,
+            ..Default::default()
+        };
+        match mode {
+            OutputMode::Count => {
+                // A contiguous cracked answer is counted from the index
+                // alone — no data touched.
+            }
+            _ => {
+                stats.tuples_read += sel.count() as u64;
+                self.result.clear();
+                self.column.copy_selection_into(&sel, &mut self.result);
+            }
+        }
+        charge_output(&mut stats, mode);
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    fn result_oids(&mut self, pred: RangePred<i64>) -> Vec<u32> {
+        self.column.select_oids(pred)
+    }
+
+    fn len(&self) -> usize {
+        self.column.len()
+    }
+}
+
+/// The robust adaptive engine: cracking plus workload-independent
+/// auxiliary cuts ([`StochasticPolicy`]), so adversarial (e.g.
+/// sequential) query sequences cannot hold the per-query cost at Θ(N).
+/// Same [`QueryEngine`] surface as the other three, so experiments can
+/// swap it in anywhere `crack` runs.
+#[derive(Debug)]
+pub struct StochasticEngine {
+    column: StochasticCracker<i64>,
+    result: Vec<(u32, i64)>,
+}
+
+impl StochasticEngine {
+    /// Build with the default cracker configuration and the given cut
+    /// policy. `seed` fixes the auxiliary pivots.
+    pub fn new(vals: Vec<i64>, policy: StochasticPolicy, seed: u64) -> Self {
+        Self::with_config(vals, CrackerConfig::default(), policy, seed)
+    }
+
+    /// Build with an explicit cracker configuration.
+    pub fn with_config(
+        vals: Vec<i64>,
+        config: CrackerConfig,
+        policy: StochasticPolicy,
+        seed: u64,
+    ) -> Self {
+        StochasticEngine {
+            column: StochasticCracker::with_config(vals, config, policy, seed),
+            result: Vec::new(),
+        }
+    }
+
+    /// The wrapped stochastic column (auxiliary-cut counters, policy).
+    pub fn column(&self) -> &StochasticCracker<i64> {
+        &self.column
+    }
+}
+
+impl QueryEngine for StochasticEngine {
+    fn name(&self) -> &'static str {
+        "stochastic"
+    }
+
+    fn run(&mut self, pred: RangePred<i64>, mode: OutputMode) -> RunStats {
+        let start = Instant::now();
+        let before = *self.column.column().stats();
+        let sel = self.column.select(pred);
+        let delta = self.column.column().stats().delta_since(&before);
+        let mut stats = RunStats {
+            tuples_read: delta.tuples_touched + delta.edge_scanned,
+            tuples_written: delta.tuples_moved,
+            result_count: sel.count() as u64,
+            ..Default::default()
+        };
+        match mode {
+            OutputMode::Count => {}
+            _ => {
+                stats.tuples_read += sel.count() as u64;
+                self.result.clear();
+                self.column.column().copy_selection_into(&sel, &mut self.result);
+            }
+        }
+        charge_output(&mut stats, mode);
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    fn result_oids(&mut self, pred: RangePred<i64>) -> Vec<u32> {
+        self.column.select_oids(pred)
+    }
+
+    fn len(&self) -> usize {
+        self.column.column().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn engines(vals: Vec<i64>) -> (ScanEngine, SortEngine, CrackEngine) {
+        (
+            ScanEngine::new(vals.clone()),
+            SortEngine::new(vals.clone()),
+            CrackEngine::new(vals),
+        )
+    }
+
+    #[test]
+    fn all_engines_agree_on_results() {
+        let vals: Vec<i64> = (0..500).map(|i| (i * 7919) % 500).collect();
+        let (mut scan, mut sort, mut crack) = engines(vals.clone());
+        let mut stochastic = StochasticEngine::new(vals, StochasticPolicy::DD1R, 3);
+        for (lo, hi) in [(10, 50), (100, 400), (0, 499), (490, 499)] {
+            let pred = RangePred::between(lo, hi);
+            let mut a = scan.result_oids(pred);
+            let mut b = sort.result_oids(pred);
+            let mut c = crack.result_oids(pred);
+            let mut d = stochastic.result_oids(pred);
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            d.sort_unstable();
+            assert_eq!(a, b, "scan vs sort on [{lo},{hi}]");
+            assert_eq!(a, c, "scan vs crack on [{lo},{hi}]");
+            assert_eq!(a, d, "scan vs stochastic on [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn stochastic_engine_reports_costs_and_converges() {
+        let n = 20_000usize;
+        let vals: Vec<i64> = (0..n as i64).rev().collect();
+        let mut e = StochasticEngine::new(vals, StochasticPolicy::DDR { floor: 512 }, 1);
+        assert_eq!(e.name(), "stochastic");
+        assert_eq!(e.len(), n);
+        // A sequential sweep: per-query reads must fall off, unlike plain
+        // cracking where they stay ~tail-sized.
+        let w = (n / 100) as i64;
+        let mut plain = CrackEngine::new((0..n as i64).rev().collect());
+        let (mut stoch_reads, mut plain_reads) = (0u64, 0u64);
+        for i in 0..100i64 {
+            let pred = RangePred::half_open(i * w, (i + 1) * w);
+            let s = e.run(pred, OutputMode::Count);
+            assert_eq!(s.result_count, w as u64);
+            stoch_reads += s.tuples_read;
+            plain_reads += plain.run(pred, OutputMode::Count).tuples_read;
+        }
+        assert!(
+            stoch_reads * 2 < plain_reads,
+            "auxiliary cuts must beat plain cracking on the sweep              (stochastic {stoch_reads}, plain {plain_reads})"
+        );
+        assert!(e.column().stats().auxiliary_cuts > 0);
+    }
+
+    #[test]
+    fn scan_reads_everything_every_time() {
+        let mut e = ScanEngine::new((0..1000).collect());
+        let s1 = e.run(RangePred::between(10, 20), OutputMode::Count);
+        let s2 = e.run(RangePred::between(10, 20), OutputMode::Count);
+        assert_eq!(s1.tuples_read, 1000);
+        assert_eq!(s2.tuples_read, 1000, "scans never get cheaper");
+        assert_eq!(s1.result_count, 11);
+    }
+
+    #[test]
+    fn sort_pays_once_then_probes() {
+        let mut e = SortEngine::new((0..1024).rev().collect());
+        let s1 = e.run(RangePred::between(10, 20), OutputMode::Count);
+        assert!(
+            s1.tuples_written >= 1024 * 10,
+            "first query pays ~N log N writes, got {}",
+            s1.tuples_written
+        );
+        let s2 = e.run(RangePred::between(500, 700), OutputMode::Count);
+        assert_eq!(s2.tuples_written, 0);
+        assert!(
+            s2.tuples_read <= 64,
+            "later count queries are probe-only, got {}",
+            s2.tuples_read
+        );
+        assert_eq!(s2.result_count, 201);
+    }
+
+    #[test]
+    fn crack_converges_to_near_zero_reads() {
+        let mut e = CrackEngine::new((0..10_000).rev().collect());
+        let first = e.run(RangePred::between(1000, 2000), OutputMode::Count);
+        assert_eq!(first.tuples_read, 10_000, "virgin column: full touch");
+        let repeat = e.run(RangePred::between(1000, 2000), OutputMode::Count);
+        assert_eq!(repeat.tuples_read, 0, "repeat count is index-only");
+        assert_eq!(repeat.result_count, 1001);
+    }
+
+    #[test]
+    fn crack_write_investment_shrinks_over_a_sequence() {
+        let mut e = CrackEngine::new((0..50_000).map(|i| (i * 31) % 50_000).collect());
+        let mut prev_io = u64::MAX;
+        for step in 0..6 {
+            let lo = step * 8000;
+            let s = e.run(RangePred::between(lo, lo + 2500), OutputMode::Count);
+            let io = s.tuple_io();
+            assert!(
+                io <= prev_io || io < 5000,
+                "step {step}: tuple io should trend down ({io} after {prev_io})"
+            );
+            prev_io = io.max(1);
+        }
+    }
+
+    #[test]
+    fn output_modes_charge_differently() {
+        let vals: Vec<i64> = (0..100).collect();
+        let mut e = ScanEngine::new(vals);
+        let m = e.run(RangePred::lt(50), OutputMode::Materialize);
+        let p = e.run(RangePred::lt(50), OutputMode::Stream);
+        let c = e.run(RangePred::lt(50), OutputMode::Count);
+        assert_eq!(m.result_count, 50);
+        assert_eq!(m.tables_created, 1);
+        assert_eq!(p.tables_created, 0);
+        assert_eq!(p.tuples_written, 50);
+        assert_eq!(c.tuples_written, 0);
+    }
+
+    #[test]
+    fn empty_engine_answers_empty() {
+        let (mut scan, mut sort, mut crack) = engines(vec![]);
+        for e in [
+            &mut scan as &mut dyn QueryEngine,
+            &mut sort,
+            &mut crack,
+        ] {
+            let s = e.run(RangePred::between(1, 5), OutputMode::Count);
+            assert_eq!(s.result_count, 0, "{}", e.name());
+            assert_eq!(e.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_engines_agree_on_arbitrary_sequences(
+            vals in proptest::collection::vec(-100i64..100, 1..200),
+            queries in proptest::collection::vec((-110i64..110, -110i64..110), 1..12),
+        ) {
+            let (mut scan, mut sort, mut crack) = engines(vals);
+            for (a, b) in queries {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let pred = RangePred::between(lo, hi);
+                let mut x = scan.result_oids(pred);
+                let mut y = sort.result_oids(pred);
+                let mut z = crack.result_oids(pred);
+                x.sort_unstable();
+                y.sort_unstable();
+                z.sort_unstable();
+                prop_assert_eq!(&x, &y);
+                prop_assert_eq!(&x, &z);
+                // Counts reported by run() agree too.
+                let sc = scan.run(pred, OutputMode::Count).result_count;
+                prop_assert_eq!(sc as usize, x.len());
+            }
+        }
+    }
+}

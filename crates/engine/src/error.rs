@@ -1,0 +1,108 @@
+//! Engine error type.
+
+use std::fmt;
+use storage::StorageError;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown table name.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Unknown column name within a table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// The operation needs a column of a different type.
+    WrongColumnType {
+        /// Column name.
+        column: String,
+        /// What the operation required.
+        expected: String,
+    },
+    /// Column vectors of a table differ in length.
+    RaggedColumns(String),
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// The optimizer ran out of resources for this plan (models the
+    /// "running out of optimizer resource space" failure of Figure 9).
+    OptimizerExhausted {
+        /// Number of joins requested.
+        joins: usize,
+        /// Budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EngineError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} in table {table:?}")
+            }
+            EngineError::WrongColumnType { column, expected } => {
+                write!(f, "column {column:?} is not of required type {expected}")
+            }
+            EngineError::RaggedColumns(t) => {
+                write!(f, "columns of table {t:?} differ in length")
+            }
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::OptimizerExhausted { joins, budget } => write!(
+                f,
+                "optimizer resource space exhausted: {joins}-way join exceeds budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::UnknownTable("r".into()).to_string(),
+            "unknown table \"r\""
+        );
+        assert_eq!(
+            EngineError::OptimizerExhausted {
+                joins: 64,
+                budget: 12
+            }
+            .to_string(),
+            "optimizer resource space exhausted: 64-way join exceeds budget 12"
+        );
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: EngineError = StorageError::UnknownBat("x".into()).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

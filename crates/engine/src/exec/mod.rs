@@ -1,0 +1,46 @@
+//! Volcano-style query execution.
+//!
+//! "Most systems use a Volcano-like query evaluation scheme \[Gra93\].
+//! Tuples are read from source relations and passed up the tree through
+//! filter-, join-, and projection-nodes" (§3.4.1). This module is that
+//! scheme: pull-based [`Operator`]s composed into trees. The cracker can
+//! be "put in front of a filter node" in exactly this pipeline — see
+//! [`ops::XiTapOp`], which captures the non-qualifying tuples a filter
+//! would discard, turning a plain scan into a Ξ crack as a byproduct.
+
+pub mod group;
+pub mod join;
+pub mod ops;
+pub mod planner;
+
+use storage::Atom;
+
+/// A row flowing through the operator tree.
+pub type Row = Vec<Atom>;
+
+/// A pull-based physical operator.
+pub trait Operator {
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Option<Row>;
+
+    /// Number of output columns.
+    fn arity(&self) -> usize;
+}
+
+/// Drain an operator into a vector (test / small-result convenience).
+pub fn run_to_vec(mut op: Box<dyn Operator>) -> Vec<Row> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next() {
+        out.push(row);
+    }
+    out
+}
+
+/// Drain an operator, counting rows without materializing them.
+pub fn run_count(mut op: Box<dyn Operator>) -> usize {
+    let mut n = 0;
+    while op.next().is_some() {
+        n += 1;
+    }
+    n
+}

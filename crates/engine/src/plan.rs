@@ -1,0 +1,424 @@
+//! Logical plans and the cracker-aware rewrites of §3.3.
+//!
+//! "The Ξ cracker effectively realizes the select-push-down rewrite rule
+//! of the optimizer." This module provides a small logical algebra, the
+//! push-down rewrite, an `EXPLAIN`-style printer, and the piece-count
+//! arithmetic the paper uses to argue about optimizer pressure ("for a
+//! linear k-way join 4(k−1) pieces are added to the cracker index. The Ω
+//! cracker adds another 2|g| pieces for a grouping over g attributes").
+
+use crate::query::{AggFunc, JoinStep, QueryTerm, RangeQuery};
+use std::fmt::Write as _;
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Base-table access.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Selection.
+    Select {
+        /// The range selection applied.
+        query: RangeQuery,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Equi-join of two subplans.
+    Join {
+        /// The join predicate.
+        step: JoinStep,
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Projection.
+    Project {
+        /// Attributes kept.
+        attrs: Vec<String>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Grouped aggregation.
+    GroupBy {
+        /// Grouping attribute.
+        attr: String,
+        /// Aggregate function.
+        agg: AggFunc,
+        /// Aggregated attribute (None for COUNT).
+        agg_attr: Option<String>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Build the canonical (un-optimized) plan for a DNF term: selections
+    /// stacked *on top of* the join tree, exactly the shape eq. (1) of the
+    /// paper denotes before any optimization.
+    pub fn from_term(term: &QueryTerm) -> Plan {
+        // Left-deep join tree over the table list.
+        let mut plan = Plan::Scan {
+            table: term
+                .tables
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "<empty>".into()),
+        };
+        for step in &term.joins {
+            plan = Plan::Join {
+                step: step.clone(),
+                left: Box::new(plan),
+                right: Box::new(Plan::Scan {
+                    table: step.right.clone(),
+                }),
+            };
+        }
+        for sel in &term.selections {
+            plan = Plan::Select {
+                query: sel.clone(),
+                input: Box::new(plan),
+            };
+        }
+        if let Some((attr, agg, agg_attr)) = &term.group_by {
+            plan = Plan::GroupBy {
+                attr: attr.clone(),
+                agg: *agg,
+                agg_attr: agg_attr.clone(),
+                input: Box::new(plan),
+            };
+        }
+        if !term.projection.is_empty() {
+            plan = Plan::Project {
+                attrs: term.projection.clone(),
+                input: Box::new(plan),
+            };
+        }
+        plan
+    }
+
+    /// The select-push-down rewrite: move every selection down to sit
+    /// directly above the scan of its table. After cracking, this is the
+    /// plan shape the cracker index serves for free — "localization cost
+    /// has dropped to zero" (§3.3).
+    pub fn push_down_selections(self) -> Plan {
+        let (mut plan, selections) = self.strip_selections();
+        for sel in selections {
+            plan = plan.attach_to_scan(sel);
+        }
+        plan
+    }
+
+    /// Remove all Select nodes, returning the bare plan plus the stripped
+    /// selections (outermost first).
+    fn strip_selections(self) -> (Plan, Vec<RangeQuery>) {
+        match self {
+            Plan::Select { query, input } => {
+                let (plan, mut sels) = input.strip_selections();
+                sels.push(query);
+                (plan, sels)
+            }
+            Plan::Join { step, left, right } => {
+                let (l, mut ls) = left.strip_selections();
+                let (r, rs) = right.strip_selections();
+                ls.extend(rs);
+                (
+                    Plan::Join {
+                        step,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    ls,
+                )
+            }
+            Plan::Project { attrs, input } => {
+                let (p, s) = input.strip_selections();
+                (
+                    Plan::Project {
+                        attrs,
+                        input: Box::new(p),
+                    },
+                    s,
+                )
+            }
+            Plan::GroupBy {
+                attr,
+                agg,
+                agg_attr,
+                input,
+            } => {
+                let (p, s) = input.strip_selections();
+                (
+                    Plan::GroupBy {
+                        attr,
+                        agg,
+                        agg_attr,
+                        input: Box::new(p),
+                    },
+                    s,
+                )
+            }
+            leaf @ Plan::Scan { .. } => (leaf, Vec::new()),
+        }
+    }
+
+    /// Re-attach a selection directly above the scan of its target table
+    /// (or leave the plan unchanged if the table does not occur).
+    fn attach_to_scan(self, sel: RangeQuery) -> Plan {
+        match self {
+            Plan::Scan { table } if table == sel.table => {
+                let input = Box::new(Plan::Scan { table });
+                Plan::Select { query: sel, input }
+            }
+            Plan::Scan { table } => Plan::Scan { table },
+            Plan::Select { query, input } => Plan::Select {
+                query,
+                input: Box::new(input.attach_to_scan(sel)),
+            },
+            Plan::Join { step, left, right } => {
+                // Attach on whichever side contains the table; try left
+                // first (left-deep trees put earlier tables left).
+                if left.mentions_table(&sel.table) {
+                    Plan::Join {
+                        step,
+                        left: Box::new(left.attach_to_scan(sel)),
+                        right,
+                    }
+                } else {
+                    Plan::Join {
+                        step,
+                        left,
+                        right: Box::new(right.attach_to_scan(sel)),
+                    }
+                }
+            }
+            Plan::Project { attrs, input } => Plan::Project {
+                attrs,
+                input: Box::new(input.attach_to_scan(sel)),
+            },
+            Plan::GroupBy {
+                attr,
+                agg,
+                agg_attr,
+                input,
+            } => Plan::GroupBy {
+                attr,
+                agg,
+                agg_attr,
+                input: Box::new(input.attach_to_scan(sel)),
+            },
+        }
+    }
+
+    /// Does this subtree scan the given table?
+    pub fn mentions_table(&self, table: &str) -> bool {
+        match self {
+            Plan::Scan { table: t } => t == table,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupBy { input, .. } => input.mentions_table(table),
+            Plan::Join { left, right, .. } => {
+                left.mentions_table(table) || right.mentions_table(table)
+            }
+        }
+    }
+
+    /// Is every Select directly above a Scan? (The post-push-down
+    /// normal form.)
+    pub fn selections_are_pushed_down(&self) -> bool {
+        match self {
+            Plan::Scan { .. } => true,
+            Plan::Select { input, .. } => {
+                matches!(**input, Plan::Scan { .. }) && input.selections_are_pushed_down()
+            }
+            Plan::Project { input, .. } | Plan::GroupBy { input, .. } => {
+                input.selections_are_pushed_down()
+            }
+            Plan::Join { left, right, .. } => {
+                left.selections_are_pushed_down() && right.selections_are_pushed_down()
+            }
+        }
+    }
+
+    /// Pieces this plan would add to the cracker index, per the §3.3
+    /// arithmetic: a Ξ over an ordered domain adds up to 3 pieces per
+    /// (double-sided) selection, a linear k-way join adds `4(k−1)`, an Ω
+    /// adds `2·|g|` for `g` grouping attributes, a Ψ adds 2.
+    pub fn added_piece_estimate(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 0,
+            Plan::Select { query, input } => {
+                let own = if query.pred.is_double_sided() { 3 } else { 2 };
+                own + input.added_piece_estimate()
+            }
+            Plan::Join { left, right, .. } => {
+                4 + left.added_piece_estimate() + right.added_piece_estimate()
+            }
+            Plan::Project { input, .. } => 2 + input.added_piece_estimate(),
+            Plan::GroupBy { input, .. } => 2 + input.added_piece_estimate(),
+        }
+    }
+
+    /// `EXPLAIN`-style indented rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table } => {
+                let _ = writeln!(out, "{pad}Scan {table}");
+            }
+            Plan::Select { query, input } => {
+                let _ = writeln!(out, "{pad}Select [{}]", query.to_sql());
+                input.render(out, depth + 1);
+            }
+            Plan::Join { step, left, right } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Join [{}.{} = {}.{}]",
+                    step.left, step.left_attr, step.right, step.right_attr
+                );
+                left.render(out, depth + 1);
+                right.render(out, depth + 1);
+            }
+            Plan::Project { attrs, input } => {
+                let _ = writeln!(out, "{pad}Project [{}]", attrs.join(", "));
+                input.render(out, depth + 1);
+            }
+            Plan::GroupBy { attr, agg, .. } => {
+                let _ = writeln!(out, "{pad}GroupBy [{attr}] agg {agg:?}");
+                input_of(self).render(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn input_of(plan: &Plan) -> &Plan {
+    match plan {
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::GroupBy { input, .. } => input,
+        _ => plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cracker_core::RangePred;
+
+    fn two_table_term() -> QueryTerm {
+        QueryTerm {
+            projection: vec![],
+            group_by: None,
+            selections: vec![
+                RangeQuery::new("r", "a", RangePred::lt(5)),
+                RangeQuery::new("s", "b", RangePred::gt(25)),
+            ],
+            joins: vec![JoinStep {
+                left: "r".into(),
+                left_attr: "k".into(),
+                right: "s".into(),
+                right_attr: "k".into(),
+            }],
+            tables: vec!["r".into(), "s".into()],
+        }
+    }
+
+    #[test]
+    fn canonical_plan_has_selections_on_top() {
+        let plan = Plan::from_term(&two_table_term());
+        assert!(!plan.selections_are_pushed_down());
+        assert!(matches!(plan, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn push_down_moves_selections_to_scans() {
+        let plan = Plan::from_term(&two_table_term()).push_down_selections();
+        assert!(plan.selections_are_pushed_down());
+        // Both tables still reachable.
+        assert!(plan.mentions_table("r"));
+        assert!(plan.mentions_table("s"));
+        let text = plan.explain();
+        // The r-selection must appear under the join, above Scan r.
+        let join_line = text.lines().position(|l| l.contains("Join")).unwrap();
+        let sel_line = text.lines().position(|l| l.contains("a < 5")).unwrap();
+        assert!(sel_line > join_line, "selection below join:\n{text}");
+    }
+
+    #[test]
+    fn push_down_is_idempotent() {
+        let once = Plan::from_term(&two_table_term()).push_down_selections();
+        let twice = once.clone().push_down_selections();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn piece_estimate_matches_paper_arithmetic() {
+        // Single double-sided selection: 3 pieces.
+        let sel = Plan::from_term(&QueryTerm::single(RangeQuery::new(
+            "r",
+            "a",
+            RangePred::between(1, 5),
+        )));
+        assert_eq!(sel.added_piece_estimate(), 3);
+        // Linear k-way join: 4(k-1) pieces; k=3 tables -> 2 joins -> 8.
+        let term = QueryTerm {
+            projection: vec![],
+            group_by: None,
+            selections: vec![],
+            joins: vec![
+                JoinStep {
+                    left: "r1".into(),
+                    left_attr: "b".into(),
+                    right: "r2".into(),
+                    right_attr: "a".into(),
+                },
+                JoinStep {
+                    left: "r2".into(),
+                    left_attr: "b".into(),
+                    right: "r3".into(),
+                    right_attr: "a".into(),
+                },
+            ],
+            tables: vec!["r1".into(), "r2".into(), "r3".into()],
+        };
+        let plan = Plan::from_term(&term);
+        assert_eq!(plan.added_piece_estimate(), 8);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::from_term(&two_table_term());
+        let text = plan.explain();
+        assert!(text.contains("Scan r"));
+        assert!(text.contains("Scan s"));
+        assert!(text.contains("Join [r.k = s.k]"));
+        // Indentation grows with depth.
+        assert!(text.lines().any(|l| l.starts_with("    ")));
+    }
+
+    #[test]
+    fn group_by_and_projection_survive_push_down() {
+        let mut term = two_table_term();
+        term.group_by = Some(("g".into(), AggFunc::Count, None));
+        term.projection = vec!["g".into()];
+        let plan = Plan::from_term(&term).push_down_selections();
+        assert!(matches!(plan, Plan::Project { .. }));
+        assert!(plan.selections_are_pushed_down());
+        assert!(plan.explain().contains("GroupBy [g]"));
+    }
+
+    #[test]
+    fn selection_on_absent_table_is_harmless() {
+        let plan = Plan::Scan { table: "r".into() };
+        let rewritten = plan.attach_to_scan(RangeQuery::new("zzz", "a", RangePred::lt(1)));
+        assert_eq!(rewritten, Plan::Scan { table: "r".into() });
+    }
+}

@@ -1,0 +1,198 @@
+//! Query representation.
+//!
+//! §3.1 normalizes queries to disjunctive normal form with terms of shape
+//! `π_{a0..ak} γ_grp σ_pred (R1 ⋈ ... ⋈ Rm)` where the selection
+//! predicates are simple range conditions. [`QueryTerm`] is that shape;
+//! [`RangeQuery`] is the single-table select the multi-query benchmark
+//! fires; [`OutputMode`] distinguishes the three delivery costs of
+//! Figure 1.
+
+use cracker_core::RangePred;
+use serde::{Deserialize, Serialize};
+
+/// How the result is delivered — the three panels of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// (a) `INSERT INTO newR SELECT ...`: the result is written back to a
+    /// new table in the store.
+    Materialize,
+    /// (b) the result is streamed to the front-end.
+    Stream,
+    /// (c) only the count of qualifying tuples is returned.
+    Count,
+}
+
+impl OutputMode {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutputMode::Materialize => "materialize",
+            OutputMode::Stream => "print",
+            OutputMode::Count => "count",
+        }
+    }
+}
+
+/// A single-attribute range selection: the query the multi-query benchmark
+/// fires ("`SELECT * FROM R WHERE R.A >= low AND R.A < high`", §2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Target table.
+    pub table: String,
+    /// Filtered attribute.
+    pub attr: String,
+    /// The range predicate.
+    pub pred: RangePred<i64>,
+}
+
+impl RangeQuery {
+    /// Shorthand constructor.
+    pub fn new(table: impl Into<String>, attr: impl Into<String>, pred: RangePred<i64>) -> Self {
+        RangeQuery {
+            table: table.into(),
+            attr: attr.into(),
+            pred,
+        }
+    }
+
+    /// Render as the SQL the paper's benchmark would issue.
+    pub fn to_sql(&self) -> String {
+        let mut conds = Vec::new();
+        if let Some(lo) = self.pred.low {
+            conds.push(format!(
+                "{} >{} {}",
+                self.attr,
+                if lo.inclusive { "=" } else { "" },
+                lo.value
+            ));
+        }
+        if let Some(hi) = self.pred.high {
+            conds.push(format!(
+                "{} <{} {}",
+                self.attr,
+                if hi.inclusive { "=" } else { "" },
+                hi.value
+            ));
+        }
+        if conds.is_empty() {
+            format!("SELECT * FROM {}", self.table)
+        } else {
+            format!("SELECT * FROM {} WHERE {}", self.table, conds.join(" AND "))
+        }
+    }
+}
+
+/// One equi-join step along a join path: `left.attr = right.attr`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinStep {
+    /// Left table name.
+    pub left: String,
+    /// Left join attribute.
+    pub left_attr: String,
+    /// Right table name.
+    pub right: String,
+    /// Right join attribute.
+    pub right_attr: String,
+}
+
+/// An aggregate function over a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Row count per group.
+    Count,
+    /// Sum of an attribute per group.
+    Sum,
+    /// Minimum of an attribute per group.
+    Min,
+    /// Maximum of an attribute per group.
+    Max,
+}
+
+/// A DNF query term: `π_attrs γ_grp σ_pred (R1 ⋈ ... ⋈ Rm)` (§3.1, eq. 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTerm {
+    /// Projection list (empty means `*`).
+    pub projection: Vec<String>,
+    /// Optional grouping attribute with its aggregate.
+    pub group_by: Option<(String, AggFunc, Option<String>)>,
+    /// Range selections (conjunctive within the term).
+    pub selections: Vec<RangeQuery>,
+    /// The (natural) join path through the schema.
+    pub joins: Vec<JoinStep>,
+    /// Base tables touched, in join-path order.
+    pub tables: Vec<String>,
+}
+
+impl QueryTerm {
+    /// A term selecting from a single table.
+    pub fn single(selection: RangeQuery) -> Self {
+        QueryTerm {
+            projection: Vec::new(),
+            group_by: None,
+            tables: vec![selection.table.clone()],
+            selections: vec![selection],
+            joins: Vec::new(),
+        }
+    }
+
+    /// Number of crackable handles this term offers: each selection is a
+    /// Ξ opportunity, each join a ^, each grouping an Ω, a non-`*`
+    /// projection a Ψ. (Used by tests to sanity-check the cracker-count
+    /// arithmetic of §3.3.)
+    pub fn cracker_opportunities(&self) -> usize {
+        self.selections.len()
+            + self.joins.len()
+            + usize::from(self.group_by.is_some())
+            + usize::from(!self.projection.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering() {
+        let q = RangeQuery::new("r", "a", RangePred::half_open(3, 10));
+        assert_eq!(q.to_sql(), "SELECT * FROM r WHERE a >= 3 AND a < 10");
+        let q = RangeQuery::new("r", "a", RangePred::lt(5));
+        assert_eq!(q.to_sql(), "SELECT * FROM r WHERE a < 5");
+        let q = RangeQuery::new("r", "a", RangePred::with_bounds(None, None));
+        assert_eq!(q.to_sql(), "SELECT * FROM r");
+    }
+
+    #[test]
+    fn output_mode_labels() {
+        assert_eq!(OutputMode::Materialize.label(), "materialize");
+        assert_eq!(OutputMode::Stream.label(), "print");
+        assert_eq!(OutputMode::Count.label(), "count");
+    }
+
+    #[test]
+    fn term_opportunity_count() {
+        let term = QueryTerm {
+            projection: vec!["a".into()],
+            group_by: Some(("g".into(), AggFunc::Count, None)),
+            selections: vec![
+                RangeQuery::new("r", "a", RangePred::lt(10)),
+                RangeQuery::new("s", "b", RangePred::gt(5)),
+            ],
+            joins: vec![JoinStep {
+                left: "r".into(),
+                left_attr: "k".into(),
+                right: "s".into(),
+                right_attr: "k".into(),
+            }],
+            tables: vec!["r".into(), "s".into()],
+        };
+        // 2 Ξ + 1 ^ + 1 Ω + 1 Ψ.
+        assert_eq!(term.cracker_opportunities(), 5);
+    }
+
+    #[test]
+    fn single_term() {
+        let t = QueryTerm::single(RangeQuery::new("r", "a", RangePred::lt(1)));
+        assert_eq!(t.tables, vec!["r"]);
+        assert_eq!(t.cracker_opportunities(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Relational schemas.
+
+use serde::{Deserialize, Serialize};
+use storage::AtomType;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AtomType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: AtomType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// An integer column (the workhorse of the tapestry experiments).
+    pub fn int(name: impl Into<String>) -> Self {
+        Self::new(name, AtomType::Int)
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build from column definitions.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names — schemas are validated at
+    /// construction so later lookups can be infallible by index.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// An all-integer schema from names (tapestry tables).
+    pub fn ints(names: &[&str]) -> Self {
+        Self::new(names.iter().map(|n| ColumnDef::int(*n)).collect())
+    }
+
+    /// Number of columns (the benchmark's arity `α`).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column position by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by position.
+    pub fn column(&self, pos: usize) -> &ColumnDef {
+        &self.columns[pos]
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_lookup() {
+        let s = Schema::ints(&["k", "a", "b"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("a"), Some(1));
+        assert_eq!(s.position("z"), None);
+        assert_eq!(s.column(0).name, "k");
+        assert_eq!(s.names(), vec!["k", "a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::ints(&["a", "a"]);
+    }
+
+    #[test]
+    fn mixed_types() {
+        let s = Schema::new(vec![
+            ColumnDef::int("id"),
+            ColumnDef::new("score", AtomType::Float),
+            ColumnDef::new("label", AtomType::Str),
+        ]);
+        assert_eq!(s.column(1).ty, AtomType::Float);
+        assert_eq!(s.column(2).ty, AtomType::Str);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # p2p — cracking as the engine of a self-organizing distributed store
+//!
+//! The paper closes with the conjecture that "database cracking may
+//! proof a sound basis to realize self-organizing databases in a P2P
+//! environment" (§7). This crate is a laboratory-scale simulation of
+//! that conjecture:
+//!
+//! * a global table is range-partitioned over an overlay of peers
+//!   ([`Network`]);
+//! * every query Ξ-cracks the border pieces of the owners it touches —
+//!   the same in-place selection cracking as the single-node store, but
+//!   the pieces now live on machines;
+//! * pieces track *which peer keeps asking for them* and migrate to
+//!   their dominant consumer ([`P2pConfig::migrate_after`]) — the
+//!   distributed counterpart of "the portion of the database that
+//!   matters ... is coarsely indexed" (§7);
+//! * per-node piece budgets are enforced by fusing adjacent pieces, the
+//!   same resource-management pressure valve as the single-node cracker
+//!   index.
+//!
+//! Because cracking aligns piece boundaries with query boundaries,
+//! migration ships *exactly the hot value range* — no static sharding
+//! scheme to re-tune, no full-partition rebalancing. The `ext_p2p`
+//! experiment shows remote traffic collapsing as the overlay adapts.
+//!
+//! ## Example
+//!
+//! ```
+//! use p2p::{Network, NodeId, P2pConfig};
+//!
+//! // Ten values striped over two peers; node 0 owns 0..5.
+//! let values: Vec<i64> = (0..10).collect();
+//! let mut net = Network::new(2, &values, 0, 10, P2pConfig::default());
+//!
+//! // Node 0 repeatedly asks for node 1's range ...
+//! for _ in 0..3 {
+//!     net.query(NodeId(0), 7, 9);
+//! }
+//! // ... so that range has migrated: the next query is fully local.
+//! let trace = net.query(NodeId(0), 7, 9);
+//! assert_eq!(trace.hops, 0);
+//! assert_eq!(trace.local, 2);
+//! ```
+
+pub mod network;
+pub mod piece;
+
+pub use network::{NetStats, Network, P2pConfig, QueryTrace};
+pub use piece::{NodeId, Piece};

@@ -1,0 +1,224 @@
+//! Pieces: the unit of storage, cracking and migration in the overlay.
+//!
+//! A [`Piece`] is a horizontal fragment of the global table covering a
+//! half-open *value* range `[lo, hi)` — exactly what the Ξ cracker
+//! produces, except that here the pieces live on different machines.
+//! Each piece records which peer keeps asking for it; the migration
+//! policy reads that affinity.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a node in the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One horizontal fragment: the tuples whose value falls in `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Piece {
+    /// Inclusive lower value bound.
+    pub lo: i64,
+    /// Exclusive upper value bound.
+    pub hi: i64,
+    /// The tuples (values) of the fragment, in arbitrary physical order.
+    pub tuples: Vec<i64>,
+    /// Per-peer access counts since the piece last moved.
+    accesses: BTreeMap<NodeId, u32>,
+}
+
+impl Piece {
+    /// A piece covering `[lo, hi)` holding `tuples`.
+    ///
+    /// # Panics
+    /// Panics (debug) if a tuple falls outside the declared range.
+    pub fn new(lo: i64, hi: i64, tuples: Vec<i64>) -> Self {
+        debug_assert!(
+            tuples.iter().all(|&t| (lo..hi).contains(&t)),
+            "tuples must lie within the piece bounds"
+        );
+        Piece {
+            lo,
+            hi,
+            tuples,
+            accesses: BTreeMap::new(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the piece holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Does the piece's value range overlap `[lo, hi)`?
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.lo < hi && lo < self.hi
+    }
+
+    /// Is the piece fully inside `[lo, hi)`?
+    pub fn within(&self, lo: i64, hi: i64) -> bool {
+        lo <= self.lo && self.hi <= hi
+    }
+
+    /// Ξ-crack this piece at the bounds of `[lo, hi)`, in place: returns
+    /// `(below, inside, above)` where pieces outside the query range are
+    /// `None` when empty-ranged. Tuple partitioning preserves the
+    /// multiset.
+    pub fn crack(self, lo: i64, hi: i64) -> (Option<Piece>, Option<Piece>, Option<Piece>) {
+        let cut_lo = lo.clamp(self.lo, self.hi);
+        let cut_hi = hi.clamp(cut_lo, self.hi);
+        let (mut below, mut inside, mut above) = (Vec::new(), Vec::new(), Vec::new());
+        for t in self.tuples {
+            if t < cut_lo {
+                below.push(t);
+            } else if t < cut_hi {
+                inside.push(t);
+            } else {
+                above.push(t);
+            }
+        }
+        let mk = |lo: i64, hi: i64, tuples: Vec<i64>| {
+            (lo < hi).then(|| Piece::new(lo, hi, tuples))
+        };
+        (
+            mk(self.lo, cut_lo, below),
+            mk(cut_lo, cut_hi, inside),
+            mk(cut_hi, self.hi, above),
+        )
+    }
+
+    /// Record an access by `peer`; returns that peer's new count.
+    pub fn record_access(&mut self, peer: NodeId) -> u32 {
+        let c = self.accesses.entry(peer).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Reset the affinity counters (done when the piece migrates).
+    pub fn reset_accesses(&mut self) {
+        self.accesses.clear();
+    }
+
+    /// The peer with the highest access count, if any access happened.
+    pub fn hottest_peer(&self) -> Option<(NodeId, u32)> {
+        self.accesses
+            .iter()
+            .max_by_key(|(id, c)| (**c, std::cmp::Reverse(**id)))
+            .map(|(&id, &c)| (id, c))
+    }
+
+    /// Merge an adjacent piece into this one (fusion — the inverse of
+    /// cracking, used to respect per-node piece budgets).
+    ///
+    /// # Panics
+    /// Panics if the pieces are not adjacent in the value domain.
+    pub fn fuse(&mut self, other: Piece) {
+        assert!(
+            self.hi == other.lo || other.hi == self.lo,
+            "only adjacent pieces fuse"
+        );
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        self.tuples.extend(other.tuples);
+        // Affinity of the fused region is stale on both sides.
+        self.accesses.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piece(lo: i64, hi: i64) -> Piece {
+        Piece::new(lo, hi, (lo..hi).collect())
+    }
+
+    #[test]
+    fn crack_splits_in_three_and_preserves_tuples() {
+        let p = piece(0, 100);
+        let (b, i, a) = p.crack(30, 70);
+        let (b, i, a) = (b.unwrap(), i.unwrap(), a.unwrap());
+        assert_eq!((b.lo, b.hi, b.len()), (0, 30, 30));
+        assert_eq!((i.lo, i.hi, i.len()), (30, 70, 40));
+        assert_eq!((a.lo, a.hi, a.len()), (70, 100, 30));
+        let mut all: Vec<i64> = b
+            .tuples
+            .iter()
+            .chain(&i.tuples)
+            .chain(&a.tuples)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crack_at_the_edges_yields_fewer_pieces() {
+        let (b, i, a) = piece(0, 100).crack(0, 50);
+        assert!(b.is_none(), "nothing below lo=0");
+        assert_eq!(i.unwrap().len(), 50);
+        assert_eq!(a.unwrap().len(), 50);
+
+        let (b, i, a) = piece(0, 100).crack(-10, 200);
+        assert!(b.is_none() && a.is_none());
+        assert_eq!(i.unwrap().len(), 100, "query covers the piece entirely");
+
+        // Disjoint query above the piece: the whole piece is "below" the
+        // query range and stays as one piece.
+        let (b, i, a) = piece(0, 100).crack(200, 300);
+        assert!(i.is_none() && a.is_none());
+        assert_eq!(b.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let p = piece(10, 20);
+        assert!(p.overlaps(15, 30));
+        assert!(p.overlaps(0, 11));
+        assert!(!p.overlaps(20, 30), "half-open: hi is exclusive");
+        assert!(!p.overlaps(0, 10));
+        assert!(p.within(10, 20));
+        assert!(p.within(0, 100));
+        assert!(!p.within(11, 100));
+    }
+
+    #[test]
+    fn affinity_tracking_finds_the_hottest_peer() {
+        let mut p = piece(0, 10);
+        assert!(p.hottest_peer().is_none());
+        p.record_access(NodeId(1));
+        p.record_access(NodeId(2));
+        assert_eq!(p.record_access(NodeId(2)), 2);
+        assert_eq!(p.hottest_peer(), Some((NodeId(2), 2)));
+        p.reset_accesses();
+        assert!(p.hottest_peer().is_none());
+    }
+
+    #[test]
+    fn fusion_of_adjacent_pieces() {
+        let mut a = piece(0, 10);
+        let b = piece(10, 25);
+        a.fuse(b);
+        assert_eq!((a.lo, a.hi), (0, 25));
+        assert_eq!(a.len(), 25);
+        // Fusing from the other side works too.
+        let mut c = piece(30, 40);
+        c.fuse(piece(25, 30));
+        assert_eq!((c.lo, c.hi), (25, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn non_adjacent_fusion_panics() {
+        piece(0, 10).fuse(piece(20, 30));
+    }
+
+    #[test]
+    fn empty_value_ranges_produce_no_pieces() {
+        let (b, i, a) = Piece::new(5, 5, vec![]).crack(0, 10);
+        assert!(b.is_none() && i.is_none() && a.is_none());
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # sim — the §2.2 cost outlook simulation
+//!
+//! "A small-scale simulation provides the following outlook. Consider a
+//! database represented as a vector where the elements denote the granule
+//! of interest, i.e. tuples or disk pages. From this vector we draw at
+//! random a range with fixed σ and update the cracker index. During each
+//! step we only touch the pieces that should be cracked to solve the
+//! query."
+//!
+//! [`granule::GranuleSim`] is that vector-plus-cracker-index model;
+//! [`series`] turns it into the exact data series of **Figure 2**
+//! (fractional write overhead per step) and **Figure 3** (accumulated
+//! read+write cost relative to scanning, with the sort-upfront alternative
+//! for comparison).
+
+pub mod granule;
+pub mod series;
+
+pub use granule::{GranuleSim, StepCost};
+pub use series::{fig2_series, fig3_series, sort_cumulative_series, SCAN_BASELINE};

@@ -1,0 +1,184 @@
+//! The data series behind Figures 2 and 3.
+
+use crate::granule::GranuleSim;
+
+/// The scan baseline of Figure 3: by construction, 1.0.
+pub const SCAN_BASELINE: f64 = 1.0;
+
+/// **Figure 2** — "fractional overhead in terms of writes for various
+/// selectivity factors using a uniform distribution and a query sequence
+/// of up to 20 steps": per step, the cracking writes divided by the
+/// database size.
+pub fn fig2_series(n: usize, sigma: f64, steps: usize, seed: u64) -> Vec<f64> {
+    let mut sim = GranuleSim::new(n, sigma, seed);
+    sim.run(steps)
+        .into_iter()
+        .map(|c| c.writes as f64 / n as f64)
+        .collect()
+}
+
+/// **Figure 3** — "the corresponding accumulated overhead in terms of both
+/// reads and writes. The baseline (=1.0) is to read the vector. Above the
+/// baseline we have lost performance, below the baseline cracking has
+/// become beneficial."
+///
+/// Entry `i` is `Σ_{j≤i} (reads_j + writes_j) / ((i+1) · N)` — cumulative
+/// cracking I/O relative to cumulative scanning.
+pub fn fig3_series(n: usize, sigma: f64, steps: usize, seed: u64) -> Vec<f64> {
+    let mut sim = GranuleSim::new(n, sigma, seed);
+    let costs = sim.run(steps);
+    let mut acc = 0u64;
+    costs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            acc += c.io();
+            acc as f64 / ((i + 1) as f64 * n as f64)
+        })
+        .collect()
+}
+
+/// The sort-upfront alternative of §2.2 on the same axes as Figure 3:
+/// "completely sort or index the table upfront ... would require N·log(N)
+/// writes. This investment would be recovered after log(N) queries."
+/// Entry `i` is `(N + N·log2(N) + Σ_{j≤i} (2·log2(N) + σN)) / ((i+1)·N)`.
+pub fn sort_cumulative_series(n: usize, sigma: f64, steps: usize) -> Vec<f64> {
+    let log_n = (usize::BITS - n.leading_zeros()) as u64;
+    let upfront = n as u64 + n as u64 * log_n;
+    let per_query = 2 * log_n + (sigma * n as f64).ceil() as u64;
+    (0..steps)
+        .map(|i| {
+            let total = upfront + (i as u64 + 1) * per_query;
+            total as f64 / ((i + 1) as f64 * n as f64)
+        })
+        .collect()
+}
+
+/// The selectivity ladder of Figures 2 and 3.
+pub fn paper_selectivities() -> [f64; 7] {
+    [0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80]
+}
+
+/// [`fig2_series`] averaged over `runs` independent random query streams —
+/// the smooth-curve form used for plotting (a single stream is noisy: one
+/// query may land in a large virgin piece and spike).
+pub fn fig2_series_avg(n: usize, sigma: f64, steps: usize, runs: u64) -> Vec<f64> {
+    average((0..runs).map(|s| fig2_series(n, sigma, steps, 0xF162 + s)))
+}
+
+/// [`fig3_series`] averaged over `runs` independent random query streams.
+pub fn fig3_series_avg(n: usize, sigma: f64, steps: usize, runs: u64) -> Vec<f64> {
+    average((0..runs).map(|s| fig3_series(n, sigma, steps, 0xF163 + s)))
+}
+
+fn average(series: impl Iterator<Item = Vec<f64>>) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut count = 0usize;
+    for s in series {
+        if acc.is_empty() {
+            acc = vec![0.0; s.len()];
+        }
+        assert_eq!(acc.len(), s.len(), "all runs must share the step count");
+        for (a, v) in acc.iter_mut().zip(s) {
+            *a += v;
+        }
+        count += 1;
+    }
+    for a in &mut acc {
+        *a /= count.max(1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_first_step_low_selectivity_has_big_overhead() {
+        let s = fig2_series(10_000, 0.01, 20, 1);
+        assert_eq!(s.len(), 20);
+        assert!(s[0] > 0.5, "step 1 @1%: near-full rewrite, got {}", s[0]);
+    }
+
+    #[test]
+    fn fig2_overhead_decays_toward_zero() {
+        for sigma in paper_selectivities() {
+            let s = fig2_series_avg(50_000, sigma, 20, 10);
+            let early = s[0];
+            let late: f64 = s[15..].iter().sum::<f64>() / 5.0;
+            assert!(
+                late < (0.5 * early).max(0.08),
+                "sigma {sigma}: late {late} vs early {early}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_starts_above_baseline_and_crosses_below() {
+        // "the break-even point is already reached after a handful of
+        // queries."
+        let s = fig3_series_avg(100_000, 0.05, 20, 10);
+        assert!(s[0] > SCAN_BASELINE, "first query costs more than a scan");
+        let below_at = s.iter().position(|&v| v < SCAN_BASELINE);
+        assert!(
+            matches!(below_at, Some(i) if i <= 10),
+            "break-even within a handful of queries, got {below_at:?} in {s:?}"
+        );
+        // And it keeps improving.
+        assert!(s.last().unwrap() < &s[4]);
+    }
+
+    #[test]
+    fn fig3_is_monotone_decreasing_after_first_steps() {
+        let s = fig3_series_avg(50_000, 0.10, 20, 10);
+        for w in s[1..].windows(2) {
+            assert!(w[1] <= w[0] + 0.05, "cumulative ratio mostly decays: {w:?}");
+        }
+    }
+
+    #[test]
+    fn sort_series_starts_high_and_amortizes() {
+        let s = sort_cumulative_series(100_000, 0.05, 128);
+        // First query carries the whole N log N investment: >> 1.
+        assert!(s[0] > 10.0);
+        // Recovered after about log(N) ≈ 17 queries.
+        let recover = s.iter().position(|&v| v < 1.0).unwrap();
+        assert!(
+            (8..=40).contains(&recover),
+            "sort amortizes after ~log N queries, got {recover}"
+        );
+    }
+
+    #[test]
+    fn cracking_beats_sort_for_short_sequences() {
+        // "cracking is a viable alternative to sorting ... if the number
+        // of queries interested in the attribute is rather low."
+        let crack = fig3_series(100_000, 0.05, 10, 11);
+        let sort = sort_cumulative_series(100_000, 0.05, 10);
+        for i in 0..10 {
+            assert!(
+                crack[i] < sort[i],
+                "step {i}: crack {} vs sort {}",
+                crack[i],
+                sort[i]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_selectivity_lower_relative_overhead_at_step_one() {
+        // Figure 2's fan: at step 1 the 80% line sits below the 1% line
+        // (selecting most of the table leaves little to relocate).
+        let lo = fig2_series(20_000, 0.01, 1, 2)[0];
+        let hi = fig2_series(20_000, 0.80, 1, 2)[0];
+        assert!(hi < lo, "80% overhead {hi} below 1% overhead {lo}");
+    }
+
+    #[test]
+    fn series_lengths_match_steps() {
+        assert_eq!(fig2_series(100, 0.5, 7, 1).len(), 7);
+        assert_eq!(fig3_series(100, 0.5, 7, 1).len(), 7);
+        assert_eq!(sort_cumulative_series(100, 0.5, 7).len(), 7);
+    }
+}

@@ -1,0 +1,232 @@
+//! SQL front-end errors, with source spans.
+//!
+//! Every error produced while lexing, parsing, normalizing or lowering a
+//! statement carries the byte span of the offending fragment, so the REPL
+//! (and tests) can point at the exact place in the input.
+
+use engine::EngineError;
+use std::fmt;
+
+/// Result alias for SQL front-end operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// A half-open byte range into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the fragment.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slice the covered fragment out of the source text (clamped).
+    pub fn fragment<'a>(&self, src: &'a str) -> &'a str {
+        let start = self.start.min(src.len());
+        let end = self.end.clamp(start, src.len());
+        &src[start..end]
+    }
+}
+
+/// Errors raised by the SQL front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The input could not be tokenized or parsed.
+    Syntax {
+        /// What went wrong.
+        msg: String,
+        /// Where in the input.
+        span: Span,
+    },
+    /// The statement parsed but refers to something that does not exist or
+    /// is ambiguous (unknown table/column, arity mismatch, ...).
+    Semantic {
+        /// What went wrong.
+        msg: String,
+        /// Where in the input.
+        span: Span,
+    },
+    /// The statement is valid SQL but outside the fragment the cracker
+    /// engine evaluates (§3.1 restricts predicates to simple ranges and
+    /// join paths).
+    Unsupported {
+        /// What is not supported, and usually what to use instead.
+        msg: String,
+        /// Where in the input.
+        span: Span,
+    },
+    /// Normalizing the WHERE clause to disjunctive normal form exceeded
+    /// the term budget — the "explosion in the search space" the paper
+    /// warns about (§1).
+    DnfExplosion {
+        /// Terms the expansion would have produced.
+        terms: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The engine rejected the lowered query.
+    Engine(EngineError),
+}
+
+impl SqlError {
+    /// Shorthand for a syntax error.
+    pub fn syntax(msg: impl Into<String>, span: Span) -> Self {
+        SqlError::Syntax {
+            msg: msg.into(),
+            span,
+        }
+    }
+
+    /// Shorthand for a semantic error.
+    pub fn semantic(msg: impl Into<String>, span: Span) -> Self {
+        SqlError::Semantic {
+            msg: msg.into(),
+            span,
+        }
+    }
+
+    /// Shorthand for an unsupported-fragment error.
+    pub fn unsupported(msg: impl Into<String>, span: Span) -> Self {
+        SqlError::Unsupported {
+            msg: msg.into(),
+            span,
+        }
+    }
+
+    /// The span of the offending fragment, if the error has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Syntax { span, .. }
+            | SqlError::Semantic { span, .. }
+            | SqlError::Unsupported { span, .. } => Some(*span),
+            SqlError::DnfExplosion { .. } | SqlError::Engine(_) => None,
+        }
+    }
+
+    /// Render the error with a caret line pointing into `src` — the REPL's
+    /// diagnostic format.
+    ///
+    /// ```text
+    /// error: expected FROM
+    ///   select * form r
+    ///            ^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {self}");
+        if let Some(span) = self.span() {
+            // Find the line containing the span start.
+            let line_start = src[..span.start.min(src.len())]
+                .rfind('\n')
+                .map_or(0, |p| p + 1);
+            let line_end = src[line_start..]
+                .find('\n')
+                .map_or(src.len(), |p| line_start + p);
+            let line = &src[line_start..line_end];
+            let col = span.start.saturating_sub(line_start);
+            let width = span.end.clamp(span.start + 1, line_end.max(span.start + 1)) - span.start;
+            out.push_str("\n  ");
+            out.push_str(line);
+            out.push_str("\n  ");
+            out.push_str(&" ".repeat(col));
+            out.push_str(&"^".repeat(width.max(1)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax { msg, .. } => write!(f, "syntax error: {msg}"),
+            SqlError::Semantic { msg, .. } => write!(f, "{msg}"),
+            SqlError::Unsupported { msg, .. } => write!(f, "unsupported: {msg}"),
+            SqlError::DnfExplosion { terms, cap } => write!(
+                f,
+                "WHERE clause expands to {terms} DNF terms, over the cap of {cap}"
+            ),
+            SqlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for SqlError {
+    fn from(e: EngineError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_fragment() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(Span::new(6, 8).fragment("select *"), " *");
+        // Out-of-range spans clamp instead of panicking.
+        assert_eq!(Span::new(90, 95).fragment("short"), "");
+    }
+
+    #[test]
+    fn render_points_at_the_fragment() {
+        let src = "select * form r";
+        let err = SqlError::syntax("expected FROM", Span::new(9, 13));
+        let rendered = err.render(src);
+        assert!(rendered.contains("error: syntax error: expected FROM"));
+        assert!(rendered.contains("select * form r"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with("^^^^"));
+    }
+
+    #[test]
+    fn render_handles_multiline_sources() {
+        let src = "select *\nfrom r\nwhere x << 3";
+        let err = SqlError::syntax("unexpected <", Span::new(24, 26));
+        let rendered = err.render(src);
+        assert!(rendered.contains("where x << 3"));
+        assert!(!rendered.contains("select *\nfrom"));
+    }
+
+    #[test]
+    fn engine_errors_convert_and_chain() {
+        let e: SqlError = EngineError::UnknownTable("r".into()).into();
+        assert!(matches!(e, SqlError::Engine(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.span().is_none());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SqlError::DnfExplosion { terms: 128, cap: 64 }.to_string(),
+            "WHERE clause expands to 128 DNF terms, over the cap of 64"
+        );
+        assert_eq!(
+            SqlError::unsupported("aliases", Span::default()).to_string(),
+            "unsupported: aliases"
+        );
+    }
+}

@@ -1,0 +1,1280 @@
+//! Statement execution: a SQL session over an [`AdaptiveDb`].
+//!
+//! [`SqlSession`] is the "peek into the future" of §5.1 done right: where
+//! the paper's SQL-level experiment had to emulate cracking with
+//! `SELECT INTO` fragment tables (and found the catalog churn ruinous),
+//! the session lowers statements straight onto the in-memory cracker — so
+//! every `SELECT` leaves the store a little better partitioned for the
+//! next one.
+//!
+//! Base-table DDL/DML (`CREATE`/`DROP`/`INSERT`) takes the conservative
+//! end of the paper's open update question: it invalidates the cracked
+//! state of the affected store on the next query (the incremental end —
+//! pending staging areas — is available programmatically through
+//! [`AdaptiveDb::stage_insert`]).
+
+use crate::ast::{SelectStmt, Statement};
+use crate::error::{Span, SqlError, SqlResult};
+use crate::lower::{lower_select, LoweredSelect, OutputCol, Resolved};
+use crate::parser::parse;
+use cracker_core::{CrackerConfig, RangePred};
+use engine::query::{AggFunc, QueryTerm};
+use engine::{AdaptiveDb, Table};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Selector for one side of an OID pair (join-path assembly).
+type PairSide = fn(&(u32, u32)) -> u32;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// A relation: column labels plus rows.
+    Table {
+        /// Output column labels.
+        columns: Vec<String>,
+        /// Row values, one `Vec` per row, aligned with `columns`.
+        rows: Vec<Vec<i64>>,
+    },
+    /// A DDL/DML acknowledgement.
+    Affected {
+        /// Human-readable summary ("created table r", "inserted 2 rows").
+        message: String,
+    },
+}
+
+impl QueryOutput {
+    /// Row count for table outputs; 0 for acknowledgements.
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryOutput::Table { rows, .. } => rows.len(),
+            QueryOutput::Affected { .. } => 0,
+        }
+    }
+
+    /// The rows, if this is a table output.
+    pub fn rows(&self) -> Option<&[Vec<i64>]> {
+        match self {
+            QueryOutput::Table { rows, .. } => Some(rows),
+            QueryOutput::Affected { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for QueryOutput {
+    /// Render as an aligned ASCII table (the REPL's output format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::Affected { message } => write!(f, "{message}"),
+            QueryOutput::Table { columns, rows } => {
+                let mut widths: Vec<usize> =
+                    columns.iter().map(String::len).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(i64::to_string).collect())
+                    .collect();
+                for row in &rendered {
+                    for (w, cell) in widths.iter_mut().zip(row) {
+                        *w = (*w).max(cell.len());
+                    }
+                }
+                let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| {
+                    let mut first = true;
+                    for (w, c) in widths.iter().zip(cells) {
+                        if !first {
+                            write!(f, " | ")?;
+                        }
+                        first = false;
+                        write!(f, "{c:>w$}", w = w)?;
+                    }
+                    writeln!(f)
+                };
+                line(f, columns)?;
+                writeln!(
+                    f,
+                    "{}",
+                    widths
+                        .iter()
+                        .map(|w| "-".repeat(*w))
+                        .collect::<Vec<_>>()
+                        .join("-+-")
+                )?;
+                for row in &rendered {
+                    line(f, row)?;
+                }
+                write!(f, "({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" })
+            }
+        }
+    }
+}
+
+/// In-memory column buffers for one base table.
+#[derive(Debug, Clone)]
+struct TableBuffer {
+    columns: Vec<(String, Vec<i64>)>,
+}
+
+/// An interactive SQL session over an adaptive (cracking) database.
+pub struct SqlSession {
+    buffers: BTreeMap<String, TableBuffer>,
+    db: AdaptiveDb,
+    dirty: bool,
+    config: CrackerConfig,
+}
+
+impl SqlSession {
+    /// An empty session with default cracker configuration.
+    pub fn new() -> Self {
+        Self::with_config(CrackerConfig::default())
+    }
+
+    /// An empty session with an explicit cracker configuration.
+    pub fn with_config(config: CrackerConfig) -> Self {
+        SqlSession {
+            buffers: BTreeMap::new(),
+            db: AdaptiveDb::with_config(config),
+            dirty: false,
+            config,
+        }
+    }
+
+    /// Load a table programmatically (the REPL uses this for demo data;
+    /// tests for fixtures). Columns must be equally long.
+    pub fn load_table(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<(String, Vec<i64>)>,
+    ) -> SqlResult<()> {
+        let name = name.into();
+        if self.buffers.contains_key(&name) {
+            return Err(SqlError::semantic(
+                format!("table {name:?} already exists"),
+                Span::default(),
+            ));
+        }
+        if columns.is_empty() {
+            return Err(SqlError::semantic(
+                "a table needs at least one column",
+                Span::default(),
+            ));
+        }
+        let n = columns[0].1.len();
+        if columns.iter().any(|(_, v)| v.len() != n) {
+            return Err(SqlError::semantic(
+                "columns differ in length",
+                Span::default(),
+            ));
+        }
+        self.buffers.insert(name, TableBuffer { columns });
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// The underlying adaptive database (synchronized first, so cracked
+    /// state and catalog reflect all executed statements).
+    pub fn adaptive(&mut self) -> &AdaptiveDb {
+        self.sync();
+        &self.db
+    }
+
+    /// Number of columns cracked so far in the current incarnation.
+    pub fn cracked_columns(&mut self) -> usize {
+        self.sync();
+        self.db.cracked_columns()
+    }
+
+    /// Execute every statement in `src`, returning one output per
+    /// statement.
+    pub fn execute(&mut self, src: &str) -> SqlResult<Vec<QueryOutput>> {
+        let stmts = parse(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.run_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a source text expected to hold exactly one statement.
+    pub fn execute_one(&mut self, src: &str) -> SqlResult<QueryOutput> {
+        let stmt = crate::parser::parse_one(src)?;
+        self.run_statement(&stmt)
+    }
+
+    /// Rebuild the adaptive database from the buffers after DDL/DML.
+    fn sync(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let mut db = AdaptiveDb::with_config(self.config);
+        for (name, buf) in &self.buffers {
+            let cols: Vec<(&str, Vec<i64>)> = buf
+                .columns
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            let table = Table::from_int_columns(name.clone(), cols)
+                .expect("buffers are validated on mutation");
+            db.register(table).expect("buffer names are unique");
+        }
+        self.db = db;
+        self.dirty = false;
+    }
+
+    fn run_statement(&mut self, stmt: &Statement) -> SqlResult<QueryOutput> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                span,
+            } => {
+                if self.buffers.contains_key(name) {
+                    return Err(SqlError::semantic(
+                        format!("table {name:?} already exists"),
+                        *span,
+                    ));
+                }
+                let columns = columns
+                    .iter()
+                    .map(|c| (c.clone(), Vec::new()))
+                    .collect();
+                self.buffers
+                    .insert(name.clone(), TableBuffer { columns });
+                self.dirty = true;
+                Ok(QueryOutput::Affected {
+                    message: format!("created table {name}"),
+                })
+            }
+            Statement::DropTable { name, span } => {
+                if self.buffers.remove(name).is_none() {
+                    return Err(SqlError::semantic(
+                        format!("unknown table {name:?}"),
+                        *span,
+                    ));
+                }
+                self.dirty = true;
+                Ok(QueryOutput::Affected {
+                    message: format!("dropped table {name}"),
+                })
+            }
+            Statement::InsertValues { table, rows, span } => {
+                let buf = self.buffers.get_mut(table).ok_or_else(|| {
+                    SqlError::semantic(format!("unknown table {table:?}"), *span)
+                })?;
+                if let Some(row) = rows.first() {
+                    if row.len() != buf.columns.len() {
+                        return Err(SqlError::semantic(
+                            format!(
+                                "table {table:?} has {} columns but the rows have {}",
+                                buf.columns.len(),
+                                row.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                }
+                for row in rows {
+                    for ((_, col), v) in buf.columns.iter_mut().zip(row) {
+                        col.push(*v);
+                    }
+                }
+                self.dirty = true;
+                Ok(QueryOutput::Affected {
+                    message: format!("inserted {} rows into {table}", rows.len()),
+                })
+            }
+            Statement::InsertSelect {
+                table,
+                select,
+                span,
+            } => {
+                let out = self.run_select(select)?;
+                let (columns, rows) = match out {
+                    QueryOutput::Table { columns, rows } => (columns, rows),
+                    QueryOutput::Affected { .. } => unreachable!("SELECT yields a table"),
+                };
+                if columns.iter().any(|c| c.contains('(')) {
+                    return Err(SqlError::unsupported(
+                        "INSERT INTO ... SELECT with aggregate outputs \
+                         (materialize plain columns)",
+                        *span,
+                    ));
+                }
+                let inserted = rows.len();
+                match self.buffers.get_mut(table) {
+                    Some(buf) => {
+                        if buf.columns.len() != columns.len() {
+                            return Err(SqlError::semantic(
+                                format!(
+                                    "table {table:?} has {} columns but the query \
+                                     produces {}",
+                                    buf.columns.len(),
+                                    columns.len()
+                                ),
+                                *span,
+                            ));
+                        }
+                        for row in &rows {
+                            for ((_, col), v) in buf.columns.iter_mut().zip(row) {
+                                col.push(*v);
+                            }
+                        }
+                    }
+                    None => {
+                        // Materialize into a new table, as §2.1's benchmark
+                        // query does.
+                        let mut cols: Vec<(String, Vec<i64>)> = columns
+                            .iter()
+                            .map(|c| (c.clone(), Vec::with_capacity(rows.len())))
+                            .collect();
+                        for row in &rows {
+                            for ((_, col), v) in cols.iter_mut().zip(row) {
+                                col.push(*v);
+                            }
+                        }
+                        self.buffers
+                            .insert(table.clone(), TableBuffer { columns: cols });
+                    }
+                }
+                self.dirty = true;
+                Ok(QueryOutput::Affected {
+                    message: format!("inserted {inserted} rows into {table}"),
+                })
+            }
+            Statement::Delete {
+                table,
+                filter,
+                span,
+            } => {
+                if !self.buffers.contains_key(table) {
+                    return Err(SqlError::semantic(
+                        format!("unknown table {table:?}"),
+                        *span,
+                    ));
+                }
+                // Evaluate the predicate through the (cracking) engine —
+                // deletion is itself a query first.
+                let probe = SelectStmt {
+                    projection: crate::ast::Projection::Star,
+                    tables: vec![(table.clone(), *span)],
+                    filter: filter.clone(),
+                    group_by: Vec::new(),
+                    limit: None,
+                };
+                self.sync();
+                let lowered = lower_select(&probe, self.db.catalog())?;
+                let doomed: HashSet<u32> = if lowered.terms.is_empty() {
+                    HashSet::new()
+                } else {
+                    self.all_term_oids(&lowered)?.into_iter().collect()
+                };
+                let buf = self.buffers.get_mut(table).expect("checked above");
+                for (_, col) in &mut buf.columns {
+                    let mut i = 0u32;
+                    col.retain(|_| {
+                        let keep = !doomed.contains(&i);
+                        i += 1;
+                        keep
+                    });
+                }
+                self.dirty = true;
+                Ok(QueryOutput::Affected {
+                    message: format!("deleted {} rows from {table}", doomed.len()),
+                })
+            }
+            Statement::Select(select) => self.run_select(select),
+        }
+    }
+
+    fn run_select(&mut self, stmt: &SelectStmt) -> SqlResult<QueryOutput> {
+        self.sync();
+        let lowered = lower_select(stmt, self.db.catalog())?;
+        let mut out = if lowered.group_by.is_some() {
+            self.run_grouped(&lowered)?
+        } else if lowered.terms.iter().any(|t| !t.joins.is_empty()) {
+            self.run_join(&lowered)?
+        } else {
+            self.run_single_table(&lowered)?
+        };
+        // LIMIT caps the delivered rows; the cracking already happened
+        // (reorganization is a side effect of evaluation, not delivery).
+        if let (Some(n), QueryOutput::Table { rows, .. }) = (stmt.limit, &mut out) {
+            rows.truncate(n);
+        }
+        Ok(out)
+    }
+
+    /// Qualifying OIDs of one single-table DNF term (cracks as a side
+    /// effect).
+    fn term_oids(&mut self, table: &str, term: &QueryTerm) -> SqlResult<Vec<u32>> {
+        let preds: Vec<(&str, RangePred<i64>)> = term
+            .selections
+            .iter()
+            .map(|s| (s.attr.as_str(), s.pred))
+            .collect();
+        Ok(self.db.select_conjunctive(table, &preds)?)
+    }
+
+    /// Union of qualifying OIDs over all DNF terms.
+    fn all_term_oids(&mut self, lowered: &LoweredSelect) -> SqlResult<Vec<u32>> {
+        let table = lowered.tables[0].clone();
+        if lowered.terms.len() == 1 {
+            return self.term_oids(&table, &lowered.terms[0]);
+        }
+        let mut acc: BTreeSet<u32> = BTreeSet::new();
+        for term in &lowered.terms {
+            acc.extend(self.term_oids(&table, term)?);
+        }
+        Ok(acc.into_iter().collect())
+    }
+
+    fn run_single_table(&mut self, lowered: &LoweredSelect) -> SqlResult<QueryOutput> {
+        let table = lowered.tables[0].clone();
+
+        // Sideways fast path: `SELECT b FROM t WHERE a <range>` projects
+        // one column under one single-column predicate — exactly the
+        // shape a cracker map answers with a contiguous copy instead of
+        // one random access per OID.
+        if lowered.terms.len() == 1 && lowered.outputs.len() == 1 {
+            let term = &lowered.terms[0];
+            if term.selections.len() == 1 {
+                if let OutputCol::Column { label, source } = &lowered.outputs[0] {
+                    let sel = &term.selections[0];
+                    if source.1 != sel.attr {
+                        let vals = self.db.select_project(
+                            &table,
+                            &sel.attr,
+                            &source.1,
+                            sel.pred,
+                        )?;
+                        return Ok(QueryOutput::Table {
+                            columns: vec![label.clone()],
+                            rows: vals.into_iter().map(|v| vec![v]).collect(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let oids = if lowered.terms.is_empty() {
+            Vec::new()
+        } else {
+            self.all_term_oids(lowered)?
+        };
+
+        // Header resolution: empty outputs means `SELECT *`.
+        if lowered.outputs.is_empty() {
+            let t = self.db.catalog().table(&table)?;
+            let columns: Vec<String> =
+                t.schema().names().iter().map(|s| s.to_string()).collect();
+            let rows = project_rows(t, &oids, &columns)?;
+            return Ok(QueryOutput::Table { columns, rows });
+        }
+
+        let aggregates: Vec<&OutputCol> = lowered
+            .outputs
+            .iter()
+            .filter(|o| matches!(o, OutputCol::Aggregate { .. }))
+            .collect();
+        if !aggregates.is_empty() {
+            if aggregates.len() != lowered.outputs.len() {
+                return Err(SqlError::semantic(
+                    "mixing plain columns with aggregates requires GROUP BY",
+                    Span::default(),
+                ));
+            }
+            let t = self.db.catalog().table(&table)?;
+            let mut row = Vec::with_capacity(aggregates.len());
+            for agg in &aggregates {
+                let OutputCol::Aggregate { func, arg, .. } = agg else {
+                    unreachable!("filtered above")
+                };
+                row.push(fold_aggregate(t, &oids, *func, arg.as_ref())?);
+            }
+            return Ok(QueryOutput::Table {
+                columns: lowered
+                    .outputs
+                    .iter()
+                    .map(|o| o.label().to_string())
+                    .collect(),
+                rows: vec![row],
+            });
+        }
+
+        // Plain column projection.
+        let columns: Vec<String> = lowered
+            .outputs
+            .iter()
+            .map(|o| o.label().to_string())
+            .collect();
+        let sources: Vec<String> = lowered
+            .outputs
+            .iter()
+            .map(|o| match o {
+                OutputCol::Column { source, .. } => source.1.clone(),
+                OutputCol::Aggregate { .. } => unreachable!("no aggregates here"),
+            })
+            .collect();
+        let t = self.db.catalog().table(&table)?;
+        let rows = project_rows(t, &oids, &sources)?;
+        Ok(QueryOutput::Table { columns, rows })
+    }
+
+    fn run_grouped(&mut self, lowered: &LoweredSelect) -> SqlResult<QueryOutput> {
+        let (g_table, g_col) = lowered
+            .group_by
+            .clone()
+            .expect("caller checked group_by");
+        if lowered.tables.len() > 1 || lowered.terms.iter().any(|t| !t.joins.is_empty()) {
+            return Err(SqlError::unsupported(
+                "GROUP BY over a join (group the materialized join result instead)",
+                Span::default(),
+            ));
+        }
+
+        let has_filter = lowered
+            .terms
+            .iter()
+            .any(|t| !t.selections.is_empty())
+            || lowered.terms.len() != 1;
+
+        // Per-group values for every aggregate output, keyed by group value.
+        let mut groups: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        let agg_outputs: Vec<(AggFunc, Option<Resolved>)> = lowered
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                OutputCol::Aggregate { func, arg, .. } => Some((*func, arg.clone())),
+                OutputCol::Column { .. } => None,
+            })
+            .collect();
+
+        if !has_filter {
+            // No WHERE: route through the Ω cracker.
+            for (i, (func, arg)) in agg_outputs.iter().enumerate() {
+                let pairs = self.db.group_aggregate(
+                    &g_table,
+                    &g_col,
+                    *func,
+                    arg.as_ref().map(|(_, c)| c.as_str()),
+                )?;
+                for (g, v) in pairs {
+                    groups.entry(g).or_insert_with(|| vec![0; agg_outputs.len()])[i] = v;
+                }
+            }
+            if agg_outputs.is_empty() {
+                // Pure `SELECT k ... GROUP BY k`: distinct groups via Ω.
+                let pairs =
+                    self.db
+                        .group_aggregate(&g_table, &g_col, AggFunc::Count, None)?;
+                for (g, _) in pairs {
+                    groups.entry(g).or_default();
+                }
+            }
+        } else {
+            // WHERE + GROUP BY: crack for the selection, then aggregate the
+            // qualifying tuples.
+            let oids = self.all_term_oids(lowered)?;
+            let t = self.db.catalog().table(&g_table)?;
+            let g_vals = t.ints(&g_col)?;
+            let mut member_oids: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+            for &o in &oids {
+                member_oids.entry(g_vals[o as usize]).or_default().push(o);
+            }
+            for (g, members) in &member_oids {
+                let mut row = Vec::with_capacity(agg_outputs.len());
+                for (func, arg) in &agg_outputs {
+                    row.push(fold_aggregate(t, members, *func, arg.as_ref())?);
+                }
+                groups.insert(*g, row);
+            }
+        }
+
+        // Assemble rows in output order.
+        let columns: Vec<String> = lowered
+            .outputs
+            .iter()
+            .map(|o| o.label().to_string())
+            .collect();
+        let mut rows = Vec::with_capacity(groups.len());
+        for (g, aggs) in &groups {
+            let mut row = Vec::with_capacity(lowered.outputs.len());
+            let mut agg_i = 0;
+            for o in &lowered.outputs {
+                match o {
+                    OutputCol::Column { .. } => row.push(*g),
+                    OutputCol::Aggregate { .. } => {
+                        row.push(aggs[agg_i]);
+                        agg_i += 1;
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        Ok(QueryOutput::Table { columns, rows })
+    }
+
+    /// Evaluate a join-path term: left-deep over the ^ cracker, one
+    /// [`AdaptiveDb::join`] per step, attaching one new table at a time
+    /// (the paper's "join-path through the database schema", §3.1). Each
+    /// intermediate is a vector of OID tuples aligned with the list of
+    /// joined tables; cycle-closing steps become semijoin filters.
+    fn run_join(&mut self, lowered: &LoweredSelect) -> SqlResult<QueryOutput> {
+        if lowered.terms.len() != 1 {
+            return Err(SqlError::unsupported(
+                "OR across join queries (run the disjuncts separately)",
+                Span::default(),
+            ));
+        }
+        let term = &lowered.terms[0];
+
+        // Per-table conjunctive filters (cracking each referenced column).
+        let mut side_oids: BTreeMap<String, HashSet<u32>> = BTreeMap::new();
+        for table in &lowered.tables {
+            let preds: Vec<(&str, RangePred<i64>)> = term
+                .selections
+                .iter()
+                .filter(|s| s.table == *table)
+                .map(|s| (s.attr.as_str(), s.pred))
+                .collect();
+            let oids = self.db.select_conjunctive(table, &preds)?;
+            side_oids.insert(table.clone(), oids.into_iter().collect());
+        }
+
+        // Order the join steps so each attaches exactly one new table
+        // (lowering validated connectivity, so this always terminates).
+        let mut joined: Vec<String> = vec![lowered.tables[0].clone()];
+        let mut pending: Vec<_> = term.joins.clone();
+        let mut attach_steps = Vec::new(); // (step, new-table-is-right)
+        let mut cycle_steps = Vec::new();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|j| {
+                let l_in = joined.contains(&j.left);
+                let r_in = joined.contains(&j.right);
+                match (l_in, r_in) {
+                    (true, true) => {
+                        cycle_steps.push(j.clone());
+                        false
+                    }
+                    (true, false) => {
+                        joined.push(j.right.clone());
+                        attach_steps.push((j.clone(), true));
+                        false
+                    }
+                    (false, true) => {
+                        joined.push(j.left.clone());
+                        attach_steps.push((j.clone(), false));
+                        false
+                    }
+                    (false, false) => true, // not reachable yet; retry
+                }
+            });
+            debug_assert!(
+                pending.len() < before,
+                "lowering guarantees a connected join path"
+            );
+        }
+
+        // Left-deep evaluation: rows are OID tuples aligned with `joined`.
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        let mut first = true;
+        for (step, new_is_right) in &attach_steps {
+            let pairs =
+                self.db
+                    .join(&step.left, &step.left_attr, &step.right, &step.right_attr)?;
+            let keep_l = &side_oids[&step.left];
+            let keep_r = &side_oids[&step.right];
+            let pairs: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .filter(|(l, r)| keep_l.contains(l) && keep_r.contains(r))
+                .collect();
+            let (existing_table, existing_of_pair): (&str, PairSide) =
+                if *new_is_right {
+                    (&step.left, |p| p.0)
+                } else {
+                    (&step.right, |p| p.1)
+                };
+            let new_of_pair: PairSide =
+                if *new_is_right { |p| p.1 } else { |p| p.0 };
+            if first {
+                // Seed with the first step's pairs directly, in `joined`
+                // order (existing table first).
+                rows = pairs
+                    .iter()
+                    .map(|p| vec![existing_of_pair(p), new_of_pair(p)])
+                    .collect();
+                first = false;
+                continue;
+            }
+            // Hash the new side by the existing table's OID and extend.
+            let mut matches: HashMap<u32, Vec<u32>> = HashMap::new();
+            for p in &pairs {
+                matches
+                    .entry(existing_of_pair(p))
+                    .or_default()
+                    .push(new_of_pair(p));
+            }
+            let idx = joined
+                .iter()
+                .position(|t| t == existing_table)
+                .expect("attach order puts the existing table in `joined`");
+            let mut next = Vec::new();
+            for row in &rows {
+                if let Some(news) = matches.get(&row[idx]) {
+                    for &n in news {
+                        let mut r = row.clone();
+                        r.push(n);
+                        next.push(r);
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        // Cycle-closing steps filter the assembled rows.
+        for step in &cycle_steps {
+            let pairs: HashSet<(u32, u32)> = self
+                .db
+                .join(&step.left, &step.left_attr, &step.right, &step.right_attr)?
+                .into_iter()
+                .collect();
+            let li = joined.iter().position(|t| *t == step.left).expect("joined");
+            let ri = joined.iter().position(|t| *t == step.right).expect("joined");
+            rows.retain(|row| pairs.contains(&(row[li], row[ri])));
+        }
+        rows.sort_unstable();
+
+        // COUNT(*) over the join.
+        if lowered.outputs.len() == 1 {
+            if let OutputCol::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+                label,
+            } = &lowered.outputs[0]
+            {
+                return Ok(QueryOutput::Table {
+                    columns: vec![label.clone()],
+                    rows: vec![vec![rows.len() as i64]],
+                });
+            }
+        }
+        if lowered
+            .outputs
+            .iter()
+            .any(|o| matches!(o, OutputCol::Aggregate { .. }))
+        {
+            return Err(SqlError::unsupported(
+                "aggregates other than COUNT(*) over a join",
+                Span::default(),
+            ));
+        }
+
+        // Column projection over the joined tuples. `SELECT *`
+        // concatenates the schemas in join order, qualifying names that
+        // appear in more than one table.
+        let mut columns = Vec::new();
+        let mut getters: Vec<(usize, String)> = Vec::new(); // (table idx, column)
+        if lowered.outputs.is_empty() {
+            for (ti, tname) in joined.iter().enumerate() {
+                let t = self.db.catalog().table(tname)?;
+                for name in t.schema().names() {
+                    let clash = joined.iter().enumerate().any(|(oi, other)| {
+                        oi != ti
+                            && self
+                                .db
+                                .catalog()
+                                .table(other)
+                                .is_ok_and(|ot| ot.schema().position(name).is_some())
+                    });
+                    columns.push(if clash {
+                        format!("{tname}.{name}")
+                    } else {
+                        name.to_string()
+                    });
+                    getters.push((ti, name.to_string()));
+                }
+            }
+        } else {
+            for o in &lowered.outputs {
+                let OutputCol::Column { label, source } = o else {
+                    unreachable!("aggregates rejected above")
+                };
+                columns.push(label.clone());
+                let ti = joined
+                    .iter()
+                    .position(|t| *t == source.0)
+                    .expect("resolution checked FROM membership");
+                getters.push((ti, source.1.clone()));
+            }
+        }
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut out = Vec::with_capacity(getters.len());
+            for (ti, col) in &getters {
+                let t = self.db.catalog().table(&joined[*ti])?;
+                out.push(t.ints(col)?[row[*ti] as usize]);
+            }
+            out_rows.push(out);
+        }
+        Ok(QueryOutput::Table {
+            columns,
+            rows: out_rows,
+        })
+    }
+}
+
+impl Default for SqlSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Project `cols` of `table` at the given OIDs into rows.
+fn project_rows(
+    table: &Table,
+    oids: &[u32],
+    cols: &[String],
+) -> SqlResult<Vec<Vec<i64>>> {
+    let col_slices: Vec<&[i64]> = cols
+        .iter()
+        .map(|c| table.ints(c))
+        .collect::<Result<_, _>>()?;
+    Ok(oids
+        .iter()
+        .map(|&o| col_slices.iter().map(|s| s[o as usize]).collect())
+        .collect())
+}
+
+/// Compute one aggregate over the rows at `oids`.
+fn fold_aggregate(
+    table: &Table,
+    oids: &[u32],
+    func: AggFunc,
+    arg: Option<&Resolved>,
+) -> SqlResult<i64> {
+    if func == AggFunc::Count {
+        return Ok(oids.len() as i64);
+    }
+    let (_, col) = arg.expect("parser guarantees non-COUNT aggregates have a column");
+    let vals = table.ints(col)?;
+    let it = oids.iter().map(|&o| vals[o as usize]);
+    Ok(match func {
+        AggFunc::Sum => it.sum(),
+        // SQL would return NULL for empty groups; without NULLs we return 0,
+        // which only arises for an empty overall selection.
+        AggFunc::Min => it.min().unwrap_or(0),
+        AggFunc::Max => it.max().unwrap_or(0),
+        AggFunc::Count => unreachable!("handled above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A session preloaded with the paper's two-table playground.
+    fn session() -> SqlSession {
+        let mut s = SqlSession::new();
+        s.load_table(
+            "r",
+            vec![
+                ("k".into(), (0..100).map(|i| i % 10).collect()),
+                ("a".into(), (0..100).rev().collect()),
+            ],
+        )
+        .unwrap();
+        s.load_table(
+            "s",
+            vec![
+                ("k".into(), (0..20).map(|i| i % 5).collect()),
+                ("b".into(), (0..20).map(|i| i * 2).collect()),
+            ],
+        )
+        .unwrap();
+        s
+    }
+
+    fn rows(out: &QueryOutput) -> &[Vec<i64>] {
+        out.rows().expect("expected table output")
+    }
+
+    #[test]
+    fn the_papers_introduction_query() {
+        let mut s = session();
+        let out = s.execute_one("select * from r where a < 10").unwrap();
+        assert_eq!(out.row_count(), 10);
+        for row in rows(&out) {
+            assert!(row[1] < 10, "a column filtered");
+        }
+        // The select cracked column a as a side effect.
+        assert_eq!(s.cracked_columns(), 1);
+    }
+
+    #[test]
+    fn repeat_queries_get_cheaper_not_wronger() {
+        let mut s = session();
+        let q = "select count(*) from r where a >= 20 and a < 50";
+        let first = s.execute_one(q).unwrap();
+        let second = s.execute_one(q).unwrap();
+        assert_eq!(rows(&first)[0][0], 30);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn projection_and_order_of_columns() {
+        let mut s = session();
+        let out = s.execute_one("select a, k from r where a = 99").unwrap();
+        match &out {
+            QueryOutput::Table { columns, rows } => {
+                assert_eq!(columns, &["a", "k"]);
+                assert_eq!(rows, &[vec![99, 0]]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunction_unions_terms() {
+        let mut s = session();
+        let out = s
+            .execute_one("select count(*) from r where a < 5 or a >= 95")
+            .unwrap();
+        assert_eq!(rows(&out)[0][0], 10);
+        // Both disjuncts cracked the same column; no duplicates.
+        let out = s
+            .execute_one("select count(*) from r where a < 5 or a < 3")
+            .unwrap();
+        assert_eq!(rows(&out)[0][0], 5);
+    }
+
+    #[test]
+    fn aggregates_without_group_by() {
+        let mut s = session();
+        let out = s
+            .execute_one("select count(*), sum(a), min(a), max(a) from r where a < 10")
+            .unwrap();
+        assert_eq!(rows(&out), &[vec![10, 45, 0, 9]]);
+    }
+
+    #[test]
+    fn mixing_columns_and_aggregates_needs_group_by() {
+        let mut s = session();
+        let err = s.execute_one("select k, count(*) from r").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn group_by_without_filter_uses_omega() {
+        let mut s = session();
+        let out = s
+            .execute_one("select k, count(*), max(a) from r group by k")
+            .unwrap();
+        let r = rows(&out);
+        assert_eq!(r.len(), 10);
+        // Group 0 holds oids 0,10,..,90; a = 99-oid; max is 99.
+        assert_eq!(r[0], vec![0, 10, 99]);
+        assert_eq!(r[9], vec![9, 10, 90]);
+    }
+
+    #[test]
+    fn group_by_with_filter_groups_the_cracked_selection() {
+        let mut s = session();
+        let out = s
+            .execute_one("select k, count(*) from r where a >= 50 group by k")
+            .unwrap();
+        let r = rows(&out);
+        // a >= 50 covers oids 0..=49: five oids per k-group 0..=9.
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|row| row[1] == 5));
+        assert_eq!(s.cracked_columns(), 1, "filter cracked column a");
+    }
+
+    #[test]
+    fn distinct_groups_without_aggregates() {
+        let mut s = session();
+        let out = s.execute_one("select k from r group by k").unwrap();
+        let ks: Vec<i64> = rows(&out).iter().map(|r| r[0]).collect();
+        assert_eq!(ks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn the_papers_join_query_runs_via_the_wedge() {
+        let mut s = session();
+        let out = s
+            .execute_one("select count(*) from r, s where r.k = s.k and r.a < 5")
+            .unwrap();
+        // a<5 ⇒ oids 95..=99 ⇒ k values 5..=9; s.k values are 0..=4 (i%5),
+        // so only k in {} match... k=5..9 vs s.k ∈ 0..=4: no matches.
+        assert_eq!(rows(&out)[0][0], 0);
+        let out = s
+            .execute_one("select count(*) from r, s where r.k = s.k and r.a >= 95")
+            .unwrap();
+        // a>=95 ⇒ oids 0..=4 ⇒ k = 0..4; each k matches 4 s-rows (20/5).
+        assert_eq!(rows(&out)[0][0], 5 * 4);
+    }
+
+    #[test]
+    fn join_star_projection_qualifies_clashing_columns() {
+        let mut s = session();
+        let out = s
+            .execute_one("select * from r, s where r.k = s.k and r.a = 99 and s.b = 0")
+            .unwrap();
+        match &out {
+            QueryOutput::Table { columns, rows } => {
+                assert_eq!(columns, &["r.k", "a", "s.k", "b"]);
+                assert_eq!(rows, &[vec![0, 99, 0, 0]]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_with_explicit_projection() {
+        let mut s = session();
+        let out = s
+            .execute_one("select r.a, s.b from r, s where r.k = s.k and r.a = 99 and s.b <= 10")
+            .unwrap();
+        let mut got = rows(&out).to_vec();
+        got.sort_unstable();
+        // r.a=99 ⇒ oid 0, k=0; s rows with k=0: oids 0,5,10,15 → b=0,10,20,30;
+        // b<=10 keeps b ∈ {0,10}.
+        assert_eq!(got, vec![vec![99, 0], vec![99, 10]]);
+    }
+
+    #[test]
+    fn three_way_join_path_agrees_with_nested_loops() {
+        let mut s = SqlSession::new();
+        // r(k,a) ⋈ s(k,m) ⋈ t(m,b): a proper join path through the schema.
+        let r_k: Vec<i64> = (0..60).map(|i| i % 6).collect();
+        let r_a: Vec<i64> = (0..60).collect();
+        let s_k: Vec<i64> = (0..30).map(|i| i % 6).collect();
+        let s_m: Vec<i64> = (0..30).map(|i| i % 5).collect();
+        let t_m: Vec<i64> = (0..20).map(|i| i % 5).collect();
+        let t_b: Vec<i64> = (0..20).map(|i| i * 10).collect();
+        s.load_table("r", vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())])
+            .unwrap();
+        s.load_table("s", vec![("k".into(), s_k.clone()), ("m".into(), s_m.clone())])
+            .unwrap();
+        s.load_table("t", vec![("m".into(), t_m.clone()), ("b".into(), t_b.clone())])
+            .unwrap();
+        let out = s
+            .execute_one(
+                "select count(*) from r, s, t \
+                 where r.k = s.k and s.m = t.m and r.a < 30 and t.b >= 50",
+            )
+            .unwrap();
+        let mut want = 0i64;
+        for i in 0..r_k.len() {
+            for j in 0..s_k.len() {
+                for l in 0..t_m.len() {
+                    if r_k[i] == s_k[j]
+                        && s_m[j] == t_m[l]
+                        && r_a[i] < 30
+                        && t_b[l] >= 50
+                    {
+                        want += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(rows(&out)[0][0], want);
+
+        // Projection across all three tables.
+        let out = s
+            .execute_one(
+                "select a, b from r, s, t \
+                 where r.k = s.k and s.m = t.m and r.a = 0 and s.m = 2",
+            )
+            .unwrap();
+        let mut got = rows(&out).to_vec();
+        got.sort_unstable();
+        let mut want_rows = Vec::new();
+        for j in 0..s_k.len() {
+            for l in 0..t_m.len() {
+                // r.a = 0 fixes r-row 0 (k = 0).
+                if s_k[j] == 0 && s_m[j] == 2 && t_m[l] == 2 {
+                    want_rows.push(vec![0, t_b[l]]);
+                }
+            }
+        }
+        want_rows.sort_unstable();
+        assert_eq!(got, want_rows);
+    }
+
+    #[test]
+    fn ddl_dml_lifecycle() {
+        let mut s = SqlSession::new();
+        let outs = s
+            .execute(
+                "create table t (x integer, y integer);\n\
+                 insert into t values (1, 10), (2, 20), (3, 30);\n\
+                 select * from t where x >= 2;",
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[2].row_count(), 2);
+        s.execute_one("drop table t").unwrap();
+        assert!(s.execute_one("select * from t").is_err());
+    }
+
+    #[test]
+    fn insert_select_materializes_like_figure_1a() {
+        let mut s = session();
+        s.execute_one("insert into newr select * from r where a < 10")
+            .unwrap();
+        let out = s.execute_one("select count(*) from newr").unwrap();
+        assert_eq!(rows(&out)[0][0], 10);
+        // Appending via a second materialization.
+        s.execute_one("insert into newr select * from r where a >= 90")
+            .unwrap();
+        let out = s.execute_one("select count(*) from newr").unwrap();
+        assert_eq!(rows(&out)[0][0], 20);
+    }
+
+    #[test]
+    fn insert_select_arity_mismatch_and_aggregates_rejected() {
+        let mut s = session();
+        s.execute_one("insert into one_col select a from r where a < 3")
+            .unwrap();
+        let err = s
+            .execute_one("insert into one_col select a, k from r")
+            .unwrap_err();
+        assert!(err.to_string().contains("columns"));
+        let err = s
+            .execute_one("insert into agg select count(*) from r")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn base_updates_invalidate_cracked_state() {
+        let mut s = session();
+        s.execute_one("select * from r where a < 10").unwrap();
+        assert_eq!(s.cracked_columns(), 1);
+        s.execute_one("insert into r values (0, 5)").unwrap();
+        // The insert is visible and the store re-cracks lazily.
+        let out = s.execute_one("select count(*) from r where a < 10").unwrap();
+        assert_eq!(rows(&out)[0][0], 11);
+    }
+
+    #[test]
+    fn unsatisfiable_and_empty_range_queries() {
+        let mut s = session();
+        let out = s
+            .execute_one("select count(*) from r where a < 3 and a > 9")
+            .unwrap();
+        assert_eq!(rows(&out)[0][0], 0);
+        let out = s
+            .execute_one("select * from r where a < 3 and 1 > 2")
+            .unwrap();
+        assert_eq!(out.row_count(), 0);
+    }
+
+    #[test]
+    fn load_table_validation() {
+        let mut s = SqlSession::new();
+        assert!(s.load_table("t", vec![]).is_err());
+        assert!(s
+            .load_table(
+                "t",
+                vec![("a".into(), vec![1]), ("b".into(), vec![1, 2])]
+            )
+            .is_err());
+        s.load_table("t", vec![("a".into(), vec![1])]).unwrap();
+        assert!(s.load_table("t", vec![("a".into(), vec![2])]).is_err());
+    }
+
+    #[test]
+    fn output_rendering() {
+        let out = QueryOutput::Table {
+            columns: vec!["k".into(), "count(*)".into()],
+            rows: vec![vec![1, 10], vec![22, 5]],
+        };
+        let text = out.to_string();
+        assert!(text.contains("k | count(*)"));
+        assert!(text.contains("(2 rows)"));
+        let one = QueryOutput::Table {
+            columns: vec!["n".into()],
+            rows: vec![vec![7]],
+        };
+        assert!(one.to_string().contains("(1 row)"));
+        let ack = QueryOutput::Affected {
+            message: "created table t".into(),
+        };
+        assert_eq!(ack.to_string(), "created table t");
+    }
+
+    #[test]
+    fn single_column_projection_takes_the_sideways_path() {
+        let mut s = session();
+        let out = s
+            .execute_one("select k from r where a >= 95")
+            .unwrap();
+        // a >= 95 ⇒ oids 0..=4 ⇒ k = oid % 10 ∈ {0..4}.
+        let mut got: Vec<i64> = rows(&out).iter().map(|r| r[0]).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // The query built a cracker map, not a plain cracked column.
+        assert_eq!(s.adaptive().map_count(), 1);
+        assert_eq!(s.cracked_columns(), 0);
+        // Projecting the selection column itself stays on the OID path.
+        let out = s.execute_one("select a from r where a >= 95").unwrap();
+        assert_eq!(out.row_count(), 5);
+        assert_eq!(s.cracked_columns(), 1);
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let mut s = session();
+        let out = s
+            .execute_one("delete from r where a < 10 or a >= 90")
+            .unwrap();
+        assert_eq!(out.to_string(), "deleted 20 rows from r");
+        let out = s.execute_one("select count(*) from r").unwrap();
+        assert_eq!(rows(&out)[0][0], 80);
+        // Row alignment across columns survives: k still matches oid%10
+        // for the surviving a-values.
+        let out = s.execute_one("select a, k from r where a = 50").unwrap();
+        assert_eq!(rows(&out), &[vec![50, 9]]); // a=50 ⇒ old oid 49 ⇒ k=9
+        // DELETE without WHERE empties the table.
+        s.execute_one("delete from r").unwrap();
+        let out = s.execute_one("select count(*) from r").unwrap();
+        assert_eq!(rows(&out)[0][0], 0);
+        // Unknown table errors.
+        assert!(s.execute_one("delete from zzz").is_err());
+    }
+
+    #[test]
+    fn limit_caps_delivery_but_not_cracking() {
+        let mut s = session();
+        let out = s
+            .execute_one("select * from r where a < 50 limit 5")
+            .unwrap();
+        assert_eq!(out.row_count(), 5);
+        // The store still cracked the full predicate range.
+        assert_eq!(s.cracked_columns(), 1);
+        let full = s.execute_one("select * from r where a < 50").unwrap();
+        assert_eq!(full.row_count(), 50);
+        // LIMIT 0 and LIMIT beyond the result size.
+        let out = s.execute_one("select * from r limit 0").unwrap();
+        assert_eq!(out.row_count(), 0);
+        let out = s.execute_one("select * from r where a < 3 limit 99").unwrap();
+        assert_eq!(out.row_count(), 3);
+        // Negative limits are rejected.
+        assert!(s.execute_one("select * from r limit -1").is_err());
+    }
+
+    #[test]
+    fn count_star_on_whole_table() {
+        let mut s = session();
+        let out = s.execute_one("select count(*) from r").unwrap();
+        assert_eq!(rows(&out)[0][0], 100);
+    }
+
+    #[test]
+    fn comparison_between_columns_of_same_table_is_unsupported() {
+        let mut s = session();
+        let err = s.execute_one("select * from r where k = a").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }));
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # sql — a SQL front-end for the cracking engine
+//!
+//! The paper's architecture slots the cracker "between the semantic
+//! analyzer and the query optimizer of a modern DBMS infrastructure"
+//! (§3). This crate supplies the stages above that slot, for the SQL
+//! fragment §3.1 actually evaluates:
+//!
+//! * [`token`] — a tokenizer for the statement forms of the experiments
+//!   (`SELECT` with `WHERE`/`GROUP BY`/`LIMIT`, `INSERT INTO ... SELECT`,
+//!   `INSERT ... VALUES`, `DELETE FROM`, `CREATE TABLE`, `DROP TABLE`);
+//! * [`parser`] — a recursive-descent parser producing the [`ast`];
+//! * [`dnf`] — normalization of WHERE clauses to disjunctive normal form,
+//!   the representation the paper assumes "without loss of generality";
+//! * [`lower`] — the semantic analyzer: name resolution, per-column range
+//!   folding, join-path validation, and lowering to
+//!   [`engine::query::QueryTerm`] — exactly the point where the cracker
+//!   handles (Ξ selections, ^ joins, Ω groupings, Ψ projections) are
+//!   extracted;
+//! * [`exec`] — [`SqlSession`], an interactive session over an
+//!   [`engine::AdaptiveDb`]: every statement executed leaves the store
+//!   better partitioned for the next.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sql::SqlSession;
+//!
+//! let mut session = SqlSession::new();
+//! session
+//!     .execute(
+//!         "create table r (k integer, a integer);
+//!          insert into r values (1, 30), (2, 10), (3, 20);",
+//!     )
+//!     .unwrap();
+//! let out = session
+//!     .execute_one("select * from r where a between 10 and 20")
+//!     .unwrap();
+//! assert_eq!(out.row_count(), 2);
+//! // The range query cracked column `a` as a side effect.
+//! assert_eq!(session.cracked_columns(), 1);
+//!
+//! // Single-column projections go sideways: a cracker map keeps `k`
+//! // physically aligned with the cracked order of `a`.
+//! session
+//!     .execute_one("select k from r where a between 10 and 20")
+//!     .unwrap();
+//! assert_eq!(session.adaptive().map_count(), 1);
+//! ```
+
+pub mod ast;
+pub mod dnf;
+pub mod error;
+pub mod exec;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::{Span, SqlError, SqlResult};
+pub use exec::{QueryOutput, SqlSession};
+pub use lower::{lower_select, LoweredSelect, SchemaProvider};
+pub use parser::{parse, parse_one};

@@ -1,0 +1,383 @@
+//! Tokenizer for the SQL fragment of §3.1.
+//!
+//! The fragment is deliberately small — the paper normalizes every query to
+//! `π γ σ (R1 ⋈ ... ⋈ Rm)` with simple range predicates — so the lexer
+//! covers the statements the benchmark kit and the experiments issue:
+//! `SELECT`, `INSERT INTO ... SELECT` (the materialization of Figure 1a),
+//! `INSERT ... VALUES`, `CREATE TABLE`, and `DROP TABLE`.
+//!
+//! Unquoted identifiers fold to lowercase, as in the SQL standard; keywords
+//! are case-insensitive. `--` starts a comment running to end of line.
+
+use crate::error::{Span, SqlError, SqlResult};
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Keywords.
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `BETWEEN`
+    Between,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `ORDER`
+    Order,
+    /// `LIMIT`
+    Limit,
+    /// `INSERT`
+    Insert,
+    /// `INTO`
+    Into,
+    /// `VALUES`
+    Values,
+    /// `CREATE`
+    Create,
+    /// `TABLE`
+    Table,
+    /// `DROP`
+    Drop,
+    /// `DELETE`
+    Delete,
+    /// `INTEGER` / `INT`
+    Integer,
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AS`
+    As,
+    // Values.
+    /// An identifier, folded to lowercase.
+    Ident(String),
+    /// An integer literal (unsigned here; the parser applies unary minus).
+    Int(i64),
+    // Punctuation and operators.
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `-` (unary minus on literals)
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            other => {
+                let s = match other {
+                    Tok::Select => "SELECT",
+                    Tok::From => "FROM",
+                    Tok::Where => "WHERE",
+                    Tok::And => "AND",
+                    Tok::Or => "OR",
+                    Tok::Not => "NOT",
+                    Tok::Between => "BETWEEN",
+                    Tok::Group => "GROUP",
+                    Tok::By => "BY",
+                    Tok::Order => "ORDER",
+                    Tok::Limit => "LIMIT",
+                    Tok::Insert => "INSERT",
+                    Tok::Into => "INTO",
+                    Tok::Values => "VALUES",
+                    Tok::Create => "CREATE",
+                    Tok::Table => "TABLE",
+                    Tok::Drop => "DROP",
+                    Tok::Delete => "DELETE",
+                    Tok::Integer => "INTEGER",
+                    Tok::Count => "COUNT",
+                    Tok::Sum => "SUM",
+                    Tok::Min => "MIN",
+                    Tok::Max => "MAX",
+                    Tok::As => "AS",
+                    Tok::Star => "*",
+                    Tok::Comma => ",",
+                    Tok::Dot => ".",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::Semi => ";",
+                    Tok::Minus => "-",
+                    Tok::Eq => "=",
+                    Tok::Ne => "<>",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Ident(_) | Tok::Int(_) => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and value, for identifiers and literals).
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "select" => Tok::Select,
+        "from" => Tok::From,
+        "where" => Tok::Where,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "between" => Tok::Between,
+        "group" => Tok::Group,
+        "by" => Tok::By,
+        "order" => Tok::Order,
+        "limit" => Tok::Limit,
+        "insert" => Tok::Insert,
+        "into" => Tok::Into,
+        "values" => Tok::Values,
+        "create" => Tok::Create,
+        "table" => Tok::Table,
+        "drop" => Tok::Drop,
+        "delete" => Tok::Delete,
+        "integer" | "int" => Tok::Integer,
+        "count" => Tok::Count,
+        "sum" => Tok::Sum,
+        "min" => Tok::Min,
+        "max" => Tok::Max,
+        "as" => Tok::As,
+        _ => return None,
+    })
+}
+
+/// Tokenize a complete source text.
+pub fn lex(src: &str) -> SqlResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // `--` comment to end of line.
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifier or keyword.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = src[start..i].to_ascii_lowercase();
+            let span = Span::new(start, i);
+            let tok = keyword(&word).unwrap_or(Tok::Ident(word));
+            out.push(Token { tok, span });
+            continue;
+        }
+        // Integer literal.
+        if b.is_ascii_digit() {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let span = Span::new(start, i);
+            let text = &src[start..i];
+            let v: i64 = text.parse().map_err(|_| {
+                SqlError::syntax(format!("integer literal {text} overflows i64"), span)
+            })?;
+            out.push(Token {
+                tok: Tok::Int(v),
+                span,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = |a: u8| bytes.get(i + 1) == Some(&a);
+        let (tok, len) = match b {
+            b'*' => (Tok::Star, 1),
+            b',' => (Tok::Comma, 1),
+            b'.' => (Tok::Dot, 1),
+            b'(' => (Tok::LParen, 1),
+            b')' => (Tok::RParen, 1),
+            b';' => (Tok::Semi, 1),
+            b'-' => (Tok::Minus, 1),
+            b'=' => (Tok::Eq, 1),
+            b'<' if two(b'=') => (Tok::Le, 2),
+            b'<' if two(b'>') => (Tok::Ne, 2),
+            b'<' => (Tok::Lt, 1),
+            b'>' if two(b'=') => (Tok::Ge, 2),
+            b'>' => (Tok::Gt, 1),
+            b'!' if two(b'=') => (Tok::Ne, 2),
+            _ => {
+                return Err(SqlError::syntax(
+                    format!("unexpected character {:?}", src[start..].chars().next().unwrap()),
+                    Span::new(start, start + 1),
+                ))
+            }
+        };
+        out.push(Token {
+            tok,
+            span: Span::new(start, start + len),
+        });
+        i += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT select SeLeCt"),
+            vec![Tok::Select, Tok::Select, Tok::Select]
+        );
+    }
+
+    #[test]
+    fn identifiers_fold_to_lowercase() {
+        assert_eq!(
+            kinds("MyTable my_col2"),
+            vec![
+                Tok::Ident("mytable".into()),
+                Tok::Ident("my_col2".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn the_papers_example_query_lexes() {
+        let toks = kinds("select * from R where R.a <10 and R.a >= 5;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Select,
+                Tok::Star,
+                Tok::From,
+                Tok::Ident("r".into()),
+                Tok::Where,
+                Tok::Ident("r".into()),
+                Tok::Dot,
+                Tok::Ident("a".into()),
+                Tok::Lt,
+                Tok::Int(10),
+                Tok::And,
+                Tok::Ident("r".into()),
+                Tok::Dot,
+                Tok::Ident("a".into()),
+                Tok::Ge,
+                Tok::Int(5),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![Tok::Le, Tok::Ge, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Gt, Tok::Eq]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("select -- the projection\n *"),
+            vec![Tok::Select, Tok::Star]
+        );
+        // A comment at end of input without trailing newline.
+        assert_eq!(kinds("select --tail"), vec![Tok::Select]);
+    }
+
+    #[test]
+    fn minus_is_its_own_token_but_double_minus_is_comment() {
+        assert_eq!(kinds("- 5"), vec![Tok::Minus, Tok::Int(5)]);
+        assert_eq!(kinds("--5"), vec![]);
+    }
+
+    #[test]
+    fn spans_cover_the_source_fragments() {
+        let src = "select count(*)";
+        let toks = lex(src).unwrap();
+        assert_eq!(toks[0].span.fragment(src), "select");
+        assert_eq!(toks[1].span.fragment(src), "count");
+        assert_eq!(toks[2].span.fragment(src), "(");
+        assert_eq!(toks[3].span.fragment(src), "*");
+    }
+
+    #[test]
+    fn overflowing_literal_is_an_error() {
+        let err = lex("select 99999999999999999999").unwrap_err();
+        assert!(matches!(err, SqlError::Syntax { .. }));
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error_with_span() {
+        let err = lex("select @").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(7, 8)));
+    }
+
+    #[test]
+    fn int_and_integer_are_the_same_keyword() {
+        assert_eq!(kinds("int integer"), vec![Tok::Integer, Tok::Integer]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_inputs() {
+        assert_eq!(kinds(""), vec![]);
+        assert_eq!(kinds("  \n\t "), vec![]);
+    }
+}

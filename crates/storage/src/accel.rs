@@ -1,0 +1,154 @@
+//! Automatically maintained search accelerators.
+//!
+//! The BAT descriptor in the paper's Figure 7 reserves slots for a hash
+//! table and a (binary search) tree index per column. MonetDB builds these
+//! lazily — the first operator that would profit constructs them, mutation
+//! drops them. We mirror that protocol: [`Accelerators`] starts empty,
+//! `ensure_*` builds on demand, and [`Accelerators::clear`] is called by the
+//! owning [`Bat`](crate::bat::Bat) on every mutation.
+
+use crate::bat::TailData;
+use crate::value::Atom;
+use std::collections::HashMap;
+
+/// Lazily built per-BAT accelerator set.
+#[derive(Debug, Clone, Default)]
+pub struct Accelerators {
+    /// Hash index: tail value -> positions.
+    hash: Option<HashMap<Atom, Vec<usize>>>,
+    /// Order index: permutation of positions sorted by tail value.
+    sorted: Option<Vec<u32>>,
+}
+
+impl Accelerators {
+    /// Drop all built accelerators (called on mutation).
+    pub fn clear(&mut self) {
+        self.hash = None;
+        self.sorted = None;
+    }
+
+    /// True when a hash index has been built.
+    pub fn has_hash(&self) -> bool {
+        self.hash.is_some()
+    }
+
+    /// True when an order index has been built.
+    pub fn has_sorted(&self) -> bool {
+        self.sorted.is_some()
+    }
+
+    /// Build the hash index over `tail` unless already present.
+    pub fn ensure_hash(&mut self, tail: &TailData) {
+        if self.hash.is_some() {
+            return;
+        }
+        let mut map: HashMap<Atom, Vec<usize>> = HashMap::new();
+        for pos in 0..tail.len() {
+            map.entry(tail.atom_at(pos)).or_default().push(pos);
+        }
+        self.hash = Some(map);
+    }
+
+    /// Positions whose tail equals `atom`. Empty when the value is absent
+    /// or the index has not been built.
+    pub fn hash_positions(&self, atom: &Atom) -> Vec<usize> {
+        self.hash
+            .as_ref()
+            .and_then(|m| m.get(atom).cloned())
+            .unwrap_or_default()
+    }
+
+    /// Build the order index over `tail` unless already present.
+    ///
+    /// The permutation is *stable*: equal values keep their physical order,
+    /// so repeated builds are deterministic.
+    pub fn ensure_sorted(&mut self, tail: &TailData) {
+        if self.sorted.is_some() {
+            return;
+        }
+        let mut perm: Vec<u32> = (0..tail.len() as u32).collect();
+        match tail {
+            TailData::Int(v) => perm.sort_by_key(|&p| v[p as usize]),
+            TailData::Float(v) => perm.sort_by(|&a, &b| v[a as usize].total_cmp(&v[b as usize])),
+            TailData::Oid(v) => perm.sort_by_key(|&p| v[p as usize]),
+            TailData::Str { refs, heap } => {
+                perm.sort_by(|&a, &b| heap.get(refs[a as usize]).cmp(heap.get(refs[b as usize])))
+            }
+        }
+        self.sorted = Some(perm);
+    }
+
+    /// The sorted permutation (empty slice when not built).
+    pub fn sorted_permutation(&self) -> &[u32] {
+        self.sorted.as_deref().unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_tail(v: Vec<i64>) -> TailData {
+        TailData::Int(v)
+    }
+
+    #[test]
+    fn hash_index_is_built_once_and_queried() {
+        let tail = int_tail(vec![5, 5, 7]);
+        let mut acc = Accelerators::default();
+        assert!(!acc.has_hash());
+        acc.ensure_hash(&tail);
+        assert!(acc.has_hash());
+        assert_eq!(acc.hash_positions(&Atom::Int(5)), vec![0, 1]);
+        assert_eq!(acc.hash_positions(&Atom::Int(7)), vec![2]);
+        assert!(acc.hash_positions(&Atom::Int(9)).is_empty());
+    }
+
+    #[test]
+    fn query_without_build_returns_empty() {
+        let acc = Accelerators::default();
+        assert!(acc.hash_positions(&Atom::Int(1)).is_empty());
+        assert!(acc.sorted_permutation().is_empty());
+    }
+
+    #[test]
+    fn sorted_permutation_is_stable_for_duplicates() {
+        let tail = int_tail(vec![2, 1, 2, 0]);
+        let mut acc = Accelerators::default();
+        acc.ensure_sorted(&tail);
+        assert_eq!(acc.sorted_permutation(), &[3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn sorted_permutation_handles_floats_with_total_order() {
+        let tail = TailData::Float(vec![f64::NAN, 1.0, -1.0]);
+        let mut acc = Accelerators::default();
+        acc.ensure_sorted(&tail);
+        // NaN sorts last under total_cmp.
+        assert_eq!(acc.sorted_permutation(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn sorted_permutation_orders_strings() {
+        let mut heap = crate::heap::StrHeap::new();
+        let refs = ["pear", "apple", "mango"]
+            .iter()
+            .map(|s| heap.intern(s))
+            .collect();
+        let tail = TailData::Str { refs, heap };
+        let mut acc = Accelerators::default();
+        acc.ensure_sorted(&tail);
+        assert_eq!(acc.sorted_permutation(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn clear_drops_both_indices() {
+        let tail = int_tail(vec![1, 2]);
+        let mut acc = Accelerators::default();
+        acc.ensure_hash(&tail);
+        acc.ensure_sorted(&tail);
+        acc.clear();
+        assert!(!acc.has_hash());
+        assert!(!acc.has_sorted());
+    }
+}

@@ -1,0 +1,191 @@
+//! In-memory store catalog.
+//!
+//! The paper is emphatic that piece administration must *not* go through the
+//! persistent system catalog: "each creation or removal of a partition is a
+//! change to the table's schema and catalog entries. It requires locking a
+//! critical resource and may force recompilation of cached queries" (§3.2).
+//! [`StoreCatalog`] is the proposed alternative: a main-memory structure
+//! mapping names to shared BATs, cheap to update on every crack.
+
+use crate::bat::Bat;
+use crate::error::{StorageError, StorageResult};
+use crate::view::BatView;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe, in-memory catalog of named BATs.
+///
+/// BATs are stored behind `Arc`; registering a view or handing out a handle
+/// never copies tuple data. Mutation is copy-on-write at BAT granularity:
+/// [`StoreCatalog::replace`] swaps a whole BAT, which is how cracked
+/// incarnations of a column supersede the original.
+#[derive(Debug, Default)]
+pub struct StoreCatalog {
+    bats: RwLock<BTreeMap<String, Arc<Bat>>>,
+}
+
+impl StoreCatalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a BAT under its own name. Errors if the name is taken.
+    pub fn register(&self, bat: Bat) -> StorageResult<Arc<Bat>> {
+        let name = bat.name().to_owned();
+        let mut guard = self.bats.write();
+        if guard.contains_key(&name) {
+            return Err(StorageError::DuplicateBat(name));
+        }
+        let arc = Arc::new(bat);
+        guard.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replace (or insert) the BAT stored under `name`, returning the
+    /// previous incarnation if any.
+    pub fn replace(&self, name: &str, bat: Bat) -> Option<Arc<Bat>> {
+        let mut guard = self.bats.write();
+        guard.insert(name.to_owned(), Arc::new(bat))
+    }
+
+    /// Fetch a shared handle by name.
+    pub fn get(&self, name: &str) -> StorageResult<Arc<Bat>> {
+        self.bats
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownBat(name.to_owned()))
+    }
+
+    /// A whole-BAT view by name.
+    pub fn view(&self, name: &str) -> StorageResult<BatView> {
+        Ok(BatView::whole(self.get(name)?))
+    }
+
+    /// Remove a BAT; returns it if present.
+    pub fn drop_bat(&self, name: &str) -> StorageResult<Arc<Bat>> {
+        self.bats
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownBat(name.to_owned()))
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bats.read().contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.bats.read().keys().cloned().collect()
+    }
+
+    /// Number of registered BATs.
+    pub fn len(&self) -> usize {
+        self.bats.read().len()
+    }
+
+    /// True when no BATs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.bats.read().is_empty()
+    }
+
+    /// Snapshot of all `(name, bat)` entries (handles, not copies).
+    pub fn snapshot(&self) -> Vec<(String, Arc<Bat>)> {
+        self.bats
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![1, 2])).unwrap();
+        let b = cat.get("r_a").unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(cat.contains("r_a"));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![])).unwrap();
+        let err = cat.register(Bat::from_ints("r_a", vec![])).unwrap_err();
+        assert_eq!(err, StorageError::DuplicateBat("r_a".into()));
+    }
+
+    #[test]
+    fn unknown_lookup_is_an_error() {
+        let cat = StoreCatalog::new();
+        assert_eq!(
+            cat.get("nope").unwrap_err(),
+            StorageError::UnknownBat("nope".into())
+        );
+    }
+
+    #[test]
+    fn replace_swaps_incarnations_and_old_handles_survive() {
+        let cat = StoreCatalog::new();
+        let old = cat.register(Bat::from_ints("r_a", vec![1])).unwrap();
+        let prev = cat.replace("r_a", Bat::from_ints("r_a", vec![9, 9]));
+        assert!(prev.is_some());
+        assert_eq!(cat.get("r_a").unwrap().len(), 2);
+        // A reader holding the old Arc still sees consistent data.
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn drop_removes_entry() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![1])).unwrap();
+        cat.drop_bat("r_a").unwrap();
+        assert!(!cat.contains("r_a"));
+        assert!(cat.drop_bat("r_a").is_err());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("z", vec![])).unwrap();
+        cat.register(Bat::from_ints("a", vec![])).unwrap();
+        assert_eq!(cat.names(), vec!["a".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn view_through_catalog() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![3, 1])).unwrap();
+        let v = cat.view("r_a").unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn catalog_is_sharable_across_threads() {
+        let cat = Arc::new(StoreCatalog::new());
+        cat.register(Bat::from_ints("r_a", (0..100).collect()))
+            .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&cat);
+            handles.push(std::thread::spawn(move || {
+                let b = c.get("r_a").unwrap();
+                assert_eq!(b.len(), 100);
+                c.replace(&format!("t{t}"), Bat::from_ints(format!("t{t}"), vec![t]));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cat.len(), 5);
+    }
+}

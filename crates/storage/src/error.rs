@@ -1,0 +1,110 @@
+//! Error types for the storage layer.
+
+use crate::value::AtomType;
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the BAT store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operation expected a tail of one type but found another.
+    TypeMismatch {
+        /// Type the caller expected.
+        expected: AtomType,
+        /// Type actually stored in the BAT tail.
+        found: AtomType,
+    },
+    /// A positional access was out of the BAT's bounds.
+    OutOfBounds {
+        /// Requested position.
+        index: usize,
+        /// Number of live BUNs in the BAT.
+        len: usize,
+    },
+    /// A named BAT was not found in the catalog.
+    UnknownBat(String),
+    /// A BAT with this name already exists in the catalog.
+    DuplicateBat(String),
+    /// Two BATs that must be aligned (same length / same head) are not.
+    Misaligned {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// Attempt to mutate a BAT that is shared through live views.
+    SharedMutation(String),
+    /// Persistence (I/O or serialization) failure.
+    Persist(String),
+    /// A page id does not exist on the page store.
+    UnknownPage(u32),
+    /// The buffer pool has no evictable frame left.
+    PoolExhausted {
+        /// Number of frames in the pool.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::OutOfBounds { index, len } => {
+                write!(f, "position {index} out of bounds for BAT of length {len}")
+            }
+            StorageError::UnknownBat(name) => write!(f, "unknown BAT {name:?}"),
+            StorageError::DuplicateBat(name) => write!(f, "BAT {name:?} already exists"),
+            StorageError::Misaligned { left, right } => {
+                write!(f, "misaligned BATs: left has {left} BUNs, right has {right}")
+            }
+            StorageError::SharedMutation(name) => {
+                write!(f, "cannot mutate BAT {name:?}: live views exist")
+            }
+            StorageError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            StorageError::UnknownPage(id) => write!(f, "unknown page {id}"),
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames in use")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StorageError::TypeMismatch {
+            expected: AtomType::Int,
+            found: AtomType::Str,
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected int, found str");
+        assert_eq!(
+            StorageError::UnknownBat("r_a".into()).to_string(),
+            "unknown BAT \"r_a\""
+        );
+        assert_eq!(
+            StorageError::OutOfBounds { index: 9, len: 3 }.to_string(),
+            "position 9 out of bounds for BAT of length 3"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::DuplicateBat("x".into()),
+            StorageError::DuplicateBat("x".into())
+        );
+        assert_ne!(
+            StorageError::UnknownBat("x".into()),
+            StorageError::UnknownBat("y".into())
+        );
+    }
+}

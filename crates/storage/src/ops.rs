@@ -1,0 +1,265 @@
+//! Kernel algebra over BATs.
+//!
+//! MonetDB's kernel evaluates queries as sequences of operators over
+//! binary tables; the paper's cracker module works "by overloading the key
+//! algebraic operators: `select`, `join`, and `aggregate`" (§3.4.2). This
+//! module provides those baseline (non-cracking) operators, so the cracked
+//! and uncracked paths share one algebra:
+//!
+//! * [`select_range`] — σ over the tail, producing a `(head, tail)` result
+//!   BAT of qualifying BUNs;
+//! * [`join_bats`] — equi-join tails of `L` with heads... in our
+//!   simplified model, tail-to-tail equi-join returning OID pairs;
+//! * [`aggregate_sum`] / [`aggregate_count`] — γ over a grouping BAT and a
+//!   value BAT sharing the OID space;
+//! * [`reverse`] — the classic MonetDB `reverse` (swap head/tail), and
+//!   [`mirror`] (head = tail = OIDs).
+
+use crate::bat::{Bat, TailData};
+use crate::error::{StorageError, StorageResult};
+use crate::value::{Atom, Oid};
+use std::collections::HashMap;
+
+/// σ: BUNs of `bat` whose integer tail lies in `[low, high]`
+/// (inclusive bounds, per the paper's `attr ∈ [low, high]` form).
+/// Returns a new BAT with an explicit head carrying the source OIDs.
+pub fn select_range(bat: &Bat, low: i64, high: i64) -> StorageResult<Bat> {
+    let ints = bat.ints()?;
+    let mut oids = Vec::new();
+    let mut vals = Vec::new();
+    for (pos, &v) in ints.iter().enumerate() {
+        if v >= low && v <= high {
+            oids.push(bat.head().oid_at(pos));
+            vals.push(v);
+        }
+    }
+    Bat::with_explicit_head(
+        format!("{}_select", bat.name()),
+        oids,
+        TailData::Int(vals),
+    )
+}
+
+/// ⋈: equi-join on integer tails. Returns `(left oid, right oid)` pairs —
+/// MonetDB's join result is itself a binary table of surrogates.
+pub fn join_bats(left: &Bat, right: &Bat) -> StorageResult<Vec<(Oid, Oid)>> {
+    let l = left.ints()?;
+    let r = right.ints()?;
+    let mut index: HashMap<i64, Vec<Oid>> = HashMap::new();
+    for (pos, &v) in l.iter().enumerate() {
+        index.entry(v).or_default().push(left.head().oid_at(pos));
+    }
+    let mut out = Vec::new();
+    for (pos, &v) in r.iter().enumerate() {
+        if let Some(l_oids) = index.get(&v) {
+            let r_oid = right.head().oid_at(pos);
+            for &l_oid in l_oids {
+                out.push((l_oid, r_oid));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// γ count: group by the tail of `groups`, counting BUNs per group value.
+/// Result is sorted by group value.
+pub fn aggregate_count(groups: &Bat) -> StorageResult<Vec<(Atom, u64)>> {
+    let mut counts: HashMap<Atom, u64> = HashMap::new();
+    for pos in 0..groups.len() {
+        *counts.entry(groups.tail().atom_at(pos)).or_insert(0) += 1;
+    }
+    let mut out: Vec<(Atom, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// γ sum: group by the tail of `groups`, summing the integer tail of
+/// `values`; the two BATs must be positionally aligned (same OID space),
+/// the invariant MonetDB's SQL front-end maintains for one table's
+/// columns.
+pub fn aggregate_sum(groups: &Bat, values: &Bat) -> StorageResult<Vec<(Atom, i64)>> {
+    if groups.len() != values.len() {
+        return Err(StorageError::Misaligned {
+            left: groups.len(),
+            right: values.len(),
+        });
+    }
+    let vals = values.ints()?;
+    let mut sums: HashMap<Atom, i64> = HashMap::new();
+    for (pos, &v) in vals.iter().enumerate() {
+        *sums.entry(groups.tail().atom_at(pos)).or_insert(0) += v;
+    }
+    let mut out: Vec<(Atom, i64)> = sums.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// MonetDB `reverse`: swap head and tail. Only defined for OID tails
+/// (a `bat[oid, oid]` view of any join index); the result maps tail OIDs
+/// back to head OIDs.
+pub fn reverse(bat: &Bat) -> StorageResult<Bat> {
+    let tails = bat.oids()?.to_vec();
+    let heads: Vec<Oid> = (0..bat.len()).map(|p| bat.head().oid_at(p)).collect();
+    Bat::with_explicit_head(
+        format!("{}_rev", bat.name()),
+        tails,
+        TailData::Oid(heads),
+    )
+}
+
+/// MonetDB `mirror`: a BAT whose head and tail are both the head OIDs —
+/// the identity mapping used to seed positional joins.
+pub fn mirror(bat: &Bat) -> StorageResult<Bat> {
+    let heads: Vec<Oid> = (0..bat.len()).map(|p| bat.head().oid_at(p)).collect();
+    Bat::with_explicit_head(
+        format!("{}_mirror", bat.name()),
+        heads.clone(),
+        TailData::Oid(heads),
+    )
+}
+
+/// Positional fetch: `tail[oids]` — project the tail values of `bat` at
+/// the given OIDs (dense-head fast path; explicit heads probe linearly).
+pub fn fetch(bat: &Bat, oids: &[Oid]) -> StorageResult<Vec<Atom>> {
+    let mut out = Vec::with_capacity(oids.len());
+    for &oid in oids {
+        let pos = if bat.head().is_dense() {
+            let base = match bat.head() {
+                crate::bat::HeadColumn::Dense { base } => *base,
+                _ => unreachable!(),
+            };
+            let p = oid.checked_sub(base).map(|d| d as usize);
+            match p {
+                Some(p) if p < bat.len() => p,
+                _ => {
+                    return Err(StorageError::OutOfBounds {
+                        index: oid as usize,
+                        len: bat.len(),
+                    })
+                }
+            }
+        } else {
+            (0..bat.len())
+                .find(|&p| bat.head().oid_at(p) == oid)
+                .ok_or(StorageError::OutOfBounds {
+                    index: oid as usize,
+                    len: bat.len(),
+                })?
+        };
+        out.push(bat.tail().atom_at(pos));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_range_keeps_source_oids() {
+        let b = Bat::from_ints("r_a", vec![5, 20, 10, 30]);
+        let s = select_range(&b, 10, 25).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.oid_at(0).unwrap(), 1);
+        assert_eq!(s.oid_at(1).unwrap(), 2);
+        assert_eq!(s.ints().unwrap(), &[20, 10]);
+    }
+
+    #[test]
+    fn select_range_on_wrong_type_errors() {
+        let b = Bat::from_floats("f", vec![1.0]);
+        assert!(select_range(&b, 0, 1).is_err());
+    }
+
+    #[test]
+    fn join_bats_matches_all_pairs() {
+        let l = Bat::from_ints("l", vec![1, 2, 2]);
+        let r = Bat::from_ints("r", vec![2, 3, 1]);
+        let mut pairs = join_bats(&l, &r).unwrap();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn aggregates_group_and_fold() {
+        let g = Bat::from_ints("g", vec![1, 2, 1, 2, 2]);
+        let v = Bat::from_ints("v", vec![10, 20, 30, 40, 50]);
+        assert_eq!(
+            aggregate_count(&g).unwrap(),
+            vec![(Atom::Int(1), 2), (Atom::Int(2), 3)]
+        );
+        assert_eq!(
+            aggregate_sum(&g, &v).unwrap(),
+            vec![(Atom::Int(1), 40), (Atom::Int(2), 110)]
+        );
+    }
+
+    #[test]
+    fn aggregate_sum_checks_alignment() {
+        let g = Bat::from_ints("g", vec![1]);
+        let v = Bat::from_ints("v", vec![1, 2]);
+        assert!(matches!(
+            aggregate_sum(&g, &v),
+            Err(StorageError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_count_over_strings() {
+        let g = Bat::from_strs("g", ["b", "a", "b"]);
+        assert_eq!(
+            aggregate_count(&g).unwrap(),
+            vec![(Atom::from("a"), 1), (Atom::from("b"), 2)]
+        );
+    }
+
+    #[test]
+    fn reverse_swaps_head_and_tail() {
+        let b = Bat::from_oids("idx", vec![7, 9]);
+        let r = reverse(&b).unwrap();
+        assert_eq!(r.oid_at(0).unwrap(), 7);
+        assert_eq!(r.oids().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn mirror_is_identity_mapping() {
+        let b = Bat::from_ints("r", vec![5, 6, 7]);
+        let m = mirror(&b).unwrap();
+        assert_eq!(m.oids().unwrap(), &[0, 1, 2]);
+        assert_eq!(m.oid_at(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn fetch_dense_and_explicit_heads() {
+        let b = Bat::from_ints("r", vec![10, 20, 30]);
+        assert_eq!(
+            fetch(&b, &[2, 0]).unwrap(),
+            vec![Atom::Int(30), Atom::Int(10)]
+        );
+        assert!(fetch(&b, &[9]).is_err());
+        let e = Bat::with_explicit_head("e", vec![5, 9], TailData::Int(vec![50, 90])).unwrap();
+        assert_eq!(fetch(&e, &[9]).unwrap(), vec![Atom::Int(90)]);
+        assert!(fetch(&e, &[6]).is_err());
+    }
+
+    #[test]
+    fn join_select_compose_like_a_query_plan() {
+        // σ then ⋈ — the shape of the paper's second example query.
+        let r_a = Bat::from_ints("r_a", vec![3, 8, 1, 9]);
+        let r_k = Bat::from_ints("r_k", vec![100, 200, 300, 400]);
+        let s_k = Bat::from_ints("s_k", vec![300, 100, 500]);
+        // select * from R where R.a < 5 -> oids {0, 2}
+        let sel = select_range(&r_a, i64::MIN, 4).unwrap();
+        let sel_oids: Vec<Oid> = (0..sel.len()).map(|p| sel.oid_at(p).unwrap()).collect();
+        // fetch their k values and join with S.k
+        let ks = fetch(&r_k, &sel_oids).unwrap();
+        let k_bat = Bat::from_ints(
+            "sel_k",
+            ks.iter().map(|a| a.as_int().unwrap()).collect(),
+        );
+        let mut pairs = join_bats(&k_bat, &s_k).unwrap();
+        pairs.sort_unstable();
+        // R oid 0 (k=100) matches S oid 1; R oid 2 (k=300) matches S oid 0.
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+}

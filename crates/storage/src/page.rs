@@ -1,0 +1,332 @@
+//! Fixed-size pages and the simulated disk beneath them.
+//!
+//! The paper's cost outlook counts granules — "tuples or disk pages"
+//! (§2.2) — and names "the disk-blocks, being the slowest granularity in
+//! the system" as the natural cracking cut-off (§3.4.2). This module
+//! supplies that granularity as a real substrate instead of a unit in a
+//! formula: [`PageBuf`] is one fixed-size block of packed 64-bit values
+//! with a small header, and [`PageStore`] / [`MemDisk`] is the block
+//! device it lives on, with read/write counters standing in for the IO
+//! the paper's numbers are "linear in" (§2.1).
+//!
+//! A [`MemDisk`] is deliberately a simulation — byte buffers plus
+//! counters — per the workspace's substitution rule: the experiments
+//! compare *IO counts*, which the simulation reproduces exactly, not
+//! device latencies, which it cannot.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Identifier of a page on a [`PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Default page size in bytes (8 KiB, a common DBMS block size).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved at the start of every page: a little-endian `u32`
+/// tuple count plus padding to the 8-byte value alignment.
+pub const PAGE_HEADER: usize = 8;
+
+/// Number of 64-bit values a page of `page_size` bytes can hold.
+pub fn page_capacity(page_size: usize) -> usize {
+    (page_size - PAGE_HEADER) / 8
+}
+
+/// One in-memory page image: header plus packed `i64` slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageBuf {
+    data: Vec<u8>,
+}
+
+impl PageBuf {
+    /// An empty page of `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if `page_size` cannot hold the header plus one value.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size >= PAGE_HEADER + 8,
+            "page size {page_size} cannot hold a single value"
+        );
+        PageBuf {
+            data: vec![0; page_size],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of values currently stored.
+    pub fn len(&self) -> usize {
+        u32::from_le_bytes(self.data[0..4].try_into().expect("header")) as usize
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of values this page can hold.
+    pub fn capacity(&self) -> usize {
+        page_capacity(self.data.len())
+    }
+
+    fn set_len(&mut self, n: usize) {
+        debug_assert!(n <= self.capacity());
+        self.data[0..4].copy_from_slice(&(n as u32).to_le_bytes());
+    }
+
+    fn slot_range(&self, slot: usize) -> StorageResult<usize> {
+        if slot >= self.len() {
+            return Err(StorageError::OutOfBounds {
+                index: slot,
+                len: self.len(),
+            });
+        }
+        Ok(PAGE_HEADER + slot * 8)
+    }
+
+    /// Read the value at `slot`.
+    pub fn get(&self, slot: usize) -> StorageResult<i64> {
+        let off = self.slot_range(slot)?;
+        Ok(i64::from_le_bytes(
+            self.data[off..off + 8].try_into().expect("aligned"),
+        ))
+    }
+
+    /// Overwrite the value at `slot`.
+    pub fn set(&mut self, slot: usize, v: i64) -> StorageResult<()> {
+        let off = self.slot_range(slot)?;
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Append a value; returns `false` when the page is full.
+    pub fn push(&mut self, v: i64) -> bool {
+        let n = self.len();
+        if n >= self.capacity() {
+            return false;
+        }
+        let off = PAGE_HEADER + n * 8;
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        self.set_len(n + 1);
+        true
+    }
+
+    /// All stored values, decoded (test/debug surface, not a hot path).
+    pub fn values(&self) -> Vec<i64> {
+        (0..self.len())
+            .map(|s| self.get(s).expect("slot < len"))
+            .collect()
+    }
+
+    /// The raw page image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Replace the page image (used when reading from a store).
+    ///
+    /// # Panics
+    /// Panics if the image size differs from the page size.
+    pub fn load_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.data.len(), "page size mismatch");
+        self.data.copy_from_slice(bytes);
+    }
+
+    /// Reset to an empty page.
+    pub fn clear(&mut self) {
+        self.set_len(0);
+    }
+}
+
+/// IO counters of a page store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from the store.
+    pub reads: u64,
+    /// Pages written to the store.
+    pub writes: u64,
+}
+
+/// A block device holding pages — the layer whose traffic the paper's
+/// disk-IO arguments are about.
+pub trait PageStore {
+    /// Page size in bytes, uniform across the store.
+    fn page_size(&self) -> usize;
+    /// Allocate a fresh zeroed page.
+    fn allocate(&mut self) -> PageId;
+    /// Read a page image into `buf`.
+    fn read(&mut self, id: PageId, buf: &mut PageBuf) -> StorageResult<()>;
+    /// Write a page image from `buf`.
+    fn write(&mut self, id: PageId, buf: &PageBuf) -> StorageResult<()>;
+    /// Number of allocated pages.
+    fn page_count(&self) -> usize;
+    /// Accumulated IO counters.
+    fn io_stats(&self) -> IoStats;
+}
+
+/// An in-memory simulated disk.
+#[derive(Debug, Default)]
+pub struct MemDisk {
+    page_size: usize,
+    pages: Vec<Vec<u8>>,
+    stats: IoStats,
+}
+
+impl MemDisk {
+    /// A disk with the default page size.
+    pub fn new() -> Self {
+        Self::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// A disk with an explicit page size (useful for tests: tiny pages
+    /// make page boundaries easy to hit).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size >= PAGE_HEADER + 8);
+        MemDisk {
+            page_size,
+            pages: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+}
+
+impl PageStore for MemDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> PageId {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(vec![0; self.page_size]);
+        id
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut PageBuf) -> StorageResult<()> {
+        let img = self
+            .pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?;
+        buf.load_bytes(img);
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &PageBuf) -> StorageResult<()> {
+        let img = self
+            .pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::UnknownPage(id.0))?;
+        img.copy_from_slice(buf.bytes());
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_roundtrip_and_capacity() {
+        let mut p = PageBuf::new(64); // 8 header + 7 values
+        assert_eq!(p.capacity(), 7);
+        assert!(p.is_empty());
+        for v in 0..7 {
+            assert!(p.push(v * 11));
+        }
+        assert!(!p.push(99), "eighth value must not fit");
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.get(3).unwrap(), 33);
+        p.set(3, -5).unwrap();
+        assert_eq!(p.get(3).unwrap(), -5);
+        assert_eq!(p.values(), vec![0, 11, 22, -5, 44, 55, 66]);
+    }
+
+    #[test]
+    fn out_of_bounds_slots_error() {
+        let mut p = PageBuf::new(64);
+        p.push(1);
+        assert!(matches!(
+            p.get(1),
+            Err(StorageError::OutOfBounds { index: 1, len: 1 })
+        ));
+        assert!(p.set(9, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn tiny_pages_are_rejected() {
+        PageBuf::new(8);
+    }
+
+    #[test]
+    fn negative_values_survive_the_byte_roundtrip() {
+        let mut p = PageBuf::new(64);
+        p.push(i64::MIN);
+        p.push(-1);
+        p.push(i64::MAX);
+        assert_eq!(p.get(0).unwrap(), i64::MIN);
+        assert_eq!(p.get(1).unwrap(), -1);
+        assert_eq!(p.get(2).unwrap(), i64::MAX);
+    }
+
+    #[test]
+    fn memdisk_allocates_reads_writes_and_counts() {
+        let mut d = MemDisk::with_page_size(64);
+        let a = d.allocate();
+        let b = d.allocate();
+        assert_eq!((a, b), (PageId(0), PageId(1)));
+        assert_eq!(d.page_count(), 2);
+
+        let mut buf = PageBuf::new(64);
+        buf.push(42);
+        d.write(a, &buf).unwrap();
+
+        let mut back = PageBuf::new(64);
+        d.read(a, &mut back).unwrap();
+        assert_eq!(back.values(), vec![42]);
+        // Page b is still zeroed/empty.
+        d.read(b, &mut back).unwrap();
+        assert!(back.is_empty());
+
+        assert_eq!(d.io_stats(), IoStats { reads: 2, writes: 1 });
+    }
+
+    #[test]
+    fn unknown_pages_error() {
+        let mut d = MemDisk::with_page_size(64);
+        let mut buf = PageBuf::new(64);
+        assert!(matches!(
+            d.read(PageId(7), &mut buf),
+            Err(StorageError::UnknownPage(7))
+        ));
+        assert!(d.write(PageId(7), &buf).is_err());
+    }
+
+    #[test]
+    fn clear_resets_length_only() {
+        let mut p = PageBuf::new(64);
+        p.push(5);
+        p.clear();
+        assert!(p.is_empty());
+        assert!(p.push(6));
+        assert_eq!(p.get(0).unwrap(), 6);
+    }
+
+    #[test]
+    fn default_page_capacity() {
+        assert_eq!(page_capacity(DEFAULT_PAGE_SIZE), 1023);
+    }
+}

@@ -1,0 +1,118 @@
+//! Snapshot persistence for catalogs.
+//!
+//! Experiments over long multi-query sequences benefit from checkpointing:
+//! generate a tapestry table once, snapshot it, reload per run. The format
+//! is a single JSON document (`serde_json` is used only here and for
+//! machine-readable experiment output — never on a query hot path).
+//!
+//! Note the paper's cracker indices "are not saved between sessions. They
+//! are pure auxiliary datastructures" (§5.2) — accordingly, accelerators and
+//! stats are *not* serialized; they are rebuilt lazily after load.
+
+use crate::bat::Bat;
+use crate::catalog::StoreCatalog;
+use crate::error::{StorageError, StorageResult};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// On-disk snapshot format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    /// Format version for forward compatibility.
+    version: u32,
+    /// All BATs, keyed by catalog name.
+    bats: Vec<Bat>,
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Write every BAT in `catalog` to `path` as JSON.
+pub fn save_catalog(catalog: &StoreCatalog, path: impl AsRef<Path>) -> StorageResult<()> {
+    let bats = catalog
+        .snapshot()
+        .into_iter()
+        .map(|(_, b)| (*b).clone())
+        .collect();
+    let snap = Snapshot {
+        version: SNAPSHOT_VERSION,
+        bats,
+    };
+    let file = File::create(path).map_err(|e| StorageError::Persist(e.to_string()))?;
+    serde_json::to_writer(BufWriter::new(file), &snap)
+        .map_err(|e| StorageError::Persist(e.to_string()))
+}
+
+/// Load a snapshot written by [`save_catalog`] into a fresh catalog.
+pub fn load_catalog(path: impl AsRef<Path>) -> StorageResult<StoreCatalog> {
+    let file = File::open(path).map_err(|e| StorageError::Persist(e.to_string()))?;
+    let snap: Snapshot = serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| StorageError::Persist(e.to_string()))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(StorageError::Persist(format!(
+            "unsupported snapshot version {}",
+            snap.version
+        )));
+    }
+    let catalog = StoreCatalog::new();
+    for bat in snap.bats {
+        catalog.register(bat)?;
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Atom;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dbcracker-persist-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![5, 3, 9])).unwrap();
+        cat.register(Bat::from_strs("r_s", ["x", "y"])).unwrap();
+        let path = tmp("roundtrip");
+        save_catalog(&cat, &path).unwrap();
+        let back = load_catalog(&path).unwrap();
+        assert_eq!(back.names(), vec!["r_a".to_string(), "r_s".to_string()]);
+        assert_eq!(back.get("r_a").unwrap().ints().unwrap(), &[5, 3, 9]);
+        assert_eq!(back.get("r_s").unwrap().str_at(1).unwrap(), "y");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn accelerators_are_rebuilt_after_load() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![2, 1])).unwrap();
+        let path = tmp("accel");
+        save_catalog(&cat, &path).unwrap();
+        let back = load_catalog(&path).unwrap();
+        // Clone out of the Arc to get a mutable BAT, then build lazily.
+        let mut bat = (*back.get("r_a").unwrap()).clone();
+        assert_eq!(bat.sorted_permutation(), &[1, 0]);
+        assert_eq!(bat.hash_lookup(&Atom::Int(2)), vec![0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loading_missing_file_is_an_error() {
+        let err = load_catalog("/nonexistent/dir/snap.json").unwrap_err();
+        assert!(matches!(err, StorageError::Persist(_)));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"not json at all").unwrap();
+        let err = load_catalog(&path).unwrap_err();
+        assert!(matches!(err, StorageError::Persist(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,254 @@
+//! BAT views: zero-copy slices of a BAT.
+//!
+//! "A BAT view appears to the user as an independent binary table, but its
+//! physical location is determined by a range of tuples in another BAT.
+//! Consequently, the overhead incurred by catalog management is less severe"
+//! (§3.4.2). Cracked pieces are exactly such ranges: after the cracker has
+//! clustered tuples, every piece is a consecutive slot range, and a
+//! [`BatView`] represents it without copying a single BUN.
+
+use crate::bat::{Bat, TailData};
+use crate::error::{StorageError, StorageResult};
+use crate::stats::BatStats;
+use crate::value::{Atom, AtomType, Oid};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A read-only window `[start, end)` over a shared BAT.
+#[derive(Debug, Clone)]
+pub struct BatView {
+    parent: Arc<Bat>,
+    range: Range<usize>,
+}
+
+impl BatView {
+    /// View the whole of `parent`.
+    pub fn whole(parent: Arc<Bat>) -> Self {
+        let range = 0..parent.len();
+        BatView { parent, range }
+    }
+
+    /// View the BUN range `range` of `parent`.
+    pub fn slice(parent: Arc<Bat>, range: Range<usize>) -> StorageResult<Self> {
+        if range.end > parent.len() || range.start > range.end {
+            return Err(StorageError::OutOfBounds {
+                index: range.end,
+                len: parent.len(),
+            });
+        }
+        Ok(BatView { parent, range })
+    }
+
+    /// Narrow this view to a sub-range (relative to the view).
+    pub fn narrow(&self, sub: Range<usize>) -> StorageResult<Self> {
+        if sub.end > self.len() || sub.start > sub.end {
+            return Err(StorageError::OutOfBounds {
+                index: sub.end,
+                len: self.len(),
+            });
+        }
+        Ok(BatView {
+            parent: Arc::clone(&self.parent),
+            range: self.range.start + sub.start..self.range.start + sub.end,
+        })
+    }
+
+    /// The underlying BAT.
+    pub fn parent(&self) -> &Arc<Bat> {
+        &self.parent
+    }
+
+    /// Physical BUN range inside the parent.
+    pub fn bun_range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of BUNs visible through the view.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True when the view covers no BUNs.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Tail atom type of the underlying BAT.
+    pub fn tail_type(&self) -> AtomType {
+        self.parent.tail_type()
+    }
+
+    /// OID of the view-relative position `pos`.
+    pub fn oid_at(&self, pos: usize) -> StorageResult<Oid> {
+        self.check(pos)?;
+        self.parent.oid_at(self.range.start + pos)
+    }
+
+    /// Tail atom at view-relative position `pos`.
+    pub fn atom_at(&self, pos: usize) -> StorageResult<Atom> {
+        self.check(pos)?;
+        self.parent.atom_at(self.range.start + pos)
+    }
+
+    /// Borrow the visible tail slice as `&[i64]`.
+    pub fn ints(&self) -> StorageResult<&[i64]> {
+        Ok(&self.parent.ints()?[self.range.clone()])
+    }
+
+    /// Borrow the visible tail slice as `&[f64]`.
+    pub fn floats(&self) -> StorageResult<&[f64]> {
+        Ok(&self.parent.floats()?[self.range.clone()])
+    }
+
+    /// Borrow the visible tail slice as `&[Oid]`.
+    pub fn oids(&self) -> StorageResult<&[Oid]> {
+        Ok(&self.parent.oids()?[self.range.clone()])
+    }
+
+    /// Iterate `(oid, atom)` pairs visible through the view.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, Atom)> + '_ {
+        self.range.clone().map(move |p| {
+            (
+                self.parent.head().oid_at(p),
+                self.parent.tail().atom_at(p),
+            )
+        })
+    }
+
+    /// Statistics of the visible window (computed fresh; views are cheap
+    /// and transient, so no caching).
+    pub fn stats(&self) -> BatStats {
+        // Build a borrowed-window computation without copying the tail.
+        match self.parent.tail() {
+            TailData::Int(v) => BatStats::compute(&TailData::Int(v[self.range.clone()].to_vec())),
+            TailData::Float(v) => {
+                BatStats::compute(&TailData::Float(v[self.range.clone()].to_vec()))
+            }
+            TailData::Oid(v) => BatStats::compute(&TailData::Oid(v[self.range.clone()].to_vec())),
+            TailData::Str { refs, heap } => BatStats::compute(&TailData::Str {
+                refs: refs[self.range.clone()].to_vec(),
+                heap: heap.clone(),
+            }),
+        }
+    }
+
+    /// Copy the view out into an independent BAT with an explicit head.
+    pub fn materialize(&self, name: impl Into<String>) -> StorageResult<Bat> {
+        let oids: Vec<Oid> = self
+            .range
+            .clone()
+            .map(|p| self.parent.head().oid_at(p))
+            .collect();
+        let tail = match self.parent.tail() {
+            TailData::Int(v) => TailData::Int(v[self.range.clone()].to_vec()),
+            TailData::Float(v) => TailData::Float(v[self.range.clone()].to_vec()),
+            TailData::Oid(v) => TailData::Oid(v[self.range.clone()].to_vec()),
+            TailData::Str { refs, heap } => {
+                let mut new_heap = crate::heap::StrHeap::new();
+                let new_refs = refs[self.range.clone()]
+                    .iter()
+                    .map(|&r| new_heap.intern(heap.get(r)))
+                    .collect();
+                TailData::Str {
+                    refs: new_refs,
+                    heap: new_heap,
+                }
+            }
+        };
+        Bat::with_explicit_head(name, oids, tail)
+    }
+
+    fn check(&self, pos: usize) -> StorageResult<()> {
+        if pos < self.len() {
+            Ok(())
+        } else {
+            Err(StorageError::OutOfBounds {
+                index: pos,
+                len: self.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<Bat> {
+        Arc::new(Bat::from_ints("r_a", vec![10, 20, 30, 40, 50]))
+    }
+
+    #[test]
+    fn whole_view_covers_everything() {
+        let v = BatView::whole(sample());
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.atom_at(4).unwrap(), Atom::Int(50));
+    }
+
+    #[test]
+    fn slice_offsets_positions_and_oids() {
+        let v = BatView::slice(sample(), 1..4).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.atom_at(0).unwrap(), Atom::Int(20));
+        assert_eq!(v.oid_at(0).unwrap(), 1);
+        assert_eq!(v.ints().unwrap(), &[20, 30, 40]);
+    }
+
+    #[test]
+    fn out_of_range_slice_is_rejected() {
+        assert!(BatView::slice(sample(), 3..6).is_err());
+        let v = BatView::whole(sample());
+        assert!(v.atom_at(5).is_err());
+    }
+
+    #[test]
+    fn narrow_composes_ranges() {
+        let v = BatView::slice(sample(), 1..5).unwrap();
+        let w = v.narrow(1..3).unwrap();
+        assert_eq!(w.ints().unwrap(), &[30, 40]);
+        assert_eq!(w.bun_range(), 2..4);
+        assert!(v.narrow(2..9).is_err());
+    }
+
+    #[test]
+    fn empty_view_is_fine() {
+        let v = BatView::slice(sample(), 2..2).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.stats().count, 0);
+    }
+
+    #[test]
+    fn view_stats_reflect_window_only() {
+        let v = BatView::slice(sample(), 1..3).unwrap();
+        let s = v.stats();
+        assert_eq!(s.min, Some(Atom::Int(20)));
+        assert_eq!(s.max, Some(Atom::Int(30)));
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn materialize_copies_with_explicit_head() {
+        let v = BatView::slice(sample(), 3..5).unwrap();
+        let b = v.materialize("piece").unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.oid_at(0).unwrap(), 3);
+        assert_eq!(b.ints().unwrap(), &[40, 50]);
+        assert!(!b.head().is_dense());
+    }
+
+    #[test]
+    fn materialize_string_view_rebuilds_heap() {
+        let b = Arc::new(Bat::from_strs("s", ["x", "y", "z"]));
+        let v = BatView::slice(b, 1..3).unwrap();
+        let m = v.materialize("piece").unwrap();
+        assert_eq!(m.str_at(0).unwrap(), "y");
+        assert_eq!(m.str_at(1).unwrap(), "z");
+    }
+
+    #[test]
+    fn iter_visible_pairs() {
+        let v = BatView::slice(sample(), 0..2).unwrap();
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, Atom::Int(10)), (1, Atom::Int(20))]);
+    }
+}

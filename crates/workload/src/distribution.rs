@@ -1,0 +1,204 @@
+//! Selectivity distribution functions ρ(i, k, σ) — Figure 8.
+//!
+//! The paper models how a zooming user's intermediate selectivity shrinks
+//! from 1.0 (everything) at step 0 to the target σ at step k, in three
+//! extreme shapes:
+//!
+//! * **linear** — "a user is consistently able to remove a constant number
+//!   of tuples": `ρ(i) = 1 − i·(1−σ)/k`;
+//! * **exponential** — "in the initial phase, the candidate set is quickly
+//!   trimmed and ... in the tail of the sequence, the hard work takes
+//!   place": decay driven by `e^{−(1−σ)·i²/(2k)}`;
+//! * **logarithmic** — "the quick reduction to the desired target takes
+//!   place in the tail": the mirror image,
+//!   `1 − (1−σ)·e^{−(1−σ)·(k−i)²/(2k)}`.
+//!
+//! The exponential/logarithmic exponents in the source report are
+//! OCR-damaged (`e^(1−σ)2ki2`); the forms above are the calibration that
+//! reproduces every property Figure 8 displays: both curves are monotone
+//! from 1.0 towards σ, the exponential contracts early, the logarithmic
+//! late, and the two are mirror images about the sequence midpoint. The
+//! tests pin down those properties rather than opaque constants.
+
+use serde::{Deserialize, Serialize};
+
+/// The three convergence models of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Contraction {
+    /// Constant-rate shrinking.
+    Linear,
+    /// Quick trim early, fine-tuning late.
+    Exponential,
+    /// Slow start, quick reduction in the tail.
+    Logarithmic,
+}
+
+impl Contraction {
+    /// The selectivity at step `i` of a `k`-step sequence converging to
+    /// target selectivity `sigma`. Clamped to `[sigma, 1]`; `ρ(0) = 1`
+    /// and `ρ(k) = σ` (up to the exponential tail for the non-linear
+    /// shapes).
+    pub fn rho(&self, i: usize, k: usize, sigma: f64) -> f64 {
+        assert!(k >= 1, "sequence length must be at least 1");
+        assert!((0.0..=1.0).contains(&sigma), "selectivity in [0,1]");
+        let i = i.min(k) as f64;
+        let k = k as f64;
+        let raw = match self {
+            Contraction::Linear => 1.0 - i * (1.0 - sigma) / k,
+            Contraction::Exponential => {
+                sigma + (1.0 - sigma) * (-(1.0 - sigma) * i * i / (2.0 * k)).exp()
+            }
+            Contraction::Logarithmic => {
+                let j = k - i;
+                1.0 - (1.0 - sigma) * (-(1.0 - sigma) * j * j / (2.0 * k)).exp()
+            }
+        };
+        raw.clamp(sigma, 1.0)
+    }
+
+    /// The whole series `ρ(1), ..., ρ(k)` (step 0 — the full table — is
+    /// not a query and is omitted, matching Figure 8's x-axis starting at
+    /// step 1). The final entry is forced to exactly `sigma`: the homerun
+    /// user "reaches his final destination in precisely k steps".
+    pub fn series(&self, k: usize, sigma: f64) -> Vec<f64> {
+        let mut s: Vec<f64> = (1..=k).map(|i| self.rho(i, k, sigma)).collect();
+        if let Some(last) = s.last_mut() {
+            *last = sigma;
+        }
+        s
+    }
+
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Contraction::Linear => "linear",
+            Contraction::Exponential => "exponential",
+            Contraction::Logarithmic => "logarithmic",
+        }
+    }
+
+    /// All three models.
+    pub fn all() -> [Contraction; 3] {
+        [
+            Contraction::Linear,
+            Contraction::Exponential,
+            Contraction::Logarithmic,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const K: usize = 20;
+    const SIGMA: f64 = 0.2;
+
+    #[test]
+    fn endpoints_are_one_and_sigma() {
+        for c in Contraction::all() {
+            assert!((c.rho(0, K, SIGMA) - 1.0).abs() < 0.05, "{c:?} starts near 1");
+            assert!(
+                (c.rho(K, K, SIGMA) - SIGMA).abs() < 0.05,
+                "{c:?} ends near sigma"
+            );
+            let series = c.series(K, SIGMA);
+            assert_eq!(series.len(), K);
+            assert_eq!(*series.last().unwrap(), SIGMA);
+        }
+    }
+
+    #[test]
+    fn all_series_are_monotone_nonincreasing() {
+        for c in Contraction::all() {
+            let s = c.series(K, SIGMA);
+            for w in s.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "{c:?} must not grow: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_contracts_early_logarithmic_late() {
+        // At the midpoint the exponential is already close to sigma while
+        // the logarithmic is still close to 1 — the defining asymmetry of
+        // Figure 8.
+        let e_mid = Contraction::Exponential.rho(K / 2, K, SIGMA);
+        let l_mid = Contraction::Logarithmic.rho(K / 2, K, SIGMA);
+        let lin_mid = Contraction::Linear.rho(K / 2, K, SIGMA);
+        assert!(e_mid < lin_mid, "exp below linear at midpoint");
+        assert!(l_mid > lin_mid, "log above linear at midpoint");
+    }
+
+    #[test]
+    fn exponential_and_logarithmic_are_mirror_images() {
+        for i in 0..=K {
+            let e = Contraction::Exponential.rho(i, K, SIGMA);
+            let l = Contraction::Logarithmic.rho(K - i, K, SIGMA);
+            // Mirrored: ρ_exp(i) + ρ_log(k−i) ≈ 1 + σ.
+            assert!(
+                (e + l - (1.0 + SIGMA)).abs() < 1e-9,
+                "mirror property at i={i}: {e} + {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_removes_constant_fraction() {
+        let s = Contraction::Linear.series(K, SIGMA);
+        let d0 = 1.0 - s[0];
+        for w in s.windows(2) {
+            assert!((w[0] - w[1] - d0).abs() < 1e-9, "constant decrement");
+        }
+    }
+
+    #[test]
+    fn sigma_one_is_constant() {
+        for c in Contraction::all() {
+            for i in 0..=K {
+                assert_eq!(c.rho(i, K, 1.0), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn invalid_sigma_panics() {
+        Contraction::Linear.rho(1, 10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn zero_length_sequence_panics() {
+        Contraction::Linear.rho(0, 0, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rho_always_within_bounds(
+            i in 0usize..200,
+            k in 1usize..200,
+            sigma in 0.0f64..1.0,
+        ) {
+            for c in Contraction::all() {
+                let r = c.rho(i, k, sigma);
+                prop_assert!(r >= sigma - 1e-12);
+                prop_assert!(r <= 1.0 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_series_monotone_for_arbitrary_parameters(
+            k in 1usize..100,
+            sigma in 0.0f64..0.99,
+        ) {
+            for c in Contraction::all() {
+                let s = c.series(k, sigma);
+                for w in s.windows(2) {
+                    prop_assert!(w[0] >= w[1] - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The hiking user profile.
+//!
+//! "In the hiking profile, we assume that such shifts in focus are not
+//! random. Instead, the answer sets of two consecutive queries partly
+//! overlap. They steer the search process to the final goal. We assume
+//! that our ideal user is able to identify at each step precisely σN
+//! tuples ... The overlap between answer sets reaches 100% at the end of
+//! the sequence. The selectivity distribution functions can be used to
+//! define overlap by δ(i, k, σ) = ρ(i, k, 0)" (§4).
+//!
+//! Generation: all windows have the fixed width `σN`. The *step size*
+//! between consecutive windows is `(1 − overlap) · width` where the
+//! overlap fraction grows as `1 − ρ(i, k, 0)` — early steps stride across
+//! the domain, late steps creep, and the final step lands exactly on the
+//! target window (100% overlap with its successor-to-be).
+
+use crate::distribution::Contraction;
+use crate::Window;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a hiking sequence: `k` windows of fixed width `⌈σ·n⌉` drifting
+/// toward a random target, with the pairwise-overlap schedule derived from
+/// `contraction`.
+pub fn hiking_sequence(
+    n: usize,
+    k: usize,
+    sigma: f64,
+    contraction: Contraction,
+    seed: u64,
+) -> Vec<Window> {
+    assert!(n >= 1, "domain must be non-empty");
+    assert!(k >= 1, "at least one step");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_i = n as i64;
+    let width = ((sigma * n as f64).ceil() as i64).clamp(1, n_i);
+    let max_lo = n_i - width + 1;
+    let target_lo = rng.gen_range(1..=max_lo);
+    let start_lo = rng.gen_range(1..=max_lo);
+
+    let mut out = Vec::with_capacity(k);
+    let mut lo = start_lo;
+    for i in 1..=k {
+        if i == k {
+            lo = target_lo;
+        } else {
+            // Overlap with the *next* window grows toward 1; stride is the
+            // complement. δ(i,k,σ) = ρ(i,k,0) shrinks 1→0, so overlap
+            // fraction = 1 − δ would start at 0; we want early strides
+            // large, late strides tiny, i.e. stride ∝ δ(i).
+            let delta = contraction.rho(i, k, 0.0);
+            let stride = ((delta * width as f64).round() as i64).max(0);
+            let towards = (target_lo - lo).signum();
+            lo = (lo + towards * stride.min((target_lo - lo).abs())).clamp(1, max_lo);
+        }
+        out.push(Window::new(lo, lo + width));
+    }
+    out
+}
+
+/// The realized overlap fractions `|wᵢ ∩ wᵢ₊₁| / width` of a sequence
+/// (diagnostic used by tests and the benchmark report).
+pub fn overlap_profile(seq: &[Window]) -> Vec<f64> {
+    seq.windows(2)
+        .map(|w| w[0].overlap(&w[1]) as f64 / w[0].width().max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_windows_have_fixed_width() {
+        let seq = hiking_sequence(10_000, 15, 0.05, Contraction::Linear, 11);
+        assert_eq!(seq.len(), 15);
+        for w in &seq {
+            assert_eq!(w.width(), 500, "precisely sigma*N tuples each step");
+        }
+    }
+
+    #[test]
+    fn final_steps_fully_overlap() {
+        let seq = hiking_sequence(10_000, 20, 0.1, Contraction::Linear, 3);
+        let prof = overlap_profile(&seq);
+        // "The overlap between answer sets reaches 100% at the end".
+        assert!(
+            *prof.last().unwrap() > 0.95,
+            "final overlap ~100%, got {prof:?}"
+        );
+    }
+
+    #[test]
+    fn overlap_grows_towards_the_end() {
+        let seq = hiking_sequence(100_000, 30, 0.05, Contraction::Linear, 9);
+        let prof = overlap_profile(&seq);
+        let early: f64 = prof[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = prof[prof.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(
+            late >= early,
+            "late overlap {late} should exceed early {early}"
+        );
+    }
+
+    #[test]
+    fn windows_stay_in_domain() {
+        for seed in 0..20 {
+            let seq = hiking_sequence(777, 12, 0.2, Contraction::Exponential, seed);
+            for w in &seq {
+                assert!(w.lo >= 1 && w.hi <= 778, "window {w:?} out of domain");
+            }
+        }
+    }
+
+    #[test]
+    fn last_window_is_the_target_deterministically() {
+        let a = hiking_sequence(1000, 10, 0.1, Contraction::Logarithmic, 5);
+        let b = hiking_sequence(1000, 10, 0.1, Contraction::Logarithmic, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.last(), b.last());
+    }
+
+    #[test]
+    fn sigma_one_covers_whole_domain() {
+        let seq = hiking_sequence(50, 4, 1.0, Contraction::Linear, 2);
+        for w in &seq {
+            assert_eq!(w.width(), 50);
+            assert_eq!(w.lo, 1);
+        }
+    }
+}

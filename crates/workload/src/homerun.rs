@@ -1,0 +1,148 @@
+//! The homerun user profile.
+//!
+//! "The homerun user profile illustrates a user zooming into a specific
+//! subset of σN tuples, using a multi-step query refinement process. It
+//! represents a hypothetical user, who is able to consistently improve his
+//! query with each step taken, such that he reaches his final destination
+//! in precisely k steps. ... The homerun models a sequence of range
+//! refinements and a monotonously reducing answer set" (§4).
+//!
+//! Generation: pick a random target window of width `σN`, then emit `k`
+//! windows whose widths follow `ρ(i, k, σ)`, each *containing* the target
+//! and *contained in* its predecessor — the nesting is what "answers to
+//! previous queries help to speedup processing" relies on: every query's
+//! bounds fall inside the piece cracked by the previous one.
+
+use crate::distribution::Contraction;
+use crate::Window;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a homerun sequence of `k` nested windows over the domain
+/// `1..=n`, converging on a random target window of width `⌈σ·n⌉`.
+pub fn homerun_sequence(
+    n: usize,
+    k: usize,
+    sigma: f64,
+    contraction: Contraction,
+    seed: u64,
+) -> Vec<Window> {
+    assert!(n >= 1, "domain must be non-empty");
+    assert!(k >= 1, "at least one step");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_i = n as i64;
+    let target_w = ((sigma * n as f64).ceil() as i64).clamp(1, n_i);
+    let target_lo = rng.gen_range(1..=(n_i - target_w + 1));
+    let target = Window::new(target_lo, target_lo + target_w);
+
+    let mut out = Vec::with_capacity(k);
+    let mut prev = Window::new(1, n_i + 1);
+    for (idx, rho) in contraction.series(k, sigma).into_iter().enumerate() {
+        let width = ((rho * n as f64).ceil() as i64).clamp(target_w, n_i);
+        // Place a window of `width` containing `target`, inside `prev`.
+        let lo_min = prev.lo.max(target.hi - width);
+        let lo_max = (prev.hi - width).min(target.lo);
+        let lo = if lo_min >= lo_max {
+            lo_min.min(lo_max)
+        } else {
+            rng.gen_range(lo_min..=lo_max)
+        };
+        let w = Window::new(lo, lo + width);
+        debug_assert!(
+            prev.contains(&w) && w.contains(&target),
+            "step {idx}: nesting violated"
+        );
+        out.push(w);
+        prev = w;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequence_is_nested_and_hits_target_width() {
+        let seq = homerun_sequence(10_000, 20, 0.05, Contraction::Linear, 7);
+        assert_eq!(seq.len(), 20);
+        for w in seq.windows(2) {
+            assert!(w[0].contains(&w[1]), "monotonously reducing answer sets");
+        }
+        let last = seq.last().unwrap();
+        assert_eq!(last.width(), 500, "final step is exactly the target set");
+    }
+
+    #[test]
+    fn widths_follow_the_contraction_series() {
+        let n = 100_000;
+        let k = 10;
+        let seq = homerun_sequence(n, k, 0.2, Contraction::Exponential, 3);
+        let series = Contraction::Exponential.series(k, 0.2);
+        for (w, rho) in seq.iter().zip(series) {
+            let expected = (rho * n as f64).ceil();
+            assert!(
+                (w.width() as f64 - expected).abs() <= 1.0,
+                "width {} vs rho*N {}",
+                w.width(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = homerun_sequence(1000, 8, 0.1, Contraction::Linear, 42);
+        let b = homerun_sequence(1000, 8, 0.1, Contraction::Linear, 42);
+        assert_eq!(a, b);
+        let c = homerun_sequence(1000, 8, 0.1, Contraction::Linear, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_windows_stay_in_domain() {
+        let seq = homerun_sequence(500, 30, 0.01, Contraction::Logarithmic, 5);
+        for w in &seq {
+            assert!(w.lo >= 1);
+            assert!(w.hi <= 501);
+            assert!(w.width() >= 1);
+        }
+    }
+
+    #[test]
+    fn single_step_sequence_is_the_target() {
+        let seq = homerun_sequence(100, 1, 0.25, Contraction::Linear, 1);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].width(), 25);
+    }
+
+    #[test]
+    fn sigma_one_selects_everything_each_step() {
+        let seq = homerun_sequence(100, 5, 1.0, Contraction::Linear, 1);
+        for w in &seq {
+            assert_eq!(w.width(), 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nesting_and_domain_hold(
+            n in 10usize..5000,
+            k in 1usize..40,
+            sigma in 0.001f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            for c in Contraction::all() {
+                let seq = homerun_sequence(n, k, sigma, c, seed);
+                prop_assert_eq!(seq.len(), k);
+                let mut prev = Window::new(1, n as i64 + 1);
+                for w in &seq {
+                    prop_assert!(prev.contains(w), "{c:?}: nesting");
+                    prop_assert!(w.width() >= 1);
+                    prev = *w;
+                }
+            }
+        }
+    }
+}

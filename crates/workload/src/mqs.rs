@@ -1,0 +1,172 @@
+//! The multi-query sequence space descriptor.
+//!
+//! "DEFINITION The query sequence space can be characterised by the tuple
+//! `MQS(α, N, k, σ, ρ, δ)` where α denotes the table arity, N the
+//! cardinality of the table, k the length of the sequence to reach the
+//! target set, σ the selectivity factor of the target set, ρ the
+//! selectivity distribution function ρ(i,k,σ), \[and\] δ the pair-wise
+//! overlap as a selectivity factor over N" (§4).
+//!
+//! [`Mqs`] bundles those dimensions with a user [`Profile`] and generates
+//! both the tapestry table and the query sequence.
+
+use crate::distribution::Contraction;
+use crate::strolling::StrollMode;
+use crate::tapestry::Tapestry;
+use crate::{hiking, homerun, strolling, Window};
+
+/// The idealized user behaviour driving the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Zooming via nested refinements (§4, *Homeruns*).
+    Homerun,
+    /// Drifting fixed-σ windows with growing overlap (§4, *Hiking*).
+    Hiking,
+    /// Random sampling (§4, *Strolling*), with the given scheduling mode.
+    Strolling(StrollMode),
+}
+
+/// The MQS(α, N, k, σ, ρ, δ) tuple plus the user profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mqs {
+    /// Table arity α.
+    pub alpha: usize,
+    /// Table cardinality N.
+    pub n: usize,
+    /// Sequence length k.
+    pub k: usize,
+    /// Target selectivity σ.
+    pub sigma: f64,
+    /// Selectivity distribution function ρ.
+    pub rho: Contraction,
+    /// Pair-wise overlap schedule δ (used by the hiking profile).
+    pub delta: Contraction,
+    /// User behaviour.
+    pub profile: Profile,
+}
+
+impl Mqs {
+    /// A 2-column homerun space with linear contraction — the shape of the
+    /// paper's preliminary experiments ("a tapestry table of various
+    /// sizes, but with only two columns", §5).
+    pub fn paper_default(n: usize, k: usize, sigma: f64) -> Self {
+        Mqs {
+            alpha: 2,
+            n,
+            k,
+            sigma,
+            rho: Contraction::Linear,
+            delta: Contraction::Linear,
+            profile: Profile::Homerun,
+        }
+    }
+
+    /// Generate the tapestry table for this space.
+    pub fn table(&self, seed: u64) -> Tapestry {
+        Tapestry::generate(self.n, self.alpha, seed)
+    }
+
+    /// Generate the query sequence for this space.
+    pub fn sequence(&self, seed: u64) -> Vec<Window> {
+        match self.profile {
+            Profile::Homerun => homerun::homerun_sequence(self.n, self.k, self.sigma, self.rho, seed),
+            Profile::Hiking => hiking::hiking_sequence(self.n, self.k, self.sigma, self.delta, seed),
+            Profile::Strolling(mode) => {
+                strolling::strolling_sequence(self.n, self.k, self.sigma, self.rho, mode, seed)
+            }
+        }
+    }
+
+    /// Human-readable identifier for experiment output, e.g.
+    /// `MQS(a=2,N=1000000,k=128,s=0.05,rho=linear,profile=homerun)`.
+    pub fn describe(&self) -> String {
+        let profile = match self.profile {
+            Profile::Homerun => "homerun".to_string(),
+            Profile::Hiking => "hiking".to_string(),
+            Profile::Strolling(StrollMode::Converge) => "strolling/converge".to_string(),
+            Profile::Strolling(StrollMode::RandomWithReplacement) => {
+                "strolling/random+repl".to_string()
+            }
+            Profile::Strolling(StrollMode::RandomWithoutReplacement) => {
+                "strolling/random-repl".to_string()
+            }
+        };
+        format!(
+            "MQS(a={},N={},k={},s={},rho={},profile={})",
+            self.alpha,
+            self.n,
+            self.k,
+            self.sigma,
+            self.rho.name(),
+            profile
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_experiment_setup() {
+        let m = Mqs::paper_default(1_000_000, 128, 0.05);
+        assert_eq!(m.alpha, 2);
+        assert_eq!(m.n, 1_000_000);
+        assert_eq!(m.profile, Profile::Homerun);
+    }
+
+    #[test]
+    fn table_and_sequence_generation_dispatch() {
+        let m = Mqs {
+            alpha: 2,
+            n: 1000,
+            k: 10,
+            sigma: 0.1,
+            rho: Contraction::Linear,
+            delta: Contraction::Linear,
+            profile: Profile::Homerun,
+        };
+        let t = m.table(1);
+        assert_eq!(t.n, 1000);
+        assert_eq!(t.arity(), 2);
+        let seq = m.sequence(1);
+        assert_eq!(seq.len(), 10);
+        // Homerun: nested.
+        assert!(seq[0].contains(&seq[9]));
+    }
+
+    #[test]
+    fn profiles_generate_distinct_shapes() {
+        let base = Mqs::paper_default(10_000, 12, 0.05);
+        let home = base.sequence(5);
+        let hike = Mqs {
+            profile: Profile::Hiking,
+            ..base
+        }
+        .sequence(5);
+        let stroll = Mqs {
+            profile: Profile::Strolling(StrollMode::Converge),
+            ..base
+        }
+        .sequence(5);
+        assert_ne!(home, hike);
+        assert_ne!(home, stroll);
+        // Hiking: constant width; homerun: shrinking width.
+        assert!(hike.windows(2).all(|w| w[0].width() == w[1].width()));
+        assert!(home[0].width() > home[11].width());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let m = Mqs::paper_default(100, 5, 0.5);
+        assert_eq!(
+            m.describe(),
+            "MQS(a=2,N=100,k=5,s=0.5,rho=linear,profile=homerun)"
+        );
+        let s = Mqs {
+            profile: Profile::Strolling(StrollMode::RandomWithoutReplacement),
+            ..m
+        };
+        assert!(s.describe().ends_with("profile=strolling/random-repl)"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Adversarial query patterns for robustness studies.
+//!
+//! The benchmark kit of §4 models *idealistic* users; real query streams
+//! also contain the patterns that defeat plain cracking (the follow-on
+//! stochastic-cracking literature catalogues them). The generators here
+//! are those canonical adversaries, in the kit's `Window` vocabulary, all
+//! deterministic:
+//!
+//! * **Sequential** — fixed-width windows sweeping the domain in order
+//!   (a batch export, a time-ordered scan). Every query boundary lands in
+//!   the one uncracked tail piece: the worst case for plain cracking.
+//! * **ZoomIn** — nested windows shrinking toward the domain center from
+//!   both sides; boundaries always fall in the still-large middle piece.
+//! * **ZoomOutAlt** — windows alternating between the two domain ends,
+//!   moving outward; defeats locality assumptions.
+//! * **Periodic** — a sequential sweep repeated `rounds` times; after the
+//!   first round plain cracking has boundaries everywhere, so this is the
+//!   *recovered* case the robustness experiments contrast with.
+
+use crate::Window;
+
+/// The adversarial patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// Left-to-right fixed-width sweep.
+    SequentialAsc,
+    /// Right-to-left fixed-width sweep.
+    SequentialDesc,
+    /// Nested windows converging on the domain center.
+    ZoomIn,
+    /// Windows alternating between the domain ends, moving inward.
+    ZoomOutAlt,
+    /// `SequentialAsc` repeated until `k` queries are emitted.
+    Periodic {
+        /// Number of windows per sweep round.
+        round_len: usize,
+    },
+}
+
+impl Adversary {
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Adversary::SequentialAsc => "seq-asc",
+            Adversary::SequentialDesc => "seq-desc",
+            Adversary::ZoomIn => "zoom-in",
+            Adversary::ZoomOutAlt => "zoom-out-alt",
+            Adversary::Periodic { .. } => "periodic",
+        }
+    }
+}
+
+/// Generate `k` windows over the value domain `0..n` following `pattern`.
+///
+/// Window widths are `n / k` for the sweeps (tiling the domain) and
+/// `n / (2k)` for the zoom patterns (so `k` steps fit).
+pub fn adversarial_sequence(n: usize, k: usize, pattern: Adversary) -> Vec<Window> {
+    assert!(n >= 1, "domain must be non-empty");
+    assert!(k >= 1, "at least one step");
+    let n = n as i64;
+    let k_i = k as i64;
+    match pattern {
+        Adversary::SequentialAsc => {
+            let w = (n / k_i).max(1);
+            (0..k_i)
+                .map(|i| Window::new((i * w).min(n - 1), ((i + 1) * w).min(n)))
+                .collect()
+        }
+        Adversary::SequentialDesc => {
+            let mut v = adversarial_sequence(n as usize, k, Adversary::SequentialAsc);
+            v.reverse();
+            v
+        }
+        Adversary::ZoomIn => {
+            // Step i selects [i·w, n - i·w): both boundaries advance
+            // toward the center, always splitting the big middle piece.
+            let w = (n / (2 * k_i)).max(1);
+            (0..k_i)
+                .map(|i| {
+                    let lo = i * w;
+                    let hi = (n - i * w).max(lo + 1);
+                    Window::new(lo, hi)
+                })
+                .collect()
+        }
+        Adversary::ZoomOutAlt => {
+            // Odd steps near the left end, even steps near the right end,
+            // each a fresh window further out.
+            let w = (n / (2 * k_i)).max(1);
+            (0..k_i)
+                .map(|i| {
+                    let j = i / 2;
+                    if i % 2 == 0 {
+                        Window::new(j * w, (j + 1) * w)
+                    } else {
+                        Window::new(n - (j + 1) * w, n - j * w)
+                    }
+                })
+                .collect()
+        }
+        Adversary::Periodic { round_len } => {
+            let round_len = round_len.clamp(1, k);
+            let round =
+                adversarial_sequence(n as usize, round_len, Adversary::SequentialAsc);
+            round.iter().cycle().take(k).copied().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_asc_tiles_the_domain() {
+        let ws = adversarial_sequence(1000, 10, Adversary::SequentialAsc);
+        assert_eq!(ws.len(), 10);
+        assert_eq!(ws[0], Window::new(0, 100));
+        assert_eq!(ws[9], Window::new(900, 1000));
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].hi, pair[1].lo, "windows abut");
+        }
+        let covered: i64 = ws.iter().map(Window::width).sum();
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn sequential_desc_is_the_reverse() {
+        let asc = adversarial_sequence(1000, 10, Adversary::SequentialAsc);
+        let mut desc = adversarial_sequence(1000, 10, Adversary::SequentialDesc);
+        desc.reverse();
+        assert_eq!(asc, desc);
+    }
+
+    #[test]
+    fn zoom_in_nests_strictly() {
+        let ws = adversarial_sequence(1000, 8, Adversary::ZoomIn);
+        for pair in ws.windows(2) {
+            assert!(pair[0].contains(&pair[1]), "{pair:?}");
+            assert!(pair[0].width() > pair[1].width());
+        }
+    }
+
+    #[test]
+    fn zoom_out_alt_alternates_ends() {
+        let ws = adversarial_sequence(1000, 6, Adversary::ZoomOutAlt);
+        assert!(ws[0].hi <= 500, "even steps on the left");
+        assert!(ws[1].lo >= 500, "odd steps on the right");
+        assert!(ws[2].lo >= ws[0].lo, "left windows move rightward outward");
+        // All windows stay inside the domain.
+        assert!(ws.iter().all(|w| w.lo >= 0 && w.hi <= 1000));
+    }
+
+    #[test]
+    fn periodic_repeats_the_round() {
+        let ws = adversarial_sequence(1000, 25, Adversary::Periodic { round_len: 10 });
+        assert_eq!(ws.len(), 25);
+        assert_eq!(ws[0], ws[10]);
+        assert_eq!(ws[4], ws[14]);
+        assert_eq!(ws[0], ws[20]);
+    }
+
+    #[test]
+    fn degenerate_domains_and_lengths() {
+        // One-element domain.
+        let ws = adversarial_sequence(1, 3, Adversary::SequentialAsc);
+        assert_eq!(ws.len(), 3);
+        assert!(ws.iter().all(|w| w.width() >= 1));
+        // k > n: widths clamp to 1.
+        let ws = adversarial_sequence(5, 10, Adversary::ZoomIn);
+        assert_eq!(ws.len(), 10);
+        assert!(ws.iter().all(|w| w.width() >= 1));
+        // Round length larger than k clamps.
+        let ws = adversarial_sequence(100, 3, Adversary::Periodic { round_len: 50 });
+        assert_eq!(ws.len(), 3);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Adversary::SequentialAsc.label(), "seq-asc");
+        assert_eq!(Adversary::Periodic { round_len: 4 }.label(), "periodic");
+    }
+}

@@ -1,0 +1,175 @@
+//! Skewed data distributions.
+//!
+//! §4: "SQL updates can be used to mold the tapestry table to create one
+//! with the data distributions required for detailed experimentation."
+//! These generators are that molding step, done directly: Zipf-like
+//! value frequencies (data-warehouse dimensions), clustered values
+//! (sensor readings flocking around physical phenomena — "the readings
+//! from multiple scientific devices for a star in our galaxy", §6), and a
+//! monotone power remap that skews a permutation's *value density* while
+//! preserving distinctness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A column of `n` values drawn Zipf-like over the domain `1..=domain`:
+/// value `v` has probability ∝ `1/v^s`. Not a permutation — duplicates
+/// are the point.
+pub fn zipf_column(n: usize, domain: usize, s: f64, seed: u64) -> Vec<i64> {
+    assert!(domain >= 1, "domain must be non-empty");
+    assert!(s >= 0.0, "exponent must be non-negative");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Inverse-CDF sampling over the (normalized) truncated zeta weights.
+    let weights: Vec<f64> = (1..=domain).map(|v| 1.0 / (v as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(domain);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(domain - 1);
+            (idx + 1) as i64
+        })
+        .collect()
+}
+
+/// A column of `n` values clustered around `centers` random hot spots in
+/// `1..=domain`, with triangular spread `±spread` (clipped to the domain).
+pub fn clustered_column(
+    n: usize,
+    domain: usize,
+    centers: usize,
+    spread: i64,
+    seed: u64,
+) -> Vec<i64> {
+    assert!(domain >= 1 && centers >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hot: Vec<i64> = (0..centers)
+        .map(|_| rng.gen_range(1..=domain as i64))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = hot[rng.gen_range(0..hot.len())];
+            // Triangular noise: sum of two uniforms, centered.
+            let noise = rng.gen_range(-spread..=spread) + rng.gen_range(-spread..=spread);
+            (c + noise / 2).clamp(1, domain as i64)
+        })
+        .collect()
+}
+
+/// Monotone power remap of a permutation of `1..=n`: value `v` becomes
+/// `round(n · (v/n)^gamma)`, then ties are broken by rank so the result
+/// is again a permutation of `1..=n`, with value *density* compressed
+/// toward 1 (`gamma > 1`) or toward `n` (`gamma < 1`). This is the
+/// "molding" that keeps every tapestry invariant while making equal-width
+/// query windows hit very different tuple counts.
+pub fn power_remap(perm: &[i64], gamma: f64) -> Vec<i64> {
+    assert!(gamma > 0.0, "gamma must be positive");
+    let n = perm.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Rank values by their transformed key; assign 1..=n by that order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (perm[a] as f64 / n as f64).powf(gamma);
+        let kb = (perm[b] as f64 / n as f64).powf(gamma);
+        ka.partial_cmp(&kb)
+            .expect("finite keys")
+            .then(perm[a].cmp(&perm[b]))
+    });
+    let mut out = vec![0i64; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        out[idx] = rank as i64 + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(col: &[i64], n: usize) -> bool {
+        let mut seen = vec![false; n + 1];
+        for &v in col {
+            if v < 1 || v > n as i64 || seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        col.len() == n
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let col = zipf_column(100_000, 1000, 1.2, 7);
+        let head = col.iter().filter(|&&v| v <= 10).count();
+        let tail = col.iter().filter(|&&v| v > 900).count();
+        assert!(
+            head > 10 * tail.max(1),
+            "Zipf head ({head}) must dwarf tail ({tail})"
+        );
+        assert!(col.iter().all(|&v| (1..=1000).contains(&v)));
+    }
+
+    #[test]
+    fn zipf_s_zero_is_roughly_uniform() {
+        let col = zipf_column(100_000, 100, 0.0, 3);
+        let head = col.iter().filter(|&&v| v <= 50).count();
+        let frac = head as f64 / col.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "uniform half-split, got {frac}");
+    }
+
+    #[test]
+    fn clustered_values_concentrate() {
+        let col = clustered_column(50_000, 1_000_000, 3, 500, 9);
+        // At most 3 clusters of width ~1000 cover everything: the number
+        // of distinct kilobuckets touched is tiny.
+        let mut buckets: Vec<i64> = col.iter().map(|v| v / 1000).collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        assert!(
+            buckets.len() <= 12,
+            "values should concentrate, got {} kilobuckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn power_remap_preserves_permutation() {
+        let perm: Vec<i64> = (1..=500).rev().collect();
+        for gamma in [0.3, 1.0, 2.5] {
+            let out = power_remap(&perm, gamma);
+            assert!(is_permutation(&out, 500), "gamma {gamma}");
+        }
+    }
+
+    #[test]
+    fn power_remap_gamma_one_is_identity() {
+        let perm: Vec<i64> = vec![3, 1, 4, 2, 5];
+        assert_eq!(power_remap(&perm, 1.0), perm);
+    }
+
+    #[test]
+    fn power_remap_is_monotone() {
+        // Order of values is preserved (the remap is a monotone function
+        // of the value).
+        let perm: Vec<i64> = vec![5, 2, 8, 1, 9, 3];
+        let out = power_remap(&perm, 2.0);
+        for i in 0..perm.len() {
+            for j in 0..perm.len() {
+                assert_eq!(perm[i] < perm[j], out[i] < out[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(power_remap(&[], 2.0).is_empty());
+        assert_eq!(zipf_column(0, 10, 1.0, 1).len(), 0);
+    }
+}

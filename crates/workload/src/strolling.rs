@@ -1,0 +1,173 @@
+//! The strolling user profile.
+//!
+//! "The base line for a multi-query sequence is when the user has no clue
+//! where to look for specifically. He samples the database in various
+//! directions using more or less random steps. ... A convergence sequence
+//! can be generated using the i-th selectivity factor to select a random
+//! portion of the database. Alternatively, we can use the function as a
+//! selectivity distribution function. At each step we draw a random step
+//! number to find a selectivity factor. Picking may be with or without
+//! replacement. In all cases, the query bounds of the value range are
+//! determined at random" (§4).
+
+use crate::distribution::Contraction;
+use crate::Window;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How strolling selectivities are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrollMode {
+    /// Use `ρ(i, k, σ)` in step order: a "convergence sequence" with
+    /// random positions — the workload of Figure 11.
+    Converge,
+    /// Draw a random step number per query, **with** replacement.
+    RandomWithReplacement,
+    /// Draw each step number exactly once, in random order (**without**
+    /// replacement).
+    RandomWithoutReplacement,
+}
+
+/// Generate a strolling sequence of `k` random windows over `1..=n`.
+pub fn strolling_sequence(
+    n: usize,
+    k: usize,
+    sigma: f64,
+    contraction: Contraction,
+    mode: StrollMode,
+    seed: u64,
+) -> Vec<Window> {
+    assert!(n >= 1, "domain must be non-empty");
+    assert!(k >= 1, "at least one step");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let series = contraction.series(k, sigma);
+    let selectivities: Vec<f64> = match mode {
+        StrollMode::Converge => series,
+        StrollMode::RandomWithReplacement => (0..k)
+            .map(|_| series[rng.gen_range(0..series.len())])
+            .collect(),
+        StrollMode::RandomWithoutReplacement => {
+            let mut s = series;
+            s.shuffle(&mut rng);
+            s
+        }
+    };
+    selectivities
+        .into_iter()
+        .map(|rho| {
+            let n_i = n as i64;
+            let width = ((rho * n as f64).ceil() as i64).clamp(1, n_i);
+            let lo = rng.gen_range(1..=(n_i - width + 1));
+            Window::new(lo, lo + width)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converge_mode_width_follows_series() {
+        let n = 10_000;
+        let seq = strolling_sequence(
+            n,
+            10,
+            0.05,
+            Contraction::Linear,
+            StrollMode::Converge,
+            7,
+        );
+        let series = Contraction::Linear.series(10, 0.05);
+        for (w, rho) in seq.iter().zip(series) {
+            let expected = (rho * n as f64).ceil() as i64;
+            assert_eq!(w.width(), expected);
+        }
+    }
+
+    #[test]
+    fn positions_are_random_not_nested() {
+        // Unlike homeruns, consecutive strolling windows are generally not
+        // nested; with 30 steps the probability of full nesting is nil.
+        let seq = strolling_sequence(
+            100_000,
+            30,
+            0.05,
+            Contraction::Linear,
+            StrollMode::Converge,
+            21,
+        );
+        let nested = seq.windows(2).filter(|w| w[0].contains(&w[1])).count();
+        assert!(nested < seq.len() - 1, "strolling must wander");
+    }
+
+    #[test]
+    fn without_replacement_uses_each_selectivity_once() {
+        let n = 100_000;
+        let k = 12;
+        let seq = strolling_sequence(
+            n,
+            k,
+            0.1,
+            Contraction::Linear,
+            StrollMode::RandomWithoutReplacement,
+            3,
+        );
+        let mut got: Vec<i64> = seq.iter().map(|w| w.width()).collect();
+        got.sort_unstable();
+        let mut want: Vec<i64> = Contraction::Linear
+            .series(k, 0.1)
+            .into_iter()
+            .map(|r| (r * n as f64).ceil() as i64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "a permutation of the series widths");
+    }
+
+    #[test]
+    fn with_replacement_draws_from_series_values() {
+        let n = 10_000;
+        let k = 25;
+        let seq = strolling_sequence(
+            n,
+            k,
+            0.2,
+            Contraction::Exponential,
+            StrollMode::RandomWithReplacement,
+            5,
+        );
+        let allowed: std::collections::HashSet<i64> = Contraction::Exponential
+            .series(k, 0.2)
+            .into_iter()
+            .map(|r| (r * n as f64).ceil() as i64)
+            .collect();
+        for w in &seq {
+            assert!(allowed.contains(&w.width()), "width {} not in series", w.width());
+        }
+    }
+
+    #[test]
+    fn windows_stay_in_domain() {
+        for seed in 0..10 {
+            let seq = strolling_sequence(
+                333,
+                20,
+                0.3,
+                Contraction::Logarithmic,
+                StrollMode::RandomWithReplacement,
+                seed,
+            );
+            for w in &seq {
+                assert!(w.lo >= 1 && w.hi <= 334);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = strolling_sequence(500, 8, 0.1, Contraction::Linear, StrollMode::Converge, 9);
+        let b = strolling_sequence(500, 8, 0.1, Contraction::Linear, StrollMode::Converge, 9);
+        assert_eq!(a, b);
+    }
+}

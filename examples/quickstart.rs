@@ -1,0 +1,62 @@
+//! Quickstart: watch a column index itself.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a tapestry column, fires a zooming query sequence at it, and
+//! prints how the per-query cost collapses as the store cracks itself —
+//! the headline behaviour of the paper.
+
+use dbcracker::prelude::*;
+
+fn main() {
+    let n = 1_000_000;
+    println!("generating a {n}-row tapestry column ...");
+    let tapestry = Tapestry::generate(n, 1, 42);
+    let mut engine = CrackEngine::new(tapestry.column(0).to_vec());
+
+    // A homerun: 12 nested refinements converging on a 2% target.
+    let windows = homerun_sequence(n, 12, 0.02, Contraction::Linear, 7);
+
+    println!(
+        "{:>4}  {:>22}  {:>12} {:>12} {:>12} {:>8}",
+        "step", "query", "result", "reads", "writes", "pieces"
+    );
+    for (i, w) in windows.iter().enumerate() {
+        let stats = engine.run(w.to_pred(), OutputMode::Count);
+        println!(
+            "{:>4}  {:>10}..{:<10}  {:>12} {:>12} {:>12} {:>8}",
+            i + 1,
+            w.lo,
+            w.hi,
+            stats.result_count,
+            stats.tuples_read,
+            stats.tuples_written,
+            engine.column().piece_count(),
+        );
+    }
+
+    // The pay-off: repeating the final query is free.
+    let again = engine.run(windows[11].to_pred(), OutputMode::Count);
+    println!(
+        "\nrepeat of the final query: {} results, {} tuples read — \
+         the hot set is fully indexed",
+        again.result_count, again.tuples_read
+    );
+
+    // Compare with the scan baseline over the same sequence.
+    let mut scan = ScanEngine::new(tapestry.column(0).to_vec());
+    let mut scan_reads = 0;
+    let mut crack_reads = 0;
+    let mut fresh = CrackEngine::new(tapestry.column(0).to_vec());
+    for w in &windows {
+        scan_reads += scan.run(w.to_pred(), OutputMode::Count).tuples_read;
+        crack_reads += fresh.run(w.to_pred(), OutputMode::Count).tuples_read;
+    }
+    println!(
+        "sequence totals: scan read {scan_reads} tuples, cracking read {crack_reads} \
+         ({:.1}x fewer)",
+        scan_reads as f64 / crack_reads as f64
+    );
+}

@@ -1,0 +1,74 @@
+//! A scientific-database session with live updates.
+//!
+//! ```sh
+//! cargo run --release --example sensor_exploration
+//! ```
+//!
+//! §4's second playground: "the database is continuously filled with
+//! stream/sensor information and the application has to keep track [of]
+//! or localize interesting elements in a limited window." A float-valued
+//! sensor column is explored with a strolling profile while new readings
+//! keep arriving; the cracker's pending-update areas absorb them and the
+//! periodic merge folds them in without losing the index built so far.
+
+use dbcracker::cracker_core::{CrackerColumn, CrackerConfig, OrdF64, RangePred};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 200_000usize;
+    let mut rng = SmallRng::seed_from_u64(0x5E45);
+
+    // Initial readings: simulated sensor values in [0, 100).
+    let initial: Vec<OrdF64> = (0..n).map(|_| OrdF64(rng.gen_range(0.0..100.0))).collect();
+    let cfg = CrackerConfig::new().with_merge_threshold(5_000);
+    let mut column = CrackerColumn::with_config(initial, cfg);
+    let mut next_oid = n as u32;
+
+    println!("exploring {n} sensor readings while new ones stream in ...\n");
+    println!(
+        "{:>4} {:>18} {:>10} {:>10} {:>9} {:>8} {:>7}",
+        "step", "window", "matches", "touched", "pending", "pieces", "merges"
+    );
+    for step in 0..20 {
+        // The analyst inspects a drifting anomaly band.
+        let lo = 40.0 + step as f64;
+        let hi = lo + 5.0;
+        let before = *column.stats();
+        let pred = RangePred::with_bounds(Some((OrdF64(lo), true)), Some((OrdF64(hi), false)));
+        let sel = column.select(pred);
+        let d = column.stats().delta_since(&before);
+        println!(
+            "{:>4} {:>8.1}..{:<8.1} {:>10} {:>10} {:>9} {:>8} {:>7}",
+            step + 1,
+            lo,
+            hi,
+            sel.count(),
+            d.tuples_touched,
+            column.pending_len(),
+            column.piece_count(),
+            column.stats().merges,
+        );
+
+        // Between queries, a burst of 2000 new readings arrives.
+        for _ in 0..2000 {
+            column.insert(next_oid, OrdF64(rng.gen_range(0.0..100.0)));
+            next_oid += 1;
+        }
+        // And a handful of readings are retracted (sensor recalibration).
+        for _ in 0..50 {
+            let victim = rng.gen_range(0..next_oid);
+            column.delete(victim);
+        }
+    }
+
+    column.merge_pending();
+    column.validate().expect("cracker invariants hold");
+    println!(
+        "\nfinal state: {} readings, {} pieces, {} merges — index survived {} inserts",
+        column.len(),
+        column.piece_count(),
+        column.stats().merges,
+        next_oid - n as u32,
+    );
+}

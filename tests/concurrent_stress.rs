@@ -1,0 +1,101 @@
+//! Multi-threaded stress: "hundreds of [queries] issued in rapid
+//! succession" (§2.2), concurrently, against the shared cracked column.
+//! Every thread checks every answer against the immutable oracle; the
+//! final structure must still satisfy all cracker invariants.
+
+use dbcracker::cracker_core::SharedCrackerColumn;
+use dbcracker::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn oracle_count(vals: &[i64], pred: &RangePred<i64>) -> usize {
+    vals.iter().filter(|&&v| pred.matches(v)).count()
+}
+
+#[test]
+fn parallel_query_storm_stays_correct() {
+    let n = 50_000;
+    let vals = Tapestry::generate(n, 1, 0xC0C0).column(0).to_vec();
+    let shared = SharedCrackerColumn::new(vals.clone());
+    let threads = 8;
+    let queries_per_thread = 200;
+
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let shared = &shared;
+            let vals = &vals;
+            s.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(t as u64);
+                for _ in 0..queries_per_thread {
+                    let lo = rng.gen_range(0..n as i64);
+                    let width = rng.gen_range(1..=(n as i64 / 20));
+                    let pred = RangePred::half_open(lo, lo + width);
+                    let got = shared.select_oids(pred).len();
+                    assert_eq!(
+                        got,
+                        oracle_count(vals, &pred),
+                        "thread {t} disagreed on [{lo},{})",
+                        lo + width
+                    );
+                }
+            });
+        }
+    })
+    .expect("no thread panicked");
+
+    shared.validate().expect("invariants hold after the storm");
+    let stats = shared.stats();
+    // Boundary-reusing queries may ride the shared-lock read-only fast
+    // path, which leaves the (write-locked) counters untouched — so the
+    // count is a lower bound that still must capture the bulk of the
+    // storm.
+    let total = threads * queries_per_thread;
+    assert!(
+        stats.queries <= total && stats.queries >= total / 2,
+        "counted {} of {total} queries",
+        stats.queries
+    );
+    assert!(stats.cracks > 0, "the storm physically cracked the store");
+}
+
+#[test]
+fn readers_and_a_writer_interleave() {
+    // Concurrent selects racing staged inserts/deletes: totals must land
+    // exactly once the writer finishes.
+    let n = 10_000;
+    let vals: Vec<i64> = (0..n as i64).rev().collect();
+    let shared = SharedCrackerColumn::new(vals);
+
+    crossbeam::scope(|s| {
+        // Readers hammer a fixed hot range.
+        for t in 0..4 {
+            let shared = &shared;
+            s.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(100 + t);
+                for _ in 0..300 {
+                    let lo = rng.gen_range(0..9_000i64);
+                    let c = shared.select_oids(RangePred::half_open(lo, lo + 500)).len();
+                    // The writer only adds values above the domain, so
+                    // in-domain counts never change.
+                    assert_eq!(c, 500);
+                }
+            });
+        }
+        // One writer stages out-of-domain inserts then removes them.
+        let shared = &shared;
+        s.spawn(move |_| {
+            for i in 0..200u32 {
+                shared.insert(n as u32 + i, n as i64 + i as i64);
+            }
+            for i in 0..100u32 {
+                assert!(shared.delete(n as u32 + i));
+            }
+        });
+    })
+    .expect("no thread panicked");
+
+    // After the dust settles: 100 of the 200 staged inserts survive.
+    let above = shared.select_oids(RangePred::ge(n as i64)).len();
+    assert_eq!(above, 100);
+    shared.validate().expect("invariants hold");
+}

@@ -1,0 +1,130 @@
+//! Model-based testing of the paged substrate: an arbitrary interleaving
+//! of column operations through a (often pathologically small) buffer
+//! pool must behave exactly like a plain `Vec<i64>`.
+
+use dbcracker::storage::{BufferPool, MemDisk, PagedColumn};
+use proptest::prelude::*;
+
+/// One operation against the column.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(usize),
+    Set(usize, i64),
+    Swap(usize, usize),
+    FoldSum(usize, usize),
+    CountBelow(i64),
+    Flush,
+    /// Drop the pool and rebuild it over the same disk (everything must
+    /// have been made durable by the preceding Flush we insert).
+    Reopen,
+}
+
+/// Raw indices are drawn wide and re-scaled modulo the actual column
+/// length inside the test.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    const W: usize = 1 << 16;
+    prop_oneof![
+        (0..W).prop_map(Op::Get),
+        (0..W, -100i64..100).prop_map(|(i, v)| Op::Set(i, v)),
+        (0..W, 0..W).prop_map(|(a, b)| Op::Swap(a, b)),
+        (0..W, 0..W).prop_map(|(a, b)| Op::FoldSum(a.min(b), a.max(b))),
+        (-120i64..120).prop_map(Op::CountBelow),
+        Just(Op::Flush),
+        Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn paged_column_behaves_like_a_vec(
+        init in proptest::collection::vec(-100i64..100, 1..200),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        frames in 1usize..6,
+    ) {
+        let n = init.len();
+        // Re-scale op indices into the real column length.
+        let scale = |i: usize| i % n;
+        let mut model = init.clone();
+        // 64-byte pages (7 values) so every few positions is a boundary.
+        let mut pool = BufferPool::new(MemDisk::with_page_size(64), frames);
+        let col = PagedColumn::create(&mut pool, &init).unwrap();
+
+        for op in &ops {
+            match *op {
+                Op::Get(i) => {
+                    let i = scale(i);
+                    prop_assert_eq!(col.get(&mut pool, i).unwrap(), model[i]);
+                }
+                Op::Set(i, v) => {
+                    let i = scale(i);
+                    col.set(&mut pool, i, v).unwrap();
+                    model[i] = v;
+                }
+                Op::Swap(a, b) => {
+                    let (a, b) = (scale(a), scale(b));
+                    col.swap(&mut pool, a, b).unwrap();
+                    model.swap(a, b);
+                }
+                Op::FoldSum(lo, hi) => {
+                    let (lo, hi) = (scale(lo), scale(hi).max(scale(lo)));
+                    let got = col
+                        .fold_range(&mut pool, lo, hi, 0i64, |a, v| a + v)
+                        .unwrap();
+                    let want: i64 = model[lo..hi].iter().sum();
+                    prop_assert_eq!(got, want);
+                }
+                Op::CountBelow(v) => {
+                    let got = col.count_matching(&mut pool, |x| x < v).unwrap();
+                    let want = model.iter().filter(|&&x| x < v).count();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Flush => pool.flush().unwrap(),
+                Op::Reopen => {
+                    // Durability boundary: flush, tear the pool down, and
+                    // rebuild over the surviving store.
+                    pool.flush().unwrap();
+                    let disk = std::mem::replace(
+                        pool.store_mut(),
+                        MemDisk::with_page_size(64),
+                    );
+                    pool = BufferPool::new(disk, frames);
+                }
+            }
+        }
+        // Final state agrees wholesale.
+        prop_assert_eq!(col.to_vec(&mut pool).unwrap(), model);
+    }
+}
+
+#[test]
+fn float_columns_crack_sideways_and_stochastically() {
+    // The extension modules are generic over CrackValue; exercise them
+    // with the float wrapper the sensor workloads use.
+    use dbcracker::cracker_core::sideways::CrackerMap;
+    use dbcracker::cracker_core::stochastic::{StochasticCracker, StochasticPolicy};
+    use dbcracker::cracker_core::value_trait::OrdF64;
+    use dbcracker::prelude::RangePred;
+
+    let readings: Vec<OrdF64> = (0..2_000)
+        .map(|i| OrdF64::new(((i * 7919) % 2_000) as f64 / 10.0))
+        .collect();
+
+    let mut st = StochasticCracker::new(readings.clone(), StochasticPolicy::DD1R, 4);
+    let pred = RangePred::between(OrdF64::new(25.0), OrdF64::new(75.0));
+    let want = readings.iter().filter(|&&v| pred.matches(v)).count();
+    assert_eq!(st.count(pred), want);
+    st.column().validate().unwrap();
+
+    let payload: Vec<OrdF64> = readings
+        .iter()
+        .map(|v| OrdF64::new(v.0 * 2.0))
+        .collect();
+    let mut map = CrackerMap::new(readings.clone(), payload);
+    let r = map.select(pred);
+    assert_eq!(r.len(), want);
+    for &v in map.project(r) {
+        assert!((50.0..=150.0).contains(&v.0), "payload = 2x head in range");
+    }
+    map.validate().unwrap();
+}

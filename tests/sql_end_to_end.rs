@@ -1,0 +1,182 @@
+//! End-to-end: SQL statements in, cracked answers out, cross-checked
+//! against a naive oracle over the same data.
+
+use dbcracker::prelude::*;
+use sql::SqlSession;
+
+/// A session holding a 2-column tapestry table `r(k, a)` plus the raw
+/// column data for oracle checks.
+fn tapestry_session(n: usize, seed: u64) -> (SqlSession, Vec<i64>, Vec<i64>) {
+    let t = Tapestry::generate(n, 2, seed);
+    let k = t.column(0).to_vec();
+    let a = t.column(1).to_vec();
+    let mut s = SqlSession::new();
+    s.load_table("r", vec![("k".into(), k.clone()), ("a".into(), a.clone())])
+        .unwrap();
+    (s, k, a)
+}
+
+#[test]
+fn a_homerun_sequence_through_sql_matches_the_oracle() {
+    let n = 5_000;
+    let (mut session, _, a) = tapestry_session(n, 7);
+    let windows = workload::homerun::homerun_sequence(n, 12, 0.05, Contraction::Linear, 3);
+    for w in &windows {
+        let (lo, hi) = (w.lo, w.hi);
+        let sql = format!("select count(*) from r where a >= {lo} and a < {hi}");
+        let out = session.execute_one(&sql).unwrap();
+        let got = out.rows().unwrap()[0][0];
+        let want = a.iter().filter(|&&v| (lo..hi).contains(&v)).count() as i64;
+        assert_eq!(got, want, "window [{lo},{hi})");
+    }
+    // One column queried throughout → one cracked column.
+    assert_eq!(session.cracked_columns(), 1);
+    let stats = session.adaptive().total_crack_stats();
+    assert_eq!(stats.queries, windows.len());
+    assert!(stats.cracks > 0, "the sequence physically cracked the store");
+}
+
+#[test]
+fn conjunctions_disjunctions_and_negations_match_the_oracle() {
+    let (mut session, k, a) = tapestry_session(2_000, 11);
+    let cases = [
+        "a >= 100 and a < 900 and k < 1000",
+        "a < 100 or a > 1900",
+        "not (a between 500 and 1500)",
+        "a <> 1000 and k >= 1990",
+        "(a < 300 or a >= 1700) and k between 1 and 1999",
+    ];
+    for clause in cases {
+        let out = session
+            .execute_one(&format!("select count(*) from r where {clause}"))
+            .unwrap();
+        let got = out.rows().unwrap()[0][0];
+        let want = k
+            .iter()
+            .zip(&a)
+            .filter(|&(&kv, &av)| oracle(clause, kv, av))
+            .count() as i64;
+        assert_eq!(got, want, "clause {clause:?}");
+    }
+}
+
+/// Hand-written oracle for the fixed test clauses.
+fn oracle(clause: &str, k: i64, a: i64) -> bool {
+    match clause {
+        "a >= 100 and a < 900 and k < 1000" => (100..900).contains(&a) && k < 1000,
+        "a < 100 or a > 1900" => !(100..=1900).contains(&a),
+        "not (a between 500 and 1500)" => !(500..=1500).contains(&a),
+        "a <> 1000 and k >= 1990" => a != 1000 && k >= 1990,
+        "(a < 300 or a >= 1700) and k between 1 and 1999" => {
+            !(300..1700).contains(&a) && (1..=1999).contains(&k)
+        }
+        other => panic!("no oracle for {other:?}"),
+    }
+}
+
+#[test]
+fn materialization_pipeline_like_figure_1a() {
+    let (mut session, _, a) = tapestry_session(1_000, 3);
+    // The paper's benchmark query: INSERT INTO newR SELECT * FROM R WHERE ...
+    session
+        .execute_one("insert into newr select * from r where a >= 10 and a <= 200")
+        .unwrap();
+    let out = session.execute_one("select count(*) from newr").unwrap();
+    let want = a.iter().filter(|&&v| (10..=200).contains(&v)).count() as i64;
+    assert_eq!(out.rows().unwrap()[0][0], want);
+    // The materialized table is itself crackable.
+    let out = session
+        .execute_one("select count(*) from newr where a < 50")
+        .unwrap();
+    let want = a.iter().filter(|&&v| (10..50).contains(&v)).count() as i64;
+    assert_eq!(out.rows().unwrap()[0][0], want);
+}
+
+#[test]
+fn join_through_sql_agrees_with_nested_loop() {
+    let mut session = SqlSession::new();
+    let r_k: Vec<i64> = (0..200).map(|i| i % 20).collect();
+    let r_a: Vec<i64> = (0..200).collect();
+    let s_k: Vec<i64> = (0..50).map(|i| i % 10).collect();
+    let s_b: Vec<i64> = (0..50).map(|i| i * 3).collect();
+    session
+        .load_table("r", vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())])
+        .unwrap();
+    session
+        .load_table("s", vec![("k".into(), s_k.clone()), ("b".into(), s_b.clone())])
+        .unwrap();
+    let out = session
+        .execute_one("select count(*) from r, s where r.k = s.k and r.a < 100 and s.b >= 30")
+        .unwrap();
+    let mut want = 0i64;
+    for (i, &rk) in r_k.iter().enumerate() {
+        for (j, &sk) in s_k.iter().enumerate() {
+            if rk == sk && r_a[i] < 100 && s_b[j] >= 30 {
+                want += 1;
+            }
+        }
+    }
+    assert_eq!(out.rows().unwrap()[0][0], want);
+}
+
+#[test]
+fn group_by_aggregates_agree_with_manual_grouping() {
+    let (mut session, k, a) = tapestry_session(1_000, 19);
+    // Bucket k into 10 groups via a materialized helper column is overkill;
+    // group directly on k % -- not supported. Use a small value domain table.
+    let groups: Vec<i64> = k.iter().map(|v| v % 7).collect();
+    session
+        .load_table("g", vec![("grp".into(), groups.clone()), ("a".into(), a.clone())])
+        .unwrap();
+    let out = session
+        .execute_one("select grp, count(*), sum(a), min(a), max(a) from g group by grp")
+        .unwrap();
+    let rows = out.rows().unwrap();
+    assert_eq!(rows.len(), 7);
+    for row in rows {
+        let g = row[0];
+        let members: Vec<i64> = groups
+            .iter()
+            .zip(&a)
+            .filter(|(&gv, _)| gv == g)
+            .map(|(_, &av)| av)
+            .collect();
+        assert_eq!(row[1], members.len() as i64, "count of group {g}");
+        assert_eq!(row[2], members.iter().sum::<i64>(), "sum of group {g}");
+        assert_eq!(row[3], *members.iter().min().unwrap(), "min of group {g}");
+        assert_eq!(row[4], *members.iter().max().unwrap(), "max of group {g}");
+    }
+}
+
+#[test]
+fn errors_render_with_source_context() {
+    let mut session = SqlSession::new();
+    session
+        .load_table("r", vec![("a".into(), vec![1, 2, 3])])
+        .unwrap();
+    let src = "select * from r where b < 3";
+    let err = session.execute_one(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.contains("no FROM table has a column"));
+    assert!(rendered.contains('^'));
+}
+
+#[test]
+fn successive_sql_queries_leave_the_store_progressively_cracked() {
+    let (mut session, _, _) = tapestry_session(10_000, 23);
+    let mut pieces_last = 0;
+    for step in 0..8 {
+        let lo = step * 500;
+        let hi = lo + 400;
+        session
+            .execute_one(&format!(
+                "select count(*) from r where a >= {lo} and a < {hi}"
+            ))
+            .unwrap();
+        let stats = session.adaptive().total_crack_stats();
+        assert!(stats.cracks >= pieces_last, "cracks only accumulate");
+        pieces_last = stats.cracks;
+    }
+    // Eight disjoint windows → substantially more than one crack.
+    assert!(pieces_last >= 8);
+}
