@@ -32,7 +32,10 @@ fn crack_mode(c: &mut Criterion) {
     let seq = sequence();
     let mut g = c.benchmark_group("ablation_crack_mode");
     g.sample_size(10);
-    for (label, mode) in [("three_way", CrackMode::ThreeWay), ("two_way", CrackMode::TwoWay)] {
+    for (label, mode) in [
+        ("three_way", CrackMode::ThreeWay),
+        ("two_way", CrackMode::TwoWay),
+    ] {
         let cfg = CrackerConfig::new().with_mode(mode);
         g.bench_function(label, |b| b.iter(|| run_sequence(cfg, &vals, &seq)));
     }

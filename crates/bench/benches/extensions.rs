@@ -2,10 +2,10 @@
 //! policies under both workload shapes, sideways projection vs OID
 //! gather, buffer-pool page access, and the SQL front-end pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cracker_core::sideways::CrackerMap;
 use cracker_core::stochastic::{StochasticCracker, StochasticPolicy};
 use cracker_core::CrackerColumn;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sql::SqlSession;
 use storage::{BufferPool, MemDisk, PagedColumn};
 use workload::sequential::{adversarial_sequence, Adversary};
@@ -34,7 +34,10 @@ fn stochastic(c: &mut Criterion) {
                 5,
             ),
         ),
-        ("seq-asc", adversarial_sequence(N, K, Adversary::SequentialAsc)),
+        (
+            "seq-asc",
+            adversarial_sequence(N, K, Adversary::SequentialAsc),
+        ),
     ];
     let mut g = c.benchmark_group("ext_stochastic");
     g.sample_size(10);
@@ -44,20 +47,15 @@ fn stochastic(c: &mut Criterion) {
             StochasticPolicy::DD1R,
             StochasticPolicy::DDR { floor: 2_048 },
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(*wl, policy.label()),
-                seq,
-                |b, seq| {
-                    b.iter(|| {
-                        let mut col =
-                            StochasticCracker::new(vals.clone(), policy, 7);
-                        for w in seq {
-                            col.select(w.to_pred());
-                        }
-                        col.total_touched()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(*wl, policy.label()), seq, |b, seq| {
+                b.iter(|| {
+                    let mut col = StochasticCracker::new(vals.clone(), policy, 7);
+                    for w in seq {
+                        col.select(w.to_pred());
+                    }
+                    col.total_touched()
+                })
+            });
         }
     }
     g.finish();

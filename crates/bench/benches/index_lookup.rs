@@ -17,7 +17,10 @@ fn cracked_with_pieces(pieces: usize) -> CrackerColumn<i64> {
     let queries = pieces / 2;
     for q in 0..queries {
         let lo = (q * N / queries.max(1)) as i64;
-        col.select(RangePred::half_open(lo, lo + (N / (queries.max(1) * 2)) as i64));
+        col.select(RangePred::half_open(
+            lo,
+            lo + (N / (queries.max(1) * 2)) as i64,
+        ));
     }
     col
 }
@@ -27,10 +30,7 @@ fn boundary_reuse(c: &mut Criterion) {
     for &pieces in &[16usize, 256, 2048] {
         let mut col = cracked_with_pieces(pieces);
         // A query whose boundaries already exist: pure index navigation.
-        let probe = RangePred::half_open(
-            (N / 2) as i64,
-            (N / 2 + N / (pieces.max(2))) as i64,
-        );
+        let probe = RangePred::half_open((N / 2) as i64, (N / 2 + N / (pieces.max(2))) as i64);
         col.select(probe);
         g.bench_with_input(
             BenchmarkId::from_parameter(col.piece_count()),

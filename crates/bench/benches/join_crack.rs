@@ -29,9 +29,7 @@ fn wedge_vs_hash(c: &mut Criterion) {
     let (r, s) = operands();
     let mut g = c.benchmark_group("wedge_vs_hash");
     g.sample_size(20);
-    g.bench_function("hash_join_full", |b| {
-        b.iter(|| plain_hash_join(&r, &s))
-    });
+    g.bench_function("hash_join_full", |b| b.iter(|| plain_hash_join(&r, &s)));
     g.bench_function("wedge_crack_investment", |b| {
         b.iter_batched(
             || (PairColumn::new(r.clone()), PairColumn::new(s.clone())),

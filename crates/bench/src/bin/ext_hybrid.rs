@@ -20,7 +20,14 @@ fn main() {
         .unwrap_or(1_000_000);
     let k = 512;
     let tapestry = Tapestry::generate(n, 1, 0xB1D);
-    let seq = strolling_sequence(n, k, 0.01, Contraction::Linear, StrollMode::RandomWithReplacement, 0xE);
+    let seq = strolling_sequence(
+        n,
+        k,
+        0.01,
+        Contraction::Linear,
+        StrollMode::RandomWithReplacement,
+        0xE,
+    );
 
     println!("# Hybrid cracking: sort_below sweep (N={n}, k={k} strolling queries @1%)");
     println!("# sort_below\ttotal(s)\ttuples_moved\tsorted pieces\ttotal pieces");

@@ -58,7 +58,7 @@ fn main() {
                 // Clients revisit a small set of hot windows (quantized
                 // offsets), as real drill-down sessions do.
                 let width = (stripe / 8).max(1);
-                let slot = rng.gen_range(0..8);
+                let slot = rng.gen_range(0..8i64);
                 let lo = base + slot * width;
                 let t = net.query(NodeId(node), lo, lo + width);
                 hops += t.hops;
@@ -72,9 +72,7 @@ fn main() {
             } else {
                 local as f64 / result as f64
             };
-            println!(
-                "{label}\t{round}\t{hops}\t{transferred}\t{migrations}\t{locality:.3}"
-            );
+            println!("{label}\t{round}\t{hops}\t{transferred}\t{migrations}\t{locality:.3}");
         }
         net.validate().expect("overlay invariants hold");
         let s = net.stats();

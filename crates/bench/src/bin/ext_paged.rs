@@ -30,7 +30,9 @@ fn main() {
     let seq = homerun_sequence(n, k, 0.02, Contraction::Linear, 0xBEEF);
     let pages_total = n.div_ceil(storage::page::page_capacity(DEFAULT_PAGE_SIZE));
 
-    println!("# Paged cracking: disk reads per query (N={n}, {pages_total} pages, homerun k={k} to 2%)");
+    println!(
+        "# Paged cracking: disk reads per query (N={n}, {pages_total} pages, homerun k={k} to 2%)"
+    );
     println!("# pool_frames\tmethod\tstep\treads\twrites\tresult");
 
     for pool_frac in [0.1, 0.5, 1.0] {

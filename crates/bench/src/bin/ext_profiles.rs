@@ -45,7 +45,10 @@ fn main() {
     let profiles: Vec<(&str, Profile)> = vec![
         ("homerun", Profile::Homerun),
         ("hiking", Profile::Hiking),
-        ("strolling/converge", Profile::Strolling(StrollMode::Converge)),
+        (
+            "strolling/converge",
+            Profile::Strolling(StrollMode::Converge),
+        ),
         (
             "strolling/random+repl",
             Profile::Strolling(StrollMode::RandomWithReplacement),

@@ -11,9 +11,7 @@
 //! into MonetDB instead.
 
 use bench::secs;
-use engine::{
-    CrackEngine, EngineProfile, OutputMode, QueryEngine, ScanEngine, SqlLevelCracker,
-};
+use engine::{CrackEngine, EngineProfile, OutputMode, QueryEngine, ScanEngine, SqlLevelCracker};
 use workload::homerun::homerun_sequence;
 use workload::{Contraction, Tapestry};
 

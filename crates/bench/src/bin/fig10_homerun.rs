@@ -19,7 +19,13 @@ fn main() {
 
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for &sigma in &sigmas {
-        let seq = homerun_sequence(n, k, sigma, Contraction::Linear, 0xBEEF + (sigma * 100.0) as u64);
+        let seq = homerun_sequence(
+            n,
+            k,
+            sigma,
+            Contraction::Linear,
+            0xBEEF + (sigma * 100.0) as u64,
+        );
         for (label, cracked) in [("nocrack", false), ("crack", true)] {
             let mut scan;
             let mut crack;
@@ -54,11 +60,7 @@ fn main() {
     for (i, &sigma) in sigmas.iter().enumerate() {
         let nocrack = series[2 * i].1.last().unwrap();
         let crack = series[2 * i + 1].1.last().unwrap();
-        println!(
-            "#   sigma {:.0}%: {:.2}x",
-            sigma * 100.0,
-            nocrack / crack
-        );
+        println!("#   sigma {:.0}%: {:.2}x", sigma * 100.0, nocrack / crack);
     }
     println!("# Shape checks: crack lines flatten after a few steps (adaptive behaviour);");
     println!("# nocrack grows linearly; cracking wins by a clear factor at k=128.");

@@ -17,7 +17,14 @@ fn main() {
     let sigma = 0.05;
     let tapestry = Tapestry::generate(n, 2, 0xF1611);
     let column = tapestry.column(0);
-    let seq = strolling_sequence(n, k, sigma, Contraction::Linear, StrollMode::Converge, 0xCAFE);
+    let seq = strolling_sequence(
+        n,
+        k,
+        sigma,
+        Contraction::Linear,
+        StrollMode::Converge,
+        0xCAFE,
+    );
 
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for label in ["nocrack", "sort", "crack"] {

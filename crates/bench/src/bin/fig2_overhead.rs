@@ -24,7 +24,9 @@ fn main() {
     println!(
         "{}",
         data_block(
-            &format!("Figure 2 — cracking write overhead per step (N={n} granules, {runs} runs avg)"),
+            &format!(
+                "Figure 2 — cracking write overhead per step (N={n} granules, {runs} runs avg)"
+            ),
             "sequence step",
             &series,
         )

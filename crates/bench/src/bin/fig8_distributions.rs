@@ -10,12 +10,7 @@ fn main() {
     let sigma = 0.2;
     let mut series: Vec<(String, Vec<f64>)> = Contraction::all()
         .iter()
-        .map(|c| {
-            (
-                format!("{} contraction", c.name()),
-                c.series(k, sigma),
-            )
-        })
+        .map(|c| (format!("{} contraction", c.name()), c.series(k, sigma)))
         .collect();
     series.push(("target selectivity".into(), vec![sigma; k]));
     println!(

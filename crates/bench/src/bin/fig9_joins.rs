@@ -57,10 +57,7 @@ fn main() {
                 );
             }
             Err(e) => {
-                println!(
-                    "{k}\t{:.4}\t-\tBROKEN: {e}",
-                    secs(hash.elapsed)
-                );
+                println!("{k}\t{:.4}\t-\tBROKEN: {e}", secs(hash.elapsed));
             }
         }
     }

@@ -46,10 +46,7 @@ mod tests {
         let block = data_block(
             "Figure X",
             "step",
-            &[
-                ("a".into(), vec![1.0, 2.0]),
-                ("b".into(), vec![0.5]),
-            ],
+            &[("a".into(), vec![1.0, 2.0]), ("b".into(), vec![0.5])],
         );
         let lines: Vec<&str> = block.lines().collect();
         assert_eq!(lines[0], "# Figure X");

@@ -263,8 +263,7 @@ impl<T: CrackValue> CrackerColumn<T> {
         if !self.pending.is_empty() {
             sel.pending_oids = self.pending.matching_inserts(&pred);
             if self.pending.has_deletes() {
-                sel.deleted_hits = self
-                    .oids[sel.core.clone()]
+                sel.deleted_hits = self.oids[sel.core.clone()]
                     .iter()
                     .filter(|&&o| self.pending.is_deleted(o))
                     .count();
@@ -376,8 +375,7 @@ impl<T: CrackValue> CrackerColumn<T> {
                 if piece1 == piece2
                     && piece1.len() > self.config.min_piece_size
                     && !self.sorted.contains(piece1.start)
-                    && (self.config.sort_below == 0
-                        || piece1.len() > self.config.sort_below)
+                    && (self.config.sort_below == 0 || piece1.len() > self.config.sort_below)
                 {
                     let (p1, p2) = crack_three(
                         &mut self.vals,
@@ -691,11 +689,8 @@ mod tests {
 
     #[test]
     fn from_pairs_respects_explicit_oids() {
-        let mut c = CrackerColumn::from_pairs(
-            vec![10i64, 20, 30],
-            vec![7, 8, 9],
-            CrackerConfig::default(),
-        );
+        let mut c =
+            CrackerColumn::from_pairs(vec![10i64, 20, 30], vec![7, 8, 9], CrackerConfig::default());
         let oids = c.select_oids(RangePred::ge(20));
         let mut sorted = oids;
         sorted.sort_unstable();

@@ -156,11 +156,11 @@ mod tests {
     fn concurrent_readers_and_crackers_agree_with_oracle() {
         let vals: Vec<i64> = (0..50_000).map(|i| (i * 31) % 50_000).collect();
         let col = SharedCrackerColumn::new(vals.clone());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..8 {
                 let col = &col;
                 let vals = &vals;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for q in 0..50 {
                         let lo = ((t * 577 + q * 131) % 49_000) as i64;
                         let pred = RangePred::between(lo, lo + 800);
@@ -168,8 +168,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         col.validate().unwrap();
     }
 
@@ -180,24 +179,23 @@ mod tests {
         let col = SharedCrackerColumn::new((0..10_000).collect::<Vec<i64>>());
         let band = RangePred::between(2_000, 3_000);
         let expected = 1_001;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
                 let col = &col;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for q in 0..100 {
                         assert_eq!(col.count(band), expected, "query {q}");
                     }
                 });
             }
             let col = &col;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..500u32 {
                     col.insert(20_000 + i, 50_000 + i as i64);
                 }
                 col.merge_pending();
             });
-        })
-        .unwrap();
+        });
         col.validate().unwrap();
         assert_eq!(col.len(), 10_500);
         assert_eq!(col.count(band), expected);

@@ -139,10 +139,7 @@ mod tests {
         assert!(catalog.contains("r_a"));
         assert!(catalog.contains("r_a[1]"));
         // Union of the pieces reconstructs the container (loss-less).
-        let total: usize = labels
-            .iter()
-            .map(|l| catalog.get(l).unwrap().len())
-            .sum();
+        let total: usize = labels.iter().map(|l| catalog.get(l).unwrap().len()).sum();
         assert_eq!(total, 100);
     }
 

@@ -102,12 +102,7 @@ pub fn aggregate_groups<T: CrackValue, A>(
 ) -> Vec<(T, A)> {
     res.groups
         .iter()
-        .map(|(v, r)| {
-            (
-                *v,
-                f(*v, &col.values()[r.clone()], &col.oids()[r.clone()]),
-            )
-        })
+        .map(|(v, r)| (*v, f(*v, &col.values()[r.clone()], &col.oids()[r.clone()])))
         .collect()
 }
 

@@ -76,7 +76,7 @@ pub use index::CrackerIndex;
 pub use paged::PagedCracker;
 pub use policy::{CrackPolicy, PolicyCracker};
 pub use pred::RangePred;
-pub use stats::CrackStats;
 pub use sideways::{CrackerMap, SidewaysCracker};
+pub use stats::CrackStats;
 pub use stochastic::{StochasticCracker, StochasticPolicy};
 pub use value_trait::{CrackValue, OrdF64};

@@ -225,7 +225,10 @@ impl LineageGraph {
 
     /// Number of live (leaf) pieces across all roots.
     pub fn leaf_count(&self) -> usize {
-        self.pieces.iter().filter(|n| n.consumed_by.is_none()).count()
+        self.pieces
+            .iter()
+            .filter(|n| n.consumed_by.is_none())
+            .count()
     }
 
     /// Number of recorded operator applications.

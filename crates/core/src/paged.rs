@@ -54,10 +54,7 @@ pub struct PagedCracker {
 impl PagedCracker {
     /// Materialize `vals` onto the pool's store and wrap them for
     /// cracking.
-    pub fn create<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        vals: &[i64],
-    ) -> StorageResult<Self> {
+    pub fn create<S: PageStore>(pool: &mut BufferPool<S>, vals: &[i64]) -> StorageResult<Self> {
         let col = PagedColumn::create(pool, vals)?;
         let n = col.len();
         Ok(PagedCracker {
@@ -207,9 +204,10 @@ impl PagedCracker {
         pred: &RangePred<i64>,
     ) -> StorageResult<usize> {
         self.stats.edge_scanned += range.len() as u64;
-        self.col.fold_range(pool, range.start, range.end, 0usize, |n, v| {
-            n + usize::from(pred.matches(v))
-        })
+        self.col
+            .fold_range(pool, range.start, range.end, 0usize, |n, v| {
+                n + usize::from(pred.matches(v))
+            })
     }
 
     /// Check the cracker-index invariants against the materialized
@@ -276,7 +274,10 @@ mod tests {
             c.piece_count(),
             unrestricted.piece_count()
         );
-        assert!(c.stats().edge_scanned > 0, "borders are scanned, not cracked");
+        assert!(
+            c.stats().edge_scanned > 0,
+            "borders are scanned, not cracked"
+        );
         // And no recorded piece was produced by cracking inside a block:
         // every crack's source piece exceeded one page, so every *crack*
         // counter increment touched > per_page tuples on average.

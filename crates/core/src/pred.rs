@@ -144,8 +144,7 @@ impl<T: CrackValue> RangePred<T> {
     pub fn is_empty_range(&self) -> bool {
         match (self.low, self.high) {
             (Some(lo), Some(hi)) => {
-                lo.value > hi.value
-                    || (lo.value == hi.value && !(lo.inclusive && hi.inclusive))
+                lo.value > hi.value || (lo.value == hi.value && !(lo.inclusive && hi.inclusive))
             }
             _ => false,
         }

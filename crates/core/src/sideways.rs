@@ -229,13 +229,12 @@ impl<T: CrackValue> SidewaysCracker<T> {
     ) -> &'a [T] {
         if !self.maps.contains_key(tail_name) {
             let tail = fetch_tail();
-            self.maps
-                .insert(tail_name.to_owned(), CrackerMap::new(self.head.clone(), tail));
+            self.maps.insert(
+                tail_name.to_owned(),
+                CrackerMap::new(self.head.clone(), tail),
+            );
         }
-        let map = self
-            .maps
-            .get_mut(tail_name)
-            .expect("inserted above");
+        let map = self.maps.get_mut(tail_name).expect("inserted above");
         let r = map.select(pred);
         map.project(r)
     }
@@ -351,7 +350,10 @@ mod tests {
         assert_eq!(sw.map_count(), 1);
         let mut got_b_sorted = got_b;
         got_b_sorted.sort_unstable();
-        assert_eq!(got_b_sorted, oracle(&head, &b, &RangePred::between(100, 199)));
+        assert_eq!(
+            got_b_sorted,
+            oracle(&head, &b, &RangePred::between(100, 199))
+        );
 
         // A second projected attribute gets its own map, answering the
         // same predicate independently.
@@ -362,17 +364,22 @@ mod tests {
         assert_eq!(got_c.len(), 100);
         let mut got_c_sorted = got_c.clone();
         got_c_sorted.sort_unstable();
-        assert_eq!(got_c_sorted, oracle(&head, &c, &RangePred::between(100, 199)));
+        assert_eq!(
+            got_c_sorted,
+            oracle(&head, &c, &RangePred::between(100, 199))
+        );
 
         // Both maps answer row-aligned: pairing b/2 with c/3 recovers the
         // same tuple set.
         let got_b2 = sw
-            .select_project("b", || unreachable!("map exists"), RangePred::between(100, 199))
+            .select_project(
+                "b",
+                || unreachable!("map exists"),
+                RangePred::between(100, 199),
+            )
             .to_vec();
-        let rows_b: std::collections::BTreeSet<i64> =
-            got_b2.iter().map(|v| v / 2).collect();
-        let rows_c: std::collections::BTreeSet<i64> =
-            got_c.iter().map(|v| v / 3).collect();
+        let rows_b: std::collections::BTreeSet<i64> = got_b2.iter().map(|v| v / 2).collect();
+        let rows_c: std::collections::BTreeSet<i64> = got_c.iter().map(|v| v / 3).collect();
         assert_eq!(rows_b, rows_c, "maps agree on the qualifying tuple set");
     }
 

@@ -412,8 +412,7 @@ mod tests {
     fn auxiliary_cuts_are_counted_and_deterministic() {
         let orig = shuffled(10_000, 21);
         let run = |seed| {
-            let mut c =
-                StochasticCracker::new(orig.clone(), StochasticPolicy::DD1R, seed);
+            let mut c = StochasticCracker::new(orig.clone(), StochasticPolicy::DD1R, seed);
             for (lo, hi) in sequential_windows(10_000, 20) {
                 c.select(RangePred::half_open(lo, hi));
             }
@@ -421,7 +420,11 @@ mod tests {
         };
         let (cuts_a, pieces_a) = run(5);
         let (cuts_b, pieces_b) = run(5);
-        assert_eq!((cuts_a, pieces_a), (cuts_b, pieces_b), "same seed, same run");
+        assert_eq!(
+            (cuts_a, pieces_a),
+            (cuts_b, pieces_b),
+            "same seed, same run"
+        );
         assert!(cuts_a > 0, "the sweep must trigger auxiliary cuts");
         let (cuts_c, _) = run(6);
         // Different seed usually differs; at minimum the run stays valid.
@@ -432,11 +435,7 @@ mod tests {
     fn ddc_median_cuts_balance_the_index() {
         let n = 8_192;
         let orig = shuffled(n, 3);
-        let mut c = StochasticCracker::new(
-            orig,
-            StochasticPolicy::DDC { floor: 512 },
-            0,
-        );
+        let mut c = StochasticCracker::new(orig, StochasticPolicy::DDC { floor: 512 }, 0);
         // One query deep in the domain: DDC must have carved the path to
         // it into pieces no larger than ~2× the floor.
         c.select(RangePred::half_open(4_000, 4_100));
@@ -457,11 +456,8 @@ mod tests {
 
     #[test]
     fn constant_columns_are_not_cut_forever() {
-        let mut c = StochasticCracker::new(
-            vec![7i64; 5_000],
-            StochasticPolicy::DDR { floor: 16 },
-            1,
-        );
+        let mut c =
+            StochasticCracker::new(vec![7i64; 5_000], StochasticPolicy::DDR { floor: 16 }, 1);
         let sel = c.select(RangePred::between(7, 7));
         assert_eq!(sel.count(), 5_000);
         assert_eq!(

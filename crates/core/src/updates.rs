@@ -84,7 +84,10 @@ impl<T: CrackValue> PendingUpdates<T> {
 
     /// Value of a staged insert, by OID.
     pub fn insert_value(&self, oid: u32) -> Option<T> {
-        self.inserts.iter().find(|(o, _)| *o == oid).map(|(_, v)| *v)
+        self.inserts
+            .iter()
+            .find(|(o, _)| *o == oid)
+            .map(|(_, v)| *v)
     }
 
     fn take(&mut self) -> (Vec<(u32, T)>, HashSet<u32>) {

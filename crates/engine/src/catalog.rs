@@ -102,8 +102,7 @@ mod tests {
     fn replace_swaps_incarnation() {
         let mut c = DbCatalog::new();
         c.register(t("r")).unwrap();
-        let bigger =
-            Table::from_int_columns("r", vec![("a", vec![1, 2, 3])]).unwrap();
+        let bigger = Table::from_int_columns("r", vec![("a", vec![1, 2, 3])]).unwrap();
         let old = c.replace(bigger);
         assert_eq!(old.unwrap().len(), 2);
         assert_eq!(c.table("r").unwrap().len(), 3);

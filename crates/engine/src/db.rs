@@ -141,8 +141,7 @@ impl AdaptiveDb {
             answers.push(col.select_oids(*pred));
         }
         answers.sort_by_key(Vec::len);
-        let mut result: std::collections::HashSet<u32> =
-            answers[0].iter().copied().collect();
+        let mut result: std::collections::HashSet<u32> = answers[0].iter().copied().collect();
         for a in &answers[1..] {
             let set: std::collections::HashSet<u32> = a.iter().copied().collect();
             result.retain(|o| set.contains(o));
@@ -169,7 +168,10 @@ impl AdaptiveDb {
         let (ln, rn) = (l.len(), r.len());
         let res = wedge_crack(&mut l, &mut r, 0..ln, 0..rn);
         // Record the four pieces in the lineage graph.
-        let (lr, rr) = (self.roots.get(left).copied(), self.roots.get(right).copied());
+        let (lr, rr) = (
+            self.roots.get(left).copied(),
+            self.roots.get(right).copied(),
+        );
         if let (Some(lr), Some(rr)) = (lr, rr) {
             let op = CrackOp::Wedge(format!("{left}.{left_attr}={right}.{right_attr}"));
             // Roots may already be consumed by earlier ops; only record
@@ -204,12 +206,8 @@ impl AdaptiveDb {
         let out = aggregate_groups(&col, &res, |_, vals, oids| match (&agg, &agg_vals) {
             (AggFunc::Count, _) => vals.len() as i64,
             (AggFunc::Sum, Some(av)) => oids.iter().map(|&o| av[o as usize]).sum(),
-            (AggFunc::Min, Some(av)) => {
-                oids.iter().map(|&o| av[o as usize]).min().unwrap_or(0)
-            }
-            (AggFunc::Max, Some(av)) => {
-                oids.iter().map(|&o| av[o as usize]).max().unwrap_or(0)
-            }
+            (AggFunc::Min, Some(av)) => oids.iter().map(|&o| av[o as usize]).min().unwrap_or(0),
+            (AggFunc::Max, Some(av)) => oids.iter().map(|&o| av[o as usize]).max().unwrap_or(0),
             // Sum/min/max without a target column degrade to count.
             _ => vals.len() as i64,
         });
@@ -339,8 +337,7 @@ mod tests {
         )
         .unwrap();
         db.register(
-            Table::from_int_columns("s", vec![("k", (0..20).map(|i| i % 5).collect())])
-                .unwrap(),
+            Table::from_int_columns("s", vec![("k", (0..20).map(|i| i % 5).collect())]).unwrap(),
         )
         .unwrap();
         db
@@ -385,10 +382,7 @@ mod tests {
         let mut db = db();
         // a >= 50 (oids 0..=49) AND k < 3 (oids where oid%10 < 3).
         let got = db
-            .select_conjunctive(
-                "r",
-                &[("a", RangePred::ge(50)), ("k", RangePred::lt(3))],
-            )
+            .select_conjunctive("r", &[("a", RangePred::ge(50)), ("k", RangePred::lt(3))])
             .unwrap();
         let want: Vec<u32> = (0..100u32)
             .filter(|&o| (99 - o as i64) >= 50 && (o as i64 % 10) < 3)
@@ -428,9 +422,7 @@ mod tests {
     #[test]
     fn group_aggregate_via_omega() {
         let mut db = db();
-        let counts = db
-            .group_aggregate("r", "k", AggFunc::Count, None)
-            .unwrap();
+        let counts = db.group_aggregate("r", "k", AggFunc::Count, None).unwrap();
         assert_eq!(counts.len(), 10);
         assert!(counts.iter().all(|&(_, c)| c == 10));
         let sums = db
@@ -500,8 +492,7 @@ mod tests {
         let q = RangeQuery::new("r", "a", pred);
         let (oids, _) = db.select(&q, OutputMode::Stream).unwrap();
         let k_col: Vec<i64> = (0..100).map(|i| i % 10).collect();
-        let mut via_oids: Vec<i64> =
-            oids.iter().map(|&o| k_col[o as usize]).collect();
+        let mut via_oids: Vec<i64> = oids.iter().map(|&o| k_col[o as usize]).collect();
         via_oids.sort_unstable();
         assert_eq!(sideways, via_oids);
         assert_eq!(db.map_count(), 1);
@@ -518,10 +509,16 @@ mod tests {
     #[test]
     fn total_stats_accumulate_across_columns() {
         let mut db = db();
-        db.select(&RangeQuery::new("r", "a", RangePred::lt(50)), OutputMode::Count)
-            .unwrap();
-        db.select(&RangeQuery::new("r", "k", RangePred::lt(5)), OutputMode::Count)
-            .unwrap();
+        db.select(
+            &RangeQuery::new("r", "a", RangePred::lt(50)),
+            OutputMode::Count,
+        )
+        .unwrap();
+        db.select(
+            &RangeQuery::new("r", "k", RangePred::lt(5)),
+            OutputMode::Count,
+        )
+        .unwrap();
         let s = db.total_crack_stats();
         assert_eq!(s.queries, 2);
         assert!(s.cracks >= 2);

@@ -365,7 +365,9 @@ impl QueryEngine for StochasticEngine {
             _ => {
                 stats.tuples_read += sel.count() as u64;
                 self.result.clear();
-                self.column.column().copy_selection_into(&sel, &mut self.result);
+                self.column
+                    .column()
+                    .copy_selection_into(&sel, &mut self.result);
             }
         }
         charge_output(&mut stats, mode);
@@ -514,11 +516,7 @@ mod tests {
     #[test]
     fn empty_engine_answers_empty() {
         let (mut scan, mut sort, mut crack) = engines(vec![]);
-        for e in [
-            &mut scan as &mut dyn QueryEngine,
-            &mut sort,
-            &mut crack,
-        ] {
+        for e in [&mut scan as &mut dyn QueryEngine, &mut sort, &mut crack] {
             let s = e.run(RangePred::between(1, 5), OutputMode::Count);
             assert_eq!(s.result_count, 0, "{}", e.name());
             assert_eq!(e.len(), 0);

@@ -23,9 +23,7 @@ impl GroupByOp {
         // (count, sum, min, max) running state per group.
         let mut groups: BTreeMap<Atom, (i64, i64, i64, i64)> = BTreeMap::new();
         while let Some(row) = input.next() {
-            let v = agg_col
-                .and_then(|c| row[c].as_int())
-                .unwrap_or(0);
+            let v = agg_col.and_then(|c| row[c].as_int()).unwrap_or(0);
             let entry = groups
                 .entry(row[key].clone())
                 .or_insert((0, 0, i64::MAX, i64::MIN));

@@ -8,8 +8,8 @@
 //! up to 128 joins.
 
 use super::{Operator, Row};
-use storage::Atom;
 use std::collections::HashMap;
+use storage::Atom;
 
 /// Equality hash join: builds on the left input, probes with the right.
 /// Output rows are `left ++ right`.
@@ -195,14 +195,8 @@ mod tests {
 
     #[test]
     fn join_output_concatenates_columns() {
-        let left = Box::new(RowsOp::new(
-            vec![vec![Atom::Int(1), Atom::from("x")]],
-            2,
-        ));
-        let right = Box::new(RowsOp::new(
-            vec![vec![Atom::Int(1), Atom::from("y")]],
-            2,
-        ));
+        let left = Box::new(RowsOp::new(vec![vec![Atom::Int(1), Atom::from("x")]], 2));
+        let right = Box::new(RowsOp::new(vec![vec![Atom::Int(1), Atom::from("y")]], 2));
         let mut j = HashJoinOp::new(left, 0, right, 0);
         assert_eq!(j.arity(), 4);
         let row = j.next().unwrap();

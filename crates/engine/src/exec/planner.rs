@@ -117,10 +117,7 @@ fn lower(plan: &Plan, catalog: &DbCatalog) -> EngineResult<Typed> {
 }
 
 /// Convenience: build, push down, and execute a whole DNF term.
-pub fn execute_term(
-    term: &crate::query::QueryTerm,
-    catalog: &DbCatalog,
-) -> EngineResult<Vec<Row>> {
+pub fn execute_term(term: &crate::query::QueryTerm, catalog: &DbCatalog) -> EngineResult<Vec<Row>> {
     let plan = Plan::from_term(term).push_down_selections();
     execute_plan(&plan, catalog)
 }
@@ -158,8 +155,14 @@ mod tests {
         )
         .unwrap();
         c.register(
-            Table::from_int_columns("s", vec![("k", (0..10).collect()), ("b", (0..10).map(|i| i * 100).collect())])
-                .unwrap(),
+            Table::from_int_columns(
+                "s",
+                vec![
+                    ("k", (0..10).collect()),
+                    ("b", (0..10).map(|i| i * 100).collect()),
+                ],
+            )
+            .unwrap(),
         )
         .unwrap();
         c
@@ -168,11 +171,8 @@ mod tests {
     #[test]
     fn selection_plan_executes() {
         let cat = catalog();
-        let rows = execute_selection(
-            &RangeQuery::new("r", "a", RangePred::between(10, 14)),
-            &cat,
-        )
-        .unwrap();
+        let rows = execute_selection(&RangeQuery::new("r", "a", RangePred::between(10, 14)), &cat)
+            .unwrap();
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0][2], Atom::Int(10));
     }
@@ -232,17 +232,17 @@ mod tests {
         let plan = Plan::from_term(&term).push_down_selections();
         assert_eq!(output_names(&plan, &cat).unwrap(), vec!["a"]);
         let rows = execute_plan(&plan, &cat).unwrap();
-        assert_eq!(rows, vec![vec![Atom::Int(0)], vec![Atom::Int(1)], vec![Atom::Int(2)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Atom::Int(0)], vec![Atom::Int(1)], vec![Atom::Int(2)]]
+        );
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
         let cat = catalog();
-        let err = execute_selection(
-            &RangeQuery::new("r", "zzz", RangePred::lt(1)),
-            &cat,
-        )
-        .unwrap_err();
+        let err =
+            execute_selection(&RangeQuery::new("r", "zzz", RangePred::lt(1)), &cat).unwrap_err();
         assert!(matches!(err, EngineError::UnknownColumn { .. }));
     }
 

@@ -301,9 +301,9 @@ impl Plan {
 
 fn input_of(plan: &Plan) -> &Plan {
     match plan {
-        Plan::Select { input, .. }
-        | Plan::Project { input, .. }
-        | Plan::GroupBy { input, .. } => input,
+        Plan::Select { input, .. } | Plan::Project { input, .. } | Plan::GroupBy { input, .. } => {
+            input
+        }
         _ => plan,
     }
 }

@@ -134,8 +134,7 @@ mod tests {
     use storage::AtomType;
 
     fn sample() -> Table {
-        Table::from_int_columns("r", vec![("k", vec![1, 2, 3]), ("a", vec![10, 20, 30])])
-            .unwrap()
+        Table::from_int_columns("r", vec![("k", vec![1, 2, 3]), ("a", vec![10, 20, 30])]).unwrap()
     }
 
     #[test]

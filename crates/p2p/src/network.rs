@@ -78,10 +78,7 @@ impl Node {
             return false;
         };
         let right = self.pieces.remove(&b).expect("key listed");
-        self.pieces
-            .get_mut(&a)
-            .expect("key listed")
-            .fuse(right);
+        self.pieces.get_mut(&a).expect("key listed").fuse(right);
         true
     }
 }
@@ -260,9 +257,7 @@ impl Network {
                 // partially relevant piece would ship cold tuples.
                 if whole {
                     let count = piece.record_access(entry);
-                    if self.config.migrate_after > 0
-                        && count >= self.config.migrate_after
-                    {
+                    if self.config.migrate_after > 0 && count >= self.config.migrate_after {
                         migrate.push((owner_id, piece.lo));
                     }
                 }
@@ -333,11 +328,7 @@ impl Network {
     /// The peer owning the piece covering `value`, if any.
     pub fn owner_of(&self, value: i64) -> Option<NodeId> {
         for (i, node) in self.nodes.iter().enumerate() {
-            if node
-                .pieces
-                .values()
-                .any(|p| (p.lo..p.hi).contains(&value))
-            {
+            if node.pieces.values().any(|p| (p.lo..p.hi).contains(&value)) {
                 return Some(NodeId(i));
             }
         }
@@ -460,7 +451,10 @@ mod tests {
 
     #[test]
     fn remote_answers_cost_hops_and_transfers() {
-        let mut n = net(P2pConfig { migrate_after: 0, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 0,
+            ..Default::default()
+        });
         let t = n.query(NodeId(0), 300, 350);
         assert_eq!(t.result, 50);
         assert_eq!(t.local, 0);
@@ -473,7 +467,10 @@ mod tests {
 
     #[test]
     fn cracking_splits_only_border_pieces() {
-        let mut n = net(P2pConfig { migrate_after: 0, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 0,
+            ..Default::default()
+        });
         n.query(NodeId(0), 300, 350);
         // Node 1 (250..500) cracked into three; others untouched.
         assert_eq!(n.piece_counts(), vec![1, 3, 1, 1]);
@@ -483,11 +480,14 @@ mod tests {
 
     #[test]
     fn hot_pieces_migrate_to_their_consumer() {
-        let mut n = net(P2pConfig { migrate_after: 3, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 3,
+            ..Default::default()
+        });
         // Node 0 keeps asking for node 1's range.
         let mut migrated_at = None;
         for step in 1..=5 {
-            let t = n.query(NodeId(0), 300, 350, );
+            let t = n.query(NodeId(0), 300, 350);
             if t.migrations > 0 {
                 migrated_at = Some(step);
                 break;
@@ -505,7 +505,10 @@ mod tests {
 
     #[test]
     fn migration_disabled_means_hops_forever() {
-        let mut n = net(P2pConfig { migrate_after: 0, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 0,
+            ..Default::default()
+        });
         for _ in 0..10 {
             let t = n.query(NodeId(0), 300, 350);
             assert_eq!(t.hops, 1, "without migration the hop never goes away");
@@ -535,7 +538,10 @@ mod tests {
     fn affinity_workload_self_organizes() {
         // 4 nodes; node i's clients query inside stripe ((i+1) % 4) — all
         // data starts one stripe "away" from its consumers.
-        let mut n = net(P2pConfig { migrate_after: 2, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 2,
+            ..Default::default()
+        });
         let mut early_hops = 0;
         let mut late_hops = 0;
         for round in 0..20 {
@@ -562,7 +568,10 @@ mod tests {
 
     #[test]
     fn updates_follow_the_adaptive_placement() {
-        let mut n = net(P2pConfig { migrate_after: 2, ..Default::default() });
+        let mut n = net(P2pConfig {
+            migrate_after: 2,
+            ..Default::default()
+        });
         // Node 0 pulls the range 300..350 over from node 1.
         for _ in 0..2 {
             n.query(NodeId(0), 300, 350);

@@ -80,9 +80,7 @@ impl Piece {
                 above.push(t);
             }
         }
-        let mk = |lo: i64, hi: i64, tuples: Vec<i64>| {
-            (lo < hi).then(|| Piece::new(lo, hi, tuples))
-        };
+        let mk = |lo: i64, hi: i64, tuples: Vec<i64>| (lo < hi).then(|| Piece::new(lo, hi, tuples));
         (
             mk(self.lo, cut_lo, below),
             mk(cut_lo, cut_hi, inside),

@@ -38,6 +38,11 @@ pub struct GranuleSim {
     n: usize,
     sigma: f64,
     rng: SmallRng,
+    /// Separate stream for volatility updates, so enabling them leaves the
+    /// query sequence drawn from `rng` untouched — quiet and volatile runs
+    /// with the same seed face identical queries and the measured delta
+    /// isolates the update overhead.
+    update_rng: SmallRng,
     steps_taken: usize,
     /// Updates applied between steps (insert+delete pairs, keeping the
     /// granule count stable) — the "database volatility" §2.2 names as a
@@ -68,6 +73,7 @@ impl GranuleSim {
             n,
             sigma,
             rng,
+            update_rng: SmallRng::seed_from_u64(seed ^ 0x5EED_FACE_CAFE_F00D),
             steps_taken: 0,
             volatility: 0,
             next_oid: n as u32,
@@ -106,11 +112,11 @@ impl GranuleSim {
             // Replace a random live granule with a fresh random value.
             let victims: &[u32] = self.column.oids();
             if !victims.is_empty() {
-                let idx = self.rng.gen_range(0..victims.len());
+                let idx = self.update_rng.gen_range(0..victims.len());
                 let victim = victims[idx];
                 self.column.delete(victim);
             }
-            let v = self.rng.gen_range(0..self.n as i64);
+            let v = self.update_rng.gen_range(0..self.n as i64);
             self.column.insert(self.next_oid, v);
             self.next_oid += 1;
         }
@@ -195,11 +201,14 @@ mod tests {
             .skip(10)
             .map(|c| c.io())
             .sum();
-        let mut volatile_sim = GranuleSim::new(20_000, 0.05, 5).with_volatility(200);
+        // 10% of the store churning per step: the update stream is drawn
+        // from a dedicated RNG, so both runs face the identical query
+        // sequence and the delta isolates the update overhead.
+        let mut volatile_sim = GranuleSim::new(20_000, 0.05, 5).with_volatility(2_000);
         let volatile: u64 = volatile_sim.run(30).iter().skip(10).map(|c| c.io()).sum();
         assert!(
-            volatile > quiet,
-            "updates degrade the cracked structure: {volatile} !> {quiet}"
+            volatile > quiet + quiet / 20,
+            "updates degrade the cracked structure: {volatile} !> {quiet} + 5%"
         );
         assert_eq!(volatile_sim.n(), 20_000);
     }

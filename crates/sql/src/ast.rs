@@ -296,7 +296,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
         assert_eq!(CmpOp::Ne.negated(), CmpOp::Eq);
         // Negation is an involution; mirroring is too.
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert_eq!(op.negated().negated(), op);
             assert_eq!(op.mirrored().mirrored(), op);
         }

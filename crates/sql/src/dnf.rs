@@ -399,9 +399,7 @@ mod tests {
     fn equi_join_becomes_a_join_literal() {
         let terms = dnf("r.k = s.k and r.a < 5").unwrap();
         assert_eq!(terms.len(), 1);
-        assert!(terms[0]
-            .iter()
-            .any(|l| matches!(l, NormLit::Join { .. })));
+        assert!(terms[0].iter().any(|l| matches!(l, NormLit::Join { .. })));
     }
 
     #[test]
@@ -462,7 +460,9 @@ mod tests {
             Expr::Between {
                 low, high, negated, ..
             } => (*low..=*high).contains(&v) != *negated,
-            Expr::Cmp { left, op, right, .. } => {
+            Expr::Cmp {
+                left, op, right, ..
+            } => {
                 let l = match left {
                     Operand::Literal(x) => *x,
                     Operand::Column(_) => v,

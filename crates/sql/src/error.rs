@@ -198,7 +198,12 @@ mod tests {
         let rendered = err.render(src);
         assert!(rendered.contains("error: syntax error: expected FROM"));
         assert!(rendered.contains("select * form r"));
-        assert!(rendered.lines().last().unwrap().trim_end().ends_with("^^^^"));
+        assert!(rendered
+            .lines()
+            .last()
+            .unwrap()
+            .trim_end()
+            .ends_with("^^^^"));
     }
 
     #[test]
@@ -221,7 +226,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            SqlError::DnfExplosion { terms: 128, cap: 64 }.to_string(),
+            SqlError::DnfExplosion {
+                terms: 128,
+                cap: 64
+            }
+            .to_string(),
             "WHERE clause expands to 128 DNF terms, over the cap of 64"
         );
         assert_eq!(

@@ -67,8 +67,7 @@ impl fmt::Display for QueryOutput {
         match self {
             QueryOutput::Affected { message } => write!(f, "{message}"),
             QueryOutput::Table { columns, rows } => {
-                let mut widths: Vec<usize> =
-                    columns.iter().map(String::len).collect();
+                let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
                 let rendered: Vec<Vec<String>> = rows
                     .iter()
                     .map(|r| r.iter().map(i64::to_string).collect())
@@ -102,7 +101,12 @@ impl fmt::Display for QueryOutput {
                 for row in &rendered {
                     line(f, row)?;
                 }
-                write!(f, "({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" })
+                write!(
+                    f,
+                    "({} row{})",
+                    rows.len(),
+                    if rows.len() == 1 { "" } else { "s" }
+                )
             }
         }
     }
@@ -233,12 +237,8 @@ impl SqlSession {
                         *span,
                     ));
                 }
-                let columns = columns
-                    .iter()
-                    .map(|c| (c.clone(), Vec::new()))
-                    .collect();
-                self.buffers
-                    .insert(name.clone(), TableBuffer { columns });
+                let columns = columns.iter().map(|c| (c.clone(), Vec::new())).collect();
+                self.buffers.insert(name.clone(), TableBuffer { columns });
                 self.dirty = true;
                 Ok(QueryOutput::Affected {
                     message: format!("created table {name}"),
@@ -246,10 +246,7 @@ impl SqlSession {
             }
             Statement::DropTable { name, span } => {
                 if self.buffers.remove(name).is_none() {
-                    return Err(SqlError::semantic(
-                        format!("unknown table {name:?}"),
-                        *span,
-                    ));
+                    return Err(SqlError::semantic(format!("unknown table {name:?}"), *span));
                 }
                 self.dirty = true;
                 Ok(QueryOutput::Affected {
@@ -257,9 +254,10 @@ impl SqlSession {
                 })
             }
             Statement::InsertValues { table, rows, span } => {
-                let buf = self.buffers.get_mut(table).ok_or_else(|| {
-                    SqlError::semantic(format!("unknown table {table:?}"), *span)
-                })?;
+                let buf = self
+                    .buffers
+                    .get_mut(table)
+                    .ok_or_else(|| SqlError::semantic(format!("unknown table {table:?}"), *span))?;
                 if let Some(row) = rows.first() {
                     if row.len() != buf.columns.len() {
                         return Err(SqlError::semantic(
@@ -440,12 +438,9 @@ impl SqlSession {
                 if let OutputCol::Column { label, source } = &lowered.outputs[0] {
                     let sel = &term.selections[0];
                     if source.1 != sel.attr {
-                        let vals = self.db.select_project(
-                            &table,
-                            &sel.attr,
-                            &source.1,
-                            sel.pred,
-                        )?;
+                        let vals = self
+                            .db
+                            .select_project(&table, &sel.attr, &source.1, sel.pred)?;
                         return Ok(QueryOutput::Table {
                             columns: vec![label.clone()],
                             rows: vals.into_iter().map(|v| vec![v]).collect(),
@@ -464,8 +459,7 @@ impl SqlSession {
         // Header resolution: empty outputs means `SELECT *`.
         if lowered.outputs.is_empty() {
             let t = self.db.catalog().table(&table)?;
-            let columns: Vec<String> =
-                t.schema().names().iter().map(|s| s.to_string()).collect();
+            let columns: Vec<String> = t.schema().names().iter().map(|s| s.to_string()).collect();
             let rows = project_rows(t, &oids, &columns)?;
             return Ok(QueryOutput::Table { columns, rows });
         }
@@ -520,10 +514,7 @@ impl SqlSession {
     }
 
     fn run_grouped(&mut self, lowered: &LoweredSelect) -> SqlResult<QueryOutput> {
-        let (g_table, g_col) = lowered
-            .group_by
-            .clone()
-            .expect("caller checked group_by");
+        let (g_table, g_col) = lowered.group_by.clone().expect("caller checked group_by");
         if lowered.tables.len() > 1 || lowered.terms.iter().any(|t| !t.joins.is_empty()) {
             return Err(SqlError::unsupported(
                 "GROUP BY over a join (group the materialized join result instead)",
@@ -531,11 +522,8 @@ impl SqlSession {
             ));
         }
 
-        let has_filter = lowered
-            .terms
-            .iter()
-            .any(|t| !t.selections.is_empty())
-            || lowered.terms.len() != 1;
+        let has_filter =
+            lowered.terms.iter().any(|t| !t.selections.is_empty()) || lowered.terms.len() != 1;
 
         // Per-group values for every aggregate output, keyed by group value.
         let mut groups: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
@@ -558,14 +546,16 @@ impl SqlSession {
                     arg.as_ref().map(|(_, c)| c.as_str()),
                 )?;
                 for (g, v) in pairs {
-                    groups.entry(g).or_insert_with(|| vec![0; agg_outputs.len()])[i] = v;
+                    groups
+                        .entry(g)
+                        .or_insert_with(|| vec![0; agg_outputs.len()])[i] = v;
                 }
             }
             if agg_outputs.is_empty() {
                 // Pure `SELECT k ... GROUP BY k`: distinct groups via Ω.
-                let pairs =
-                    self.db
-                        .group_aggregate(&g_table, &g_col, AggFunc::Count, None)?;
+                let pairs = self
+                    .db
+                    .group_aggregate(&g_table, &g_col, AggFunc::Count, None)?;
                 for (g, _) in pairs {
                     groups.entry(g).or_default();
                 }
@@ -679,23 +669,21 @@ impl SqlSession {
         let mut rows: Vec<Vec<u32>> = Vec::new();
         let mut first = true;
         for (step, new_is_right) in &attach_steps {
-            let pairs =
-                self.db
-                    .join(&step.left, &step.left_attr, &step.right, &step.right_attr)?;
+            let pairs = self
+                .db
+                .join(&step.left, &step.left_attr, &step.right, &step.right_attr)?;
             let keep_l = &side_oids[&step.left];
             let keep_r = &side_oids[&step.right];
             let pairs: Vec<(u32, u32)> = pairs
                 .into_iter()
                 .filter(|(l, r)| keep_l.contains(l) && keep_r.contains(r))
                 .collect();
-            let (existing_table, existing_of_pair): (&str, PairSide) =
-                if *new_is_right {
-                    (&step.left, |p| p.0)
-                } else {
-                    (&step.right, |p| p.1)
-                };
-            let new_of_pair: PairSide =
-                if *new_is_right { |p| p.1 } else { |p| p.0 };
+            let (existing_table, existing_of_pair): (&str, PairSide) = if *new_is_right {
+                (&step.left, |p| p.0)
+            } else {
+                (&step.right, |p| p.1)
+            };
+            let new_of_pair: PairSide = if *new_is_right { |p| p.1 } else { |p| p.0 };
             if first {
                 // Seed with the first step's pairs directly, in `joined`
                 // order (existing table first).
@@ -739,7 +727,10 @@ impl SqlSession {
                 .into_iter()
                 .collect();
             let li = joined.iter().position(|t| *t == step.left).expect("joined");
-            let ri = joined.iter().position(|t| *t == step.right).expect("joined");
+            let ri = joined
+                .iter()
+                .position(|t| *t == step.right)
+                .expect("joined");
             rows.retain(|row| pairs.contains(&(row[li], row[ri])));
         }
         rows.sort_unstable();
@@ -830,11 +821,7 @@ impl Default for SqlSession {
 }
 
 /// Project `cols` of `table` at the given OIDs into rows.
-fn project_rows(
-    table: &Table,
-    oids: &[u32],
-    cols: &[String],
-) -> SqlResult<Vec<Vec<i64>>> {
+fn project_rows(table: &Table, oids: &[u32], cols: &[String]) -> SqlResult<Vec<Vec<i64>>> {
     let col_slices: Vec<&[i64]> = cols
         .iter()
         .map(|c| table.ints(c))
@@ -1051,12 +1038,21 @@ mod tests {
         let s_m: Vec<i64> = (0..30).map(|i| i % 5).collect();
         let t_m: Vec<i64> = (0..20).map(|i| i % 5).collect();
         let t_b: Vec<i64> = (0..20).map(|i| i * 10).collect();
-        s.load_table("r", vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())])
-            .unwrap();
-        s.load_table("s", vec![("k".into(), s_k.clone()), ("m".into(), s_m.clone())])
-            .unwrap();
-        s.load_table("t", vec![("m".into(), t_m.clone()), ("b".into(), t_b.clone())])
-            .unwrap();
+        s.load_table(
+            "r",
+            vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())],
+        )
+        .unwrap();
+        s.load_table(
+            "s",
+            vec![("k".into(), s_k.clone()), ("m".into(), s_m.clone())],
+        )
+        .unwrap();
+        s.load_table(
+            "t",
+            vec![("m".into(), t_m.clone()), ("b".into(), t_b.clone())],
+        )
+        .unwrap();
         let out = s
             .execute_one(
                 "select count(*) from r, s, t \
@@ -1067,11 +1063,7 @@ mod tests {
         for i in 0..r_k.len() {
             for j in 0..s_k.len() {
                 for l in 0..t_m.len() {
-                    if r_k[i] == s_k[j]
-                        && s_m[j] == t_m[l]
-                        && r_a[i] < 30
-                        && t_b[l] >= 50
-                    {
+                    if r_k[i] == s_k[j] && s_m[j] == t_m[l] && r_a[i] < 30 && t_b[l] >= 50 {
                         want += 1;
                     }
                 }
@@ -1153,7 +1145,9 @@ mod tests {
         assert_eq!(s.cracked_columns(), 1);
         s.execute_one("insert into r values (0, 5)").unwrap();
         // The insert is visible and the store re-cracks lazily.
-        let out = s.execute_one("select count(*) from r where a < 10").unwrap();
+        let out = s
+            .execute_one("select count(*) from r where a < 10")
+            .unwrap();
         assert_eq!(rows(&out)[0][0], 11);
     }
 
@@ -1175,10 +1169,7 @@ mod tests {
         let mut s = SqlSession::new();
         assert!(s.load_table("t", vec![]).is_err());
         assert!(s
-            .load_table(
-                "t",
-                vec![("a".into(), vec![1]), ("b".into(), vec![1, 2])]
-            )
+            .load_table("t", vec![("a".into(), vec![1]), ("b".into(), vec![1, 2])])
             .is_err());
         s.load_table("t", vec![("a".into(), vec![1])]).unwrap();
         assert!(s.load_table("t", vec![("a".into(), vec![2])]).is_err());
@@ -1207,9 +1198,7 @@ mod tests {
     #[test]
     fn single_column_projection_takes_the_sideways_path() {
         let mut s = session();
-        let out = s
-            .execute_one("select k from r where a >= 95")
-            .unwrap();
+        let out = s.execute_one("select k from r where a >= 95").unwrap();
         // a >= 95 ⇒ oids 0..=4 ⇒ k = oid % 10 ∈ {0..4}.
         let mut got: Vec<i64> = rows(&out).iter().map(|r| r[0]).collect();
         got.sort_unstable();
@@ -1236,7 +1225,7 @@ mod tests {
         // for the surviving a-values.
         let out = s.execute_one("select a, k from r where a = 50").unwrap();
         assert_eq!(rows(&out), &[vec![50, 9]]); // a=50 ⇒ old oid 49 ⇒ k=9
-        // DELETE without WHERE empties the table.
+                                                // DELETE without WHERE empties the table.
         s.execute_one("delete from r").unwrap();
         let out = s.execute_one("select count(*) from r").unwrap();
         assert_eq!(rows(&out)[0][0], 0);
@@ -1258,7 +1247,9 @@ mod tests {
         // LIMIT 0 and LIMIT beyond the result size.
         let out = s.execute_one("select * from r limit 0").unwrap();
         assert_eq!(out.row_count(), 0);
-        let out = s.execute_one("select * from r where a < 3 limit 99").unwrap();
+        let out = s
+            .execute_one("select * from r where a < 3 limit 99")
+            .unwrap();
         assert_eq!(out.row_count(), 3);
         // Negative limits are rejected.
         assert!(s.execute_one("select * from r limit -1").is_err());

@@ -170,17 +170,11 @@ pub fn intersect(a: RangePred<i64>, b: RangePred<i64>) -> RangePred<i64> {
 }
 
 /// Lower a parsed SELECT against a schema.
-pub fn lower_select(
-    stmt: &SelectStmt,
-    schema: &dyn SchemaProvider,
-) -> SqlResult<LoweredSelect> {
+pub fn lower_select(stmt: &SelectStmt, schema: &dyn SchemaProvider) -> SqlResult<LoweredSelect> {
     // FROM tables must exist.
     for (name, span) in &stmt.tables {
         if !schema.has_table(name) {
-            return Err(SqlError::semantic(
-                format!("unknown table {name:?}"),
-                *span,
-            ));
+            return Err(SqlError::semantic(format!("unknown table {name:?}"), *span));
         }
     }
 
@@ -571,7 +565,10 @@ mod tests {
     #[test]
     fn projection_of_term_carries_column_names() {
         let l = lower("select a, k from r where a < 5").unwrap();
-        assert_eq!(l.terms[0].projection, vec!["a".to_string(), "k".to_string()]);
+        assert_eq!(
+            l.terms[0].projection,
+            vec!["a".to_string(), "k".to_string()]
+        );
         assert_eq!(l.outputs.len(), 2);
     }
 }

@@ -24,9 +24,7 @@
 //! int         := ['-'] INT
 //! ```
 
-use crate::ast::{
-    CmpOp, ColumnRef, Expr, Operand, ProjItem, Projection, SelectStmt, Statement,
-};
+use crate::ast::{CmpOp, ColumnRef, Expr, Operand, ProjItem, Projection, SelectStmt, Statement};
 use crate::error::{Span, SqlError, SqlResult};
 use crate::token::{lex, Tok, Token};
 use engine::query::AggFunc;
@@ -510,9 +508,7 @@ impl Parser {
     fn operand(&mut self) -> SqlResult<Operand> {
         match self.peek() {
             Some(Tok::Ident(_)) => Ok(Operand::Column(self.column_ref()?)),
-            Some(Tok::Int(_)) | Some(Tok::Minus) => {
-                Ok(Operand::Literal(self.int_literal()?.0))
-            }
+            Some(Tok::Int(_)) | Some(Tok::Minus) => Ok(Operand::Literal(self.int_literal()?.0)),
             _ => Err(SqlError::syntax(
                 format!("expected a column or integer, found {}", self.peek_desc()),
                 self.peek_span(),
@@ -539,7 +535,9 @@ mod tests {
         assert_eq!(s.projection, Projection::Star);
         assert_eq!(s.tables[0].0, "r");
         match s.filter.unwrap() {
-            Expr::Cmp { left, op, right, .. } => {
+            Expr::Cmp {
+                left, op, right, ..
+            } => {
                 match left {
                     Operand::Column(c) => {
                         assert_eq!(c.table.as_deref(), Some("r"));
@@ -565,10 +563,8 @@ mod tests {
     #[test]
     fn insert_select_materialization() {
         // §2.1's benchmark query shape.
-        let stmt = parse_one(
-            "INSERT INTO newR SELECT * FROM R WHERE R.A >= 3 AND R.A <= 9",
-        )
-        .unwrap();
+        let stmt =
+            parse_one("INSERT INTO newR SELECT * FROM R WHERE R.A >= 3 AND R.A <= 9").unwrap();
         match stmt {
             Statement::InsertSelect { table, select, .. } => {
                 assert_eq!(table, "newr");
@@ -604,12 +600,22 @@ mod tests {
         let s = sel("select * from r where a between 3 and 9");
         assert!(matches!(
             s.filter.unwrap(),
-            Expr::Between { low: 3, high: 9, negated: false, .. }
+            Expr::Between {
+                low: 3,
+                high: 9,
+                negated: false,
+                ..
+            }
         ));
         let s = sel("select * from r where a not between -5 and 9");
         assert!(matches!(
             s.filter.unwrap(),
-            Expr::Between { low: -5, high: 9, negated: true, .. }
+            Expr::Between {
+                low: -5,
+                high: 9,
+                negated: true,
+                ..
+            }
         ));
     }
 

@@ -255,7 +255,10 @@ pub fn lex(src: &str) -> SqlResult<Vec<Token>> {
             b'!' if two(b'=') => (Tok::Ne, 2),
             _ => {
                 return Err(SqlError::syntax(
-                    format!("unexpected character {:?}", src[start..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character {:?}",
+                        src[start..].chars().next().unwrap()
+                    ),
                     Span::new(start, start + 1),
                 ))
             }
@@ -289,10 +292,7 @@ mod tests {
     fn identifiers_fold_to_lowercase() {
         assert_eq!(
             kinds("MyTable my_col2"),
-            vec![
-                Tok::Ident("mytable".into()),
-                Tok::Ident("my_col2".into())
-            ]
+            vec![Tok::Ident("mytable".into()), Tok::Ident("my_col2".into())]
         );
     }
 
@@ -327,7 +327,15 @@ mod tests {
     fn two_char_operators() {
         assert_eq!(
             kinds("<= >= <> != < > ="),
-            vec![Tok::Le, Tok::Ge, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Gt, Tok::Eq]
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq
+            ]
         );
     }
 

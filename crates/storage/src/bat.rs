@@ -185,7 +185,10 @@ impl Bat {
     }
 
     /// Build a string BAT from an iterator of `&str`.
-    pub fn from_strs<'a>(name: impl Into<String>, values: impl IntoIterator<Item = &'a str>) -> Self {
+    pub fn from_strs<'a>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
         let mut heap = StrHeap::new();
         let refs = values.into_iter().map(|s| heap.intern(s)).collect();
         Bat {

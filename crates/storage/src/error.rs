@@ -59,7 +59,10 @@ impl fmt::Display for StorageError {
             StorageError::UnknownBat(name) => write!(f, "unknown BAT {name:?}"),
             StorageError::DuplicateBat(name) => write!(f, "BAT {name:?} already exists"),
             StorageError::Misaligned { left, right } => {
-                write!(f, "misaligned BATs: left has {left} BUNs, right has {right}")
+                write!(
+                    f,
+                    "misaligned BATs: left has {left} BUNs, right has {right}"
+                )
             }
             StorageError::SharedMutation(name) => {
                 write!(f, "cannot mutate BAT {name:?}: live views exist")

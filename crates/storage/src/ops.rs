@@ -33,11 +33,7 @@ pub fn select_range(bat: &Bat, low: i64, high: i64) -> StorageResult<Bat> {
             vals.push(v);
         }
     }
-    Bat::with_explicit_head(
-        format!("{}_select", bat.name()),
-        oids,
-        TailData::Int(vals),
-    )
+    Bat::with_explicit_head(format!("{}_select", bat.name()), oids, TailData::Int(vals))
 }
 
 /// ⋈: equi-join on integer tails. Returns `(left oid, right oid)` pairs —
@@ -100,11 +96,7 @@ pub fn aggregate_sum(groups: &Bat, values: &Bat) -> StorageResult<Vec<(Atom, i64
 pub fn reverse(bat: &Bat) -> StorageResult<Bat> {
     let tails = bat.oids()?.to_vec();
     let heads: Vec<Oid> = (0..bat.len()).map(|p| bat.head().oid_at(p)).collect();
-    Bat::with_explicit_head(
-        format!("{}_rev", bat.name()),
-        tails,
-        TailData::Oid(heads),
-    )
+    Bat::with_explicit_head(format!("{}_rev", bat.name()), tails, TailData::Oid(heads))
 }
 
 /// MonetDB `mirror`: a BAT whose head and tail are both the head OIDs —
@@ -253,10 +245,7 @@ mod tests {
         let sel_oids: Vec<Oid> = (0..sel.len()).map(|p| sel.oid_at(p).unwrap()).collect();
         // fetch their k values and join with S.k
         let ks = fetch(&r_k, &sel_oids).unwrap();
-        let k_bat = Bat::from_ints(
-            "sel_k",
-            ks.iter().map(|a| a.as_int().unwrap()).collect(),
-        );
+        let k_bat = Bat::from_ints("sel_k", ks.iter().map(|a| a.as_int().unwrap()).collect());
         let mut pairs = join_bats(&k_bat, &s_k).unwrap();
         pairs.sort_unstable();
         // R oid 0 (k=100) matches S oid 1; R oid 2 (k=300) matches S oid 0.

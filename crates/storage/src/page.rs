@@ -301,7 +301,13 @@ mod tests {
         d.read(b, &mut back).unwrap();
         assert!(back.is_empty());
 
-        assert_eq!(d.io_stats(), IoStats { reads: 2, writes: 1 });
+        assert_eq!(
+            d.io_stats(),
+            IoStats {
+                reads: 2,
+                writes: 1
+            }
+        );
     }
 
     #[test]

@@ -22,10 +22,7 @@ pub struct PagedColumn {
 
 impl PagedColumn {
     /// Materialize `vals` onto the pool's store, filling pages densely.
-    pub fn create<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        vals: &[i64],
-    ) -> StorageResult<Self> {
+    pub fn create<S: PageStore>(pool: &mut BufferPool<S>, vals: &[i64]) -> StorageResult<Self> {
         let per_page = page_capacity(pool.page_size());
         let mut pages = Vec::with_capacity(vals.len().div_ceil(per_page.max(1)));
         for chunk in vals.chunks(per_page.max(1)) {
@@ -71,11 +68,7 @@ impl PagedColumn {
     }
 
     /// Read the value at position `i`.
-    pub fn get<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-        i: usize,
-    ) -> StorageResult<i64> {
+    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, i: usize) -> StorageResult<i64> {
         pool.read_value(self.pages[i / self.per_page], i % self.per_page)
     }
 
@@ -122,7 +115,11 @@ impl PagedColumn {
         }
         let (first_page, last_page) = (lo / self.per_page, (hi - 1) / self.per_page);
         for p in first_page..=last_page {
-            let page_lo = if p == first_page { lo % self.per_page } else { 0 };
+            let page_lo = if p == first_page {
+                lo % self.per_page
+            } else {
+                0
+            };
             let page_hi = if p == last_page {
                 (hi - 1) % self.per_page + 1
             } else {
@@ -149,14 +146,17 @@ impl PagedColumn {
     }
 
     /// Read the whole column back (test/debug surface).
-    pub fn to_vec<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-    ) -> StorageResult<Vec<i64>> {
-        self.fold_range(pool, 0, self.len, Vec::with_capacity(self.len), |mut v, x| {
-            v.push(x);
-            v
-        })
+    pub fn to_vec<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<Vec<i64>> {
+        self.fold_range(
+            pool,
+            0,
+            self.len,
+            Vec::with_capacity(self.len),
+            |mut v, x| {
+                v.push(x);
+                v
+            },
+        )
     }
 }
 

@@ -161,11 +161,7 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Run a closure over the (read-only) page image — the one-page scan
     /// primitive.
-    pub fn with_page<R>(
-        &mut self,
-        id: PageId,
-        f: impl FnOnce(&PageBuf) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&PageBuf) -> R) -> StorageResult<R> {
         let slot = self.frame_for(id)?;
         Ok(f(&self.frames[slot].buf))
     }
@@ -321,7 +317,10 @@ mod tests {
         // which must victimize the un-referenced page 1 instead.
         p.page_len(ids[2]).unwrap();
         p.page_len(ids[0]).unwrap();
-        assert!(p.is_resident(ids[2]), "referenced frame got its second chance");
+        assert!(
+            p.is_resident(ids[2]),
+            "referenced frame got its second chance"
+        );
         assert!(!p.is_resident(ids[1]), "unreferenced frame was the victim");
     }
 
@@ -375,9 +374,7 @@ mod tests {
             p.read_value(PageId(5), 0),
             Err(StorageError::UnknownPage(5))
         ));
-        let r = std::panic::catch_unwind(|| {
-            BufferPool::new(MemDisk::with_page_size(64), 0)
-        });
+        let r = std::panic::catch_unwind(|| BufferPool::new(MemDisk::with_page_size(64), 0));
         assert!(r.is_err(), "zero-frame pools are rejected");
     }
 

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn string_stats() {
         let mut heap = crate::heap::StrHeap::new();
-        let refs = ["b", "a", "c", "a"].iter().map(|s| heap.intern(s)).collect();
+        let refs = ["b", "a", "c", "a"]
+            .iter()
+            .map(|s| heap.intern(s))
+            .collect();
         let s = BatStats::compute(&TailData::Str { refs, heap });
         assert_eq!(s.min, Some(Atom::from("a")));
         assert_eq!(s.max, Some(Atom::from("c")));

@@ -43,9 +43,7 @@ impl VersionedBat {
     pub fn begin(&self) -> StorageResult<()> {
         let mut working = self.working.lock();
         if working.is_some() {
-            return Err(StorageError::SharedMutation(
-                self.read().name().to_owned(),
-            ));
+            return Err(StorageError::SharedMutation(self.read().name().to_owned()));
         }
         *working = Some((*self.read()).clone());
         Ok(())
@@ -56,9 +54,7 @@ impl VersionedBat {
         let mut working = self.working.lock();
         match working.as_mut() {
             Some(bat) => Ok(f(bat)),
-            None => Err(StorageError::UnknownBat(
-                "no open transaction".to_owned(),
-            )),
+            None => Err(StorageError::UnknownBat("no open transaction".to_owned())),
         }
     }
 
@@ -70,9 +66,7 @@ impl VersionedBat {
                 *self.committed.lock() = Arc::new(bat);
                 Ok(())
             }
-            None => Err(StorageError::UnknownBat(
-                "no open transaction".to_owned(),
-            )),
+            None => Err(StorageError::UnknownBat("no open transaction".to_owned())),
         }
     }
 
@@ -81,9 +75,7 @@ impl VersionedBat {
         let mut working = self.working.lock();
         match working.take() {
             Some(_) => Ok(()),
-            None => Err(StorageError::UnknownBat(
-                "no open transaction".to_owned(),
-            )),
+            None => Err(StorageError::UnknownBat("no open transaction".to_owned())),
         }
     }
 
@@ -107,7 +99,9 @@ mod tests {
         let v = vb();
         let before = v.read();
         v.begin().unwrap();
-        v.with_working(|b| b.append(Atom::Int(4)).map(|_| ())).unwrap().unwrap();
+        v.with_working(|b| b.append(Atom::Int(4)).map(|_| ()))
+            .unwrap()
+            .unwrap();
         // The reader's snapshot and fresh reads are both unchanged.
         assert_eq!(before.len(), 3);
         assert_eq!(v.read().len(), 3, "isolation until commit");
@@ -130,10 +124,7 @@ mod tests {
     fn single_writer_discipline() {
         let v = vb();
         v.begin().unwrap();
-        assert!(matches!(
-            v.begin(),
-            Err(StorageError::SharedMutation(_))
-        ));
+        assert!(matches!(v.begin(), Err(StorageError::SharedMutation(_))));
         v.commit().unwrap();
         v.begin().unwrap();
         v.rollback().unwrap();

@@ -107,12 +107,9 @@ impl BatView {
 
     /// Iterate `(oid, atom)` pairs visible through the view.
     pub fn iter(&self) -> impl Iterator<Item = (Oid, Atom)> + '_ {
-        self.range.clone().map(move |p| {
-            (
-                self.parent.head().oid_at(p),
-                self.parent.tail().atom_at(p),
-            )
-        })
+        self.range
+            .clone()
+            .map(move |p| (self.parent.head().oid_at(p), self.parent.tail().atom_at(p)))
     }
 
     /// Statistics of the visible window (computed fresh; views are cheap

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn endpoints_are_one_and_sigma() {
         for c in Contraction::all() {
-            assert!((c.rho(0, K, SIGMA) - 1.0).abs() < 0.05, "{c:?} starts near 1");
+            assert!(
+                (c.rho(0, K, SIGMA) - 1.0).abs() < 0.05,
+                "{c:?} starts near 1"
+            );
             assert!(
                 (c.rho(K, K, SIGMA) - SIGMA).abs() < 0.05,
                 "{c:?} ends near sigma"

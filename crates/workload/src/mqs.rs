@@ -69,8 +69,12 @@ impl Mqs {
     /// Generate the query sequence for this space.
     pub fn sequence(&self, seed: u64) -> Vec<Window> {
         match self.profile {
-            Profile::Homerun => homerun::homerun_sequence(self.n, self.k, self.sigma, self.rho, seed),
-            Profile::Hiking => hiking::hiking_sequence(self.n, self.k, self.sigma, self.delta, seed),
+            Profile::Homerun => {
+                homerun::homerun_sequence(self.n, self.k, self.sigma, self.rho, seed)
+            }
+            Profile::Hiking => {
+                hiking::hiking_sequence(self.n, self.k, self.sigma, self.delta, seed)
+            }
             Profile::Strolling(mode) => {
                 strolling::strolling_sequence(self.n, self.k, self.sigma, self.rho, mode, seed)
             }

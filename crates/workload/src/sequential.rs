@@ -100,8 +100,7 @@ pub fn adversarial_sequence(n: usize, k: usize, pattern: Adversary) -> Vec<Windo
         }
         Adversary::Periodic { round_len } => {
             let round_len = round_len.clamp(1, k);
-            let round =
-                adversarial_sequence(n as usize, round_len, Adversary::SequentialAsc);
+            let round = adversarial_sequence(n as usize, round_len, Adversary::SequentialAsc);
             round.iter().cycle().take(k).copied().collect()
         }
     }

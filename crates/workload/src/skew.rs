@@ -121,7 +121,10 @@ mod tests {
         let col = zipf_column(100_000, 100, 0.0, 3);
         let head = col.iter().filter(|&&v| v <= 50).count();
         let frac = head as f64 / col.len() as f64;
-        assert!((0.45..0.55).contains(&frac), "uniform half-split, got {frac}");
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "uniform half-split, got {frac}"
+        );
     }
 
     #[test]

@@ -71,14 +71,7 @@ mod tests {
     #[test]
     fn converge_mode_width_follows_series() {
         let n = 10_000;
-        let seq = strolling_sequence(
-            n,
-            10,
-            0.05,
-            Contraction::Linear,
-            StrollMode::Converge,
-            7,
-        );
+        let seq = strolling_sequence(n, 10, 0.05, Contraction::Linear, StrollMode::Converge, 7);
         let series = Contraction::Linear.series(10, 0.05);
         for (w, rho) in seq.iter().zip(series) {
             let expected = (rho * n as f64).ceil() as i64;
@@ -143,7 +136,11 @@ mod tests {
             .map(|r| (r * n as f64).ceil() as i64)
             .collect();
         for w in &seq {
-            assert!(allowed.contains(&w.width()), "width {} not in series", w.width());
+            assert!(
+                allowed.contains(&w.width()),
+                "width {} not in series",
+                w.width()
+            );
         }
     }
 

@@ -48,7 +48,10 @@ fn main() {
         stats.tuples_read
     );
     let (_, stats) = db.select(&q, OutputMode::Count).unwrap();
-    println!("Q1 again:            read {} tuples (index-only)", stats.tuples_read);
+    println!(
+        "Q1 again:            read {} tuples (index-only)",
+        stats.tuples_read
+    );
 
     // 2. A conjunction cracks a second column and intersects.
     let hits = db
@@ -68,7 +71,10 @@ fn main() {
 
     // 3. An equi-join runs through the ^ cracker (semijoin split).
     let pairs = db.join("orders", "customer", "customers", "id").unwrap();
-    println!("Q3 join orders.customer = customers.id: {} pairs", pairs.len());
+    println!(
+        "Q3 join orders.customer = customers.id: {} pairs",
+        pairs.len()
+    );
 
     // 4. Grouped aggregation via the Ω cracker.
     let sums = db

@@ -28,10 +28,10 @@ fn main() {
     // Phase 1 — drill into the top revenue band in four refinements.
     let mut cracked = CrackerColumn::new(revenue.clone());
     let bands = [
-        (n as i64 / 2, n as i64),      // top half
-        (3 * n as i64 / 4, n as i64),  // top quarter
-        (7 * n as i64 / 8, n as i64),  // top eighth
-        (15 * n as i64 / 16, n as i64) // top sixteenth
+        (n as i64 / 2, n as i64),       // top half
+        (3 * n as i64 / 4, n as i64),   // top quarter
+        (7 * n as i64 / 8, n as i64),   // top eighth
+        (15 * n as i64 / 16, n as i64), // top sixteenth
     ];
     println!("drill-down on revenue ({n} rows):");
     let mut final_sel = None;
@@ -51,7 +51,10 @@ fn main() {
     // Phase 2 — Ω-crack the survivors by region and aggregate.
     let sel = final_sel.expect("four bands ran");
     let survivors = cracked.selection_oids(&sel);
-    println!("\nsurvivors: {} rows; grouping by region (Ω cracker) ...", survivors.len());
+    println!(
+        "\nsurvivors: {} rows; grouping by region (Ω cracker) ...",
+        survivors.len()
+    );
     let mut by_region = PairColumn::from_pairs(
         survivors.iter().map(|&oid| region[oid as usize]).collect(),
         survivors.clone(),

@@ -32,7 +32,10 @@ fn main() {
     let sel1 = r_col.select(RangePred::lt(10));
     let out = lineage.apply(CrackOp::Xi("R.a<10".into()), &[r_root], &[2]);
     let r2 = out[0][1];
-    println!("Q1  select * from R where R.a < 10   -> {} rows", sel1.count());
+    println!(
+        "Q1  select * from R where R.a < 10   -> {} rows",
+        sel1.count()
+    );
 
     // Query 2: Ξ(R.a < 5) narrows within the cracked store, then
     // ^(R.k = S.k) wedge-cracks the qualifying R piece against S.
@@ -62,7 +65,10 @@ fn main() {
     let mut s_col = CrackerColumn::new(s_b.clone());
     let sel3 = s_col.select(RangePred::gt(25));
     lineage.apply(CrackOp::Xi("S.b>25".into()), &[s3, s4], &[2, 2]);
-    println!("Q3  select * from S where S.b > 25   -> {} rows", sel3.count());
+    println!(
+        "Q3  select * from S where S.b > 25   -> {} rows",
+        sel3.count()
+    );
 
     // The cracker index administration, exactly as in Figure 5.
     println!("\nlineage after three queries:");

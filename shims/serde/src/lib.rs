@@ -1,0 +1,491 @@
+//! Offline drop-in replacement for the subset of `serde` used by this
+//! workspace.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! miniature serde: [`Serialize`]/[`Deserialize`] convert through a single
+//! self-describing [`Value`] tree (the moral equivalent of
+//! `serde_json::Value`), and the companion `serde_derive` proc-macro crate
+//! derives both traits for structs and enums, honouring `#[serde(skip)]`.
+//! The companion `serde_json` crate renders [`Value`] to and from JSON
+//! text. Formats beyond JSON (and serde's zero-copy/visitor machinery) are
+//! intentionally out of scope.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree, the interchange point between
+/// [`Serialize`], [`Deserialize`], and the `serde_json` text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative numbers parse into this arm).
+    I64(i64),
+    /// An unsigned integer (non-negative numbers parse into this arm).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up `key` in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Serialize `self` into the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from the interchange tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization submodule, mirroring `serde::de`.
+pub mod de {
+    /// Marker for deserializable types that own all their data. Our
+    /// miniature [`super::Deserialize`] always produces owned values, so
+    /// this is a blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match value {
+                    Value::I64(v) => *v as i128,
+                    Value::U64(v) => *v as i128,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match value {
+                    Value::I64(v) => *v as i128,
+                    Value::U64(v) => *v as i128,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(v) => Ok(*v as $t),
+                    Value::I64(v) => Ok(*v as $t),
+                    Value::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected number, found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!(
+                "expected single-char string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                match value {
+                    Value::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected {}-tuple sequence, found {}",
+                        ARITY,
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_value(pair))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected entry sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_value(pair))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected entry sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_value(
+            value
+                .get("secs")
+                .ok_or_else(|| DeError::custom("Duration missing `secs`"))?,
+        )?;
+        let nanos = u32::from_value(
+            value
+                .get("nanos")
+                .ok_or_else(|| DeError::custom("Duration missing `nanos`"))?,
+        )?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+/// Support routines used by `serde_derive` expansions; not a public API.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Deserialize field `name` from the entries of a struct map. A missing
+    /// field falls back to deserializing `Null` (so `Option` fields may be
+    /// omitted), otherwise reports the missing field.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        type_name: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| DeError::custom(format!("{type_name}.{name}: {e}")))
+            }
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::custom(format!("{type_name}: missing field `{name}`"))),
+        }
+    }
+
+    /// Fetch element `idx` of a tuple-struct/tuple-variant sequence.
+    pub fn element<T: Deserialize>(
+        items: &[Value],
+        type_name: &str,
+        idx: usize,
+    ) -> Result<T, DeError> {
+        let v = items
+            .get(idx)
+            .ok_or_else(|| DeError::custom(format!("{type_name}: missing element {idx}")))?;
+        T::from_value(v).map_err(|e| DeError::custom(format!("{type_name}.{idx}: {e}")))
+    }
+
+    /// Shape-mismatch error helper.
+    pub fn unexpected(type_name: &str, expected: &str, found: &Value) -> DeError {
+        DeError::custom(format!(
+            "{type_name}: expected {expected}, found {:?}",
+            found
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(
+            usize::from_value(&usize::MAX.to_value()).unwrap(),
+            usize::MAX
+        );
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(
+            Option::<i32>::from_value(&None::<i32>.to_value()).unwrap(),
+            None
+        );
+        let d = Duration::new(3, 7);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+        let t = (1u32, 2u32);
+        assert_eq!(<(u32, u32)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

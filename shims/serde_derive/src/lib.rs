@@ -1,0 +1,596 @@
+//! Offline drop-in stub of `serde_derive`.
+//!
+//! Derives the miniature `serde::Serialize` / `serde::Deserialize` traits
+//! (see the vendored `serde` shim) for structs and enums by hand-parsing
+//! the item's token stream — the real syn/quote stack is unavailable
+//! offline. Supported shapes are exactly what this workspace uses: unit /
+//! tuple / named-field structs, enums whose variants are unit, tuple, or
+//! struct-like, simple type generics (`<T>`), and the `#[serde(skip)]`
+//! field attribute (skipped on serialize, `Default::default()` on
+//! deserialize). Anything fancier panics with a clear message at compile
+//! time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // field name, or tuple index rendered as a string
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    item: Item,
+}
+
+/// Derive the miniature `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive the miniature `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip a where-clause if present (collect nothing from it).
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Brace {
+                    break;
+                }
+            }
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ';' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Item::Struct(Shape::Unit),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(Shape::Unit),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(other) => panic!("serde_derive: unexpected struct body {other}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+
+    Parsed {
+        name,
+        generics,
+        item,
+    }
+}
+
+/// Advance past outer attributes and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` after the item name into the list of type-parameter
+/// identifiers. Bounds and defaults are discarded; lifetimes and const
+/// generics are rejected.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                current.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                params.push(std::mem::take(&mut current));
+            }
+            t => current.push(t.clone()),
+        }
+        *i += 1;
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    params
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            if matches!(&p[0], TokenTree::Punct(q) if q.as_char() == '\'') {
+                panic!("serde_derive: lifetime generics are not supported");
+            }
+            match &p[0] {
+                TokenTree::Ident(id) if id.to_string() == "const" => {
+                    panic!("serde_derive: const generics are not supported")
+                }
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: unsupported generic parameter {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Split a field/variant list on top-level commas, tracking both group
+/// nesting (automatic via `TokenTree::Group`) and `<...>` depth.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            // `->` never appears in field position; every '>' closes an angle.
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Does a `#[...]` attribute group hold `serde(... skip ...)`?
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Scan leading attributes of one field/variant; return (skip, next index).
+fn consume_attrs(tokens: &[TokenTree]) -> (bool, usize) {
+    let mut skip = false;
+    let mut i = 0;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_skip(g) {
+                skip = true;
+            }
+        }
+        i += 2;
+    }
+    (skip, i)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (skip, mut i) = consume_attrs(&tokens);
+            if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    skip,
+                },
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, tokens)| {
+            let (skip, _) = consume_attrs(&tokens);
+            Field {
+                name: idx.to_string(),
+                skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (_, mut i) = consume_attrs(&tokens);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let shape = match tokens.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => Shape::Unit, // discriminant
+                Some(other) => panic!("serde_derive: unexpected variant body {other}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `impl<T: ::serde::Serialize> Trait for Name<T>` header pieces.
+fn impl_header(parsed: &Parsed, trait_path: &str) -> (String, String) {
+    if parsed.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded = parsed
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let plain = parsed.generics.join(", ");
+        (format!("<{bounded}>"), format!("<{plain}>"))
+    }
+}
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let (impl_generics, ty_generics) = impl_header(parsed, "::serde::Serialize");
+    let body = match &parsed.item {
+        Item::Struct(shape) => serialize_shape_body(shape, name, "self."),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Seq(vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let entries = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Serialize body for a struct shape, with fields accessed via `prefix`.
+fn serialize_shape_body(shape: &Shape, _name: &str, prefix: &str) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_value(&{prefix}{})", live[0].name)
+            } else {
+                format!(
+                    "::serde::Value::Seq(vec![{}])",
+                    live.iter()
+                        .map(|f| format!("::serde::Serialize::to_value(&{prefix}{})", f.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        }
+        Shape::Named(fields) => {
+            let entries = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&{prefix}{0}))",
+                        f.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+    }
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let (impl_generics, ty_generics) = impl_header(parsed, "::serde::Deserialize");
+    let body = match &parsed.item {
+        Item::Struct(shape) => {
+            deserialize_struct_body(shape, name, &format!("{name}{ty_generics}"))
+        }
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let build = if fields.len() == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let elems = (0..fields.len())
+                                .map(|i| {
+                                    format!(
+                                        "::serde::__private::element(__items, \"{name}::{vname}\", {i})?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "match __inner {{\n\
+                                     ::serde::Value::Seq(__items) => ::core::result::Result::Ok({name}::{vname}({elems})),\n\
+                                     __other => ::core::result::Result::Err(::serde::__private::unexpected(\"{name}::{vname}\", \"sequence\", __other)),\n\
+                                 }}"
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vname}\" => {{ {build} }}\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::core::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{0}: ::serde::__private::field(__entries, \"{name}::{vname}\", \"{0}\")?",
+                                        f.name
+                                    )
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 ::serde::Value::Map(__entries) => ::core::result::Result::Ok({name}::{vname} {{ {inits} }}),\n\
+                                 __other => ::core::result::Result::Err(::serde::__private::unexpected(\"{name}::{vname}\", \"map\", __other)),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(::serde::DeError::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::core::result::Result::Err(::serde::DeError::custom(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(::serde::__private::unexpected(\"{name}\", \"variant string or single-entry map\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct_body(shape: &Shape, name: &str, _full: &str) -> String {
+    match shape {
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Tuple(fields) => {
+            let live: Vec<(usize, &Field)> =
+                fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+            if live.len() == 1 && fields.len() == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let elems = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        if f.skip {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            let live_idx =
+                                live.iter().position(|(j, _)| *j == i).expect("live field");
+                            format!("::serde::__private::element(__items, \"{name}\", {live_idx})?")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "match __value {{\n\
+                         ::serde::Value::Seq(__items) => ::core::result::Result::Ok({name}({elems})),\n\
+                         __other => ::core::result::Result::Err(::serde::__private::unexpected(\"{name}\", \"sequence\", __other)),\n\
+                     }}"
+                )
+            }
+        }
+        Shape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::__private::field(__entries, \"{name}\", \"{0}\")?",
+                            f.name
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Map(__entries) => ::core::result::Result::Ok({name} {{ {inits} }}),\n\
+                     __other => ::core::result::Result::Err(::serde::__private::unexpected(\"{name}\", \"map\", __other)),\n\
+                 }}"
+            )
+        }
+    }
+}

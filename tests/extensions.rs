@@ -8,8 +8,8 @@ use dbcracker::cracker_core::stochastic::{StochasticCracker, StochasticPolicy};
 use dbcracker::cracker_core::{CrackPolicy, PagedCracker, PolicyCracker};
 use dbcracker::p2p::{Network, NodeId, P2pConfig};
 use dbcracker::prelude::*;
-use dbcracker::storage::{BufferPool, MemDisk};
 use dbcracker::sql::SqlSession;
+use dbcracker::storage::{BufferPool, MemDisk};
 use workload::sequential::{adversarial_sequence, Adversary};
 
 const N: usize = 20_000;
@@ -29,8 +29,7 @@ fn every_engine_agrees_on_an_adversarial_sweep() {
 
     // The five single-node answer paths.
     let mut plain = CrackerColumn::new(vals.clone());
-    let mut stochastic =
-        StochasticCracker::new(vals.clone(), StochasticPolicy::DD1R, 3);
+    let mut stochastic = StochasticCracker::new(vals.clone(), StochasticPolicy::DD1R, 3);
     let mut policy = PolicyCracker::new(
         vals.clone(),
         CrackPolicy::ManyThenChunks {
@@ -119,22 +118,16 @@ fn sideways_map_and_sql_projection_return_the_same_tuples() {
     let mut map = CrackerMap::new(vals.clone(), payload.clone());
     let mut session = SqlSession::new();
     session
-        .load_table(
-            "t",
-            vec![("a".into(), vals.clone()), ("b".into(), payload)],
-        )
+        .load_table("t", vec![("a".into(), vals.clone()), ("b".into(), payload)])
         .unwrap();
     for (lo, hi) in [(100, 900), (5_000, 5_100), (1, 20_001)] {
         let r = map.select(RangePred::half_open(lo, hi));
         let mut from_map: Vec<i64> = map.project(r).to_vec();
         from_map.sort_unstable();
         let out = session
-            .execute_one(&format!(
-                "select b from t where a >= {lo} and a < {hi}"
-            ))
+            .execute_one(&format!("select b from t where a >= {lo} and a < {hi}"))
             .unwrap();
-        let mut from_sql: Vec<i64> =
-            out.rows().unwrap().iter().map(|r| r[0]).collect();
+        let mut from_sql: Vec<i64> = out.rows().unwrap().iter().map(|r| r[0]).collect();
         from_sql.sort_unstable();
         assert_eq!(from_map, from_sql, "[{lo},{hi})");
     }
@@ -172,9 +165,7 @@ fn policy_budget_composes_with_sql_volume() {
     // bounded while staying correct — the end-to-end version of the
     // §3.2 resource-management story.
     let vals = data();
-    let mut col = PolicyCracker::new(vals.clone(), CrackPolicy::PieceBudget {
-        max_pieces: 32,
-    });
+    let mut col = PolicyCracker::new(vals.clone(), CrackPolicy::PieceBudget { max_pieces: 32 });
     for w in adversarial_sequence(N, 200, Adversary::ZoomOutAlt) {
         assert_eq!(col.count(w.to_pred()), oracle(&vals, w.lo, w.hi));
     }

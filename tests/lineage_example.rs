@@ -64,10 +64,7 @@ fn figure5_session_end_to_end() {
     // Q3: select * from S where S.b > 25 — inspects both S pieces.
     let mut s_col = CrackerColumn::new(data.s_b.clone());
     let q3 = s_col.select(RangePred::gt(25));
-    assert_eq!(
-        q3.count(),
-        data.s_b.iter().filter(|&&b| b > 25).count()
-    );
+    assert_eq!(q3.count(), data.s_b.iter().filter(|&&b| b > 25).count());
     lineage.apply(CrackOp::Xi("S.b>25".into()), &[s3, s4], &[2, 2]);
 
     // The reconstruction sets of Figure 5 (same DAG shape; see the module

@@ -116,10 +116,7 @@ fn float_columns_crack_sideways_and_stochastically() {
     assert_eq!(st.count(pred), want);
     st.column().validate().unwrap();
 
-    let payload: Vec<OrdF64> = readings
-        .iter()
-        .map(|v| OrdF64::new(v.0 * 2.0))
-        .collect();
+    let payload: Vec<OrdF64> = readings.iter().map(|v| OrdF64::new(v.0 * 2.0)).collect();
     let mut map = CrackerMap::new(readings.clone(), payload);
     let r = map.select(pred);
     assert_eq!(r.len(), want);

@@ -33,7 +33,10 @@ fn a_homerun_sequence_through_sql_matches_the_oracle() {
     assert_eq!(session.cracked_columns(), 1);
     let stats = session.adaptive().total_crack_stats();
     assert_eq!(stats.queries, windows.len());
-    assert!(stats.cracks > 0, "the sequence physically cracked the store");
+    assert!(
+        stats.cracks > 0,
+        "the sequence physically cracked the store"
+    );
 }
 
 #[test]
@@ -100,10 +103,16 @@ fn join_through_sql_agrees_with_nested_loop() {
     let s_k: Vec<i64> = (0..50).map(|i| i % 10).collect();
     let s_b: Vec<i64> = (0..50).map(|i| i * 3).collect();
     session
-        .load_table("r", vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())])
+        .load_table(
+            "r",
+            vec![("k".into(), r_k.clone()), ("a".into(), r_a.clone())],
+        )
         .unwrap();
     session
-        .load_table("s", vec![("k".into(), s_k.clone()), ("b".into(), s_b.clone())])
+        .load_table(
+            "s",
+            vec![("k".into(), s_k.clone()), ("b".into(), s_b.clone())],
+        )
         .unwrap();
     let out = session
         .execute_one("select count(*) from r, s where r.k = s.k and r.a < 100 and s.b >= 30")
@@ -126,7 +135,10 @@ fn group_by_aggregates_agree_with_manual_grouping() {
     // group directly on k % -- not supported. Use a small value domain table.
     let groups: Vec<i64> = k.iter().map(|v| v % 7).collect();
     session
-        .load_table("g", vec![("grp".into(), groups.clone()), ("a".into(), a.clone())])
+        .load_table(
+            "g",
+            vec![("grp".into(), groups.clone()), ("a".into(), a.clone())],
+        )
         .unwrap();
     let out = session
         .execute_one("select grp, count(*), sum(a), min(a), max(a) from g group by grp")

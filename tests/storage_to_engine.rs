@@ -58,10 +58,7 @@ fn psi_fragments_round_trip_through_engine_tables() {
     let table = tapestry_table(500);
     let mut cols = BTreeMap::new();
     for name in ["k", "a"] {
-        cols.insert(
-            name.to_string(),
-            Arc::clone(table.column(name).unwrap()),
-        );
+        cols.insert(name.to_string(), Arc::clone(table.column(name).unwrap()));
     }
     let relation = VerticalFragment::new(cols).unwrap();
     let split = psi_crack(&relation, &["a"]).unwrap();

@@ -59,10 +59,9 @@ fn fusion_budget_holds_under_updates_and_queries() {
             .with_fusion(policy)
             .with_merge_threshold(300);
         let mut col = CrackerColumn::with_config(t.column(0).to_vec(), cfg);
-        for (i, w) in
-            strolling_sequence(n, 50, 0.1, Contraction::Linear, StrollMode::Converge, 9)
-                .iter()
-                .enumerate()
+        for (i, w) in strolling_sequence(n, 50, 0.1, Contraction::Linear, StrollMode::Converge, 9)
+            .iter()
+            .enumerate()
         {
             col.insert(n as u32 + i as u32, (i as i64 * 37) % n as i64 + 1);
             let sel = col.select(w.to_pred());
