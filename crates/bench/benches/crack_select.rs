@@ -7,17 +7,25 @@ use engine::{CrackEngine, OutputMode, QueryEngine, ScanEngine, SortEngine};
 use workload::homerun::homerun_sequence;
 use workload::{Contraction, Tapestry};
 
-const N: usize = 200_000;
+/// Column size; `BENCH_SMOKE=1` shrinks it so CI can run this bench as a
+/// smoke test (with `--json` to record the medians).
+fn n() -> usize {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        20_000
+    } else {
+        200_000
+    }
+}
 
 fn column() -> Vec<i64> {
-    Tapestry::generate(N, 1, 0xBE7C).column(0).to_vec()
+    Tapestry::generate(n(), 1, 0xBE7C).column(0).to_vec()
 }
 
 /// First-query cost: the cracking investment vs. a plain scan vs. the
 /// full sort.
 fn first_query(c: &mut Criterion) {
     let vals = column();
-    let seq = homerun_sequence(N, 16, 0.05, Contraction::Linear, 1);
+    let seq = homerun_sequence(n(), 16, 0.05, Contraction::Linear, 1);
     let pred = seq[0].to_pred();
     let mut g = c.benchmark_group("first_query");
     g.bench_function("scan", |b| {
@@ -48,7 +56,7 @@ fn first_query(c: &mut Criterion) {
 /// engine up — the "nearly completely indexed table" regime of §5.2.
 fn warmed_query(c: &mut Criterion) {
     let vals = column();
-    let seq = homerun_sequence(N, 16, 0.05, Contraction::Linear, 1);
+    let seq = homerun_sequence(n(), 16, 0.05, Contraction::Linear, 1);
     let pred = seq.last().unwrap().to_pred();
     let mut g = c.benchmark_group("warmed_query");
     g.bench_function("scan", |b| {
@@ -82,7 +90,7 @@ fn sequence_total(c: &mut Criterion) {
     let mut g = c.benchmark_group("sequence_total");
     g.sample_size(10);
     for &k in &[8usize, 32] {
-        let seq = homerun_sequence(N, k, 0.05, Contraction::Linear, 2);
+        let seq = homerun_sequence(n(), k, 0.05, Contraction::Linear, 2);
         g.bench_with_input(BenchmarkId::new("crack", k), &seq, |b, seq| {
             b.iter_batched(
                 || CrackEngine::new(vals.clone()),

@@ -1,0 +1,123 @@
+//! Thread-scaling of the concurrent cracker: aggregate throughput of the
+//! per-shard-latched [`ShardedCrackerColumn`] versus the single-`RwLock`
+//! [`SharedCrackerColumn`] at 1/2/4/8 threads, under the MQS homerun
+//! profile and a Zipf-skewed ad-hoc workload.
+//!
+//! The point under measurement is §4's promise made concurrent: with one
+//! global lock every boundary-miss serializes the whole column, while the
+//! sharded index lets crackers on disjoint value ranges proceed in
+//! parallel — and because the shard splits are equi-depth (sampled), even
+//! a Zipf-skewed workload spreads across shards instead of piling onto
+//! one.
+//!
+//! `BENCH_SMOKE=1` shrinks the data and query counts so CI can run this as
+//! a smoke test; pass `--json` to record medians (see the bench harness).
+
+use cracker_core::{RangePred, ShardedCrackerColumn, SharedCrackerColumn};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workload::homerun::homerun_sequence;
+use workload::skew::zipf_column;
+use workload::{Contraction, Tapestry};
+
+const SHARDS: usize = 64;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+fn n() -> usize {
+    if smoke() {
+        40_000
+    } else {
+        400_000
+    }
+}
+
+fn total_queries() -> usize {
+    if smoke() {
+        64
+    } else {
+        512
+    }
+}
+
+/// Run `preds`, split evenly across `threads`, against `col` (any column
+/// answering `count(&self, pred)` through a shared reference).
+fn storm<C: Sync>(
+    col: &C,
+    count: impl Fn(&C, RangePred<i64>) -> usize + Sync,
+    preds: &[RangePred<i64>],
+    threads: usize,
+) {
+    std::thread::scope(|s| {
+        for chunk in preds.chunks(preds.len().div_ceil(threads)) {
+            let count = &count;
+            s.spawn(move || {
+                for &pred in chunk {
+                    criterion::black_box(count(col, pred));
+                }
+            });
+        }
+    });
+}
+
+/// Zipf-skewed ad-hoc ranges: window origins drawn with the same skew as
+/// the data, so the hot region is queried most — the regime where
+/// equi-depth shards pay off.
+fn zipf_preds(n: usize, domain: usize, queries: usize) -> (Vec<i64>, Vec<RangePred<i64>>) {
+    let vals = zipf_column(n, domain, 1.0, 0xD07);
+    let width = (domain / 64).max(1) as i64;
+    let preds = zipf_column(queries, domain, 1.0, 0x51D)
+        .into_iter()
+        .enumerate()
+        .map(|(i, lo)| RangePred::half_open(lo, lo + 1 + (i as i64 % width)))
+        .collect();
+    (vals, preds)
+}
+
+/// MQS homerun windows, one zooming sequence per thread offset, fired
+/// round-robin so concurrent threads touch different windows.
+fn homerun_preds(n: usize, queries: usize) -> (Vec<i64>, Vec<RangePred<i64>>) {
+    let vals = Tapestry::generate(n, 1, 0xBE7C).column(0).to_vec();
+    let windows = homerun_sequence(n, 32, 0.05, Contraction::Linear, 7);
+    let preds = (0..queries)
+        .map(|i| windows[i % windows.len()].to_pred())
+        .collect();
+    (vals, preds)
+}
+
+fn scale(c: &mut Criterion, group: &str, vals: &[i64], preds: &[RangePred<i64>]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(if smoke() { 3 } else { 10 });
+    for &t in &THREADS {
+        g.bench_with_input(BenchmarkId::new("single", t), &t, |b, &t| {
+            b.iter_batched(
+                || SharedCrackerColumn::new(vals.to_vec()),
+                |col| storm(&col, SharedCrackerColumn::count, preds, t),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("sharded", t), &t, |b, &t| {
+            b.iter_batched(
+                || ShardedCrackerColumn::new(vals.to_vec(), SHARDS),
+                |col| storm(&col, ShardedCrackerColumn::count, preds, t),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn zipf_scaling(c: &mut Criterion) {
+    let (vals, preds) = zipf_preds(n(), n() / 4, total_queries());
+    scale(c, "sharded_scale_zipf", &vals, &preds);
+}
+
+fn homerun_scaling(c: &mut Criterion) {
+    let (vals, preds) = homerun_preds(n(), total_queries());
+    scale(c, "sharded_scale_homerun", &vals, &preds);
+}
+
+criterion_group!(benches, zipf_scaling, homerun_scaling);
+criterion_main!(benches);

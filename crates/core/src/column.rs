@@ -61,6 +61,13 @@ impl Selection {
 
     /// Number of qualifying tuples.
     pub fn count(&self) -> usize {
+        debug_assert!(
+            self.deleted_hits <= self.core.len(),
+            "deleted_hits ({}) exceeds the core hit count ({}): \
+             the pending-delete overlay only discounts tuples inside core",
+            self.deleted_hits,
+            self.core.len()
+        );
         self.core.len() + self.edges.len() + self.pending_oids.len() - self.deleted_hits
     }
 
@@ -767,6 +774,51 @@ mod tests {
                 prop_assert_eq!(got, oracle(&orig, &pred));
             }
             c.validate().map_err(TestCaseError::fail)?;
+        }
+
+        #[test]
+        fn prop_interleaved_deletes_and_selects_agree_with_oracle(
+            orig in proptest::collection::vec(-100i64..100, 1..200),
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, -120i64..120, -120i64..120, 0usize..400),
+                1..40
+            ),
+            merge_threshold in 1usize..32,
+        ) {
+            // Interleave staged deletes with cracking selects (which also
+            // trigger merges at the configured threshold): every count
+            // must match the live-tuple oracle, and Selection::count's
+            // deleted_hits bound must hold throughout.
+            let cfg = CrackerConfig {
+                merge_threshold,
+                ..CrackerConfig::default()
+            };
+            let mut c = CrackerColumn::with_config(orig.clone(), cfg);
+            let mut deleted = std::collections::HashSet::new();
+            for (is_delete, a, b, pick) in ops {
+                if is_delete {
+                    let oid = (pick % orig.len()) as u32;
+                    let found = c.delete(oid);
+                    // A live tuple must be found; a re-delete may still
+                    // report true until a merge physically removes it.
+                    if !deleted.contains(&oid) {
+                        prop_assert!(found);
+                    }
+                    deleted.insert(oid);
+                } else {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let pred = RangePred::between(lo, hi);
+                    let sel = c.select(pred);
+                    let want = orig
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, &v)| !deleted.contains(&(*i as u32)) && pred.matches(v))
+                        .count();
+                    prop_assert_eq!(sel.count(), want);
+                    prop_assert!(sel.deleted_hits <= sel.core.len());
+                }
+                c.validate().map_err(TestCaseError::fail)?;
+            }
         }
 
         #[test]

@@ -10,12 +10,19 @@
 //! 1. take the shared (read) lock and try
 //!    [`CrackerColumn::try_select_readonly`] — succeeds whenever every
 //!    needed boundary already exists and no updates are staged;
-//! 2. otherwise take the exclusive (write) lock and run the cracking
+//! 2. otherwise take the exclusive (write) lock, **retry the read-only
+//!    path under it**, and only on a genuine miss run the cracking
 //!    [`CrackerColumn::select`].
 //!
-//! The double-checked upgrade re-tries the read-only path under the write
-//! lock's protection implicitly: `select` itself is idempotent for
-//! existing boundaries, so no state is ever computed twice incorrectly.
+//! The retry in step 2 is the classic double-checked upgrade: between
+//! dropping the read lock and acquiring the write lock, a contending
+//! thread may have cracked the very boundaries this query needs. Without
+//! the recheck the loser would re-enter `select()` — a full piece scan for
+//! an answer that is already one index probe away, plus a spurious
+//! `CrackStats::queries` increment. With it, exactly one of N racing
+//! threads pays the cracking cost of a cold predicate; the rest reuse the
+//! winner's boundaries. (The same protocol, generalized to per-shard
+//! latches, is [`crate::sharded::ShardedCrackerColumn`].)
 
 use crate::column::{CrackerColumn, Selection};
 use crate::config::CrackerConfig;
@@ -55,7 +62,13 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         if let Some(sel) = self.inner.read().try_select_readonly(pred) {
             return sel.count();
         }
-        self.inner.write().select(pred).count()
+        let mut guard = self.inner.write();
+        // Double-check: a contending thread may have cracked the needed
+        // boundaries while we waited for the write lock.
+        if let Some(sel) = guard.try_select_readonly(pred) {
+            return sel.count();
+        }
+        guard.select(pred).count()
     }
 
     /// Qualifying OIDs (unordered), same locking discipline as
@@ -68,7 +81,11 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
             }
         }
         let mut guard = self.inner.write();
-        let sel = guard.select(pred);
+        // Double-check, as in `count`.
+        let sel = match guard.try_select_readonly(pred) {
+            Some(sel) => sel,
+            None => guard.select(pred),
+        };
         guard.selection_oids(&sel)
     }
 
@@ -199,6 +216,47 @@ mod tests {
         col.validate().unwrap();
         assert_eq!(col.len(), 10_500);
         assert_eq!(col.count(band), expected);
+    }
+
+    #[test]
+    fn contended_cold_predicate_enters_select_exactly_once() {
+        // Regression for the contended-upgrade double-crack: N threads
+        // race on the same cold predicate; exactly one may enter the
+        // cracking select() (queries += 1), the rest must pick up the
+        // winner's boundaries via the double-checked read-only retry
+        // under the write lock.
+        use std::sync::Barrier;
+        let col = SharedCrackerColumn::new((0..100_000).rev().collect::<Vec<i64>>());
+        let threads = 8;
+        for round in 0..20i64 {
+            let lo = round * 4_500;
+            let pred = RangePred::between(lo, lo + 1_000);
+            let expected = 1_001;
+            let before = col.stats().queries;
+            let barrier = Barrier::new(threads);
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let col = &col;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        // Exercise both upgrading entry points.
+                        if t % 2 == 0 {
+                            assert_eq!(col.count(pred), expected);
+                        } else {
+                            assert_eq!(col.select_oids(pred).len(), expected);
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                col.stats().queries,
+                before + 1,
+                "round {round}: a cold predicate must enter select() exactly once \
+                 across {threads} racing threads"
+            );
+        }
+        col.validate().unwrap();
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod paged;
 pub mod policy;
 pub mod pred;
 pub mod project;
+pub mod sharded;
 pub mod sideways;
 pub mod sorted;
 pub mod stats;
@@ -76,6 +77,7 @@ pub use index::CrackerIndex;
 pub use paged::PagedCracker;
 pub use policy::{CrackPolicy, PolicyCracker};
 pub use pred::RangePred;
+pub use sharded::{ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, ShardedSelection};
 pub use sideways::{CrackerMap, SidewaysCracker};
 pub use stats::CrackStats;
 pub use stochastic::{StochasticCracker, StochasticPolicy};

@@ -28,6 +28,19 @@ pub struct CrackStats {
 }
 
 impl CrackStats {
+    /// Add another column's counters into this accumulator — used to
+    /// aggregate stats across shards and across a database's cracked
+    /// columns.
+    pub fn absorb(&mut self, other: &CrackStats) {
+        self.queries += other.queries;
+        self.cracks += other.cracks;
+        self.tuples_touched += other.tuples_touched;
+        self.tuples_moved += other.tuples_moved;
+        self.edge_scanned += other.edge_scanned;
+        self.fusions += other.fusions;
+        self.merges += other.merges;
+    }
+
     /// Difference `self - earlier`, for per-query deltas.
     pub fn delta_since(&self, earlier: &CrackStats) -> CrackStats {
         CrackStats {

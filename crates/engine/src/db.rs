@@ -17,7 +17,7 @@ use cracker_core::group::{aggregate_groups, omega_crack};
 use cracker_core::join::{join_matched, wedge_crack, PairColumn};
 use cracker_core::lineage::{CrackOp, LineageGraph, PieceId};
 use cracker_core::sideways::CrackerMap;
-use cracker_core::{CrackerColumn, CrackerConfig, RangePred};
+use cracker_core::{ConcurrencyMode, ConcurrentColumn, CrackerColumn, CrackerConfig, RangePred};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -26,8 +26,15 @@ use std::time::Instant;
 pub struct AdaptiveDb {
     catalog: DbCatalog,
     config: CrackerConfig,
+    /// How concurrently shared cracked columns are latched.
+    concurrency: ConcurrencyMode,
     /// Cracked copies, keyed by `(table, column)`; created on first use.
     crackers: HashMap<(String, String), CrackerColumn<i64>>,
+    /// Latched cracked copies for multi-threaded readers, keyed the same
+    /// way and created on first use under the configured
+    /// [`ConcurrencyMode`]. Independent of `crackers`: the single-threaded
+    /// operator paths never pay for latching.
+    shared: HashMap<(String, String), ConcurrentColumn<i64>>,
     /// Sideways cracker maps, keyed by `(table, head, tail)`; created on
     /// first `select_project` over that attribute pair.
     maps: HashMap<(String, String, String), CrackerMap<i64>>,
@@ -48,11 +55,26 @@ impl AdaptiveDb {
         AdaptiveDb {
             catalog: DbCatalog::new(),
             config,
+            concurrency: ConcurrencyMode::default(),
             crackers: HashMap::new(),
+            shared: HashMap::new(),
             maps: HashMap::new(),
             lineage: LineageGraph::new(),
             roots: HashMap::new(),
         }
+    }
+
+    /// Builder: set the latching scheme used for columns handed out by
+    /// [`shared_cracker`](Self::shared_cracker). Applies to columns shared
+    /// from now on; already-shared columns keep their mode.
+    pub fn with_concurrency(mut self, mode: ConcurrencyMode) -> Self {
+        self.concurrency = mode;
+        self
+    }
+
+    /// The concurrency mode in force for newly shared columns.
+    pub fn concurrency(&self) -> ConcurrencyMode {
+        self.concurrency
     }
 
     /// Register a base table.
@@ -89,6 +111,41 @@ impl AdaptiveDb {
                 .insert(key.clone(), CrackerColumn::with_config(vals, self.config));
         }
         Ok(self.crackers.get_mut(&key).expect("inserted above"))
+    }
+
+    /// Fetch (creating on first use, under the configured
+    /// [`ConcurrencyMode`]) the latched cracked copy of a column. The
+    /// returned handle answers queries through `&self`, so callers can fan
+    /// it out across threads (e.g. `std::thread::scope`) and let
+    /// concurrent crackers proceed under the column's latching protocol.
+    ///
+    /// Like every cracked copy here, the shared copy snapshots the base
+    /// table's values at first touch; updates staged *earlier* through
+    /// [`stage_insert`](Self::stage_insert) /
+    /// [`stage_delete`](Self::stage_delete) live in the single-threaded
+    /// cracker copy and are not replayed into it. Updates staged *after*
+    /// both copies exist are forwarded to both, so the two query paths
+    /// agree from then on.
+    pub fn shared_cracker(
+        &mut self,
+        table: &str,
+        column: &str,
+    ) -> EngineResult<&ConcurrentColumn<i64>> {
+        let key = (table.to_owned(), column.to_owned());
+        if !self.shared.contains_key(&key) {
+            let t = self.catalog.table(table)?;
+            let vals = t.ints(column)?.to_vec();
+            self.shared.insert(
+                key.clone(),
+                ConcurrentColumn::build(vals, self.config, self.concurrency),
+            );
+        }
+        Ok(self.shared.get(&key).expect("inserted above"))
+    }
+
+    /// Number of columns shared for concurrent access so far.
+    pub fn shared_columns(&self) -> usize {
+        self.shared.len()
     }
 
     /// Answer a single-attribute range query, cracking as a side effect.
@@ -277,8 +334,9 @@ impl AdaptiveDb {
     }
 
     /// Stage a row insertion: the new value is appended to every cracked
-    /// copy of the table's columns (pending areas) and the base table is
-    /// left untouched (append-only experiment surface).
+    /// copy of the column — the single-threaded one and, if already built,
+    /// the shared latched one — and the base table is left untouched
+    /// (append-only experiment surface).
     pub fn stage_insert(
         &mut self,
         table: &str,
@@ -287,26 +345,33 @@ impl AdaptiveDb {
         value: i64,
     ) -> EngineResult<()> {
         self.cracker(table, column)?.insert(oid, value);
+        let key = (table.to_owned(), column.to_owned());
+        if let Some(shared) = self.shared.get(&key) {
+            shared.insert(oid, value);
+        }
         Ok(())
     }
 
-    /// Stage a row deletion in one cracked column.
+    /// Stage a row deletion in every cracked copy of the column. Returns
+    /// whether the single-threaded copy knew the OID.
     pub fn stage_delete(&mut self, table: &str, column: &str, oid: u32) -> EngineResult<bool> {
-        Ok(self.cracker(table, column)?.delete(oid))
+        let found = self.cracker(table, column)?.delete(oid);
+        let key = (table.to_owned(), column.to_owned());
+        if let Some(shared) = self.shared.get(&key) {
+            shared.delete(oid);
+        }
+        Ok(found)
     }
 
-    /// Aggregate crack statistics across all cracked columns.
+    /// Aggregate crack statistics across all cracked columns, including
+    /// the concurrently shared ones.
     pub fn total_crack_stats(&self) -> cracker_core::CrackStats {
         let mut acc = cracker_core::CrackStats::default();
         for c in self.crackers.values() {
-            let s = c.stats();
-            acc.queries += s.queries;
-            acc.cracks += s.cracks;
-            acc.tuples_touched += s.tuples_touched;
-            acc.tuples_moved += s.tuples_moved;
-            acc.edge_scanned += s.edge_scanned;
-            acc.fusions += s.fusions;
-            acc.merges += s.merges;
+            acc.absorb(c.stats());
+        }
+        for c in self.shared.values() {
+            acc.absorb(&c.stats());
         }
         acc
     }
@@ -504,6 +569,66 @@ mod tests {
         assert!(db.select_project("zzz", "a", "k", pred).is_err());
         assert!(db.select_project("r", "zzz", "k", pred).is_err());
         assert!(db.select_project("r", "a", "zzz", pred).is_err());
+    }
+
+    #[test]
+    fn shared_cracker_modes_agree_and_fan_out_across_threads() {
+        let vals: Vec<i64> = (0..10_000).map(|i| (i * 17) % 10_000).collect();
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 8 },
+        ] {
+            let mut db = AdaptiveDb::new().with_concurrency(mode);
+            assert_eq!(db.concurrency(), mode);
+            db.register(Table::from_int_columns("t", vec![("v", vals.clone())]).unwrap())
+                .unwrap();
+            assert_eq!(db.shared_columns(), 0);
+            {
+                let col = db.shared_cracker("t", "v").unwrap();
+                let vals = &vals;
+                std::thread::scope(|s| {
+                    for t in 0..4i64 {
+                        let col = &*col;
+                        s.spawn(move || {
+                            for q in 0..25i64 {
+                                let lo = (t * 2_311 + q * 97) % 9_000;
+                                let pred = RangePred::between(lo, lo + 500);
+                                let want = vals.iter().filter(|&&v| pred.matches(v)).count();
+                                assert_eq!(col.count(pred), want);
+                            }
+                        });
+                    }
+                });
+                col.validate().unwrap();
+            }
+            assert_eq!(db.shared_columns(), 1);
+            assert!(db.total_crack_stats().queries > 0, "shared stats flow in");
+            assert!(db.shared_cracker("t", "zzz").is_err());
+            assert!(db.shared_cracker("zzz", "v").is_err());
+        }
+    }
+
+    #[test]
+    fn staged_updates_forward_to_the_shared_copy() {
+        let mut db = AdaptiveDb::new().with_concurrency(ConcurrencyMode::Sharded { shards: 4 });
+        db.register(Table::from_int_columns("t", vec![("v", (0..100).collect())]).unwrap())
+            .unwrap();
+        let band = RangePred::between(10, 20);
+        // Build both copies, then stage updates through the db surface.
+        assert_eq!(db.shared_cracker("t", "v").unwrap().count(band), 11);
+        db.stage_insert("t", "v", 500, 15).unwrap();
+        assert_eq!(
+            db.shared_cracker("t", "v").unwrap().count(band),
+            12,
+            "insert staged after the shared copy exists must reach it"
+        );
+        assert!(db.stage_delete("t", "v", 500).unwrap());
+        assert!(db.stage_delete("t", "v", 15).unwrap());
+        assert_eq!(db.shared_cracker("t", "v").unwrap().count(band), 10);
+        // The single-threaded path agrees.
+        let q = RangeQuery::new("t", "v", band);
+        let (_, stats) = db.select(&q, OutputMode::Count).unwrap();
+        assert_eq!(stats.result_count, 10);
     }
 
     #[test]

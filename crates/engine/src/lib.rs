@@ -42,6 +42,7 @@ pub mod table;
 
 pub use catalog::DbCatalog;
 pub use cost::RunStats;
+pub use cracker_core::{ConcurrencyMode, ConcurrentColumn};
 pub use db::AdaptiveDb;
 pub use engines::{CrackEngine, QueryEngine, ScanEngine, SortEngine, StochasticEngine};
 pub use error::{EngineError, EngineResult};

@@ -8,6 +8,7 @@
 
 use crate::error::{EngineError, EngineResult};
 use crate::schema::Schema;
+use cracker_core::{ConcurrencyMode, ConcurrentColumn, CrackerConfig};
 use std::sync::Arc;
 use storage::{Atom, Bat, BatView, Oid};
 
@@ -106,6 +107,21 @@ impl Table {
         Ok(BatView::whole(Arc::clone(self.column(name)?)))
     }
 
+    /// Build a latched cracked copy of an integer column for concurrent
+    /// readers — single-lock or sharded per `mode`. The copy is detached:
+    /// it carries this table's dense OIDs but does not observe later
+    /// changes to the base BAT, exactly like the cracked copies
+    /// [`crate::db::AdaptiveDb`] maintains.
+    pub fn concurrent_column(
+        &self,
+        name: &str,
+        config: CrackerConfig,
+        mode: ConcurrencyMode,
+    ) -> EngineResult<ConcurrentColumn<i64>> {
+        let vals = self.ints(name)?.to_vec();
+        Ok(ConcurrentColumn::build(vals, config, mode))
+    }
+
     /// The full row (as atoms in schema order) at surrogate `oid` — rows
     /// are reconstructed via positional alignment of the dense OID space.
     pub fn row(&self, oid: Oid) -> EngineResult<Vec<Atom>> {
@@ -199,6 +215,27 @@ mod tests {
         let t = Table::from_int_columns("e", vec![("a", vec![])]).unwrap();
         assert!(t.is_empty());
         assert_eq!(t.rows().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_column_carries_table_oids() {
+        use cracker_core::RangePred;
+        let t = Table::from_int_columns("r", vec![("a", vec![30, 10, 20, 40])]).unwrap();
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 2 },
+        ] {
+            let col = t
+                .concurrent_column("a", CrackerConfig::default(), mode)
+                .unwrap();
+            let mut oids = col.select_oids(RangePred::between(15, 35));
+            oids.sort_unstable();
+            assert_eq!(oids, vec![0, 2]);
+            col.validate().unwrap();
+        }
+        assert!(t
+            .concurrent_column("zzz", CrackerConfig::default(), ConcurrencyMode::SingleLock)
+            .is_err());
     }
 
     #[test]

@@ -8,9 +8,23 @@
 //! `sample_size` timed samples whose min/mean are printed to stdout. Good
 //! enough to compare orders of magnitude offline; swap in real criterion
 //! when the registry is reachable.
+//!
+//! # `--json` mode
+//!
+//! Passing `--json` to a bench binary (`cargo bench --bench foo -- --json`)
+//! additionally writes `BENCH_<bench-name>.json` — one record per
+//! benchmark with the **median** sample in nanoseconds — into
+//! `$BENCH_JSON_DIR` (default: the process working directory). This is the
+//! machine-readable baseline the repo's bench-trajectory tracking and the
+//! CI bench-smoke step consume.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// `(label, median ns, samples)` collected by every finished benchmark in
+/// this process, in execution order — the source for the `--json` report.
+static COLLECTED: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
 
 pub use std::hint::black_box;
 
@@ -146,6 +160,67 @@ fn report(label: &str, samples: &[Duration]) {
         mean,
         samples.len()
     );
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2].as_nanos();
+    COLLECTED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push((label.to_string(), median, samples.len()));
+}
+
+/// The bench name behind an argv[0] like
+/// `target/release/deps/crack_select-0f3a9c…`: the file stem with cargo's
+/// trailing `-<hex hash>` stripped.
+fn bench_name(argv0: &str) -> String {
+    let stem = std::path::Path::new(argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        // Cargo's metadata hash is exactly 16 hex digits.
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// When `--json` was passed on the command line, write every collected
+/// result as `BENCH_<name>.json` into `$BENCH_JSON_DIR` (default: the
+/// working directory). Called by the shim's `criterion_main!` after all
+/// groups ran; a no-op without the flag.
+pub fn write_json_report() {
+    let mut args = std::env::args();
+    let argv0 = args.next().unwrap_or_default();
+    if !args.any(|a| a == "--json") {
+        return;
+    }
+    let name = bench_name(&argv0);
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let collected = COLLECTED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"bench\": \"{name}\",\n  \"results\": [\n"));
+    for (i, (label, median_ns, samples)) in collected.iter().enumerate() {
+        let comma = if i + 1 == collected.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"id\": \"{label}\", \"median_ns\": {median_ns}, \"samples\": {samples} }}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        // The caller asked for the JSON; silently keeping exit code 0
+        // would let CI upload a stale committed baseline as this run's
+        // artifact. Fail loudly instead.
+        Err(e) => panic!(
+            "--json requested but writing {} failed: {e}",
+            path.display()
+        ),
+    }
 }
 
 /// A named group of related benchmarks.
@@ -250,11 +325,13 @@ macro_rules! criterion_group {
 }
 
 /// Emit `main` running the given groups, mirroring criterion's macro.
+/// After all groups ran, the `--json` report is written when requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -262,6 +339,17 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_name_strips_cargo_hash() {
+        assert_eq!(
+            bench_name("target/release/deps/crack_select-0f3a9cbb12d45e77"),
+            "crack_select"
+        );
+        assert_eq!(bench_name("sharded_scale"), "sharded_scale");
+        assert_eq!(bench_name("deps/no_hash-suffix"), "no_hash-suffix");
+        assert_eq!(bench_name(""), "bench");
+    }
 
     #[test]
     fn group_runs_and_records() {

@@ -52,6 +52,9 @@ pub use workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cracker_core::{
+        ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, SharedCrackerColumn,
+    };
+    pub use cracker_core::{
         CrackMode, CrackStats, CrackerColumn, CrackerConfig, FusionPolicy, RangePred,
     };
     pub use cracker_core::{CrackPolicy, PolicyCracker, StochasticCracker, StochasticPolicy};

@@ -37,6 +37,19 @@ fn prelude_drives_the_full_pipeline() {
         engine.run(pred, OutputMode::Count).result_count,
     );
 
+    // Concurrency layer: both latched-column modes answer like the
+    // single-threaded engines.
+    let shared = SharedCrackerColumn::new(tapestry.column(0).to_vec());
+    let sharded = ShardedCrackerColumn::new(tapestry.column(0).to_vec(), 8);
+    assert_eq!(shared.count(pred), sharded.count(pred));
+    let concurrent = ConcurrentColumn::build(
+        tapestry.column(0).to_vec(),
+        CrackerConfig::default(),
+        ConcurrencyMode::Sharded { shards: 4 },
+    );
+    assert_eq!(concurrent.count(pred), shared.count(pred));
+    concurrent.validate().expect("sharded invariants hold");
+
     // Simulation layer: the §2.2 granule model runs and reports costs.
     let costs = GranuleSim::new(1_000, 0.1, 3).run(5);
     assert_eq!(costs.len(), 5);
