@@ -8,29 +8,38 @@ use cracker_core::{CrackerColumn, RangePred};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workload::Tapestry;
 
-const N: usize = 500_000;
+/// `BENCH_SMOKE=1` shrinks the column so CI can run this as a smoke test.
+fn n() -> usize {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        50_000
+    } else {
+        500_000
+    }
+}
 
 /// Crack a column into roughly `pieces` pieces with evenly spread queries.
 fn cracked_with_pieces(pieces: usize) -> CrackerColumn<i64> {
-    let vals = Tapestry::generate(N, 1, 0x1D).column(0).to_vec();
+    let n = n();
+    let vals = Tapestry::generate(n, 1, 0x1D).column(0).to_vec();
     let mut col = CrackerColumn::new(vals);
     let queries = pieces / 2;
     for q in 0..queries {
-        let lo = (q * N / queries.max(1)) as i64;
+        let lo = (q * n / queries.max(1)) as i64;
         col.select(RangePred::half_open(
             lo,
-            lo + (N / (queries.max(1) * 2)) as i64,
+            lo + (n / (queries.max(1) * 2)) as i64,
         ));
     }
     col
 }
 
 fn boundary_reuse(c: &mut Criterion) {
+    let n = n();
     let mut g = c.benchmark_group("index_boundary_reuse");
     for &pieces in &[16usize, 256, 2048] {
         let mut col = cracked_with_pieces(pieces);
         // A query whose boundaries already exist: pure index navigation.
-        let probe = RangePred::half_open((N / 2) as i64, (N / 2 + N / (pieces.max(2))) as i64);
+        let probe = RangePred::half_open((n / 2) as i64, (n / 2 + n / (pieces.max(2))) as i64);
         col.select(probe);
         g.bench_with_input(
             BenchmarkId::from_parameter(col.piece_count()),
@@ -42,6 +51,9 @@ fn boundary_reuse(c: &mut Criterion) {
 }
 
 fn fresh_boundary_cost(c: &mut Criterion) {
+    let n = n();
+    // Bounds chosen to miss the evenly spread existing boundaries.
+    let fresh_lo = (n as i64 / 3) * 2 + 1;
     let mut g = c.benchmark_group("index_fresh_boundary");
     g.sample_size(20);
     for &pieces in &[16usize, 256, 2048] {
@@ -54,8 +66,8 @@ fn fresh_boundary_cost(c: &mut Criterion) {
                 b.iter_batched(
                     || template.clone(),
                     |mut col| {
-                        // Bounds chosen to miss existing boundaries.
-                        col.select(RangePred::half_open(333_331, 333_337)).count()
+                        col.select(RangePred::half_open(fresh_lo, fresh_lo + 6))
+                            .count()
                     },
                     criterion::BatchSize::LargeInput,
                 )

@@ -6,13 +6,21 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use workload::Tapestry;
 
-const N: usize = 100_000;
+/// `BENCH_SMOKE=1` shrinks the operands so CI can run this as a smoke test.
+fn n() -> usize {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        20_000
+    } else {
+        100_000
+    }
+}
 
 fn operands() -> (Vec<i64>, Vec<i64>) {
-    let t = Tapestry::generate(N, 2, 0x30E);
+    let n = n();
+    let t = Tapestry::generate(n, 2, 0x30E);
     // Shift one side so only half the values match.
     let r = t.column(0).to_vec();
-    let s: Vec<i64> = t.column(1).iter().map(|v| v + (N / 2) as i64).collect();
+    let s: Vec<i64> = t.column(1).iter().map(|v| v + (n / 2) as i64).collect();
     (r, s)
 }
 

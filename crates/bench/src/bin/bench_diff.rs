@@ -1,0 +1,134 @@
+//! Compare two `BENCH_<name>.json` reports (as written by the bench
+//! harness's `--json` mode) and exit nonzero when any benchmark's median
+//! regressed by more than the threshold.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--threshold <pct>]
+//! ```
+//!
+//! The threshold defaults to 25 (percent), the ROADMAP's regression bar
+//! for like-for-like runs on one machine. Cross-machine comparisons (CI
+//! runners vs the laptop that committed a baseline) should pass a looser
+//! `--threshold`, since absolute nanoseconds move with the hardware.
+//!
+//! Benchmarks present on only one side are reported as warnings, not
+//! failures — *unless* nothing overlaps at all, which means the two files
+//! describe different benches and the comparison is vacuous.
+
+use serde::Deserialize;
+
+/// One `BENCH_<name>.json` document.
+#[derive(Debug, Deserialize)]
+struct Report {
+    /// Bench binary name.
+    bench: String,
+    /// Per-benchmark medians, in execution order.
+    results: Vec<Entry>,
+}
+
+/// One benchmark's record.
+#[derive(Debug, Deserialize)]
+struct Entry {
+    /// `group/function/param` identifier.
+    id: String,
+    /// Median wall time in nanoseconds.
+    median_ns: u64,
+    /// Samples the median was taken over.
+    #[allow(dead_code)]
+    samples: u64,
+}
+
+fn load(path: &str) -> Report {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold <pct>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threshold needs a number"));
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        die("expected exactly two report paths");
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    if baseline.bench != current.bench {
+        eprintln!(
+            "bench_diff: warning: comparing different benches ({} vs {})",
+            baseline.bench, current.bench
+        );
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for old in &baseline.results {
+        let Some(new) = current.results.iter().find(|e| e.id == old.id) else {
+            println!(
+                "{:<44} {:>12} {:>12} {:>9}",
+                old.id, old.median_ns, "-", "GONE"
+            );
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if old.median_ns == 0 {
+            0.0
+        } else {
+            (new.median_ns as f64 - old.median_ns as f64) / old.median_ns as f64 * 100.0
+        };
+        let flag = if delta_pct > threshold {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<44} {:>12} {:>12} {:>+8.1}%{flag}",
+            old.id, old.median_ns, new.median_ns, delta_pct
+        );
+    }
+    for new in &current.results {
+        if !baseline.results.iter().any(|e| e.id == new.id) {
+            println!(
+                "{:<44} {:>12} {:>12} {:>9}",
+                new.id, "-", new.median_ns, "NEW"
+            );
+        }
+    }
+
+    if compared == 0 {
+        die("no benchmark ids overlap between the two reports");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions} of {compared} benchmarks regressed by more than \
+             {threshold}%"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_diff: {compared} benchmarks within {threshold}% of baseline");
+}

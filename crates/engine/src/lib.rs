@@ -36,6 +36,7 @@ pub mod exec;
 pub mod plan;
 pub mod profile;
 pub mod query;
+pub mod scenario;
 pub mod schema;
 pub mod sql_crack;
 pub mod table;
@@ -48,6 +49,7 @@ pub use engines::{CrackEngine, QueryEngine, ScanEngine, SortEngine, StochasticEn
 pub use error::{EngineError, EngineResult};
 pub use profile::EngineProfile;
 pub use query::{OutputMode, RangeQuery};
+pub use scenario::DbScenarioRunner;
 pub use schema::{ColumnDef, Schema};
 pub use sql_crack::SqlLevelCracker;
 pub use table::Table;

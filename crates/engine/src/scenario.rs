@@ -1,0 +1,168 @@
+//! Engine-level scenario replay.
+//!
+//! `workload::scenario` defines the op streams and the differential
+//! oracle; this module plugs the engine's access paths into that harness
+//! so single-threaded, single-lock, and sharded executions all replay the
+//! same seeded scenario:
+//!
+//! * [`CrackEngine`] implements `ScenarioExecutor` directly — the default
+//!   (unlatched) column path;
+//! * [`DbScenarioRunner`] replays a scenario through a registered
+//!   [`AdaptiveDb`] table: selects go to the latched
+//!   [`cracker_core::ConcurrentColumn`] built under the db's
+//!   [`ConcurrencyMode`] (single-lock or sharded), while updates go
+//!   through [`AdaptiveDb::stage_insert`] / [`AdaptiveDb::stage_delete`],
+//!   which mirror them into *every* cracked copy — exactly the bookkeeping
+//!   a production path would exercise.
+
+use cracker_core::ConcurrencyMode;
+use workload::scenario::{Scenario, ScenarioExecutor};
+use workload::Window;
+
+use crate::db::AdaptiveDb;
+use crate::engines::{CrackEngine, QueryEngine};
+use crate::error::EngineResult;
+use crate::table::Table;
+
+impl ScenarioExecutor for CrackEngine {
+    fn label(&self) -> String {
+        "engine-crack".to_string()
+    }
+
+    fn run_select(&mut self, w: Window) -> Vec<u32> {
+        self.result_oids(w.to_pred())
+    }
+
+    fn run_insert(&mut self, oid: u32, value: i64) {
+        self.column_mut().insert(oid, value);
+    }
+
+    fn run_delete(&mut self, oid: u32) -> bool {
+        self.column_mut().delete(oid)
+    }
+}
+
+/// Name of the table a [`DbScenarioRunner`] registers.
+pub const SCENARIO_TABLE: &str = "scenario";
+/// Name of the replayed column within [`SCENARIO_TABLE`].
+pub const SCENARIO_COLUMN: &str = "v";
+
+/// Replays a scenario through a full [`AdaptiveDb`]: catalog-registered
+/// table, latched concurrent column per the db's [`ConcurrencyMode`], and
+/// staged updates mirrored into every cracked copy.
+pub struct DbScenarioRunner {
+    db: AdaptiveDb,
+    mode: ConcurrencyMode,
+}
+
+impl DbScenarioRunner {
+    /// Register the scenario's base column as table
+    /// [`SCENARIO_TABLE`]`.`[`SCENARIO_COLUMN`] in a fresh db running
+    /// under `mode`, and eagerly build the latched cracked copy so the
+    /// replay measures steady-state bookkeeping, not first-touch setup.
+    pub fn new<S: Scenario + ?Sized>(scenario: &S, mode: ConcurrencyMode) -> EngineResult<Self> {
+        let mut db = AdaptiveDb::new().with_concurrency(mode);
+        db.register(Table::from_int_columns(
+            SCENARIO_TABLE,
+            vec![(SCENARIO_COLUMN, scenario.base().to_vec())],
+        )?)?;
+        db.shared_cracker(SCENARIO_TABLE, SCENARIO_COLUMN)?;
+        Ok(DbScenarioRunner { db, mode })
+    }
+
+    /// The concurrency mode the replay runs under.
+    pub fn mode(&self) -> ConcurrencyMode {
+        self.mode
+    }
+
+    /// The underlying database (stats, catalog inspection).
+    pub fn db(&self) -> &AdaptiveDb {
+        &self.db
+    }
+
+    /// Consume the runner, keeping the database it drove.
+    pub fn into_db(self) -> AdaptiveDb {
+        self.db
+    }
+}
+
+impl ScenarioExecutor for DbScenarioRunner {
+    fn label(&self) -> String {
+        format!("adaptive-db({:?})", self.mode)
+    }
+
+    fn run_select(&mut self, w: Window) -> Vec<u32> {
+        self.db
+            .shared_cracker(SCENARIO_TABLE, SCENARIO_COLUMN)
+            .expect("scenario column registered at construction")
+            .select_oids(w.to_pred())
+    }
+
+    fn run_insert(&mut self, oid: u32, value: i64) {
+        self.db
+            .stage_insert(SCENARIO_TABLE, SCENARIO_COLUMN, oid, value)
+            .expect("scenario column registered at construction");
+    }
+
+    fn run_delete(&mut self, oid: u32) -> bool {
+        self.db
+            .stage_delete(SCENARIO_TABLE, SCENARIO_COLUMN, oid)
+            .expect("scenario column registered at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::scenario::{ScenarioRunner, Shift, ShiftingHotSet, UpdateHeavy, ZipfQueries};
+    use workload::Mqs;
+
+    #[test]
+    fn crack_engine_replays_differentially() {
+        let mut scenario = ZipfQueries::new(5_000, 1_000, 1.1, 48, 3);
+        let mut engine = CrackEngine::new(scenario.base().to_vec());
+        let report = ScenarioRunner::run_differential(&mut scenario, &mut engine)
+            .expect("engine path agrees with the oracle");
+        assert_eq!(report.selects, 48);
+        engine.column().validate().expect("invariants hold");
+    }
+
+    #[test]
+    fn db_runner_replays_in_both_lock_modes() {
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 8 },
+        ] {
+            let mut scenario = UpdateHeavy::new(Mqs::paper_default(4_000, 32, 0.05), 3.0, 4, 17);
+            let mut runner = DbScenarioRunner::new(&scenario, mode).expect("register");
+            assert_eq!(runner.mode(), mode);
+            let report = ScenarioRunner::run_differential(&mut scenario, &mut runner)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert_eq!(report.selects, 32);
+            assert!(report.inserts + report.deletes > 0, "mix really updated");
+            let db = runner.into_db();
+            assert_eq!(db.shared_columns(), 1);
+            assert!(db.total_crack_stats().queries > 0);
+        }
+    }
+
+    #[test]
+    fn both_modes_see_identical_result_streams() {
+        // The same seeded scenario replayed under each mode: per-select
+        // result sets must match each other, not just the oracle.
+        let make = || ShiftingHotSet::new(4_000, 64, 8, Shift::Drift { step: 1_000 }, 9);
+        let mut single = DbScenarioRunner::new(&make(), ConcurrencyMode::SingleLock).unwrap();
+        let mut sharded =
+            DbScenarioRunner::new(&make(), ConcurrencyMode::Sharded { shards: 4 }).unwrap();
+        let mut scenario = make();
+        for op in &mut scenario {
+            if let workload::scenario::Op::Select(w) = op {
+                let mut a = single.run_select(w);
+                let mut b = sharded.run_select(w);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "modes disagree on [{}, {})", w.lo, w.hi);
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use cracker_core::{CrackerColumn, RangePred};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use workload::scenario::{Op, Scenario};
 
 /// Cost of one simulation step, in granule units.
 ///
@@ -106,6 +107,25 @@ impl GranuleSim {
         self.column.piece_count()
     }
 
+    /// Crack one explicit value window and charge it under the §2.2 model.
+    fn crack_window(&mut self, pred: RangePred<i64>) -> StepCost {
+        let before = *self.column.stats();
+        let sel = self.column.select(pred);
+        let delta = self.column.stats().delta_since(&before);
+        self.steps_taken += 1;
+        let touched = delta.tuples_touched + delta.edge_scanned;
+        // §2.2 write model: of the touched granules, the qualifying ones
+        // are delivered as the answer; the rest are written to their new
+        // location. The answer may partly lie in already-cracked pieces,
+        // so the overlap with the touched region bounds the discount.
+        let answer = sel.count() as u64;
+        StepCost {
+            reads: touched,
+            writes: touched.saturating_sub(answer),
+            answer,
+        }
+    }
+
     /// Draw one uniformly random window of width `⌈σ·n⌉` and crack it.
     pub fn step(&mut self) -> StepCost {
         for _ in 0..self.volatility {
@@ -122,26 +142,68 @@ impl GranuleSim {
         }
         let width = ((self.sigma * self.n as f64).ceil() as i64).clamp(1, self.n as i64);
         let lo = self.rng.gen_range(0..=(self.n as i64 - width));
-        let before = *self.column.stats();
-        let sel = self.column.select(RangePred::half_open(lo, lo + width));
-        let delta = self.column.stats().delta_since(&before);
-        self.steps_taken += 1;
-        let touched = delta.tuples_touched + delta.edge_scanned;
-        // §2.2 write model: of the touched granules, the qualifying ones
-        // are delivered as the answer; the rest are written to their new
-        // location. The answer may partly lie in already-cracked pieces,
-        // so the overlap with the touched region bounds the discount.
-        let answer = sel.count() as u64;
-        StepCost {
-            reads: touched,
-            writes: touched.saturating_sub(answer),
-            answer,
-        }
+        self.crack_window(RangePred::half_open(lo, lo + width))
     }
 
     /// Run `k` steps, collecting per-step costs.
     pub fn run(&mut self, k: usize) -> Vec<StepCost> {
         (0..k).map(|_| self.step()).collect()
+    }
+
+    /// Build the simulation over a scenario's base column instead of the
+    /// built-in shuffled `0..n` vector: the granule vector is the
+    /// scenario's data, and the query/update streams come from the
+    /// scenario's ops ([`Self::apply`] / [`Self::run_scenario`]) rather
+    /// than this sim's own RNGs. `seed` only feeds the legacy
+    /// [`Self::step`] / volatility streams, should the caller mix modes.
+    pub fn from_scenario<S: Scenario + ?Sized>(scenario: &S, seed: u64) -> Self {
+        let vals = scenario.base().to_vec();
+        let n = vals.len();
+        assert!(n >= 1, "scenario base column must be non-empty");
+        GranuleSim {
+            column: CrackerColumn::new(vals),
+            n,
+            sigma: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+            update_rng: SmallRng::seed_from_u64(seed ^ 0x5EED_FACE_CAFE_F00D),
+            steps_taken: 0,
+            volatility: 0,
+            next_oid: n as u32,
+        }
+    }
+
+    /// Apply one scenario op. Selects are charged under the §2.2 cost
+    /// model exactly like [`Self::step`]; inserts and deletes are staged
+    /// in O(1) granule traffic (one write into the staging area — the
+    /// relocation cost surfaces later, in the selects that crack through
+    /// the merged tuples), so they report `writes: 1`.
+    pub fn apply(&mut self, op: &Op) -> StepCost {
+        match *op {
+            Op::Select(w) => self.crack_window(RangePred::half_open(w.lo, w.hi)),
+            Op::Insert { oid, value } => {
+                self.column.insert(oid, value);
+                self.next_oid = self.next_oid.max(oid + 1);
+                StepCost {
+                    reads: 0,
+                    writes: 1,
+                    answer: 0,
+                }
+            }
+            Op::Delete { oid } => {
+                self.column.delete(oid);
+                StepCost {
+                    reads: 0,
+                    writes: 1,
+                    answer: 0,
+                }
+            }
+        }
+    }
+
+    /// Drive an entire op stream (any [`Scenario`], or a replayed `Vec`
+    /// of ops), collecting one [`StepCost`] per op in order.
+    pub fn run_scenario<I: Iterator<Item = Op>>(&mut self, ops: I) -> Vec<StepCost> {
+        ops.map(|op| self.apply(&op)).collect()
     }
 }
 
@@ -250,6 +312,75 @@ mod tests {
             answer: 3,
         };
         assert_eq!(c.io(), 15);
+    }
+
+    #[test]
+    fn scenario_replay_is_deterministic_and_costs_every_op() {
+        use workload::scenario::{Shift, ShiftingHotSet};
+        let run = |seed| {
+            let mut s = ShiftingHotSet::new(5_000, 48, 8, Shift::Jump, seed);
+            let mut sim = GranuleSim::from_scenario(&s, 0);
+            let costs = sim.run_scenario(&mut s);
+            (costs, sim.piece_count(), sim.steps_taken())
+        };
+        let (a, pieces, steps) = run(3);
+        let (b, _, _) = run(3);
+        assert_eq!(a, b, "same seed, same cost series");
+        assert_eq!(a.len(), 48, "one StepCost per op");
+        assert_eq!(steps, 48, "every select counted as a step");
+        assert!(pieces > 1, "the scenario physically cracked the store");
+        // Shifted hot sets keep paying: the first query of a fresh epoch
+        // touches more than a settled one, so reads never flatline to the
+        // pure-homerun tail; still, everything after step 0 is below the
+        // full-touch opening.
+        assert_eq!(a[0].reads, 5_000);
+        assert!(a[1..].iter().all(|c| c.reads < 5_000));
+    }
+
+    #[test]
+    fn scenario_updates_charge_single_granule_writes() {
+        use workload::scenario::Op;
+        use workload::Window;
+        let mut sim = GranuleSim::new(1_000, 0.1, 7);
+        let ins = sim.apply(&Op::Insert {
+            oid: 1_000,
+            value: 12,
+        });
+        assert_eq!((ins.reads, ins.writes, ins.answer), (0, 1, 0));
+        let del = sim.apply(&Op::Delete { oid: 1_000 });
+        assert_eq!((del.reads, del.writes, del.answer), (0, 1, 0));
+        // The staged pair cancels out: a full-domain select sees n tuples.
+        let sel = sim.apply(&Op::Select(Window::new(0, 1_000)));
+        assert_eq!(sel.answer, 1_000);
+    }
+
+    #[test]
+    fn update_heavy_scenario_raises_io_over_its_quiet_twin() {
+        use workload::scenario::{Op, UpdateHeavy};
+        use workload::Mqs;
+        // The same select stream with updates stripped must be cheaper to
+        // replay than the full update-heavy mix — the §2.2 "database
+        // volatility" effect, now driven by a scenario instead of the
+        // built-in volatility knob.
+        let mqs = Mqs::paper_default(20_000, 40, 0.05);
+        let mut heavy = UpdateHeavy::new(mqs, 25.0, 25, 5);
+        let mut sim = GranuleSim::from_scenario(&heavy, 0);
+        let ops: Vec<Op> = heavy.by_ref().collect();
+        let noisy: u64 = sim
+            .run_scenario(ops.iter().copied())
+            .iter()
+            .map(|c| c.io())
+            .sum();
+        let mut quiet_sim = GranuleSim::from_scenario(&heavy, 0);
+        let quiet: u64 = quiet_sim
+            .run_scenario(ops.iter().copied().filter(|o| matches!(o, Op::Select(_))))
+            .iter()
+            .map(|c| c.io())
+            .sum();
+        assert!(
+            noisy > quiet,
+            "updates degrade the cracked structure: {noisy} !> {quiet}"
+        );
     }
 
     #[test]

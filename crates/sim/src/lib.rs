@@ -13,6 +13,12 @@
 //! (fractional write overhead per step) and **Figure 3** (accumulated
 //! read+write cost relative to scanning, with the sort-upfront alternative
 //! for comparison).
+//!
+//! Beyond the paper's built-in uniform RNG streams, the sim replays any
+//! `workload::scenario::Scenario` (Zipf endpoints, shifting hot sets,
+//! update-heavy mixes): [`GranuleSim::from_scenario`] loads the scenario's
+//! base column and [`GranuleSim::run_scenario`] charges its op stream
+//! under the same §2.2 cost model.
 
 pub mod granule;
 pub mod series;

@@ -22,15 +22,33 @@
 //! * [`sequential`] — the adversarial patterns (sequential sweeps, zooms)
 //!   that defeat plain cracking, used by the robustness experiments;
 //! * [`mqs`] — the sequence-space descriptor
-//!   `MQS(α, N, k, σ, ρ, δ)` (Definition, §4) tying it all together.
+//!   `MQS(α, N, k, σ, ρ, δ)` (Definition, §4) tying it all together;
+//! * [`scenario`] — the **scenario engine** for workloads whose structure
+//!   *moves*: a [`scenario::Scenario`] is a seeded iterator of
+//!   [`scenario::Op`] steps (`Select` / `Insert` / `Delete`) over a base
+//!   column it also generates, with concrete implementations for
+//!   Zipf-skewed query endpoints ([`scenario::ZipfQueries`]), a relocating
+//!   hot set ([`scenario::ShiftingHotSet`]) and update-heavy MQS mixes
+//!   ([`scenario::UpdateHeavy`]), plus the sorted-vector differential
+//!   oracle ([`scenario::SortedOracle`]) and a runner
+//!   ([`scenario::ScenarioRunner`]) that replays any scenario against any
+//!   executor — optionally in lock-step with the oracle, comparing full
+//!   result sets after every step.
 //!
 //! Everything is deterministic under an explicit RNG seed, so every figure
-//! in EXPERIMENTS.md is exactly reproducible.
+//! in EXPERIMENTS.md is exactly reproducible. Scenarios extend that into a
+//! **seeding contract**: every stream they consume (base data, endpoints,
+//! widths, update values, delete victims) is derived from the constructor
+//! seed through fixed salts, so rebuilding a scenario with the same
+//! parameters replays a bit-identical base column and op stream — that is
+//! how one workload is replayed against many executors (single-lock,
+//! sharded, engine-level) and the oracle.
 
 pub mod distribution;
 pub mod hiking;
 pub mod homerun;
 pub mod mqs;
+pub mod scenario;
 pub mod sequential;
 pub mod skew;
 pub mod strolling;
@@ -38,6 +56,10 @@ pub mod tapestry;
 
 pub use distribution::Contraction;
 pub use mqs::{Mqs, Profile};
+pub use scenario::{
+    Op, RunReport, Scenario, ScenarioExecutor, ScenarioRunner, Shift, ShiftingHotSet, SortedOracle,
+    UpdateHeavy, ZipfQueries,
+};
 pub use sequential::{adversarial_sequence, Adversary};
 pub use tapestry::Tapestry;
 

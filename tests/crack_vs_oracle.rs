@@ -2,11 +2,56 @@
 //! answered by the cracking engine (engine + cracker-core) must agree
 //! with a naive oracle over the tapestry data (storage-independent).
 
+use dbcracker::cracker_core::CrackerColumn;
 use dbcracker::prelude::*;
 use workload::strolling::StrollMode;
 
 fn oracle_count(column: &[i64], w: &Window) -> u64 {
     column.iter().filter(|&&v| v >= w.lo && v < w.hi).count() as u64
+}
+
+fn oracle_oids(column: &[i64], w: &Window) -> Vec<u32> {
+    column
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v >= w.lo && v < w.hi)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// All MQS profiles, including the three strolling modes.
+fn all_profiles() -> Vec<Profile> {
+    vec![
+        Profile::Homerun,
+        Profile::Hiking,
+        Profile::Strolling(StrollMode::Converge),
+        Profile::Strolling(StrollMode::RandomWithReplacement),
+        Profile::Strolling(StrollMode::RandomWithoutReplacement),
+    ]
+}
+
+/// The three concurrency flavours of the cracked column, behind one
+/// scenario-executor surface: plain (unlatched), single-lock, sharded.
+fn executors(column: &[i64]) -> Vec<(String, Box<dyn ScenarioExecutor>)> {
+    let modes = [
+        ConcurrencyMode::SingleLock,
+        ConcurrencyMode::Sharded { shards: 8 },
+    ];
+    let mut execs: Vec<(String, Box<dyn ScenarioExecutor>)> = vec![(
+        "plain".to_string(),
+        Box::new(CrackerColumn::new(column.to_vec())),
+    )];
+    for mode in modes {
+        execs.push((
+            format!("{mode:?}"),
+            Box::new(ConcurrentColumn::build(
+                column.to_vec(),
+                CrackerConfig::default(),
+                mode,
+            )),
+        ));
+    }
+    execs
 }
 
 fn check_profile(profile: Profile, seed: u64) {
@@ -56,6 +101,67 @@ fn strolling_sequences_agree_with_oracle() {
         StrollMode::RandomWithoutReplacement,
     ] {
         check_profile(Profile::Strolling(mode), 7);
+    }
+}
+
+#[test]
+fn all_profiles_agree_with_oracle_in_all_concurrency_modes() {
+    // Not just the default column path: every MQS profile replayed
+    // against the plain, single-lock, and sharded crackers, with full
+    // OID-set comparison per query.
+    for profile in all_profiles() {
+        let mqs = Mqs {
+            alpha: 2,
+            n: 10_000,
+            k: 24,
+            sigma: 0.05,
+            rho: Contraction::Exponential,
+            delta: Contraction::Linear,
+            profile,
+        };
+        let table = mqs.table(11);
+        let column = table.column(0);
+        let seq = mqs.sequence(11);
+        for (mode, mut exec) in executors(column) {
+            for (i, w) in seq.iter().enumerate() {
+                let mut got = exec.run_select(*w);
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    oracle_oids(column, w),
+                    "{} step {i} under {mode}: {w:?}",
+                    mqs.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_workloads_agree_with_oracle_in_all_concurrency_modes() {
+    // The three scenario-engine workloads join the MQS profiles in the
+    // same sweep: replay differentially (updates included) under every
+    // concurrency flavour.
+    type Factory = fn(u64) -> Box<dyn Scenario<Item = Op>>;
+    let make: Vec<Factory> = vec![
+        |seed| Box::new(ZipfQueries::new(10_000, 2_500, 1.1, 48, seed)),
+        |seed| Box::new(ShiftingHotSet::new(10_000, 64, 16, Shift::Jump, seed)),
+        |seed| {
+            Box::new(UpdateHeavy::new(
+                Mqs::paper_default(10_000, 48, 0.05),
+                3.0,
+                6,
+                seed,
+            ))
+        },
+    ];
+    for factory in make {
+        let probe = factory(21);
+        for (mode, mut exec) in executors(probe.base()) {
+            let mut scenario = factory(21);
+            ScenarioRunner::run_differential(scenario.as_mut(), exec.as_mut())
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
     }
 }
 
