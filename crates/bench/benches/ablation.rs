@@ -1,22 +1,42 @@
-//! Ablations over the cracker design knobs DESIGN.md calls out:
-//! crack-in-three vs. two successive crack-in-twos, the cut-off granule,
-//! and the piece-budget fusion policies.
+//! Ablations over the cracker design knobs: crack-in-three vs. two
+//! successive crack-in-twos, the cut-off granule, the piece-budget fusion
+//! policies, and — the PR-4 axis — scalar vs. branch-free crack kernels
+//! across cold-crack, crack_select-shaped, and scenario_mix-shaped
+//! workloads.
+//!
+//! `BENCH_SMOKE=1` shrinks the column and op counts so CI can run this as
+//! a smoke test; pass `--json` to record medians as `BENCH_ablation.json`
+//! (see the bench harness).
 
-use cracker_core::{CrackMode, CrackerConfig, FusionPolicy};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cracker_core::{
+    CrackMode, CrackerColumn, CrackerConfig, FusionPolicy, KernelPolicy, RangePred,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use engine::{CrackEngine, OutputMode, QueryEngine};
+use workload::scenario::{Op, Scenario, Shift, ShiftingHotSet, UpdateHeavy};
 use workload::strolling::{strolling_sequence, StrollMode};
-use workload::{Contraction, Tapestry};
+use workload::{Contraction, Mqs, Tapestry};
 
-const N: usize = 200_000;
 const K: usize = 64;
 
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+fn n() -> usize {
+    if smoke() {
+        20_000
+    } else {
+        200_000
+    }
+}
+
 fn column() -> Vec<i64> {
-    Tapestry::generate(N, 1, 0xAB1A).column(0).to_vec()
+    Tapestry::generate(n(), 1, 0xAB1A).column(0).to_vec()
 }
 
 fn sequence() -> Vec<workload::Window> {
-    strolling_sequence(N, K, 0.05, Contraction::Linear, StrollMode::Converge, 5)
+    strolling_sequence(n(), K, 0.05, Contraction::Linear, StrollMode::Converge, 5)
 }
 
 fn run_sequence(cfg: CrackerConfig, vals: &[i64], seq: &[workload::Window]) {
@@ -25,6 +45,11 @@ fn run_sequence(cfg: CrackerConfig, vals: &[i64], seq: &[workload::Window]) {
         e.run(w.to_pred(), OutputMode::Count);
     }
 }
+
+const KERNELS: [(&str, KernelPolicy); 2] = [
+    ("scalar", KernelPolicy::Scalar),
+    ("branchfree", KernelPolicy::BranchFree),
+];
 
 /// Crack-in-three (single pass) vs. two crack-in-twos per range query.
 fn crack_mode(c: &mut Criterion) {
@@ -75,5 +100,176 @@ fn fusion(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, crack_mode, cutoff, fusion);
+/// A fresh shuffled column per sample. Every cold-crack measurement gets
+/// data the branch predictor has never seen: replaying one identical
+/// buffer lets the predictor memorize the outcome sequence across
+/// samples, flattering the scalar kernel with an accuracy no real cold
+/// crack gets.
+fn fresh_column(counter: &std::cell::Cell<u64>) -> Vec<i64> {
+    let seed = 0xAB1A + counter.get();
+    counter.set(counter.get() + 1);
+    Tapestry::generate(n(), 1, seed).column(0).to_vec()
+}
+
+/// Scalar vs. branch-free on a single cold crack-in-three over a virgin
+/// random column — the branch-misprediction worst case the predicated
+/// DNF kernel targets. The column never shrinks below twice the
+/// kernel's three-way predication floor (`THREE_WAY_MIN` in
+/// `cracker_core::kernel`): at the plain smoke size the skew guard
+/// would route both labels through the scalar sweep and this comparison
+/// would carry no kernel signal.
+fn kernel_cold_crack(c: &mut Criterion) {
+    let n3 = n().max(2 * 32_768);
+    let (lo, hi) = (n3 as i64 / 4, 3 * n3 as i64 / 4);
+    let mut g = c.benchmark_group("ablation_kernel_cold_crack");
+    g.sample_size(20);
+    for (label, kernel) in KERNELS {
+        let cfg = CrackerConfig::new().with_kernel(kernel);
+        let ctr = std::cell::Cell::new(0u64);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let seed = 0xAB1A + ctr.get();
+                    ctr.set(ctr.get() + 1);
+                    let vals = Tapestry::generate(n3, 1, seed).column(0).to_vec();
+                    CrackerColumn::with_config(vals, cfg)
+                },
+                |mut col| col.select(RangePred::between(lo, hi)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Scalar vs. branch-free on a single cold one-sided crack — a pure
+/// crack-in-two over a virgin column, the branchless cyclic-Lomuto
+/// kernel's home turf and the acceptance benchmark for the kernel work.
+fn kernel_cold_crack_two(c: &mut Criterion) {
+    let mid = n() as i64 / 2;
+    let mut g = c.benchmark_group("ablation_kernel_cold_crack_two");
+    g.sample_size(20);
+    for (label, kernel) in KERNELS {
+        let cfg = CrackerConfig::new().with_kernel(kernel);
+        let ctr = std::cell::Cell::new(0u64);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || CrackerColumn::with_config(fresh_column(&ctr), cfg),
+                |mut col| col.select(RangePred::ge(mid)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Scalar vs. branch-free over a full crack_select-shaped query sequence
+/// (the strolling MQS profile): cold cracks up front, boundary reuse and
+/// ever-smaller pieces toward the tail. Fresh data per sample, same
+/// window sequence.
+fn kernel_crack_select(c: &mut Criterion) {
+    let seq = sequence();
+    let mut g = c.benchmark_group("ablation_kernel_crack_select");
+    g.sample_size(10);
+    for (label, kernel) in KERNELS {
+        let cfg = CrackerConfig::new().with_kernel(kernel);
+        let ctr = std::cell::Cell::new(0u64);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || fresh_column(&ctr),
+                |vals| run_sequence(cfg, &vals, &seq),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Scalar vs. branch-free under scenario_mix shapes: a shifting hot set
+/// (fresh crack storms every relocation) and an update-heavy mix (overlay
+/// filtering and merges in the loop). Replayed single-threaded against a
+/// plain column, with the OID buffer reused across ops via
+/// `select_oids_into` so the kernels — not the allocator — dominate.
+fn kernel_scenario_mix(c: &mut Criterion) {
+    let selects = if smoke() { 96 } else { 512 };
+    let shifting = |seed: u64| {
+        materialize(ShiftingHotSet::new(
+            n(),
+            selects,
+            16,
+            Shift::Drift {
+                step: n() as i64 / 8,
+            },
+            seed,
+        ))
+    };
+    let updates = |seed: u64| {
+        materialize(UpdateHeavy::new(
+            Mqs::paper_default(n(), selects, 0.05),
+            3.0,
+            8,
+            seed,
+        ))
+    };
+    type Shape = (Vec<i64>, Vec<Op>);
+    let shapes: [(&str, &dyn Fn(u64) -> Shape); 2] =
+        [("shifting", &shifting), ("update_heavy", &updates)];
+    let mut g = c.benchmark_group("ablation_kernel_scenario_mix");
+    g.sample_size(10);
+    for (shape, make) in shapes {
+        for (label, kernel) in KERNELS {
+            let cfg = CrackerConfig::new().with_kernel(kernel);
+            let ctr = std::cell::Cell::new(0u64);
+            g.bench_function(format!("{shape}/{label}"), |b| {
+                b.iter_batched(
+                    || {
+                        // A fresh seeded scenario per sample (see
+                        // `fresh_column` for why).
+                        let seed = 0xC1D2 + ctr.get();
+                        ctr.set(ctr.get() + 1);
+                        let (base, ops) = make(seed);
+                        (CrackerColumn::with_config(base, cfg), ops)
+                    },
+                    |(mut col, ops)| {
+                        let mut scratch: Vec<u32> = Vec::new();
+                        for op in ops {
+                            match op {
+                                Op::Select(w) => {
+                                    scratch.clear();
+                                    col.select_oids_into(w.to_pred(), &mut scratch);
+                                    criterion::black_box(scratch.len());
+                                }
+                                Op::Insert { oid, value } => col.insert(oid, value),
+                                Op::Delete { oid } => {
+                                    col.delete(oid);
+                                }
+                            }
+                        }
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Materialize a scenario into its base column and op stream (seeded, so
+/// every kernel replays the identical mix).
+fn materialize<S: Scenario>(mut s: S) -> (Vec<i64>, Vec<Op>) {
+    let base = s.base().to_vec();
+    let ops: Vec<Op> = s.by_ref().collect();
+    (base, ops)
+}
+
+criterion_group!(
+    benches,
+    crack_mode,
+    cutoff,
+    fusion,
+    kernel_cold_crack,
+    kernel_cold_crack_two,
+    kernel_crack_select,
+    kernel_scenario_mix
+);
 criterion_main!(benches);

@@ -20,8 +20,9 @@
 //!   away (index trimming — data stays put) when the index grows too large.
 
 use crate::config::CrackerConfig;
-use crate::crack::{crack_three, crack_two, BoundaryKey};
+use crate::crack::BoundaryKey;
 use crate::index::CrackerIndex;
+use crate::kernel::CrackKernel;
 use crate::pred::RangePred;
 use crate::sorted::SortedPieces;
 use crate::stats::CrackStats;
@@ -98,6 +99,8 @@ pub struct CrackerColumn<T> {
     oids: Vec<u32>,
     index: CrackerIndex<T>,
     config: CrackerConfig,
+    /// The kernel the hot loops run, resolved once from `config.kernel`.
+    kernel: CrackKernel,
     stats: CrackStats,
     sorted: SortedPieces,
     pub(crate) pending: PendingUpdates<T>,
@@ -117,6 +120,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             vals,
             oids: (0..n as u32).collect(),
             index: CrackerIndex::new(n),
+            kernel: config.kernel.resolve(),
             config,
             stats: CrackStats::default(),
             sorted: SortedPieces::new(),
@@ -136,6 +140,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             vals,
             oids,
             index: CrackerIndex::new(n),
+            kernel: config.kernel.resolve(),
             config,
             stats: CrackStats::default(),
             sorted: SortedPieces::new(),
@@ -177,6 +182,12 @@ impl<T: CrackValue> CrackerColumn<T> {
     /// The configuration in force.
     pub fn config(&self) -> &CrackerConfig {
         &self.config
+    }
+
+    /// The crack kernel this column's hot loops run (resolved from
+    /// `config.kernel` at construction).
+    pub fn kernel(&self) -> CrackKernel {
+        self.kernel
     }
 
     /// Adjust the cut-off granule on a live column — the hook the
@@ -270,10 +281,9 @@ impl<T: CrackValue> CrackerColumn<T> {
         if !self.pending.is_empty() {
             sel.pending_oids = self.pending.matching_inserts(&pred);
             if self.pending.has_deletes() {
-                sel.deleted_hits = self.oids[sel.core.clone()]
-                    .iter()
-                    .filter(|&&o| self.pending.is_deleted(o))
-                    .count();
+                sel.deleted_hits = self
+                    .kernel
+                    .count_deleted(&self.oids[sel.core.clone()], self.pending.deleted_set());
                 sel.edges
                     .retain(|&p| !self.pending.is_deleted(self.oids[p]));
             }
@@ -294,22 +304,36 @@ impl<T: CrackValue> CrackerColumn<T> {
         self.selection_oids(&sel)
     }
 
+    /// Like [`select_oids`](Self::select_oids), but appending into a
+    /// caller-provided buffer so a driver looping over queries allocates
+    /// nothing per query.
+    pub fn select_oids_into(&mut self, pred: RangePred<T>, out: &mut Vec<u32>) {
+        let sel = self.select(pred);
+        self.selection_oids_into(&sel, out);
+    }
+
     /// Materialize the OIDs described by a [`Selection`].
     pub fn selection_oids(&self, sel: &Selection) -> Vec<u32> {
-        let mut out = Vec::with_capacity(sel.count());
+        let mut out = Vec::new();
+        self.selection_oids_into(sel, &mut out);
+        out
+    }
+
+    /// Append the OIDs described by a [`Selection`] into a caller-provided
+    /// buffer — the zero-allocation sibling of
+    /// [`selection_oids`](Self::selection_oids); reuse the buffer across
+    /// queries to cut per-query allocations on the hot path.
+    pub fn selection_oids_into(&self, sel: &Selection, out: &mut Vec<u32>) {
+        out.reserve(sel.count());
         if self.pending.has_deletes() {
-            out.extend(
-                self.oids[sel.core.clone()]
-                    .iter()
-                    .copied()
-                    .filter(|&o| !self.pending.is_deleted(o)),
-            );
+            let core = &self.oids[sel.core.clone()];
+            self.kernel
+                .for_each_live(core, self.pending.deleted_set(), |i| out.push(core[i]));
         } else {
             out.extend_from_slice(&self.oids[sel.core.clone()]);
         }
         out.extend(sel.edges.iter().map(|&p| self.oids[p]));
         out.extend_from_slice(&sel.pending_oids);
-        out
     }
 
     /// Materialize the qualifying `(oid, value)` pairs of a [`Selection`].
@@ -326,11 +350,12 @@ impl<T: CrackValue> CrackerColumn<T> {
     pub fn copy_selection_into(&self, sel: &Selection, out: &mut Vec<(u32, T)>) {
         out.reserve(sel.count());
         if self.pending.has_deletes() {
-            for p in sel.core.clone() {
-                if !self.pending.is_deleted(self.oids[p]) {
-                    out.push((self.oids[p], self.vals[p]));
-                }
-            }
+            let core_oids = &self.oids[sel.core.clone()];
+            let core_vals = &self.vals[sel.core.clone()];
+            self.kernel
+                .for_each_live(core_oids, self.pending.deleted_set(), |i| {
+                    out.push((core_oids[i], core_vals[i]));
+                });
         } else {
             out.extend(
                 self.oids[sel.core.clone()]
@@ -384,7 +409,7 @@ impl<T: CrackValue> CrackerColumn<T> {
                     && !self.sorted.contains(piece1.start)
                     && (self.config.sort_below == 0 || piece1.len() > self.config.sort_below)
                 {
-                    let (p1, p2) = crack_three(
+                    let (p1, p2) = self.kernel.crack_three(
                         &mut self.vals,
                         &mut self.oids,
                         piece1.start,
@@ -425,7 +450,8 @@ impl<T: CrackValue> CrackerColumn<T> {
             },
             (Resolved::CutOff(piece), Resolved::Exact(e)) => {
                 let core_start = piece.end.min(e);
-                let edges = self.scan_edges(piece.start..piece.end.min(e), &pred);
+                let mut edges = Vec::new();
+                self.scan_edges_into(piece.start..piece.end.min(e), &pred, &mut edges);
                 Selection {
                     core: core_start..e.max(core_start),
                     edges,
@@ -435,7 +461,8 @@ impl<T: CrackValue> CrackerColumn<T> {
             }
             (Resolved::Exact(s), Resolved::CutOff(piece)) => {
                 let core_end = piece.start.max(s);
-                let edges = self.scan_edges(piece.start.max(s)..piece.end, &pred);
+                let mut edges = Vec::new();
+                self.scan_edges_into(piece.start.max(s)..piece.end, &pred, &mut edges);
                 Selection {
                     core: s..core_end,
                     edges,
@@ -446,7 +473,8 @@ impl<T: CrackValue> CrackerColumn<T> {
             (Resolved::CutOff(p1), Resolved::CutOff(p2)) => {
                 if p1 == p2 {
                     // Both bounds in the same cut-off piece: scan it once.
-                    let edges = self.scan_edges(p1.clone(), &pred);
+                    let mut edges = Vec::new();
+                    self.scan_edges_into(p1.clone(), &pred, &mut edges);
                     Selection {
                         core: p1.end..p1.end,
                         edges,
@@ -454,10 +482,11 @@ impl<T: CrackValue> CrackerColumn<T> {
                         deleted_hits: 0,
                     }
                 } else {
-                    let edges_lo = self.scan_edges(p1.clone(), &pred);
-                    let edges_hi = self.scan_edges(p2.clone(), &pred);
-                    let mut edges = edges_lo;
-                    edges.extend(edges_hi);
+                    // One buffer for both border pieces: a single
+                    // allocation per query instead of two plus a copy.
+                    let mut edges = Vec::new();
+                    self.scan_edges_into(p1.clone(), &pred, &mut edges);
+                    self.scan_edges_into(p2.clone(), &pred, &mut edges);
                     Selection {
                         core: p1.end..p2.start.max(p1.end),
                         edges,
@@ -493,7 +522,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             }
             unreachable!("piece was just sorted");
         }
-        let pos = crack_two(
+        let pos = self.kernel.crack_two(
             &mut self.vals,
             &mut self.oids,
             piece.start,
@@ -507,10 +536,12 @@ impl<T: CrackValue> CrackerColumn<T> {
         Resolved::Exact(pos)
     }
 
-    /// Scan a cut-off piece, returning the positions matching `pred`.
-    fn scan_edges(&mut self, range: Range<usize>, pred: &RangePred<T>) -> Vec<usize> {
+    /// Scan a cut-off piece, appending the positions matching `pred` into
+    /// a caller-provided buffer (reused across the border pieces of one
+    /// query) via the configured scan kernel.
+    fn scan_edges_into(&mut self, range: Range<usize>, pred: &RangePred<T>, out: &mut Vec<usize>) {
         self.stats.edge_scanned += range.len() as u64;
-        range.filter(|&p| pred.matches(self.vals[p])).collect()
+        self.kernel.scan_into(&self.vals, range, pred, out);
     }
 
     /// Verify every internal invariant (index consistency, OID permutation,

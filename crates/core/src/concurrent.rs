@@ -23,6 +23,11 @@
 //! threads pays the cracking cost of a cold predicate; the rest reuse the
 //! winner's boundaries. (The same protocol, generalized to per-shard
 //! latches, is [`crate::sharded::ShardedCrackerColumn`].)
+//!
+//! The wrapped column inherits its crack kernel (scalar vs. branch-free,
+//! [`crate::kernel`]) from the `CrackerConfig` it is built with, so the
+//! single-lock path runs exactly the same hot loops as the plain and
+//! sharded paths.
 
 use crate::column::{CrackerColumn, Selection};
 use crate::config::CrackerConfig;

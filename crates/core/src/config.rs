@@ -8,6 +8,7 @@
 //! administered." `CrackerConfig` exposes exactly those knobs, and they
 //! are swept by the ablation benchmarks.
 
+use crate::kernel::KernelPolicy;
 use serde::{Deserialize, Serialize};
 
 /// How a double-sided range predicate cracks a virgin piece.
@@ -59,6 +60,11 @@ pub struct CrackerConfig {
     /// thereafter cracked by binary search with zero tuple movement
     /// (progressive refinement, see [`crate::sorted`]). `0` disables.
     pub sort_below: usize,
+    /// Which crack kernel the column's hot loops run (scalar vs.
+    /// predicated branch-free; see [`crate::kernel`]). Resolved once at
+    /// column construction: `Auto` consults `CRACKER_KERNEL`, then a
+    /// one-shot calibration.
+    pub kernel: KernelPolicy,
 }
 
 impl Default for CrackerConfig {
@@ -70,6 +76,7 @@ impl Default for CrackerConfig {
             fusion: FusionPolicy::SmallestPair,
             merge_threshold: 1024,
             sort_below: 0,
+            kernel: KernelPolicy::Auto,
         }
     }
 }
@@ -116,6 +123,13 @@ impl CrackerConfig {
         self.sort_below = n;
         self
     }
+
+    /// Builder: choose the crack kernel (scalar, branch-free, or
+    /// auto-selected).
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +142,7 @@ mod tests {
         assert_eq!(c.mode, CrackMode::ThreeWay);
         assert_eq!(c.min_piece_size, 1);
         assert_eq!(c.max_pieces, usize::MAX);
+        assert_eq!(c.kernel, KernelPolicy::Auto);
     }
 
     #[test]
@@ -137,12 +152,14 @@ mod tests {
             .with_min_piece_size(64)
             .with_max_pieces(100)
             .with_fusion(FusionPolicy::LeastRecentlyUsed)
-            .with_merge_threshold(10);
+            .with_merge_threshold(10)
+            .with_kernel(KernelPolicy::BranchFree);
         assert_eq!(c.mode, CrackMode::TwoWay);
         assert_eq!(c.min_piece_size, 64);
         assert_eq!(c.max_pieces, 100);
         assert_eq!(c.fusion, FusionPolicy::LeastRecentlyUsed);
         assert_eq!(c.merge_threshold, 10);
+        assert_eq!(c.kernel, KernelPolicy::BranchFree);
     }
 
     #[test]

@@ -1,0 +1,907 @@
+//! Crack kernels: scalar vs. branch-free hot loops, selected at runtime.
+//!
+//! The cracker's per-query cost is dominated by three inner loops: the
+//! two-way / three-way partition sweeps of [`crate::crack`], the residual
+//! scans over cut-off border pieces, and the pending-delete overlay filter.
+//! All three are *data-dependent branch farms* in their textbook form: on a
+//! cold (virgin) piece the partition branch is taken with the predicate's
+//! selectivity — close to a coin flip for the midpoint splits cracking
+//! produces — so a modern core eats a branch misprediction every few
+//! tuples. This module provides a second implementation of each loop that
+//! replaces every data-dependent branch with arithmetic, plus the policy
+//! that decides which implementation a column runs.
+//!
+//! # The predication scheme
+//!
+//! The branch-free kernels keep the scalar kernels' *contract* — the same
+//! split positions, the same value/OID multiset per piece, and the same
+//! `moved` accounting — while restructuring the loops so the CPU never
+//! speculates on a data-dependent comparison:
+//!
+//! * [`CrackKernel::crack_two`] is a branchless cyclic-Lomuto partition:
+//!   one forward cursor reads every element exactly once (loads pipeline
+//!   perfectly because the read address never depends on the data), a
+//!   write cursor advances by the comparison result (`write += before`),
+//!   and each iteration performs an unconditional two-way rotation
+//!   between the cursors, a self-assignment when nothing is misplaced.
+//!   The physical arrangement inside each output piece can differ from
+//!   the scalar Hoare sweep's, but cracking treats pieces as unordered
+//!   sets, so every observable answer is unchanged. `moved` is the
+//!   canonical Hoare count — 2 per crossing pair, i.e. the number of
+//!   tuples that were not already inside their destination piece —
+//!   computed branch-free during the same pass, so both kernels report
+//!   identical write accounting for identical inputs.
+//! * [`CrackKernel::crack_three`] predicates the Dutch-national-flag
+//!   sweep step-for-step: the three-way branch (`before k1` / `after k2`
+//!   / middle) becomes two flags and a mask-selected swap target (`lt`,
+//!   `gt`, or a self-swap at `i`). Because it performs the *same swaps in
+//!   the same order* as the scalar sweep, its output — arrangement, split
+//!   pair, and `moved` — is bit-identical to the scalar kernel's.
+//! * [`CrackKernel::scan_into`] (cut-off piece scans) and the overlay
+//!   helpers ([`CrackKernel::count_deleted`],
+//!   [`CrackKernel::for_each_live`]) are chunked, bitmask-driven: the
+//!   predicate or delete-bitmap probe is evaluated branch-free over
+//!   64-tuple chunks into a `u64` lane mask, and only then are the set
+//!   bits walked with `trailing_zeros`. The unpredictable per-tuple
+//!   "emit?" branch becomes one well-predicted loop per chunk whose trip
+//!   count is the chunk's popcount.
+//!
+//! Predication trades branches for unconditional work (every iteration
+//! loads, compares, and stores), so it wins exactly where cracking hurts —
+//! balanced splits, where a data-dependent branch mispredicts every other
+//! tuple — and loses where the split is skewed, because a branch that is
+//! taken 95% of the time is predicted nearly for free while predication
+//! still pays its flat per-tuple cost. The branch-free kernel therefore
+//! carries a **skew guard**: before partitioning a piece above the
+//! kernel's size floor ([`BRANCHFREE_MIN`] for two-way,
+//! [`THREE_WAY_MIN`] for three-way), a strided sample of
+//! [`SKEW_SAMPLE`] values estimates the split balance, and only cracks
+//! whose largest output region is expected to stay under 7/8 of the
+//! piece take the predicated loop — the rest fall through to the scalar
+//! loop, whose branches the predictor handles. Both paths honor the identical contract (splits,
+//! multisets, `moved`), so the guard is invisible to everything but the
+//! clock. Selection is thus two-level: the config policy picks a kernel
+//! per column, and the branch-free kernel picks the cheaper loop per
+//! crack.
+//!
+//! # Selection policy
+//!
+//! [`KernelPolicy`] is the [`crate::config::CrackerConfig`] knob; it is
+//! resolved to a concrete [`CrackKernel`] once, when a column is built:
+//!
+//! 1. `KernelPolicy::Scalar` / `KernelPolicy::BranchFree` force a kernel.
+//! 2. `KernelPolicy::Auto` (the default) consults the `CRACKER_KERNEL`
+//!    environment variable (`scalar` / `branchfree`) — the hook CI's test
+//!    matrix uses to run the whole tier-1 suite under the branch-free
+//!    kernels — and otherwise runs a **one-shot calibration**: both
+//!    kernels partition the same small pseudo-random buffer, the faster
+//!    one wins, and the verdict is cached process-wide (`OnceLock`), so
+//!    the probe costs microseconds once rather than per column.
+//!
+//! Because every concurrency wrapper ([`crate::concurrent`],
+//! [`crate::sharded`]) and the engine build their columns through
+//! `CrackerConfig`, the choice flows to every crack path — plain,
+//! single-lock, and sharded — without further plumbing.
+
+use crate::crack::{self, BoundaryKey};
+use crate::pred::RangePred;
+use crate::updates::OidSet;
+use crate::value_trait::CrackValue;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Tuples per bitmask chunk in the scan/overlay kernels.
+const LANES: usize = 64;
+
+/// How a column chooses its crack kernel (the `CrackerConfig` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelPolicy {
+    /// Resolve via `CRACKER_KERNEL` if set, else one-shot calibration.
+    Auto,
+    /// Force the scalar (branchy) kernels.
+    Scalar,
+    /// Force the predicated branch-free kernels.
+    BranchFree,
+}
+
+// Not derived: the serde shim's derive macro hand-parses enum bodies and
+// must not see a `#[default]` variant attribute.
+#[allow(clippy::derivable_impls)]
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy::Auto
+    }
+}
+
+impl KernelPolicy {
+    /// Resolve the policy to a concrete kernel (see the module docs for
+    /// the resolution order).
+    pub fn resolve(self) -> CrackKernel {
+        match self {
+            KernelPolicy::Scalar => CrackKernel::Scalar,
+            KernelPolicy::BranchFree => CrackKernel::BranchFree,
+            KernelPolicy::Auto => auto_kernel(),
+        }
+    }
+}
+
+/// A concrete kernel implementation, resolved from a [`KernelPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrackKernel {
+    /// The straight-line safe-Rust loops of [`crate::crack`]: one
+    /// data-dependent branch per tuple.
+    Scalar,
+    /// Predicated partition loops and chunked bitmask scans — comparison
+    /// masks and conditional (self-)swaps instead of branches — behind a
+    /// per-crack skew guard that falls back to the scalar loops where
+    /// branches are predictable anyway.
+    BranchFree,
+}
+
+impl CrackKernel {
+    /// Two-way in-place partition of `vals[lo..hi]` (and the parallel
+    /// `oids[lo..hi]`) around `key`; returns the absolute split position.
+    /// Both kernels produce the same split, the same per-piece multisets,
+    /// and the same `moved` delta (2 per crossing pair — the number of
+    /// tuples that were not already inside their destination piece, the
+    /// paper's write accounting); the arrangement *within* each piece is
+    /// kernel-specific, which cracking never observes.
+    #[inline]
+    pub fn crack_two<T: CrackValue>(
+        self,
+        vals: &mut [T],
+        oids: &mut [u32],
+        lo: usize,
+        hi: usize,
+        key: BoundaryKey<T>,
+        moved: &mut u64,
+    ) -> usize {
+        match self {
+            CrackKernel::Scalar => crack::crack_two(vals, oids, lo, hi, key, moved),
+            CrackKernel::BranchFree => crack_two_branchfree(vals, oids, lo, hi, key, moved),
+        }
+    }
+
+    /// Single-pass three-way partition of `vals[lo..hi]` around `k1 ≤ k2`;
+    /// returns the absolute `(p1, p2)` split positions. Both kernels
+    /// produce the same arrangement, splits, and `moved` delta.
+    // Mirrors `crack::crack_three`'s signature plus the receiver.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn crack_three<T: CrackValue>(
+        self,
+        vals: &mut [T],
+        oids: &mut [u32],
+        lo: usize,
+        hi: usize,
+        k1: BoundaryKey<T>,
+        k2: BoundaryKey<T>,
+        moved: &mut u64,
+    ) -> (usize, usize) {
+        match self {
+            CrackKernel::Scalar => crack::crack_three(vals, oids, lo, hi, k1, k2, moved),
+            CrackKernel::BranchFree => crack_three_branchfree(vals, oids, lo, hi, k1, k2, moved),
+        }
+    }
+
+    /// Append the absolute positions in `range` whose value matches `pred`
+    /// — the residual scan over a cut-off border piece.
+    #[inline]
+    pub fn scan_into<T: CrackValue>(
+        self,
+        vals: &[T],
+        range: Range<usize>,
+        pred: &RangePred<T>,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            CrackKernel::Scalar => {
+                out.extend(range.filter(|&p| pred.matches(vals[p])));
+            }
+            CrackKernel::BranchFree => scan_branchfree(vals, range, pred, out),
+        }
+    }
+
+    /// Count how many of `oids` are present in the pending-delete set —
+    /// the overlay discount applied to a selection's core range.
+    #[inline]
+    pub fn count_deleted(self, oids: &[u32], deleted: &OidSet) -> usize {
+        match self {
+            CrackKernel::Scalar => oids.iter().filter(|&&o| deleted.contains(o)).count(),
+            CrackKernel::BranchFree => {
+                // Branch-free accumulation: the probe result is summed as
+                // an integer instead of steering a filter branch.
+                oids.iter().map(|&o| deleted.contains(o) as usize).sum()
+            }
+        }
+    }
+
+    /// Invoke `emit` with the relative index of every OID in `oids` that
+    /// is *not* pending deletion — the overlay filter behind
+    /// `selection_oids` / `copy_selection_into`. The chunked path only
+    /// engages when deletes are dense enough that the per-tuple "is it
+    /// live?" branch would actually mispredict; against a sparse delete
+    /// set that branch is almost never taken and predicted for free.
+    #[inline]
+    pub fn for_each_live(self, oids: &[u32], deleted: &OidSet, mut emit: impl FnMut(usize)) {
+        let sparse = deleted.len() * 8 <= oids.len();
+        if self == CrackKernel::Scalar || sparse {
+            for (i, &o) in oids.iter().enumerate() {
+                if !deleted.contains(o) {
+                    emit(i);
+                }
+            }
+            return;
+        }
+        let mut base = 0usize;
+        while base < oids.len() {
+            let end = (base + LANES).min(oids.len());
+            let mut mask = 0u64;
+            for (lane, &o) in oids[base..end].iter().enumerate() {
+                mask |= ((!deleted.contains(o)) as u64) << lane;
+            }
+            // Fully-live chunks emit straight through; the bit-walk only
+            // runs for chunks that actually contain deleted tuples.
+            if mask == u64::MAX && end - base == LANES {
+                for p in base..end {
+                    emit(p);
+                }
+            } else {
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    emit(base + lane);
+                    mask &= mask - 1;
+                }
+            }
+            base = end;
+        }
+    }
+}
+
+/// Two-way partitions below this size always take the scalar loop: the
+/// skew probe and the predicated loop's fixed costs outweigh any branch
+/// savings.
+const BRANCHFREE_MIN: usize = 128;
+/// Three-way partitions below this size always take the scalar sweep.
+/// The predicated DNF's margin over the scalar sweep is much thinner
+/// than cyclic Lomuto's (its swap targets and cursor advances stay on
+/// the loop-carried dependency chain), so it only pays off once the
+/// piece outgrows the cache-resident sizes where the scalar sweep's
+/// misprediction recovery overlaps with its loads; below this floor the
+/// scalar sweep is at worst comparable.
+const THREE_WAY_MIN: usize = 32_768;
+/// Upper bound on the number of values the skew guard samples (strided,
+/// so the probe is O(`SKEW_SAMPLE`) regardless of piece size).
+const SKEW_SAMPLE: usize = 512;
+
+/// The skew guard's verdict: predication pays off only when the largest
+/// output region is expected to stay under 7/8 of the piece; beyond
+/// that, the scalar loop's branches are predicted nearly for free.
+fn balanced(largest_region: usize, sampled: usize) -> bool {
+    largest_region * 8 <= sampled * 7
+}
+
+/// Branch-free two-way partition with the skew guard (see the module
+/// docs): balanced pieces take the branchless cyclic Lomuto, skewed or
+/// tiny pieces fall back to the scalar Hoare loop. Either path reports
+/// the canonical crossing-pair `moved` count.
+fn crack_two_branchfree<T: CrackValue>(
+    vals: &mut [T],
+    oids: &mut [u32],
+    lo: usize,
+    hi: usize,
+    key: BoundaryKey<T>,
+    moved: &mut u64,
+) -> usize {
+    let len = hi - lo;
+    if len >= BRANCHFREE_MIN {
+        let stride = (len / SKEW_SAMPLE).max(1);
+        let mut sampled = 0usize;
+        let mut before = 0usize;
+        let mut p = lo;
+        while p < hi {
+            before += key.before(vals[p]) as usize;
+            sampled += 1;
+            p += stride;
+        }
+        if balanced(before.max(sampled - before), sampled) {
+            return if key.lte {
+                lomuto_branchfree::<T, true>(vals, oids, lo, hi, key.value, moved)
+            } else {
+                lomuto_branchfree::<T, false>(vals, oids, lo, hi, key.value, moved)
+            };
+        }
+    }
+    crack::crack_two(vals, oids, lo, hi, key, moved)
+}
+
+/// The cyclic-Lomuto inner loop. `LTE` selects `≤ pivot` vs. `< pivot` as
+/// the "belongs left" test at compile time.
+///
+/// The first pass counts the left population `c` branch-free (the final
+/// split is `lo + c`, known before any tuple moves). The second pass
+/// reads each element exactly once at a data-independent address,
+/// unconditionally rotates the read/write pair (a self-assignment when
+/// `write == read`), and advances `write` by the comparison result.
+/// `moved` accumulates the canonical Hoare count — misplaced tuples in
+/// the final left region (each pairs with one misplaced tuple on the
+/// right, hence ×2) — evaluated against the original arrangement, which
+/// the forward scan still observes: position `read` is never written
+/// before iteration `read` reads it.
+// The one place the workspace's no-unsafe rule is waived: a ~15-line hot
+// loop whose cursor invariants are stated in the SAFETY comment, pinned by
+// the kernel-equivalence proptests, and whose bounds checks would
+// otherwise sit on the critical path of every cold crack.
+#[allow(unsafe_code)]
+fn lomuto_branchfree<T: CrackValue, const LTE: bool>(
+    vals: &mut [T],
+    oids: &mut [u32],
+    lo: usize,
+    hi: usize,
+    pivot: T,
+    moved: &mut u64,
+) -> usize {
+    debug_assert!(lo <= hi && hi <= vals.len());
+    debug_assert_eq!(vals.len(), oids.len());
+    let before = |v: T| -> bool {
+        if LTE {
+            v <= pivot
+        } else {
+            v < pivot
+        }
+    };
+    let mut c = 0usize;
+    for &v in &vals[lo..hi] {
+        c += before(v) as usize;
+    }
+    let split = lo + c;
+    let mut write = lo;
+    let mut misplaced = 0u64;
+    // SAFETY: `write <= read < hi <= vals.len() == oids.len()` throughout:
+    // `read` is the loop variable and `write` only advances by 0 or 1 per
+    // iteration starting from `lo`.
+    unsafe {
+        let vp = vals.as_mut_ptr();
+        let op = oids.as_mut_ptr();
+        for read in lo..hi {
+            let v = *vp.add(read);
+            let o = *op.add(read);
+            *vp.add(read) = *vp.add(write);
+            *op.add(read) = *op.add(write);
+            *vp.add(write) = v;
+            *op.add(write) = o;
+            let b = before(v) as usize;
+            misplaced += (((read < split) as usize) & (1 - b)) as u64;
+            write += b;
+        }
+    }
+    debug_assert_eq!(write, split);
+    *moved += 2 * misplaced;
+    split
+}
+
+/// Branch-free three-way partition with the skew guard: balanced pieces
+/// take the predicated Dutch-national-flag sweep, skewed or tiny pieces
+/// fall back to the scalar sweep. The two sweeps are trace-identical, so
+/// the choice never shows in the output.
+fn crack_three_branchfree<T: CrackValue>(
+    vals: &mut [T],
+    oids: &mut [u32],
+    lo: usize,
+    hi: usize,
+    k1: BoundaryKey<T>,
+    k2: BoundaryKey<T>,
+    moved: &mut u64,
+) -> (usize, usize) {
+    let len = hi - lo;
+    if len >= THREE_WAY_MIN {
+        let stride = (len / SKEW_SAMPLE).max(1);
+        let mut sampled = 0usize;
+        let mut c1 = 0usize;
+        let mut c3 = 0usize;
+        let mut p = lo;
+        while p < hi {
+            let v = vals[p];
+            c1 += k1.before(v) as usize;
+            c3 += !k2.before(v) as usize;
+            sampled += 1;
+            p += stride;
+        }
+        let largest = c1.max(c3).max(sampled - c1 - c3);
+        if balanced(largest, sampled) {
+            return dnf_predicated(vals, oids, lo, hi, k1, k2, moved);
+        }
+    }
+    crack::crack_three(vals, oids, lo, hi, k1, k2, moved)
+}
+
+/// Predicated Dutch-national-flag sweep: the three-way case split becomes
+/// two flags and a mask-selected swap target (`lt`, `gt`, or a self-swap
+/// at `i`). Performs the same swaps in the same order as
+/// [`crack::crack_three`], so its output is bit-identical to the scalar
+/// kernel's.
+// See `lomuto_branchfree` for the rationale behind the waiver.
+#[allow(unsafe_code)]
+fn dnf_predicated<T: CrackValue>(
+    vals: &mut [T],
+    oids: &mut [u32],
+    lo: usize,
+    hi: usize,
+    k1: BoundaryKey<T>,
+    k2: BoundaryKey<T>,
+    moved: &mut u64,
+) -> (usize, usize) {
+    debug_assert!(lo <= hi && hi <= vals.len());
+    debug_assert_eq!(vals.len(), oids.len());
+    debug_assert!(k1 <= k2, "boundaries must be ordered");
+    let mut lt = lo;
+    let mut i = lo;
+    let mut gt = hi;
+    let mut swapped = 0u64;
+    // SAFETY: `lo <= lt <= i < gt <= hi <= len` throughout (`gt` is only
+    // decremented while `i < gt`), and the swap target `t` is one of
+    // `lt`, `gt`, `i` — all within `lo..hi`.
+    unsafe {
+        let vp = vals.as_mut_ptr();
+        let op = oids.as_mut_ptr();
+        while i < gt {
+            let v = *vp.add(i);
+            // `a` and `b` are mutually exclusive: k1 ≤ k2, so a value
+            // before k1 is also before k2.
+            let a = k1.before(v) as usize;
+            let b = !k2.before(v) as usize;
+            gt -= b;
+            let am = a.wrapping_neg();
+            let bm = b.wrapping_neg();
+            let t = (lt & am) | (gt & bm) | (i & !(am | bm));
+            // Swap positions i and t (t == i in the middle case).
+            let tv = *vp.add(t);
+            let to = *op.add(t);
+            *vp.add(t) = v;
+            *op.add(t) = *op.add(i);
+            *vp.add(i) = tv;
+            *op.add(i) = to;
+            swapped += (t != i) as u64;
+            lt += a;
+            i += 1 - b;
+        }
+    }
+    *moved += 2 * swapped;
+    (lt, gt)
+}
+
+/// Chunked bitmask scan: evaluate the predicate branch-free over 64-tuple
+/// chunks, then walk the set bits. Emits the same positions in the same
+/// order as a scalar filter.
+fn scan_branchfree<T: CrackValue>(
+    vals: &[T],
+    range: Range<usize>,
+    pred: &RangePred<T>,
+    out: &mut Vec<usize>,
+) {
+    // Express the bounds as boundary keys so each test is one comparison:
+    // matched ⇔ !lo_key.before(v) (at/after the lower bound) and
+    // hi_key.before(v) (strictly inside the upper bound).
+    let lo_key = pred.low.map(|b| {
+        if b.inclusive {
+            BoundaryKey::lt(b.value)
+        } else {
+            BoundaryKey::le(b.value)
+        }
+    });
+    let hi_key = pred.high.map(|b| {
+        if b.inclusive {
+            BoundaryKey::le(b.value)
+        } else {
+            BoundaryKey::lt(b.value)
+        }
+    });
+    let mut base = range.start;
+    while base < range.end {
+        let end = (base + LANES).min(range.end);
+        let mut mask = 0u64;
+        for (lane, &v) in vals[base..end].iter().enumerate() {
+            let in_lo = lo_key.is_none_or(|k| !k.before(v));
+            let in_hi = hi_key.is_none_or(|k| k.before(v));
+            mask |= ((in_lo & in_hi) as u64) << lane;
+        }
+        while mask != 0 {
+            let lane = mask.trailing_zeros() as usize;
+            out.push(base + lane);
+            mask &= mask - 1;
+        }
+        base = end;
+    }
+}
+
+/// Resolve `KernelPolicy::Auto`: environment override first, then the
+/// cached one-shot calibration.
+fn auto_kernel() -> CrackKernel {
+    static CHOICE: OnceLock<CrackKernel> = OnceLock::new();
+    *CHOICE.get_or_init(|| match env_override() {
+        Some(k) => k,
+        None => calibrate(),
+    })
+}
+
+/// Parse the `CRACKER_KERNEL` environment variable. Unknown values fall
+/// through to calibration (with a one-time note on stderr) rather than
+/// aborting the process.
+fn env_override() -> Option<CrackKernel> {
+    let raw = std::env::var("CRACKER_KERNEL").ok()?;
+    match raw.to_ascii_lowercase().as_str() {
+        "scalar" => Some(CrackKernel::Scalar),
+        "branchfree" | "branch-free" | "branch_free" => Some(CrackKernel::BranchFree),
+        other => {
+            eprintln!(
+                "cracker_core: ignoring unrecognized CRACKER_KERNEL value {other:?} \
+                 (expected \"scalar\" or \"branchfree\"); calibrating instead"
+            );
+            None
+        }
+    }
+}
+
+/// Column length of the calibration probe. Large enough that the branch
+/// predictor is exercised realistically, small enough to stay in-cache
+/// and finish in microseconds.
+const CALIBRATION_N: usize = 1 << 15;
+/// Timed repetitions per kernel; the minimum is compared.
+const CALIBRATION_ROUNDS: usize = 3;
+
+/// A `CALIBRATION_N`-element pseudo-random buffer (xorshift64:
+/// deterministic, dependency-free). Each round uses a fresh seed — a
+/// modern branch predictor memorizes the outcome sequence of a small
+/// buffer it has seen before, which would flatter the scalar kernel with
+/// a prediction accuracy no real cold crack gets.
+fn calibration_data(seed: u64) -> Vec<i64> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ seed.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    (0..CALIBRATION_N)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 16) as i64
+        })
+        .collect()
+}
+
+/// One-shot probe: both kernels crack fresh pseudo-random buffers in two
+/// around the median — the worst-case ~50% branch pattern a cold crack
+/// produces — and the faster minimum wins. The two-way partition is the
+/// probe because it is both the most frequent crack (every resolved
+/// boundary after the first) and the loop where the kernels differ most.
+fn calibrate() -> CrackKernel {
+    let key = BoundaryKey::lt(1i64 << 46);
+    let time = |kernel: CrackKernel| -> u128 {
+        let mut best = u128::MAX;
+        for round in 0..CALIBRATION_ROUNDS {
+            let mut vals = calibration_data(round as u64);
+            let mut oids: Vec<u32> = (0..CALIBRATION_N as u32).collect();
+            let mut moved = 0u64;
+            let start = std::time::Instant::now();
+            let split = kernel.crack_two(&mut vals, &mut oids, 0, CALIBRATION_N, key, &mut moved);
+            let elapsed = start.elapsed().as_nanos();
+            std::hint::black_box((split, vals, oids, moved));
+            best = best.min(elapsed);
+        }
+        best
+    };
+    let scalar = time(CrackKernel::Scalar);
+    let branchfree = time(CrackKernel::BranchFree);
+    if branchfree < scalar {
+        CrackKernel::BranchFree
+    } else {
+        CrackKernel::Scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KERNELS: [CrackKernel; 2] = [CrackKernel::Scalar, CrackKernel::BranchFree];
+
+    fn keys(a: i64, lte1: bool, b: i64, lte2: bool) -> (BoundaryKey<i64>, BoundaryKey<i64>) {
+        let mut k1 = BoundaryKey {
+            value: a,
+            lte: lte1,
+        };
+        let mut k2 = BoundaryKey {
+            value: b,
+            lte: lte2,
+        };
+        if k1 > k2 {
+            std::mem::swap(&mut k1, &mut k2);
+        }
+        (k1, k2)
+    }
+
+    #[test]
+    fn policies_resolve() {
+        assert_eq!(KernelPolicy::Scalar.resolve(), CrackKernel::Scalar);
+        assert_eq!(KernelPolicy::BranchFree.resolve(), CrackKernel::BranchFree);
+        // Auto resolves to *some* kernel and is stable across calls.
+        assert_eq!(KernelPolicy::Auto.resolve(), KernelPolicy::Auto.resolve());
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Auto);
+    }
+
+    #[test]
+    fn calibration_picks_a_kernel_without_panicking() {
+        let k = calibrate();
+        assert!(KERNELS.contains(&k));
+    }
+
+    #[test]
+    fn branchfree_crack_two_known_case() {
+        let mut vals = vec![5i64, 1, 9, 3, 7];
+        let mut oids: Vec<u32> = (0..5).collect();
+        let mut moved = 0;
+        let p = CrackKernel::BranchFree.crack_two(
+            &mut vals,
+            &mut oids,
+            0,
+            5,
+            BoundaryKey::lt(5),
+            &mut moved,
+        );
+        assert_eq!(p, 2);
+        assert!(vals[..p].iter().all(|&v| v < 5));
+        assert!(vals[p..].iter().all(|&v| v >= 5));
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(v, [5i64, 1, 9, 3, 7][oids[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn branchfree_crack_three_known_case() {
+        let mut vals = vec![9i64, 3, 1, 7, 5, 2, 8];
+        let mut oids: Vec<u32> = (0..7).collect();
+        let mut moved = 0;
+        let (p1, p2) = CrackKernel::BranchFree.crack_three(
+            &mut vals,
+            &mut oids,
+            0,
+            7,
+            BoundaryKey::lt(3),
+            BoundaryKey::le(7),
+            &mut moved,
+        );
+        assert_eq!((p1, p2), (2, 5));
+        assert!(vals[..p1].iter().all(|&v| v < 3));
+        assert!(vals[p1..p2].iter().all(|&v| (3..=7).contains(&v)));
+        assert!(vals[p2..].iter().all(|&v| v > 7));
+    }
+
+    #[test]
+    fn predicated_paths_engage_on_large_balanced_pieces() {
+        // Large enough for the skew guard (≥ BRANCHFREE_MIN) and dead
+        // balanced, so the predicated loops run; the contract must hold
+        // against the scalar kernels.
+        let n = 4 * BRANCHFREE_MIN;
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % n as i64).collect();
+        let key = BoundaryKey::lt(n as i64 / 2);
+        let mut results = Vec::new();
+        for k in KERNELS {
+            let mut v = vals.clone();
+            let mut o: Vec<u32> = (0..n as u32).collect();
+            let mut moved = 0u64;
+            let p = k.crack_two(&mut v, &mut o, 0, n, key, &mut moved);
+            assert!(v[..p].iter().all(|&x| key.before(x)));
+            assert!(v[p..].iter().all(|&x| !key.before(x)));
+            for (i, &oid) in o.iter().enumerate() {
+                assert_eq!(v[i], vals[oid as usize], "oids must travel");
+            }
+            results.push((p, moved));
+        }
+        assert_eq!(results[0], results[1], "split/moved contract diverged");
+
+        // Above the three-way floor, the predicated DNF engages.
+        let n = 2 * THREE_WAY_MIN;
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % n as i64).collect();
+        let (k1, k2) = (
+            BoundaryKey::lt(n as i64 / 3),
+            BoundaryKey::le(2 * n as i64 / 3),
+        );
+        let mut results = Vec::new();
+        for k in KERNELS {
+            let mut v = vals.clone();
+            let mut o: Vec<u32> = (0..n as u32).collect();
+            let mut moved = 0u64;
+            let (p1, p2) = k.crack_three(&mut v, &mut o, 0, n, k1, k2, &mut moved);
+            results.push((p1, p2, moved, v, o));
+        }
+        // The three-way sweeps are trace-identical: everything matches.
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn skew_guard_falls_back_without_breaking_the_contract() {
+        // A 99%-skewed split: the guard routes to the scalar loop; the
+        // answer must be indistinguishable either way.
+        let n = 8 * BRANCHFREE_MIN;
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 31) % n as i64).collect();
+        let key = BoundaryKey::lt(n as i64 / 100);
+        let mut results = Vec::new();
+        for k in KERNELS {
+            let mut v = vals.clone();
+            let mut o: Vec<u32> = (0..n as u32).collect();
+            let mut moved = 0u64;
+            let p = k.crack_two(&mut v, &mut o, 0, n, key, &mut moved);
+            assert!(v[..p].iter().all(|&x| key.before(x)));
+            results.push((p, moved));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn branchfree_scan_matches_scalar_on_chunk_boundaries() {
+        // Lengths straddling the 64-lane chunk size, including exactly 64.
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 100).collect();
+            let pred = RangePred::between(20, 60);
+            let mut scalar = Vec::new();
+            let mut bf = Vec::new();
+            CrackKernel::Scalar.scan_into(&vals, 0..n, &pred, &mut scalar);
+            CrackKernel::BranchFree.scan_into(&vals, 0..n, &pred, &mut bf);
+            assert_eq!(scalar, bf, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn overlay_kernels_agree() {
+        let mut set = OidSet::new();
+        for oid in [3u32, 64, 65, 200] {
+            set.insert(oid);
+        }
+        let oids: Vec<u32> = (0..300).collect();
+        for k in KERNELS {
+            assert_eq!(k.count_deleted(&oids, &set), 4);
+            let mut live = Vec::new();
+            k.for_each_live(&oids, &set, |i| live.push(i));
+            assert_eq!(live.len(), 296);
+            assert!(!live.contains(&3));
+            assert!(!live.contains(&200));
+        }
+    }
+
+    proptest! {
+        /// The core pin for the two-way partition: identical split
+        /// position, identical per-piece multisets, identical `moved`
+        /// accounting — and OIDs still travel with their values. (The
+        /// arrangement *within* a piece is kernel-specific by design.)
+        #[test]
+        fn prop_crack_two_kernels_share_the_contract(
+            vals in proptest::collection::vec(-50i64..50, 0..300),
+            pivot in -60i64..60,
+            lte in proptest::bool::ANY,
+            lo_frac in 0.0f64..1.0,
+            hi_frac in 0.0f64..1.0,
+        ) {
+            let n = vals.len();
+            let (mut lo, mut hi) = (
+                (lo_frac * n as f64) as usize,
+                (hi_frac * n as f64) as usize,
+            );
+            if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+            let key = if lte { BoundaryKey::le(pivot) } else { BoundaryKey::lt(pivot) };
+            let mut results = Vec::new();
+            for k in KERNELS {
+                let mut v = vals.clone();
+                let mut o: Vec<u32> = (0..n as u32).collect();
+                let mut moved = 0u64;
+                let p = k.crack_two(&mut v, &mut o, lo, hi, key, &mut moved);
+                prop_assert!(v[lo..p].iter().all(|&x| key.before(x)));
+                prop_assert!(v[p..hi].iter().all(|&x| !key.before(x)));
+                // OIDs travelled with their values, and untouched slots
+                // outside lo..hi stayed put.
+                for (i, &oid) in o.iter().enumerate() {
+                    prop_assert_eq!(v[i], vals[oid as usize]);
+                    if i < lo || i >= hi {
+                        prop_assert_eq!(oid as usize, i);
+                    }
+                }
+                let mut left: Vec<i64> = v[lo..p].to_vec();
+                let mut right: Vec<i64> = v[p..hi].to_vec();
+                left.sort_unstable();
+                right.sort_unstable();
+                results.push((p, moved, left, right));
+            }
+            prop_assert_eq!(&results[0], &results[1]);
+        }
+
+        /// The predicated DNF itself, driven directly (the public entry
+        /// point's skew guard routes small inputs to the scalar sweep,
+        /// which would make this a scalar-vs-scalar comparison): on any
+        /// input — duplicate-heavy, boundary-equal values, all four
+        /// inclusivity combinations — it must be trace-identical to the
+        /// scalar sweep.
+        #[test]
+        fn prop_dnf_predicated_is_trace_identical_to_scalar(
+            vals in proptest::collection::vec(-10i64..10, 0..400),
+            a in -12i64..12,
+            b in -12i64..12,
+            lte1 in proptest::bool::ANY,
+            lte2 in proptest::bool::ANY,
+        ) {
+            let n = vals.len();
+            let (k1, k2) = keys(a, lte1, b, lte2);
+            let mut sv = vals.clone();
+            let mut so: Vec<u32> = (0..n as u32).collect();
+            let mut sm = 0u64;
+            let scalar = crack::crack_three(&mut sv, &mut so, 0, n, k1, k2, &mut sm);
+            let mut bv = vals.clone();
+            let mut bo: Vec<u32> = (0..n as u32).collect();
+            let mut bm = 0u64;
+            let bf = dnf_predicated(&mut bv, &mut bo, 0, n, k1, k2, &mut bm);
+            prop_assert_eq!(scalar, bf, "split pair diverged");
+            prop_assert_eq!(sv, bv, "arrangement diverged");
+            prop_assert_eq!(so, bo, "oids diverged");
+            prop_assert_eq!(sm, bm, "moved diverged");
+        }
+
+        /// Same pin for the three-way partition.
+        #[test]
+        fn prop_crack_three_kernels_are_bit_identical(
+            vals in proptest::collection::vec(-50i64..50, 0..300),
+            a in -60i64..60,
+            b in -60i64..60,
+            lte1 in proptest::bool::ANY,
+            lte2 in proptest::bool::ANY,
+        ) {
+            let n = vals.len();
+            let (k1, k2) = keys(a, lte1, b, lte2);
+            let mut results = Vec::new();
+            for k in KERNELS {
+                let mut v = vals.clone();
+                let mut o: Vec<u32> = (0..n as u32).collect();
+                let mut moved = 0u64;
+                let (p1, p2) = k.crack_three(&mut v, &mut o, 0, n, k1, k2, &mut moved);
+                prop_assert!(p1 <= p2);
+                prop_assert!(v[..p1].iter().all(|&x| k1.before(x)));
+                prop_assert!(v[p1..p2].iter().all(|&x| !k1.before(x) && k2.before(x)));
+                prop_assert!(v[p2..].iter().all(|&x| !k2.before(x)));
+                results.push((v, o, p1, p2, moved));
+            }
+            prop_assert_eq!(&results[0], &results[1]);
+        }
+
+        /// Scan kernels emit identical position lists for arbitrary
+        /// predicates (one-sided, empty, inverted).
+        #[test]
+        fn prop_scan_kernels_agree(
+            vals in proptest::collection::vec(-50i64..50, 0..200),
+            lo in proptest::option::of((-60i64..60, proptest::bool::ANY)),
+            hi in proptest::option::of((-60i64..60, proptest::bool::ANY)),
+        ) {
+            let pred = RangePred::with_bounds(lo, hi);
+            let n = vals.len();
+            let mut scalar = Vec::new();
+            let mut bf = Vec::new();
+            CrackKernel::Scalar.scan_into(&vals, 0..n, &pred, &mut scalar);
+            CrackKernel::BranchFree.scan_into(&vals, 0..n, &pred, &mut bf);
+            prop_assert_eq!(scalar, bf);
+        }
+
+        /// Overlay kernels agree on arbitrary delete sets.
+        #[test]
+        fn prop_overlay_kernels_agree(
+            oids in proptest::collection::vec(0u32..500, 0..300),
+            dels in proptest::collection::vec(0u32..500, 0..100),
+        ) {
+            let mut set = OidSet::new();
+            for d in dels { set.insert(d); }
+            let scalar_count = CrackKernel::Scalar.count_deleted(&oids, &set);
+            let bf_count = CrackKernel::BranchFree.count_deleted(&oids, &set);
+            prop_assert_eq!(scalar_count, bf_count);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            CrackKernel::Scalar.for_each_live(&oids, &set, |i| a.push(i));
+            CrackKernel::BranchFree.for_each_live(&oids, &set, |i| b.push(i));
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len() + scalar_count, oids.len());
+        }
+    }
+}

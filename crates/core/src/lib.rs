@@ -57,6 +57,7 @@ pub mod fuse;
 pub mod group;
 pub mod index;
 pub mod join;
+pub mod kernel;
 pub mod lineage;
 pub mod paged;
 pub mod policy;
@@ -74,6 +75,7 @@ pub use column::{CrackerColumn, Selection};
 pub use concurrent::SharedCrackerColumn;
 pub use config::{CrackMode, CrackerConfig, FusionPolicy};
 pub use index::CrackerIndex;
+pub use kernel::{CrackKernel, KernelPolicy};
 pub use paged::PagedCracker;
 pub use policy::{CrackPolicy, PolicyCracker};
 pub use pred::RangePred;
@@ -81,4 +83,5 @@ pub use sharded::{ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, Shard
 pub use sideways::{CrackerMap, SidewaysCracker};
 pub use stats::CrackStats;
 pub use stochastic::{StochasticCracker, StochasticPolicy};
+pub use updates::OidSet;
 pub use value_trait::{CrackValue, OrdF64};

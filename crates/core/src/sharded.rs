@@ -46,6 +46,11 @@
 //! *interior* shards of a straddling range are queried with the unbounded
 //! predicate — their entire content qualifies, which the read-only path
 //! answers without a single index probe (and without cracking).
+//!
+//! Every shard is built from the same `CrackerConfig`, so the crack
+//! kernel selected there (scalar vs. branch-free, [`crate::kernel`]) runs
+//! inside every shard — a faster single-shard kernel multiplies through
+//! the whole latching scheme.
 
 use crate::column::{CrackerColumn, Selection};
 use crate::concurrent::SharedCrackerColumn;

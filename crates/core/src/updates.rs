@@ -13,7 +13,85 @@ use crate::column::CrackerColumn;
 use crate::crack::BoundaryKey;
 use crate::pred::RangePred;
 use crate::value_trait::CrackValue;
-use std::collections::HashSet;
+
+/// A set of OIDs backed by a growable bitmap: one bit per OID, so
+/// membership is a single O(1) word probe with no hashing — the
+/// representation behind the pending-delete overlay, where `select`
+/// probes once per tuple in its core range and a hash probe per element
+/// dominated the overlay cost.
+///
+/// OIDs are caller-supplied and only *conventionally* dense, so the
+/// bitmap is not allowed to balloon on an outlier: it grows only while
+/// the requested word stays near the already-allocated prefix (within
+/// double the current size plus a fixed slack). Members beyond that —
+/// e.g. one delete of a huge surrogate OID — go to a sparse side set,
+/// keeping memory proportional to the dense cluster actually in use
+/// rather than to `max_oid / 8`.
+#[derive(Debug, Clone, Default)]
+pub struct OidSet {
+    /// Bit `oid % 64` of `words[oid / 64]` marks membership of the dense
+    /// prefix.
+    words: Vec<u64>,
+    /// Outlier members the growth rule kept out of the bitmap.
+    sparse: std::collections::HashSet<u32>,
+    /// Number of distinct members (both representations).
+    len: usize,
+}
+
+/// Fixed headroom (in 64-bit words) the bitmap may grow past its current
+/// end in one step: 1024 words = 64k OIDs = 8 KiB.
+const DENSE_SLACK_WORDS: usize = 1024;
+
+impl OidSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        OidSet::default()
+    }
+
+    /// Add `oid`; returns `true` when it was not yet a member.
+    pub fn insert(&mut self, oid: u32) -> bool {
+        let (w, bit) = (oid as usize / 64, 1u64 << (oid % 64));
+        if w >= self.words.len() {
+            if w > self.words.len() * 2 + DENSE_SLACK_WORDS {
+                // Far beyond the dense prefix: spill to the side set
+                // instead of zero-filling megabytes of bitmap.
+                let fresh = self.sparse.insert(oid);
+                self.len += fresh as usize;
+                return fresh;
+            }
+            self.words.resize(w + 1, 0);
+        }
+        // The bitmap may have grown over a word whose OID sits in the
+        // side set; migrate it so each member lives in one place.
+        if !self.sparse.is_empty() && self.sparse.remove(&oid) {
+            self.words[w] |= bit;
+            return false;
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Is `oid` a member? One bounds check plus one word probe; the
+    /// sparse side set is consulted only when it is non-empty.
+    #[inline(always)]
+    pub fn contains(&self, oid: u32) -> bool {
+        let w = oid as usize / 64;
+        (w < self.words.len() && self.words[w] & (1 << (oid % 64)) != 0)
+            || (!self.sparse.is_empty() && self.sparse.contains(&oid))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no OID is a member.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// Staging areas for not-yet-merged updates.
 #[derive(Debug, Clone, Default)]
@@ -21,7 +99,7 @@ pub struct PendingUpdates<T> {
     /// Inserted `(oid, value)` pairs, not yet in the cracked area.
     inserts: Vec<(u32, T)>,
     /// OIDs pending deletion from the cracked area.
-    deletes: HashSet<u32>,
+    deletes: OidSet,
 }
 
 impl<T: CrackValue> PendingUpdates<T> {
@@ -29,7 +107,7 @@ impl<T: CrackValue> PendingUpdates<T> {
     pub fn new() -> Self {
         PendingUpdates {
             inserts: Vec::new(),
-            deletes: HashSet::new(),
+            deletes: OidSet::new(),
         }
     }
 
@@ -48,9 +126,15 @@ impl<T: CrackValue> PendingUpdates<T> {
         }
     }
 
-    /// Is this OID pending deletion?
+    /// Is this OID pending deletion? An O(1) bitmap probe.
     pub fn is_deleted(&self, oid: u32) -> bool {
-        !self.deletes.is_empty() && self.deletes.contains(&oid)
+        self.deletes.contains(oid)
+    }
+
+    /// The pending-delete set itself — handed to the overlay kernels so
+    /// they can probe it per tuple without going through `self`.
+    pub fn deleted_set(&self) -> &OidSet {
+        &self.deletes
     }
 
     /// Any deletes staged?
@@ -90,7 +174,7 @@ impl<T: CrackValue> PendingUpdates<T> {
             .map(|(_, v)| *v)
     }
 
-    fn take(&mut self) -> (Vec<(u32, T)>, HashSet<u32>) {
+    fn take(&mut self) -> (Vec<(u32, T)>, OidSet) {
         (
             std::mem::take(&mut self.inserts),
             std::mem::take(&mut self.deletes),
@@ -153,13 +237,13 @@ impl<T: CrackValue> CrackerColumn<T> {
         {
             let (vals, oids, _) = self.arrays_mut();
             for i in 0..vals.len() {
-                if !deletes.contains(&oids[i]) {
+                if !deletes.contains(oids[i]) {
                     buckets[piece_of(vals[i], &keys)].push((vals[i], oids[i]));
                 }
             }
         }
         for (oid, v) in inserts {
-            if !deletes.contains(&oid) {
+            if !deletes.contains(oid) {
                 buckets[piece_of(v, &keys)].push((v, oid));
             }
         }
@@ -201,6 +285,78 @@ mod tests {
     use super::*;
     use crate::config::CrackerConfig;
     use proptest::prelude::*;
+
+    #[test]
+    fn oidset_inserts_probes_and_counts() {
+        let mut s = OidSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(!s.contains(1_000_000), "probe beyond the bitmap is false");
+        assert!(s.insert(63));
+        assert!(s.insert(64), "word-boundary neighbors are distinct bits");
+        assert!(!s.insert(63), "re-insert reports not-fresh");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(62) && !s.contains(65));
+        assert!(s.insert(0));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn oidset_outliers_spill_without_ballooning() {
+        let mut s = OidSet::new();
+        // One delete of a huge surrogate OID must not zero-fill ~512MB.
+        assert!(s.insert(u32::MAX));
+        assert!(s.contains(u32::MAX));
+        assert!(s.words.len() <= 1, "outlier must not grow the bitmap");
+        assert_eq!(s.len(), 1);
+        // A dense cluster still lands in the bitmap.
+        for oid in 0..1_000 {
+            assert!(s.insert(oid));
+        }
+        assert_eq!(s.len(), 1_001);
+        assert!(s.contains(u32::MAX) && s.contains(999));
+        // Re-inserting the outlier is not fresh, wherever it lives.
+        assert!(!s.insert(u32::MAX));
+        assert_eq!(s.len(), 1_001);
+    }
+
+    #[test]
+    fn oidset_spilled_member_survives_bitmap_growth_over_its_word() {
+        let mut s = OidSet::new();
+        let outlier = 70_000u32; // beyond the fresh-set growth rule
+        assert!(s.insert(outlier));
+        assert!(s.contains(outlier));
+        // Grow the dense prefix until the bitmap covers the outlier's
+        // word; membership must be preserved and not double-counted.
+        for oid in 0..80_000 {
+            if oid != outlier {
+                assert!(s.insert(oid));
+            }
+        }
+        assert!(s.contains(outlier));
+        assert!(!s.insert(outlier), "still a member after migration");
+        assert_eq!(s.len(), 80_000);
+    }
+
+    #[test]
+    fn oidset_agrees_with_hashset_reference() {
+        let mut s = OidSet::new();
+        let mut reference = std::collections::HashSet::new();
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let oid = (x >> 33) as u32 % 2_000;
+            assert_eq!(s.insert(oid), reference.insert(oid));
+        }
+        assert_eq!(s.len(), reference.len());
+        for oid in 0..2_000 {
+            assert_eq!(s.contains(oid), reference.contains(&oid));
+        }
+    }
 
     #[test]
     fn staged_insert_is_visible_before_merge() {

@@ -1,0 +1,294 @@
+//! Kernel equivalence suite: the branch-free kernels are pinned to the
+//! scalar kernels — identical split positions (piece boundaries),
+//! identical multisets, identical `moved` accounting on identical inputs
+//! — across every concurrency mode a cracked column can run under
+//! (plain, single-lock, sharded).
+//!
+//! Two granularities of pin:
+//!
+//! * **Per invocation** (here, on the first crack of a virgin column, and
+//!   exhaustively in `cracker_core::kernel`'s own proptests): same input
+//!   ⇒ same split positions, same per-piece multisets, same `moved`.
+//! * **Per sequence** (the bulk of this file): the arrangement *within* a
+//!   piece is kernel-specific (pieces are unordered sets by
+//!   construction), so from the second crack on, each kernel partitions a
+//!   differently-arranged piece and the *cumulative* `tuples_moved` may
+//!   legitimately drift. Everything cracking observes stays pinned:
+//!   boundary positions, core ranges, sorted answer sets, whole-column
+//!   `(oid, value)` multisets, and the arrangement-independent counters
+//!   (`queries`, `cracks`, `tuples_touched`, `edge_scanned`).
+
+use cracker_core::{
+    ConcurrencyMode, ConcurrentColumn, CrackKernel, CrackMode, CrackerColumn, CrackerConfig,
+    KernelPolicy, RangePred,
+};
+use proptest::prelude::*;
+
+fn cfg(kernel: KernelPolicy) -> CrackerConfig {
+    CrackerConfig::new().with_kernel(kernel)
+}
+
+#[test]
+fn kernel_policy_flows_through_every_construction_path() {
+    let vals: Vec<i64> = (0..100).rev().collect();
+    let col = CrackerColumn::with_config(vals.clone(), cfg(KernelPolicy::BranchFree));
+    assert_eq!(col.kernel(), CrackKernel::BranchFree);
+    let col = CrackerColumn::with_config(vals.clone(), cfg(KernelPolicy::Scalar));
+    assert_eq!(col.kernel(), CrackKernel::Scalar);
+    let col = CrackerColumn::from_pairs(
+        vals.clone(),
+        (0..100).collect(),
+        cfg(KernelPolicy::BranchFree),
+    );
+    assert_eq!(col.kernel(), CrackKernel::BranchFree);
+}
+
+/// One query sequence, both kernels, every concurrency mode: all six
+/// executions must agree with the oracle and with each other.
+#[test]
+fn all_three_concurrency_modes_agree_under_both_kernels() {
+    let vals: Vec<i64> = (0..20_000).map(|i| (i * 31) % 20_000).collect();
+    let queries: Vec<RangePred<i64>> = (0..40)
+        .map(|q| {
+            let lo = (q * 977) % 18_000;
+            RangePred::between(lo, lo + 700 + (q % 7) * 113)
+        })
+        .collect();
+    for kernel in [KernelPolicy::Scalar, KernelPolicy::BranchFree] {
+        let mut plain = CrackerColumn::with_config(vals.clone(), cfg(kernel));
+        let single =
+            ConcurrentColumn::build(vals.clone(), cfg(kernel), ConcurrencyMode::SingleLock);
+        let sharded = ConcurrentColumn::build(
+            vals.clone(),
+            cfg(kernel),
+            ConcurrencyMode::Sharded { shards: 8 },
+        );
+        for pred in &queries {
+            let mut want: Vec<u32> = vals
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| pred.matches(v))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            let mut a = plain.select_oids(*pred);
+            a.sort_unstable();
+            let mut b = single.select_oids(*pred);
+            b.sort_unstable();
+            let mut c = sharded.select_oids(*pred);
+            c.sort_unstable();
+            assert_eq!(a, want, "plain/{kernel:?} disagrees with oracle");
+            assert_eq!(b, want, "single-lock/{kernel:?} disagrees with oracle");
+            assert_eq!(c, want, "sharded/{kernel:?} disagrees with oracle");
+        }
+        plain.validate().unwrap();
+        single.validate().unwrap();
+        sharded.validate().unwrap();
+    }
+}
+
+/// The concurrent wrappers must produce kernel-independent physical cost
+/// accounting too: same cracks, same tuples moved, for the same
+/// single-threaded op sequence.
+#[test]
+fn stats_are_kernel_independent_in_every_mode() {
+    let vals: Vec<i64> = (0..30_000).map(|i| (i * 7919) % 30_000).collect();
+    for mode in [
+        ConcurrencyMode::SingleLock,
+        ConcurrencyMode::Sharded { shards: 8 },
+    ] {
+        let mut per_kernel = Vec::new();
+        for kernel in [KernelPolicy::Scalar, KernelPolicy::BranchFree] {
+            let col = ConcurrentColumn::build(vals.clone(), cfg(kernel), mode);
+            for q in 0..30i64 {
+                let lo = (q * 887) % 27_000;
+                col.count(RangePred::between(lo, lo + 1_500));
+            }
+            col.insert(100_000, 15_000);
+            assert!(col.delete(100_000));
+            assert!(col.delete(7));
+            col.count(RangePred::between(0, 30_000));
+            col.merge_pending();
+            col.count(RangePred::between(5, 29_000));
+            // `tuples_moved` is arrangement-dependent across a sequence
+            // (see the module docs); the arrangement-independent counters
+            // must match exactly.
+            let s = col.stats();
+            per_kernel.push((s.queries, s.cracks, s.tuples_touched, s.merges));
+            col.validate().unwrap();
+        }
+        assert_eq!(
+            per_kernel[0], per_kernel[1],
+            "{mode:?}: kernels must do identical physical work"
+        );
+    }
+}
+
+/// The cracker-index boundaries as `(value, equal-side, split position)`
+/// triples — the split-position fingerprint the kernels must share.
+fn boundaries(col: &CrackerColumn<i64>) -> Vec<(i64, bool, usize)> {
+    col.index()
+        .boundaries()
+        .map(|(k, info)| (k.value, k.lte, info.pos))
+        .collect()
+}
+
+/// The whole column as a sorted `(oid, value)` multiset.
+fn multiset(col: &CrackerColumn<i64>) -> Vec<(u32, i64)> {
+    let mut pairs: Vec<(u32, i64)> = col
+        .oids()
+        .iter()
+        .copied()
+        .zip(col.values().iter().copied())
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    /// The central pin, on the plain column: after every query of an
+    /// arbitrary sequence (any crack mode, any cut-off), the two kernels
+    /// have produced identical split positions, identical core ranges and
+    /// answer sets, an identical whole-column multiset, and identical
+    /// moved/touched accounting.
+    #[test]
+    fn prop_plain_columns_share_splits_multisets_and_accounting(
+        orig in proptest::collection::vec(-100i64..100, 0..300),
+        queries in proptest::collection::vec(
+            (-120i64..120, -120i64..120, proptest::bool::ANY, proptest::bool::ANY),
+            1..20
+        ),
+        three_way in proptest::bool::ANY,
+        cutoff in 1usize..48,
+    ) {
+        let base = CrackerConfig::new()
+            .with_mode(if three_way { CrackMode::ThreeWay } else { CrackMode::TwoWay })
+            .with_min_piece_size(cutoff);
+        let mut scalar = CrackerColumn::with_config(
+            orig.clone(), base.with_kernel(KernelPolicy::Scalar));
+        let mut bf = CrackerColumn::with_config(
+            orig.clone(), base.with_kernel(KernelPolicy::BranchFree));
+        let mut first = true;
+        for (a, b, inc_lo, inc_hi) in queries {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let pred = RangePred::with_bounds(Some((lo, inc_lo)), Some((hi, inc_hi)));
+            let sel_s = scalar.select(pred);
+            let sel_b = bf.select(pred);
+            // Identical split positions: the contiguous core and every
+            // boundary the index administers.
+            prop_assert_eq!(sel_s.core.clone(), sel_b.core.clone(), "cores diverged");
+            prop_assert_eq!(boundaries(&scalar), boundaries(&bf), "splits diverged");
+            prop_assert_eq!(scalar.piece_count(), bf.piece_count());
+            // Identical answer sets (edge positions may differ inside a
+            // cut-off piece; the tuples they name may not).
+            let mut oids_s = scalar.selection_oids(&sel_s);
+            let mut oids_b = bf.selection_oids(&sel_b);
+            oids_s.sort_unstable();
+            oids_b.sort_unstable();
+            prop_assert_eq!(oids_s, oids_b, "answer sets diverged");
+            prop_assert_eq!(sel_s.count(), sel_b.count());
+            // Identical multiset: cracking permutes, never alters.
+            prop_assert_eq!(multiset(&scalar), multiset(&bf), "multisets diverged");
+            // Identical arrangement-independent accounting; `moved` is
+            // pinned on the virgin column when the first query needed a
+            // single crack — the one case where both kernels partitioned
+            // the identical input (a two-way-mode range query cracks
+            // twice, and the second crack already sees kernel-specific
+            // piece arrangements; see the module docs).
+            let (ss, sb) = (scalar.stats(), bf.stats());
+            if first {
+                if ss.cracks <= 1 {
+                    prop_assert_eq!(
+                        ss.tuples_moved, sb.tuples_moved,
+                        "moved diverged on a virgin column"
+                    );
+                }
+                first = false;
+            }
+            prop_assert_eq!(ss.tuples_touched, sb.tuples_touched);
+            prop_assert_eq!(ss.edge_scanned, sb.edge_scanned);
+            prop_assert_eq!(ss.cracks, sb.cracks);
+        }
+        scalar.validate().map_err(TestCaseError::fail)?;
+        bf.validate().map_err(TestCaseError::fail)?;
+    }
+
+    /// Same pin with updates interleaved: staged inserts/deletes, overlay
+    /// filtering, and merges must all be kernel-independent.
+    #[test]
+    fn prop_update_heavy_sequences_stay_identical(
+        orig in proptest::collection::vec(-60i64..60, 1..150),
+        ops in proptest::collection::vec(
+            (0u8..4, -70i64..70, -70i64..70, 0usize..300),
+            1..30
+        ),
+        merge_threshold in 1usize..24,
+    ) {
+        let base = CrackerConfig::new().with_merge_threshold(merge_threshold);
+        let mut scalar = CrackerColumn::with_config(
+            orig.clone(), base.with_kernel(KernelPolicy::Scalar));
+        let mut bf = CrackerColumn::with_config(
+            orig.clone(), base.with_kernel(KernelPolicy::BranchFree));
+        let mut next_oid = orig.len() as u32;
+        for (kind, a, b, pick) in ops {
+            match kind {
+                0 | 1 => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let pred = RangePred::between(lo, hi);
+                    let mut got_s = scalar.select_oids(pred);
+                    let mut got_b = bf.select_oids(pred);
+                    got_s.sort_unstable();
+                    got_b.sort_unstable();
+                    prop_assert_eq!(got_s, got_b, "answer sets diverged");
+                }
+                2 => {
+                    scalar.insert(next_oid, a);
+                    bf.insert(next_oid, a);
+                    next_oid += 1;
+                }
+                _ => {
+                    let victim = (pick % next_oid as usize) as u32;
+                    prop_assert_eq!(scalar.delete(victim), bf.delete(victim));
+                }
+            }
+            prop_assert_eq!(scalar.pending_len(), bf.pending_len());
+        }
+        scalar.merge_pending();
+        bf.merge_pending();
+        prop_assert_eq!(scalar.len(), bf.len());
+        prop_assert_eq!(multiset(&scalar), multiset(&bf));
+        prop_assert_eq!(boundaries(&scalar), boundaries(&bf));
+        prop_assert_eq!(scalar.stats().merges, bf.stats().merges);
+        scalar.validate().map_err(TestCaseError::fail)?;
+        bf.validate().map_err(TestCaseError::fail)?;
+    }
+
+    /// Single-lock and sharded wrappers replay the same op stream under
+    /// both kernels; answers must match position-for-position (the
+    /// wrappers are deterministic when driven single-threaded).
+    #[test]
+    fn prop_concurrent_modes_agree_across_kernels(
+        orig in proptest::collection::vec(-200i64..200, 1..300),
+        queries in proptest::collection::vec((-220i64..220, 0i64..80), 1..15),
+        shards in 2usize..6,
+    ) {
+        for mode in [ConcurrencyMode::SingleLock, ConcurrencyMode::Sharded { shards }] {
+            let scalar = ConcurrentColumn::build(
+                orig.clone(), cfg(KernelPolicy::Scalar), mode);
+            let bf = ConcurrentColumn::build(
+                orig.clone(), cfg(KernelPolicy::BranchFree), mode);
+            for &(lo, width) in &queries {
+                let pred = RangePred::between(lo, lo + width);
+                let mut a = scalar.select_oids(pred);
+                let mut b = bf.select_oids(pred);
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "mode {:?} diverged", mode);
+                prop_assert_eq!(scalar.count(pred), bf.count(pred));
+            }
+            prop_assert_eq!(scalar.stats().cracks, bf.stats().cracks);
+            scalar.validate().map_err(TestCaseError::fail)?;
+            bf.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+}

@@ -17,7 +17,9 @@ use cracker_core::group::{aggregate_groups, omega_crack};
 use cracker_core::join::{join_matched, wedge_crack, PairColumn};
 use cracker_core::lineage::{CrackOp, LineageGraph, PieceId};
 use cracker_core::sideways::CrackerMap;
-use cracker_core::{ConcurrencyMode, ConcurrentColumn, CrackerColumn, CrackerConfig, RangePred};
+use cracker_core::{
+    ConcurrencyMode, ConcurrentColumn, CrackerColumn, CrackerConfig, KernelPolicy, RangePred,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -75,6 +77,21 @@ impl AdaptiveDb {
     /// The concurrency mode in force for newly shared columns.
     pub fn concurrency(&self) -> ConcurrencyMode {
         self.concurrency
+    }
+
+    /// Builder: choose the crack kernel (scalar / branch-free / auto) for
+    /// every column cracked from now on — the engine-level face of
+    /// [`cracker_core::kernel`]'s runtime selection. Combined with
+    /// [`with_concurrency`](Self::with_concurrency), this puts the same
+    /// kernels under the plain, single-lock, and sharded paths alike.
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
+    /// The kernel policy applied to newly cracked columns.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.config.kernel
     }
 
     /// Register a base table.
@@ -606,6 +623,39 @@ mod tests {
             assert!(db.shared_cracker("t", "zzz").is_err());
             assert!(db.shared_cracker("zzz", "v").is_err());
         }
+    }
+
+    #[test]
+    fn kernel_choice_reaches_every_concurrency_mode() {
+        // The same query stream through plain, single-lock, and sharded
+        // columns with the kernel forced each way: all six paths agree,
+        // and the plain cracker really runs the requested kernel.
+        let vals: Vec<i64> = (0..5_000).map(|i| (i * 131) % 5_000).collect();
+        let mut answers = Vec::new();
+        for kernel in [KernelPolicy::Scalar, KernelPolicy::BranchFree] {
+            for mode in [
+                ConcurrencyMode::SingleLock,
+                ConcurrencyMode::Sharded { shards: 4 },
+            ] {
+                let mut db = AdaptiveDb::new().with_kernel(kernel).with_concurrency(mode);
+                assert_eq!(db.kernel_policy(), kernel);
+                db.register(Table::from_int_columns("t", vec![("v", vals.clone())]).unwrap())
+                    .unwrap();
+                // Plain path.
+                let q = RangeQuery::new("t", "v", RangePred::between(1_000, 2_000));
+                let (mut plain, _) = db.select(&q, OutputMode::Stream).unwrap();
+                plain.sort_unstable();
+                // Latched path under `mode`.
+                let mut shared = db
+                    .shared_cracker("t", "v")
+                    .unwrap()
+                    .select_oids(RangePred::between(1_000, 2_000));
+                shared.sort_unstable();
+                assert_eq!(plain, shared, "{kernel:?}/{mode:?}");
+                answers.push(plain);
+            }
+        }
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

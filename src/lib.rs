@@ -55,7 +55,8 @@ pub mod prelude {
         ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, SharedCrackerColumn,
     };
     pub use cracker_core::{
-        CrackMode, CrackStats, CrackerColumn, CrackerConfig, FusionPolicy, RangePred,
+        CrackKernel, CrackMode, CrackStats, CrackerColumn, CrackerConfig, FusionPolicy,
+        KernelPolicy, RangePred,
     };
     pub use cracker_core::{CrackPolicy, PolicyCracker, StochasticCracker, StochasticPolicy};
     pub use engine::{
