@@ -1,8 +1,10 @@
 //! Ablations over the cracker design knobs: crack-in-three vs. two
 //! successive crack-in-twos, the cut-off granule, the piece-budget fusion
-//! policies, and — the PR-4 axis — scalar vs. branch-free crack kernels
-//! across cold-crack, crack_select-shaped, and scenario_mix-shaped
-//! workloads.
+//! policies, and the kernel axis — the scalar / branch-free / SIMD
+//! family across cold-crack (including a >256k-tuple "large band" shape,
+//! the vector kernels' home turf), crack_select-shaped, and
+//! scenario_mix-shaped workloads. On hosts without AVX2 the `simd` label
+//! measures its documented branch-free fallback.
 //!
 //! `BENCH_SMOKE=1` shrinks the column and op counts so CI can run this as
 //! a smoke test; pass `--json` to record medians as `BENCH_ablation.json`
@@ -46,9 +48,10 @@ fn run_sequence(cfg: CrackerConfig, vals: &[i64], seq: &[workload::Window]) {
     }
 }
 
-const KERNELS: [(&str, KernelPolicy); 2] = [
+const KERNELS: [(&str, KernelPolicy); 3] = [
     ("scalar", KernelPolicy::Scalar),
     ("branchfree", KernelPolicy::BranchFree),
+    ("simd", KernelPolicy::Simd),
 ];
 
 /// Crack-in-three (single pass) vs. two crack-in-twos per range query.
@@ -111,7 +114,7 @@ fn fresh_column(counter: &std::cell::Cell<u64>) -> Vec<i64> {
     Tapestry::generate(n(), 1, seed).column(0).to_vec()
 }
 
-/// Scalar vs. branch-free on a single cold crack-in-three over a virgin
+/// The kernel family on a single cold crack-in-three over a virgin
 /// random column — the branch-misprediction worst case the predicated
 /// DNF kernel targets. The column never shrinks below twice the
 /// kernel's three-way predication floor (`THREE_WAY_MIN` in
@@ -142,9 +145,10 @@ fn kernel_cold_crack(c: &mut Criterion) {
     g.finish();
 }
 
-/// Scalar vs. branch-free on a single cold one-sided crack — a pure
-/// crack-in-two over a virgin column, the branchless cyclic-Lomuto
-/// kernel's home turf and the acceptance benchmark for the kernel work.
+/// The kernel family on a single cold one-sided crack — a pure
+/// crack-in-two over a virgin column in the 32k–256k calibration band,
+/// the branchless cyclic-Lomuto kernel's home turf (PR 4's acceptance
+/// benchmark).
 fn kernel_cold_crack_two(c: &mut Criterion) {
     let mid = n() as i64 / 2;
     let mut g = c.benchmark_group("ablation_kernel_cold_crack_two");
@@ -163,7 +167,36 @@ fn kernel_cold_crack_two(c: &mut Criterion) {
     g.finish();
 }
 
-/// Scalar vs. branch-free over a full crack_select-shaped query sequence
+/// The kernel family on a cold crack-in-two over a piece in the largest
+/// calibration band (>256k tuples; the committed full-size runs use 1M) —
+/// the acceptance benchmark for the SIMD kernels: a memory-spanning
+/// balanced partition where 4-wide compare + compress-permute lanes beat
+/// the one-tuple-per-iteration branch-free rotate.
+fn kernel_cold_crack_two_large(c: &mut Criterion) {
+    let n_large = if smoke() { 300_000 } else { 1_000_000 };
+    let mid = n_large as i64 / 2;
+    let mut g = c.benchmark_group("ablation_kernel_cold_crack_two_large");
+    g.sample_size(20);
+    for (label, kernel) in KERNELS {
+        let cfg = CrackerConfig::new().with_kernel(kernel);
+        let ctr = std::cell::Cell::new(0u64);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let seed = 0xB16B + ctr.get();
+                    ctr.set(ctr.get() + 1);
+                    let vals = Tapestry::generate(n_large, 1, seed).column(0).to_vec();
+                    CrackerColumn::with_config(vals, cfg)
+                },
+                |mut col| col.select(RangePred::ge(mid)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The kernel family over a full crack_select-shaped query sequence
 /// (the strolling MQS profile): cold cracks up front, boundary reuse and
 /// ever-smaller pieces toward the tail. Fresh data per sample, same
 /// window sequence.
@@ -185,7 +218,7 @@ fn kernel_crack_select(c: &mut Criterion) {
     g.finish();
 }
 
-/// Scalar vs. branch-free under scenario_mix shapes: a shifting hot set
+/// The kernel family under scenario_mix shapes: a shifting hot set
 /// (fresh crack storms every relocation) and an update-heavy mix (overlay
 /// filtering and merges in the loop). Replayed single-threaded against a
 /// plain column, with the OID buffer reused across ops via
@@ -269,6 +302,7 @@ criterion_group!(
     fusion,
     kernel_cold_crack,
     kernel_cold_crack_two,
+    kernel_cold_crack_two_large,
     kernel_crack_select,
     kernel_scenario_mix
 );

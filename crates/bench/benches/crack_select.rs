@@ -21,30 +21,41 @@ fn column() -> Vec<i64> {
     Tapestry::generate(n(), 1, 0xBE7C).column(0).to_vec()
 }
 
+/// A fresh shuffled column per sample. Cold-path measurements (a first
+/// query, a whole virgin sequence) must never replay one identical
+/// buffer: the branch predictor memorizes its outcome sequence across
+/// samples and flatters the branchy loops with an accuracy no real cold
+/// crack gets (the same fix the ablation bench's kernel sweep carries).
+fn fresh_column(counter: &std::cell::Cell<u64>) -> Vec<i64> {
+    let seed = 0xBE7C + counter.get();
+    counter.set(counter.get() + 1);
+    Tapestry::generate(n(), 1, seed).column(0).to_vec()
+}
+
 /// First-query cost: the cracking investment vs. a plain scan vs. the
 /// full sort.
 fn first_query(c: &mut Criterion) {
-    let vals = column();
     let seq = homerun_sequence(n(), 16, 0.05, Contraction::Linear, 1);
     let pred = seq[0].to_pred();
     let mut g = c.benchmark_group("first_query");
+    let ctr = std::cell::Cell::new(0u64);
     g.bench_function("scan", |b| {
         b.iter_batched(
-            || ScanEngine::new(vals.clone()),
+            || ScanEngine::new(fresh_column(&ctr)),
             |mut e| e.run(pred, OutputMode::Count),
             criterion::BatchSize::LargeInput,
         )
     });
     g.bench_function("crack", |b| {
         b.iter_batched(
-            || CrackEngine::new(vals.clone()),
+            || CrackEngine::new(fresh_column(&ctr)),
             |mut e| e.run(pred, OutputMode::Count),
             criterion::BatchSize::LargeInput,
         )
     });
     g.bench_function("sort", |b| {
         b.iter_batched(
-            || SortEngine::new(vals.clone()),
+            || SortEngine::new(fresh_column(&ctr)),
             |mut e| e.run(pred, OutputMode::Count),
             criterion::BatchSize::LargeInput,
         )
@@ -86,14 +97,14 @@ fn warmed_query(c: &mut Criterion) {
 /// Whole-sequence cost at several sequence lengths (the Figure 10/11
 /// integrand).
 fn sequence_total(c: &mut Criterion) {
-    let vals = column();
     let mut g = c.benchmark_group("sequence_total");
     g.sample_size(10);
     for &k in &[8usize, 32] {
         let seq = homerun_sequence(n(), k, 0.05, Contraction::Linear, 2);
+        let ctr = std::cell::Cell::new(0u64);
         g.bench_with_input(BenchmarkId::new("crack", k), &seq, |b, seq| {
             b.iter_batched(
-                || CrackEngine::new(vals.clone()),
+                || CrackEngine::new(fresh_column(&ctr)),
                 |mut e| {
                     for w in seq {
                         e.run(w.to_pred(), OutputMode::Count);
@@ -104,7 +115,7 @@ fn sequence_total(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("scan", k), &seq, |b, seq| {
             b.iter_batched(
-                || ScanEngine::new(vals.clone()),
+                || ScanEngine::new(fresh_column(&ctr)),
                 |mut e| {
                     for w in seq {
                         e.run(w.to_pred(), OutputMode::Count);

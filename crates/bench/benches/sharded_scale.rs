@@ -65,42 +65,53 @@ fn storm<C: Sync>(
 /// Zipf-skewed ad-hoc ranges: window origins drawn with the same skew as
 /// the data, so the hot region is queried most — the regime where
 /// equi-depth shards pay off.
-fn zipf_preds(n: usize, domain: usize, queries: usize) -> (Vec<i64>, Vec<RangePred<i64>>) {
-    let vals = zipf_column(n, domain, 1.0, 0xD07);
+fn zipf_preds(domain: usize, queries: usize) -> Vec<RangePred<i64>> {
     let width = (domain / 64).max(1) as i64;
-    let preds = zipf_column(queries, domain, 1.0, 0x51D)
+    zipf_column(queries, domain, 1.0, 0x51D)
         .into_iter()
         .enumerate()
         .map(|(i, lo)| RangePred::half_open(lo, lo + 1 + (i as i64 % width)))
-        .collect();
-    (vals, preds)
+        .collect()
 }
 
 /// MQS homerun windows, one zooming sequence per thread offset, fired
 /// round-robin so concurrent threads touch different windows.
-fn homerun_preds(n: usize, queries: usize) -> (Vec<i64>, Vec<RangePred<i64>>) {
-    let vals = Tapestry::generate(n, 1, 0xBE7C).column(0).to_vec();
+fn homerun_preds(n: usize, queries: usize) -> Vec<RangePred<i64>> {
     let windows = homerun_sequence(n, 32, 0.05, Contraction::Linear, 7);
-    let preds = (0..queries)
+    (0..queries)
         .map(|i| windows[i % windows.len()].to_pred())
-        .collect();
-    (vals, preds)
+        .collect()
 }
 
-fn scale(c: &mut Criterion, group: &str, vals: &[i64], preds: &[RangePred<i64>]) {
+/// Every sample cracks a fresh column (same distribution, new seed): the
+/// cold crack storm is the thing under measurement, and replaying one
+/// identical buffer would let the branch predictor memorize its outcome
+/// sequence across samples (see the ablation bench's kernel sweep).
+fn scale(
+    c: &mut Criterion,
+    group: &str,
+    make_vals: impl Fn(u64) -> Vec<i64>,
+    preds: &[RangePred<i64>],
+) {
     let mut g = c.benchmark_group(group);
     g.sample_size(if smoke() { 3 } else { 10 });
+    let ctr = std::cell::Cell::new(0u64);
+    let fresh = || {
+        let seed = ctr.get();
+        ctr.set(seed + 1);
+        make_vals(seed)
+    };
     for &t in &THREADS {
         g.bench_with_input(BenchmarkId::new("single", t), &t, |b, &t| {
             b.iter_batched(
-                || SharedCrackerColumn::new(vals.to_vec()),
+                || SharedCrackerColumn::new(fresh()),
                 |col| storm(&col, SharedCrackerColumn::count, preds, t),
                 criterion::BatchSize::LargeInput,
             )
         });
         g.bench_with_input(BenchmarkId::new("sharded", t), &t, |b, &t| {
             b.iter_batched(
-                || ShardedCrackerColumn::new(vals.to_vec(), SHARDS),
+                || ShardedCrackerColumn::new(fresh(), SHARDS),
                 |col| storm(&col, ShardedCrackerColumn::count, preds, t),
                 criterion::BatchSize::LargeInput,
             )
@@ -110,13 +121,23 @@ fn scale(c: &mut Criterion, group: &str, vals: &[i64], preds: &[RangePred<i64>])
 }
 
 fn zipf_scaling(c: &mut Criterion) {
-    let (vals, preds) = zipf_preds(n(), n() / 4, total_queries());
-    scale(c, "sharded_scale_zipf", &vals, &preds);
+    let preds = zipf_preds(n() / 4, total_queries());
+    scale(
+        c,
+        "sharded_scale_zipf",
+        |seed| zipf_column(n(), n() / 4, 1.0, 0xD07 + seed),
+        &preds,
+    );
 }
 
 fn homerun_scaling(c: &mut Criterion) {
-    let (vals, preds) = homerun_preds(n(), total_queries());
-    scale(c, "sharded_scale_homerun", &vals, &preds);
+    let preds = homerun_preds(n(), total_queries());
+    scale(
+        c,
+        "sharded_scale_homerun",
+        |seed| Tapestry::generate(n(), 1, 0xBE7C + seed).column(0).to_vec(),
+        &preds,
+    );
 }
 
 criterion_group!(benches, zipf_scaling, homerun_scaling);

@@ -11,38 +11,18 @@
 //! runners vs the laptop that committed a baseline) should pass a looser
 //! `--threshold`, since absolute nanoseconds move with the hardware.
 //!
-//! Benchmarks present on only one side are reported as warnings, not
-//! failures — *unless* nothing overlaps at all, which means the two files
-//! describe different benches and the comparison is vacuous.
+//! # Benchmark-set drift
+//!
+//! Benchmark sets drift as benches grow new shapes (a new kernel label,
+//! a new band) or retire old ones. The diff handles that explicitly
+//! instead of silently comparing only the intersection: ids present on
+//! one side only are listed as `NEW` / `GONE` rows and summarized by
+//! name at the end, while the exit code reflects **only regressions in
+//! the shared set**. Nothing overlapping at all means the two files
+//! describe different benches and the comparison is vacuous — that is
+//! still an error.
 
-use serde::Deserialize;
-
-/// One `BENCH_<name>.json` document.
-#[derive(Debug, Deserialize)]
-struct Report {
-    /// Bench binary name.
-    bench: String,
-    /// Per-benchmark medians, in execution order.
-    results: Vec<Entry>,
-}
-
-/// One benchmark's record.
-#[derive(Debug, Deserialize)]
-struct Entry {
-    /// `group/function/param` identifier.
-    id: String,
-    /// Median wall time in nanoseconds.
-    median_ns: u64,
-    /// Samples the median was taken over.
-    #[allow(dead_code)]
-    samples: u64,
-}
-
-fn load(path: &str) -> Report {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
-}
+use bench::report::{load, Report};
 
 fn die(msg: &str) -> ! {
     eprintln!("bench_diff: {msg}");
@@ -71,8 +51,8 @@ fn main() {
     let [baseline_path, current_path] = paths.as_slice() else {
         die("expected exactly two report paths");
     };
-    let baseline = load(baseline_path);
-    let current = load(current_path);
+    let baseline: Report = load(baseline_path).unwrap_or_else(|e| die(&e));
+    let current: Report = load(current_path).unwrap_or_else(|e| die(&e));
     if baseline.bench != current.bench {
         eprintln!(
             "bench_diff: warning: comparing different benches ({} vs {})",
@@ -82,16 +62,19 @@ fn main() {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut removed: Vec<&str> = Vec::new();
+    let mut added: Vec<&str> = Vec::new();
     println!(
-        "{:<44} {:>12} {:>12} {:>9}",
+        "{:<52} {:>12} {:>12} {:>9}",
         "benchmark", "baseline ns", "current ns", "delta"
     );
     for old in &baseline.results {
         let Some(new) = current.results.iter().find(|e| e.id == old.id) else {
             println!(
-                "{:<44} {:>12} {:>12} {:>9}",
+                "{:<52} {:>12} {:>12} {:>9}",
                 old.id, old.median_ns, "-", "GONE"
             );
+            removed.push(&old.id);
             continue;
         };
         compared += 1;
@@ -107,28 +90,43 @@ fn main() {
             ""
         };
         println!(
-            "{:<44} {:>12} {:>12} {:>+8.1}%{flag}",
+            "{:<52} {:>12} {:>12} {:>+8.1}%{flag}",
             old.id, old.median_ns, new.median_ns, delta_pct
         );
     }
     for new in &current.results {
         if !baseline.results.iter().any(|e| e.id == new.id) {
             println!(
-                "{:<44} {:>12} {:>12} {:>9}",
+                "{:<52} {:>12} {:>12} {:>9}",
                 new.id, "-", new.median_ns, "NEW"
             );
+            added.push(&new.id);
         }
     }
 
+    if !added.is_empty() || !removed.is_empty() {
+        eprintln!(
+            "bench_diff: benchmark-set drift: {} added, {} removed (informational; \
+             only shared-set regressions fail the diff)",
+            added.len(),
+            removed.len()
+        );
+        if !added.is_empty() {
+            eprintln!("bench_diff:   added:   {}", added.join(", "));
+        }
+        if !removed.is_empty() {
+            eprintln!("bench_diff:   removed: {}", removed.join(", "));
+        }
+    }
     if compared == 0 {
         die("no benchmark ids overlap between the two reports");
     }
     if regressions > 0 {
         eprintln!(
-            "bench_diff: {regressions} of {compared} benchmarks regressed by more than \
+            "bench_diff: {regressions} of {compared} shared benchmarks regressed by more than \
              {threshold}%"
         );
         std::process::exit(1);
     }
-    println!("bench_diff: {compared} benchmarks within {threshold}% of baseline");
+    println!("bench_diff: {compared} shared benchmarks within {threshold}% of baseline");
 }

@@ -1,0 +1,169 @@
+//! Stitch committed `BENCH_<name>.json` baselines — and optionally a
+//! fresh run — into one markdown trend table: the ROADMAP's per-PR trend
+//! report, rendered per CI run and uploaded as an artifact so the bench
+//! trajectory is readable without downloading raw JSON.
+//!
+//! ```text
+//! bench_trend <baseline-dir> [<current-dir>] [-o <out.md>]
+//! ```
+//!
+//! One section per bench file, one row per benchmark id with the
+//! baseline median. With a `<current-dir>`, each row also shows the
+//! current median and a relative-to-baseline column (`current ÷
+//! baseline`, so `0.50×` halved and `2.00×` doubled); ids present on one
+//! side only render a `–` in the missing column, mirroring
+//! `bench_diff`'s drift reporting. Without `-o` the table goes to
+//! stdout.
+
+use bench::report::{load_dir, Report};
+use std::fmt::Write as _;
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_trend: {msg}");
+    eprintln!("usage: bench_trend <baseline-dir> [<current-dir>] [-o <out.md>]");
+    std::process::exit(2);
+}
+
+/// Render the trend table for parsed baseline (and optional current)
+/// report sets.
+fn render(baselines: &[(String, Report)], currents: Option<&[(String, Report)]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Bench trend\n");
+    let _ = writeln!(
+        out,
+        "Median wall time per benchmark, from the committed `BENCH_*.json` baselines{}.\n",
+        if currents.is_some() {
+            " against this run"
+        } else {
+            ""
+        }
+    );
+    for (file, base) in baselines {
+        let current = currents.and_then(|c| c.iter().find(|(f, _)| f == file).map(|(_, r)| r));
+        let _ = writeln!(out, "## {}\n", base.bench);
+        if current.is_some() {
+            let _ = writeln!(
+                out,
+                "| benchmark | baseline ns | current ns | vs baseline |"
+            );
+            let _ = writeln!(out, "|---|---:|---:|---:|");
+        } else {
+            let _ = writeln!(out, "| benchmark | median ns |");
+            let _ = writeln!(out, "|---|---:|");
+        }
+        for e in &base.results {
+            match current {
+                None => {
+                    let _ = writeln!(out, "| {} | {} |", e.id, e.median_ns);
+                }
+                Some(cur) => match cur.median(&e.id) {
+                    Some(now) if e.median_ns > 0 => {
+                        let _ = writeln!(
+                            out,
+                            "| {} | {} | {} | {:.2}× |",
+                            e.id,
+                            e.median_ns,
+                            now,
+                            now as f64 / e.median_ns as f64
+                        );
+                    }
+                    Some(now) => {
+                        let _ = writeln!(out, "| {} | {} | {} | – |", e.id, e.median_ns, now);
+                    }
+                    None => {
+                        let _ = writeln!(out, "| {} | {} | – | – |", e.id, e.median_ns);
+                    }
+                },
+            }
+        }
+        // Ids only the fresh run has (drift): list them so a new
+        // benchmark shows up in the artifact the PR that added it.
+        if let Some(cur) = current {
+            for e in &cur.results {
+                if base.median(&e.id).is_none() {
+                    let _ = writeln!(out, "| {} | – | {} | – |", e.id, e.median_ns);
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("-o needs a path")),
+                );
+            }
+            d => dirs.push(d.to_string()),
+        }
+        i += 1;
+    }
+    let (baseline_dir, current_dir) = match dirs.as_slice() {
+        [b] => (b.clone(), None),
+        [b, c] => (b.clone(), Some(c.clone())),
+        _ => die("expected one or two report directories"),
+    };
+    let baselines = load_dir(&baseline_dir).unwrap_or_else(|e| die(&e));
+    let currents = current_dir.map(|d| load_dir(&d).unwrap_or_else(|e| die(&e)));
+    let table = render(&baselines, currents.as_deref());
+    match out_path {
+        None => print!("{table}"),
+        Some(p) => {
+            std::fs::write(&p, &table).unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
+            eprintln!("bench_trend: wrote {p}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(bench: &str, rows: &[(&str, u64)]) -> Report {
+        let results: String = rows
+            .iter()
+            .map(|(id, ns)| format!(r#"{{ "id": "{id}", "median_ns": {ns}, "samples": 5 }}"#))
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(
+            r#"{{ "bench": "{bench}", "results": [{results}] }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_baseline_only_table() {
+        let b = vec![("BENCH_x.json".to_string(), report("x", &[("g/a", 100)]))];
+        let md = render(&b, None);
+        assert!(md.contains("## x"));
+        assert!(md.contains("| g/a | 100 |"));
+        assert!(!md.contains("vs baseline"));
+    }
+
+    #[test]
+    fn renders_relative_column_and_drift() {
+        let b = vec![(
+            "BENCH_x.json".to_string(),
+            report("x", &[("g/a", 100), ("g/gone", 70)]),
+        )];
+        let c = vec![(
+            "BENCH_x.json".to_string(),
+            report("x", &[("g/a", 150), ("g/new", 40)]),
+        )];
+        let md = render(&b, Some(&c));
+        assert!(md.contains("| g/a | 100 | 150 | 1.50× |"));
+        assert!(md.contains("| g/gone | 70 | – | – |"));
+        assert!(md.contains("| g/new | – | 40 | – |"));
+    }
+}

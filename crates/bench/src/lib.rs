@@ -5,6 +5,8 @@
 //! `cargo run -p bench --release --bin figN_...`), plus Criterion
 //! micro-benchmarks (`cargo bench`). Shared output helpers live here.
 
+pub mod report;
+
 use std::fmt::Write as _;
 
 /// Render one gnuplot-ready data block: a header comment, then one line

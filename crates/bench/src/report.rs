@@ -1,0 +1,89 @@
+//! Shared parsing for the `BENCH_<name>.json` reports the criterion
+//! shim's `--json` mode writes — consumed by the `bench_diff` regression
+//! gate and the `bench_trend` markdown renderer.
+
+use serde::Deserialize;
+
+/// One `BENCH_<name>.json` document.
+#[derive(Debug, Deserialize)]
+pub struct Report {
+    /// Bench binary name.
+    pub bench: String,
+    /// Per-benchmark medians, in execution order.
+    pub results: Vec<Entry>,
+}
+
+/// One benchmark's record.
+#[derive(Debug, Deserialize)]
+pub struct Entry {
+    /// `group/function/param` identifier.
+    pub id: String,
+    /// Median wall time in nanoseconds.
+    pub median_ns: u64,
+    /// Samples the median was taken over.
+    pub samples: u64,
+}
+
+impl Report {
+    /// The median for one benchmark id, if present.
+    pub fn median(&self, id: &str) -> Option<u64> {
+        self.results
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.median_ns)
+    }
+}
+
+/// Parse a report file, with a readable message on failure.
+pub fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Every `BENCH_*.json` in a directory, sorted by file name.
+pub fn load_dir(dir: &str) -> Result<Vec<(String, Report)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot list {dir}: {e}"))?;
+    let mut paths: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json files in {dir}"));
+    }
+    paths
+        .into_iter()
+        .map(|n| load(&format!("{dir}/{n}")).map(|r| (n, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+      "bench": "demo",
+      "results": [
+        { "id": "g/a", "median_ns": 100, "samples": 10 },
+        { "id": "g/b", "median_ns": 250, "samples": 10 }
+      ]
+    }"#;
+
+    #[test]
+    fn parses_and_indexes() {
+        let r: Report = serde_json::from_str(DOC).unwrap();
+        assert_eq!(r.bench, "demo");
+        assert_eq!(r.median("g/a"), Some(100));
+        assert_eq!(r.median("g/c"), None);
+        assert_eq!(r.results[1].samples, 10);
+    }
+
+    #[test]
+    fn load_reports_readable_errors() {
+        let err = load("/nonexistent/BENCH_x.json").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        let err = load_dir("/nonexistent").unwrap_err();
+        assert!(err.contains("cannot list"), "{err}");
+    }
+}

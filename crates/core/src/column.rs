@@ -99,7 +99,9 @@ pub struct CrackerColumn<T> {
     oids: Vec<u32>,
     index: CrackerIndex<T>,
     config: CrackerConfig,
-    /// The kernel the hot loops run, resolved once from `config.kernel`.
+    /// The kernel the hot loops run, resolved once from `config.kernel`
+    /// (the banded dispatcher then re-dispatches per piece size on every
+    /// call).
     kernel: CrackKernel,
     stats: CrackStats,
     sorted: SortedPieces,

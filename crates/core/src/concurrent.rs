@@ -24,10 +24,10 @@
 //! winner's boundaries. (The same protocol, generalized to per-shard
 //! latches, is [`crate::sharded::ShardedCrackerColumn`].)
 //!
-//! The wrapped column inherits its crack kernel (scalar vs. branch-free,
-//! [`crate::kernel`]) from the `CrackerConfig` it is built with, so the
-//! single-lock path runs exactly the same hot loops as the plain and
-//! sharded paths.
+//! The wrapped column inherits its crack kernel (scalar / branch-free /
+//! SIMD, or the per-piece-size-band dispatcher — [`crate::kernel`]) from
+//! the `CrackerConfig` it is built with, so the single-lock path runs
+//! exactly the same hot loops as the plain and sharded paths.
 
 use crate::column::{CrackerColumn, Selection};
 use crate::config::CrackerConfig;

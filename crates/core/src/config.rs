@@ -60,10 +60,11 @@ pub struct CrackerConfig {
     /// thereafter cracked by binary search with zero tuple movement
     /// (progressive refinement, see [`crate::sorted`]). `0` disables.
     pub sort_below: usize,
-    /// Which crack kernel the column's hot loops run (scalar vs.
-    /// predicated branch-free; see [`crate::kernel`]). Resolved once at
-    /// column construction: `Auto` consults `CRACKER_KERNEL`, then a
-    /// one-shot calibration.
+    /// Which crack kernel the column's hot loops run (scalar, predicated
+    /// branch-free, SIMD vector lanes, or the per-piece-size-band
+    /// dispatcher; see [`crate::kernel`]). Resolved once at column
+    /// construction: `Auto` consults `CRACKER_KERNEL`, then falls to the
+    /// lazily calibrated band table.
     pub kernel: KernelPolicy,
 }
 
@@ -124,8 +125,8 @@ impl CrackerConfig {
         self
     }
 
-    /// Builder: choose the crack kernel (scalar, branch-free, or
-    /// auto-selected).
+    /// Builder: choose the crack kernel (scalar, branch-free, SIMD,
+    /// banded, or auto-selected).
     pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
         self.kernel = kernel;
         self

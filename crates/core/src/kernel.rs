@@ -1,4 +1,5 @@
-//! Crack kernels: scalar vs. branch-free hot loops, selected at runtime.
+//! Crack kernels: scalar, branch-free, and SIMD hot loops, selected at
+//! runtime per piece-size band.
 //!
 //! The cracker's per-query cost is dominated by three inner loops: the
 //! two-way / three-way partition sweeps of [`crate::crack`], the residual
@@ -7,11 +8,32 @@
 //! cold (virgin) piece the partition branch is taken with the predicate's
 //! selectivity — close to a coin flip for the midpoint splits cracking
 //! produces — so a modern core eats a branch misprediction every few
-//! tuples. This module provides a second implementation of each loop that
-//! replaces every data-dependent branch with arithmetic, plus the policy
-//! that decides which implementation a column runs.
+//! tuples. This module provides a three-way **kernel family** for those
+//! loops, plus the policy that decides which member a crack runs:
 //!
-//! # The predication scheme
+//! * [`CrackKernel::Scalar`] — the straight-line safe-Rust loops of
+//!   [`crate::crack`]: one data-dependent branch per tuple, unbeatable
+//!   when that branch predicts (small or skewed pieces).
+//! * [`CrackKernel::BranchFree`] — predication: every data branch becomes
+//!   arithmetic (branchless cyclic-Lomuto two-way partition, predicated
+//!   Dutch-flag three-way sweep, 64-lane bitmask scans), one tuple per
+//!   iteration. The portable fast path: no CPU features required.
+//! * [`CrackKernel::Simd`] — explicit vector lanes (the `simd` module):
+//!   AVX2 `vpcmpgtq` compares and LUT-driven compress permutes process 4
+//!   tuples per iteration (an SSE4.2 `pcmpgtq` tier covers the two-way
+//!   partition at 2 lanes), selected per process by
+//!   `is_x86_feature_detected!`. On non-x86-64 hosts, CPUs without the
+//!   features, or value types without a 64-bit vector compare, every
+//!   entry point falls back to the branch-free kernels — forcing `Simd`
+//!   is safe everywhere.
+//! * [`CrackKernel::Banded`] — not a fourth loop but the measuring
+//!   policy: each piece-size **band** (≤4k / ≤32k / ≤256k / larger
+//!   tuples, see [`BAND_UPPER`]) lazily probes all available kernels on
+//!   fresh pseudo-random data of a band-representative size and caches
+//!   the winner process-wide, so small pieces keep the well-predicted
+//!   scalar loop while large cold cracks get vector lanes.
+//!
+//! # The branch-free predication scheme
 //!
 //! The branch-free kernels keep the scalar kernels' *contract* — the same
 //! split positions, the same value/OID multiset per piece, and the same
@@ -42,49 +64,89 @@
 //!   [`CrackKernel::for_each_live`]) are chunked, bitmask-driven: the
 //!   predicate or delete-bitmap probe is evaluated branch-free over
 //!   64-tuple chunks into a `u64` lane mask, and only then are the set
-//!   bits walked with `trailing_zeros`. The unpredictable per-tuple
-//!   "emit?" branch becomes one well-predicted loop per chunk whose trip
-//!   count is the chunk's popcount.
+//!   bits walked with `trailing_zeros`.
 //!
-//! Predication trades branches for unconditional work (every iteration
-//! loads, compares, and stores), so it wins exactly where cracking hurts —
-//! balanced splits, where a data-dependent branch mispredicts every other
-//! tuple — and loses where the split is skewed, because a branch that is
-//! taken 95% of the time is predicted nearly for free while predication
-//! still pays its flat per-tuple cost. The branch-free kernel therefore
-//! carries a **skew guard**: before partitioning a piece above the
-//! kernel's size floor ([`BRANCHFREE_MIN`] for two-way,
-//! [`THREE_WAY_MIN`] for three-way), a strided sample of
+//! # The SIMD scheme
+//!
+//! The vector kernels go one step further: the compare itself becomes a
+//! 4-lane `vpcmpgtq`, and data movement becomes a compress permute
+//! steered by the compare's sign-bit mask (an in-place bidirectional
+//! partition for crack-in-two, a scratch compress-scatter for
+//! crack-in-three; see the `simd` module for the algorithms and safety
+//! arguments). The two-way partition keeps the canonical crossing-pair
+//! `moved` bit-for-bit. The three-way partition keeps splits, multisets,
+//! and answer sets, but reports `moved` as the canonical
+//! **destination-displacement count** — the number of tuples that were
+//! not already inside their destination piece, the same semantics the
+//! two-way kernels use — because the scalar sweep's swap count is
+//! trace-defined (middle-class tuples shuffle along repeatedly) and
+//! reproducing it would require simulating the scalar sweep. Per-family
+//! `moved` is still deterministic and pinned by an oracle in the
+//! equivalence suites; cumulative `moved` across a query *sequence*
+//! already drifts between families for the documented
+//! arrangement-divergence reason.
+//!
+//! # Skew guard
+//!
+//! Predication trades branches for unconditional work, so it wins exactly
+//! where cracking hurts — balanced splits, where a data-dependent branch
+//! mispredicts every other tuple — and loses where the split is skewed,
+//! because a branch that is taken 95% of the time is predicted nearly for
+//! free while predication still pays its flat per-tuple cost. The
+//! branch-free kernel therefore carries a **skew guard**: before
+//! partitioning a piece above the kernel's size floor ([`BRANCHFREE_MIN`]
+//! for two-way, [`THREE_WAY_MIN`] for three-way), a strided sample of
 //! [`SKEW_SAMPLE`] values estimates the split balance, and only cracks
-//! whose largest output region is expected to stay under 7/8 of the
-//! piece take the predicated loop — the rest fall through to the scalar
-//! loop, whose branches the predictor handles. Both paths honor the identical contract (splits,
-//! multisets, `moved`), so the guard is invisible to everything but the
-//! clock. Selection is thus two-level: the config policy picks a kernel
-//! per column, and the branch-free kernel picks the cheaper loop per
-//! crack.
+//! whose largest output region is expected to stay under 7/8 of the piece
+//! take the predicated loop — the rest fall through to the scalar loop,
+//! whose branches the predictor handles. The SIMD two-way partition
+//! carries **no** balance guard: a compress partition's cost is
+//! data-independent (every chunk loads, compares, permutes, and stores
+//! regardless of the mask), so skew cannot make it slower — only a size
+//! floor (`simd::SIMD_MIN`) routes tiny pieces to the fallback. The SIMD
+//! *three-way* partition carries an **exact middle-dominance guard**
+//! instead of a sampled one: its counting pass already fixes the class
+//! populations, and when ≥ 7/8 of a piece stays in the middle region —
+//! every crack of a contracting (MQS homerun) sequence — the data
+//! movement is delegated to the scalar sweep, which never moves a
+//! middle-class tuple, while the displacement `moved` is still computed
+//! exactly from the outer regions' counts. Every guard honors the
+//! identical observable contract, so they are invisible to everything
+//! but the clock.
 //!
 //! # Selection policy
 //!
 //! [`KernelPolicy`] is the [`crate::config::CrackerConfig`] knob; it is
-//! resolved to a concrete [`CrackKernel`] once, when a column is built:
+//! resolved to a concrete [`CrackKernel`] once, when a column is built.
+//! The full dispatch order for the default policy is:
 //!
-//! 1. `KernelPolicy::Scalar` / `KernelPolicy::BranchFree` force a kernel.
-//! 2. `KernelPolicy::Auto` (the default) consults the `CRACKER_KERNEL`
-//!    environment variable (`scalar` / `branchfree`) — the hook CI's test
-//!    matrix uses to run the whole tier-1 suite under the branch-free
-//!    kernels — and otherwise runs a **one-shot calibration**: both
-//!    kernels partition the same small pseudo-random buffer, the faster
-//!    one wins, and the verdict is cached process-wide (`OnceLock`), so
-//!    the probe costs microseconds once rather than per column.
+//! 1. **Env override**: `KernelPolicy::Auto` consults `CRACKER_KERNEL`
+//!    (`scalar` / `branchfree` / `simd` / `banded`) — the hook CI's test
+//!    matrix uses to run the whole tier-1 suite under each family.
+//!    Without an override, `Auto` resolves to `Banded`.
+//! 2. **CPU detection**: the `Simd` kernel (forced, from the env, or as
+//!    a band candidate) is only real where
+//!    `is_x86_feature_detected!` finds AVX2 (or SSE4.2 for the two-way
+//!    partition); otherwise it degrades to the branch-free kernels.
+//! 3. **Per-band calibration**: `Banded` lazily probes scalar,
+//!    branch-free, and (where detected) SIMD crack-in-two on fresh
+//!    pseudo-random data at one representative size per piece-size band,
+//!    caching each band's winner in a `OnceLock` table
+//!    ([`BAND_UPPER`] bounds the bands). Every subsequent crack, scan,
+//!    or overlay probe dispatches on its piece length.
+//! 4. **Skew guard**: inside the branch-free kernels, the per-crack
+//!    balance probe described above makes the final scalar-vs-predicated
+//!    call.
 //!
 //! Because every concurrency wrapper ([`crate::concurrent`],
 //! [`crate::sharded`]) and the engine build their columns through
-//! `CrackerConfig`, the choice flows to every crack path — plain,
-//! single-lock, and sharded — without further plumbing.
+//! `CrackerConfig`, the choice — including the band policy — flows to
+//! every crack path: plain, single-lock, and sharded, without further
+//! plumbing.
 
 use crate::crack::{self, BoundaryKey};
 use crate::pred::RangePred;
+use crate::simd;
 use crate::updates::OidSet;
 use crate::value_trait::CrackValue;
 use serde::{Deserialize, Serialize};
@@ -97,12 +159,18 @@ const LANES: usize = 64;
 /// How a column chooses its crack kernel (the `CrackerConfig` knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelPolicy {
-    /// Resolve via `CRACKER_KERNEL` if set, else one-shot calibration.
+    /// Resolve via `CRACKER_KERNEL` if set, else per-band calibration
+    /// (`Banded`).
     Auto,
     /// Force the scalar (branchy) kernels.
     Scalar,
     /// Force the predicated branch-free kernels.
     BranchFree,
+    /// Force the vector kernels (degrades to branch-free where the CPU
+    /// or value type has no vector path).
+    Simd,
+    /// Force the per-piece-size-band calibration table.
+    Banded,
 }
 
 // Not derived: the serde shim's derive macro hand-parses enum bodies and
@@ -121,9 +189,28 @@ impl KernelPolicy {
         match self {
             KernelPolicy::Scalar => CrackKernel::Scalar,
             KernelPolicy::BranchFree => CrackKernel::BranchFree,
+            // Forced SIMD on a host without any vector tier is honest at
+            // resolution time: report the branch-free kernel the calls
+            // would land on anyway.
+            KernelPolicy::Simd => {
+                if simd::available() {
+                    CrackKernel::Simd
+                } else {
+                    CrackKernel::BranchFree
+                }
+            }
+            KernelPolicy::Banded => CrackKernel::Banded,
             KernelPolicy::Auto => auto_kernel(),
         }
     }
+}
+
+/// True when the running CPU has a vector tier for the SIMD kernels
+/// (AVX2, or SSE4.2 for the two-way partition): the condition under
+/// which [`KernelPolicy::Simd`] resolves to [`CrackKernel::Simd`] and
+/// the band calibration includes the SIMD candidate.
+pub fn simd_supported() -> bool {
+    simd::available()
 }
 
 /// A concrete kernel implementation, resolved from a [`KernelPolicy`].
@@ -137,12 +224,32 @@ pub enum CrackKernel {
     /// per-crack skew guard that falls back to the scalar loops where
     /// branches are predictable anyway.
     BranchFree,
+    /// Explicit vector lanes (the `simd` module): AVX2/SSE4.2 compare +
+    /// compress-permute partitions, vector residual scans, gathered
+    /// overlay probes; falls back to the branch-free kernels where no
+    /// vector path exists.
+    Simd,
+    /// Per-piece-size-band dispatch: every call consults the lazily
+    /// calibrated band table ([`BAND_UPPER`]) with its piece length and
+    /// runs that band's measured winner.
+    Banded,
 }
 
 impl CrackKernel {
+    /// Resolve `Banded` to the calibrated kernel for a piece of `len`
+    /// tuples; concrete kernels pass through.
+    #[inline]
+    fn concrete(self, len: usize) -> CrackKernel {
+        if self == CrackKernel::Banded {
+            band_kernel(len)
+        } else {
+            self
+        }
+    }
+
     /// Two-way in-place partition of `vals[lo..hi]` (and the parallel
     /// `oids[lo..hi]`) around `key`; returns the absolute split position.
-    /// Both kernels produce the same split, the same per-piece multisets,
+    /// All kernels produce the same split, the same per-piece multisets,
     /// and the same `moved` delta (2 per crossing pair — the number of
     /// tuples that were not already inside their destination piece, the
     /// paper's write accounting); the arrangement *within* each piece is
@@ -157,15 +264,23 @@ impl CrackKernel {
         key: BoundaryKey<T>,
         moved: &mut u64,
     ) -> usize {
-        match self {
+        match self.concrete(hi - lo) {
             CrackKernel::Scalar => crack::crack_two(vals, oids, lo, hi, key, moved),
             CrackKernel::BranchFree => crack_two_branchfree(vals, oids, lo, hi, key, moved),
+            CrackKernel::Simd => match simd::crack_two(vals, oids, lo, hi, key, moved) {
+                Some(split) => split,
+                None => crack_two_branchfree(vals, oids, lo, hi, key, moved),
+            },
+            CrackKernel::Banded => unreachable!("concrete() never returns Banded"),
         }
     }
 
     /// Single-pass three-way partition of `vals[lo..hi]` around `k1 ≤ k2`;
-    /// returns the absolute `(p1, p2)` split positions. Both kernels
-    /// produce the same arrangement, splits, and `moved` delta.
+    /// returns the absolute `(p1, p2)` split positions. All kernels
+    /// produce the same splits and per-piece multisets; scalar and
+    /// branch-free are additionally bit-identical (arrangement and swap
+    /// `moved`), while the SIMD kernel reports the canonical
+    /// destination-displacement `moved` (see the module docs).
     // Mirrors `crack::crack_three`'s signature plus the receiver.
     #[allow(clippy::too_many_arguments)]
     #[inline]
@@ -179,9 +294,14 @@ impl CrackKernel {
         k2: BoundaryKey<T>,
         moved: &mut u64,
     ) -> (usize, usize) {
-        match self {
+        match self.concrete(hi - lo) {
             CrackKernel::Scalar => crack::crack_three(vals, oids, lo, hi, k1, k2, moved),
             CrackKernel::BranchFree => crack_three_branchfree(vals, oids, lo, hi, k1, k2, moved),
+            CrackKernel::Simd => match simd::crack_three(vals, oids, lo, hi, k1, k2, moved) {
+                Some(splits) => splits,
+                None => crack_three_branchfree(vals, oids, lo, hi, k1, k2, moved),
+            },
+            CrackKernel::Banded => unreachable!("concrete() never returns Banded"),
         }
     }
 
@@ -195,11 +315,17 @@ impl CrackKernel {
         pred: &RangePred<T>,
         out: &mut Vec<usize>,
     ) {
-        match self {
+        match self.concrete(range.len()) {
             CrackKernel::Scalar => {
                 out.extend(range.filter(|&p| pred.matches(vals[p])));
             }
             CrackKernel::BranchFree => scan_branchfree(vals, range, pred, out),
+            CrackKernel::Simd => {
+                if !simd::scan_into(vals, range.clone(), pred, out) {
+                    scan_branchfree(vals, range, pred, out);
+                }
+            }
+            CrackKernel::Banded => unreachable!("concrete() never returns Banded"),
         }
     }
 
@@ -207,13 +333,16 @@ impl CrackKernel {
     /// the overlay discount applied to a selection's core range.
     #[inline]
     pub fn count_deleted(self, oids: &[u32], deleted: &OidSet) -> usize {
-        match self {
+        match self.concrete(oids.len()) {
             CrackKernel::Scalar => oids.iter().filter(|&&o| deleted.contains(o)).count(),
             CrackKernel::BranchFree => {
                 // Branch-free accumulation: the probe result is summed as
                 // an integer instead of steering a filter branch.
                 oids.iter().map(|&o| deleted.contains(o) as usize).sum()
             }
+            CrackKernel::Simd => simd::count_deleted(oids, deleted)
+                .unwrap_or_else(|| oids.iter().map(|&o| deleted.contains(o) as usize).sum()),
+            CrackKernel::Banded => unreachable!("concrete() never returns Banded"),
         }
     }
 
@@ -223,10 +352,15 @@ impl CrackKernel {
     /// engages when deletes are dense enough that the per-tuple "is it
     /// live?" branch would actually mispredict; against a sparse delete
     /// set that branch is almost never taken and predicted for free.
+    /// The SIMD kernel shares the branch-free chunk walk: the per-hit
+    /// `emit` callback dominates this loop, not the bitmap probe.
     #[inline]
     pub fn for_each_live(self, oids: &[u32], deleted: &OidSet, mut emit: impl FnMut(usize)) {
+        // The sparse short-circuit needs no kernel at all — check it
+        // before `concrete()` so an overlay walk never pays a lazy band
+        // calibration just to take the scalar path anyway.
         let sparse = deleted.len() * 8 <= oids.len();
-        if self == CrackKernel::Scalar || sparse {
+        if sparse || self.concrete(oids.len()) == CrackKernel::Scalar {
             for (i, &o) in oids.iter().enumerate() {
                 if !deleted.contains(o) {
                     emit(i);
@@ -329,10 +463,11 @@ fn crack_two_branchfree<T: CrackValue>(
 /// right, hence ×2) — evaluated against the original arrangement, which
 /// the forward scan still observes: position `read` is never written
 /// before iteration `read` reads it.
-// The one place the workspace's no-unsafe rule is waived: a ~15-line hot
-// loop whose cursor invariants are stated in the SAFETY comment, pinned by
-// the kernel-equivalence proptests, and whose bounds checks would
-// otherwise sit on the critical path of every cold crack.
+// One of the few places the workspace's no-unsafe rule is waived (the
+// others are this module's sibling loop below and `crate::simd`): a
+// ~15-line hot loop whose cursor invariants are stated in the SAFETY
+// comment, pinned by the kernel-equivalence proptests, and whose bounds
+// checks would otherwise sit on the critical path of every cold crack.
 #[allow(unsafe_code)]
 fn lomuto_branchfree<T: CrackValue, const LTE: bool>(
     vals: &mut [T],
@@ -516,48 +651,94 @@ fn scan_branchfree<T: CrackValue>(
 }
 
 /// Resolve `KernelPolicy::Auto`: environment override first, then the
-/// cached one-shot calibration.
+/// per-band calibration table.
 fn auto_kernel() -> CrackKernel {
     static CHOICE: OnceLock<CrackKernel> = OnceLock::new();
     *CHOICE.get_or_init(|| match env_override() {
         Some(k) => k,
-        None => calibrate(),
+        None => CrackKernel::Banded,
     })
 }
 
 /// Parse the `CRACKER_KERNEL` environment variable. Unknown values fall
-/// through to calibration (with a one-time note on stderr) rather than
-/// aborting the process.
+/// through to the band table (with a one-time note on stderr) rather
+/// than aborting the process.
 fn env_override() -> Option<CrackKernel> {
     let raw = std::env::var("CRACKER_KERNEL").ok()?;
     match raw.to_ascii_lowercase().as_str() {
         "scalar" => Some(CrackKernel::Scalar),
         "branchfree" | "branch-free" | "branch_free" => Some(CrackKernel::BranchFree),
+        // Forced SIMD degrades gracefully where no vector tier exists —
+        // CI forces this on heterogeneous runners.
+        "simd" => Some(KernelPolicy::Simd.resolve()),
+        "banded" => Some(CrackKernel::Banded),
         other => {
             eprintln!(
                 "cracker_core: ignoring unrecognized CRACKER_KERNEL value {other:?} \
-                 (expected \"scalar\" or \"branchfree\"); calibrating instead"
+                 (expected \"scalar\", \"branchfree\", \"simd\", or \"banded\"); \
+                 using the band table instead"
             );
             None
         }
     }
 }
 
-/// Column length of the calibration probe. Large enough that the branch
-/// predictor is exercised realistically, small enough to stay in-cache
-/// and finish in microseconds.
-const CALIBRATION_N: usize = 1 << 15;
-/// Timed repetitions per kernel; the minimum is compared.
-const CALIBRATION_ROUNDS: usize = 3;
+/// Upper bounds (in tuples, inclusive) of the first three piece-size
+/// bands of the calibration table; pieces larger than the last bound
+/// form the fourth band. The boundaries track the cache hierarchy a
+/// 64-bit column walks: a ≤4k-tuple piece is L1/L2-resident (scalar
+/// branches recover fast), ≤32k straddles L2, ≤256k lives in L3, and
+/// larger pieces stream from memory — exactly where vector lanes pay.
+pub const BAND_UPPER: [usize; 3] = [4_096, 32_768, 262_144];
 
-/// A `CALIBRATION_N`-element pseudo-random buffer (xorshift64:
-/// deterministic, dependency-free). Each round uses a fresh seed — a
-/// modern branch predictor memorizes the outcome sequence of a small
-/// buffer it has seen before, which would flatter the scalar kernel with
-/// a prediction accuracy no real cold crack gets.
-fn calibration_data(seed: u64) -> Vec<i64> {
+/// Representative probe length per band (roughly each band's geometric
+/// midpoint; the last probes past the final boundary, far enough to
+/// leave the cache-resident regime but small enough that the lazy
+/// calibration stall on the first large crack stays bounded).
+const BAND_PROBE_N: [usize; 4] = [2_048, 16_384, 131_072, 393_216];
+
+/// Timed repetitions per kernel and band; the minimum is compared.
+/// Small probes get an extra round because a branch predictor can
+/// partially memorize a small buffer's outcome sequence across rounds;
+/// at the large-band sizes that effect vanishes and fewer rounds keep
+/// the one-time calibration stall short.
+fn calibration_rounds(probe_n: usize) -> usize {
+    if probe_n >= 131_072 {
+        2
+    } else {
+        3
+    }
+}
+
+/// The band index for a piece of `len` tuples.
+fn band_of(len: usize) -> usize {
+    BAND_UPPER
+        .iter()
+        .position(|&b| len <= b)
+        .unwrap_or(BAND_UPPER.len())
+}
+
+/// The calibrated kernel for a piece of `len` tuples: lazily probes the
+/// piece's band on first use and caches the winner process-wide.
+fn band_kernel(len: usize) -> CrackKernel {
+    static TABLE: [OnceLock<CrackKernel>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let band = band_of(len);
+    *TABLE[band].get_or_init(|| calibrate_band(band))
+}
+
+/// An `n`-element pseudo-random buffer (xorshift64: deterministic,
+/// dependency-free). Each round uses a fresh seed — a modern branch
+/// predictor memorizes the outcome sequence of a small buffer it has
+/// seen before, which would flatter the scalar kernel with a prediction
+/// accuracy no real cold crack gets.
+fn calibration_data(n: usize, seed: u64) -> Vec<i64> {
     let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ seed.wrapping_mul(0xD1B5_4A32_D192_ED03);
-    (0..CALIBRATION_N)
+    (0..n)
         .map(|_| {
             x ^= x << 13;
             x ^= x >> 7;
@@ -567,34 +748,44 @@ fn calibration_data(seed: u64) -> Vec<i64> {
         .collect()
 }
 
-/// One-shot probe: both kernels crack fresh pseudo-random buffers in two
-/// around the median — the worst-case ~50% branch pattern a cold crack
-/// produces — and the faster minimum wins. The two-way partition is the
-/// probe because it is both the most frequent crack (every resolved
-/// boundary after the first) and the loop where the kernels differ most.
-fn calibrate() -> CrackKernel {
-    let key = BoundaryKey::lt(1i64 << 46);
+/// Probe one band: every available kernel cracks fresh pseudo-random
+/// buffers of the band's representative size in two around the median —
+/// the worst-case ~50% branch pattern a cold crack produces — and the
+/// fastest minimum wins. The two-way partition is the probe because it
+/// is both the most frequent crack (every resolved boundary after the
+/// first) and the loop where the kernels differ most.
+fn calibrate_band(band: usize) -> CrackKernel {
+    let n = BAND_PROBE_N[band];
+    // Values are uniform in [0, 2^48): 2^47 is the median split.
+    let key = BoundaryKey::lt(1i64 << 47);
     let time = |kernel: CrackKernel| -> u128 {
         let mut best = u128::MAX;
-        for round in 0..CALIBRATION_ROUNDS {
-            let mut vals = calibration_data(round as u64);
-            let mut oids: Vec<u32> = (0..CALIBRATION_N as u32).collect();
+        for round in 0..calibration_rounds(n) {
+            let mut vals = calibration_data(n, (band * 8 + round) as u64);
+            let mut oids: Vec<u32> = (0..n as u32).collect();
             let mut moved = 0u64;
             let start = std::time::Instant::now();
-            let split = kernel.crack_two(&mut vals, &mut oids, 0, CALIBRATION_N, key, &mut moved);
+            let split = kernel.crack_two(&mut vals, &mut oids, 0, n, key, &mut moved);
             let elapsed = start.elapsed().as_nanos();
             std::hint::black_box((split, vals, oids, moved));
             best = best.min(elapsed);
         }
         best
     };
-    let scalar = time(CrackKernel::Scalar);
-    let branchfree = time(CrackKernel::BranchFree);
-    if branchfree < scalar {
-        CrackKernel::BranchFree
-    } else {
-        CrackKernel::Scalar
+    let mut winner = CrackKernel::Scalar;
+    let mut best = time(CrackKernel::Scalar);
+    let mut candidates = vec![CrackKernel::BranchFree];
+    if simd::available() {
+        candidates.push(CrackKernel::Simd);
     }
+    for k in candidates {
+        let t = time(k);
+        if t < best {
+            best = t;
+            winner = k;
+        }
+    }
+    winner
 }
 
 #[cfg(test)]
@@ -602,7 +793,12 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const KERNELS: [CrackKernel; 2] = [CrackKernel::Scalar, CrackKernel::BranchFree];
+    const KERNELS: [CrackKernel; 4] = [
+        CrackKernel::Scalar,
+        CrackKernel::BranchFree,
+        CrackKernel::Simd,
+        CrackKernel::Banded,
+    ];
 
     fn keys(a: i64, lte1: bool, b: i64, lte2: bool) -> (BoundaryKey<i64>, BoundaryKey<i64>) {
         let mut k1 = BoundaryKey {
@@ -623,15 +819,58 @@ mod tests {
     fn policies_resolve() {
         assert_eq!(KernelPolicy::Scalar.resolve(), CrackKernel::Scalar);
         assert_eq!(KernelPolicy::BranchFree.resolve(), CrackKernel::BranchFree);
-        // Auto resolves to *some* kernel and is stable across calls.
+        assert_eq!(KernelPolicy::Banded.resolve(), CrackKernel::Banded);
+        // Forced SIMD resolves to the vector kernel exactly where a
+        // vector tier exists, and degrades to branch-free elsewhere.
+        let expect_simd = if simd_supported() {
+            CrackKernel::Simd
+        } else {
+            CrackKernel::BranchFree
+        };
+        assert_eq!(KernelPolicy::Simd.resolve(), expect_simd);
+        // Auto resolves to *some* kernel and is stable across calls
+        // (which kernel depends on the CRACKER_KERNEL env override CI
+        // legs set).
         assert_eq!(KernelPolicy::Auto.resolve(), KernelPolicy::Auto.resolve());
         assert_eq!(KernelPolicy::default(), KernelPolicy::Auto);
     }
 
     #[test]
+    fn bands_partition_the_size_axis() {
+        assert_eq!(band_of(0), 0);
+        assert_eq!(band_of(4_095), 0);
+        assert_eq!(band_of(4_096), 0);
+        assert_eq!(band_of(4_097), 1);
+        assert_eq!(band_of(32_768), 1);
+        assert_eq!(band_of(32_769), 2);
+        assert_eq!(band_of(262_144), 2);
+        assert_eq!(band_of(262_145), 3);
+        assert_eq!(band_of(usize::MAX), 3);
+    }
+
+    #[test]
+    fn band_calibration_is_lazy_and_stable() {
+        // Each band resolves to a concrete kernel and keeps resolving to
+        // the same one.
+        for len in [100, 5_000, 100_000, 500_000] {
+            let k = band_kernel(len);
+            assert!(
+                matches!(
+                    k,
+                    CrackKernel::Scalar | CrackKernel::BranchFree | CrackKernel::Simd
+                ),
+                "band winner must be concrete, got {k:?}"
+            );
+            assert_eq!(k, band_kernel(len));
+        }
+    }
+
+    #[test]
     fn calibration_picks_a_kernel_without_panicking() {
-        let k = calibrate();
-        assert!(KERNELS.contains(&k));
+        for band in 0..2 {
+            let k = calibrate_band(band);
+            assert!(KERNELS.contains(&k) && k != CrackKernel::Banded);
+        }
     }
 
     #[test]
@@ -679,7 +918,8 @@ mod tests {
     fn predicated_paths_engage_on_large_balanced_pieces() {
         // Large enough for the skew guard (≥ BRANCHFREE_MIN) and dead
         // balanced, so the predicated loops run; the contract must hold
-        // against the scalar kernels.
+        // against the scalar kernels. The SIMD and Banded kernels ride
+        // the same loop (crack_two `moved` is canonical family-wide).
         let n = 4 * BRANCHFREE_MIN;
         let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % n as i64).collect();
         let key = BoundaryKey::lt(n as i64 / 2);
@@ -696,9 +936,12 @@ mod tests {
             }
             results.push((p, moved));
         }
-        assert_eq!(results[0], results[1], "split/moved contract diverged");
+        for r in &results[1..] {
+            assert_eq!(&results[0], r, "split/moved contract diverged");
+        }
 
-        // Above the three-way floor, the predicated DNF engages.
+        // Above the three-way floor, the predicated DNF engages; the
+        // scalar/branch-free pair stays bit-identical.
         let n = 2 * THREE_WAY_MIN;
         let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % n as i64).collect();
         let (k1, k2) = (
@@ -706,7 +949,7 @@ mod tests {
             BoundaryKey::le(2 * n as i64 / 3),
         );
         let mut results = Vec::new();
-        for k in KERNELS {
+        for k in [CrackKernel::Scalar, CrackKernel::BranchFree] {
             let mut v = vals.clone();
             let mut o: Vec<u32> = (0..n as u32).collect();
             let mut moved = 0u64;
@@ -733,7 +976,9 @@ mod tests {
             assert!(v[..p].iter().all(|&x| key.before(x)));
             results.push((p, moved));
         }
-        assert_eq!(results[0], results[1]);
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
     }
 
     #[test]
@@ -743,10 +988,12 @@ mod tests {
             let vals: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 100).collect();
             let pred = RangePred::between(20, 60);
             let mut scalar = Vec::new();
-            let mut bf = Vec::new();
             CrackKernel::Scalar.scan_into(&vals, 0..n, &pred, &mut scalar);
-            CrackKernel::BranchFree.scan_into(&vals, 0..n, &pred, &mut bf);
-            assert_eq!(scalar, bf, "n = {n}");
+            for k in &KERNELS[1..] {
+                let mut got = Vec::new();
+                k.scan_into(&vals, 0..n, &pred, &mut got);
+                assert_eq!(scalar, got, "n = {n}, kernel {k:?}");
+            }
         }
     }
 
@@ -767,11 +1014,38 @@ mod tests {
         }
     }
 
+    /// The canonical destination-displacement count for a three-way
+    /// partition of `vals[lo..hi)`: tuples whose original position lies
+    /// outside the region their class ends up in.
+    fn displaced_oracle(
+        vals: &[i64],
+        lo: usize,
+        hi: usize,
+        k1: BoundaryKey<i64>,
+        k2: BoundaryKey<i64>,
+        p1: usize,
+        p2: usize,
+    ) -> u64 {
+        let mut displaced = 0u64;
+        for (pos, &v) in vals.iter().enumerate().take(hi).skip(lo) {
+            let in_region = if k1.before(v) {
+                pos < p1
+            } else if !k2.before(v) {
+                pos >= p2
+            } else {
+                (p1..p2).contains(&pos)
+            };
+            displaced += !in_region as u64;
+        }
+        displaced
+    }
+
     proptest! {
         /// The core pin for the two-way partition: identical split
         /// position, identical per-piece multisets, identical `moved`
-        /// accounting — and OIDs still travel with their values. (The
-        /// arrangement *within* a piece is kernel-specific by design.)
+        /// accounting — and OIDs still travel with their values — across
+        /// the whole kernel family. (The arrangement *within* a piece is
+        /// kernel-specific by design.)
         #[test]
         fn prop_crack_two_kernels_share_the_contract(
             vals in proptest::collection::vec(-50i64..50, 0..300),
@@ -809,6 +1083,42 @@ mod tests {
                 right.sort_unstable();
                 results.push((p, moved, left, right));
             }
+            for r in &results[1..] {
+                prop_assert_eq!(&results[0], r);
+            }
+        }
+
+        /// Large pieces drive the vector two-way partition through its
+        /// full structure (buffered registers, bidirectional reads,
+        /// odd tails): split, moved, multisets, and OID travel must
+        /// match the scalar kernel exactly.
+        #[test]
+        fn prop_simd_crack_two_matches_scalar_on_large_pieces(
+            seed in 0u64..1000,
+            n in 64usize..800,
+            pivot_frac in 0.0f64..1.0,
+            lte in proptest::bool::ANY,
+        ) {
+            let vals = calibration_data(n, seed);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let pivot = sorted[((pivot_frac * (n - 1) as f64) as usize).min(n - 1)];
+            let key = if lte { BoundaryKey::le(pivot) } else { BoundaryKey::lt(pivot) };
+            let mut results = Vec::new();
+            for k in [CrackKernel::Scalar, CrackKernel::Simd] {
+                let mut v = vals.clone();
+                let mut o: Vec<u32> = (0..n as u32).collect();
+                let mut moved = 0u64;
+                let p = k.crack_two(&mut v, &mut o, 0, n, key, &mut moved);
+                prop_assert!(v[..p].iter().all(|&x| key.before(x)));
+                prop_assert!(v[p..].iter().all(|&x| !key.before(x)));
+                for (i, &oid) in o.iter().enumerate() {
+                    prop_assert_eq!(v[i], vals[oid as usize]);
+                }
+                let mut left: Vec<i64> = v[..p].to_vec();
+                left.sort_unstable();
+                results.push((p, moved, left));
+            }
             prop_assert_eq!(&results[0], &results[1]);
         }
 
@@ -842,9 +1152,12 @@ mod tests {
             prop_assert_eq!(sm, bm, "moved diverged");
         }
 
-        /// Same pin for the three-way partition.
+        /// The three-way partition across the whole family: identical
+        /// splits and per-region multisets everywhere; the scalar and
+        /// branch-free sweeps additionally bit-identical (arrangement
+        /// and swap-count `moved`).
         #[test]
-        fn prop_crack_three_kernels_are_bit_identical(
+        fn prop_crack_three_kernels_share_observables(
             vals in proptest::collection::vec(-50i64..50, 0..300),
             a in -60i64..60,
             b in -60i64..60,
@@ -853,7 +1166,8 @@ mod tests {
         ) {
             let n = vals.len();
             let (k1, k2) = keys(a, lte1, b, lte2);
-            let mut results = Vec::new();
+            let mut traces = Vec::new();
+            let mut observables = Vec::new();
             for k in KERNELS {
                 let mut v = vals.clone();
                 let mut o: Vec<u32> = (0..n as u32).collect();
@@ -863,13 +1177,74 @@ mod tests {
                 prop_assert!(v[..p1].iter().all(|&x| k1.before(x)));
                 prop_assert!(v[p1..p2].iter().all(|&x| !k1.before(x) && k2.before(x)));
                 prop_assert!(v[p2..].iter().all(|&x| !k2.before(x)));
-                results.push((v, o, p1, p2, moved));
+                for (i, &oid) in o.iter().enumerate() {
+                    prop_assert_eq!(v[i], vals[oid as usize]);
+                }
+                let mut regions: Vec<Vec<i64>> =
+                    vec![v[..p1].to_vec(), v[p1..p2].to_vec(), v[p2..].to_vec()];
+                for r in &mut regions { r.sort_unstable(); }
+                observables.push((p1, p2, regions));
+                if matches!(k, CrackKernel::Scalar | CrackKernel::BranchFree) {
+                    traces.push((v, o, moved));
+                }
             }
-            prop_assert_eq!(&results[0], &results[1]);
+            for obs in &observables[1..] {
+                prop_assert_eq!(&observables[0], obs, "splits/multisets diverged");
+            }
+            prop_assert_eq!(&traces[0], &traces[1], "scalar/branch-free traces diverged");
+        }
+
+        /// The vector three-way partition, driven directly at sizes that
+        /// clear its floor: splits and multisets match scalar, and its
+        /// `moved` equals the destination-displacement oracle.
+        #[test]
+        fn prop_simd_crack_three_moved_is_the_displacement_count(
+            seed in 0u64..1000,
+            n in 64usize..600,
+            fa in 0.0f64..1.0,
+            fb in 0.0f64..1.0,
+            lte1 in proptest::bool::ANY,
+            lte2 in proptest::bool::ANY,
+        ) {
+            let vals = calibration_data(n, seed ^ 0xC0FFEE);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let (va, vb) = (
+                sorted[((fa * (n - 1) as f64) as usize).min(n - 1)],
+                sorted[((fb * (n - 1) as f64) as usize).min(n - 1)],
+            );
+            let (k1, k2) = keys(va, lte1, vb, lte2);
+            let mut sv = vals.clone();
+            let mut so: Vec<u32> = (0..n as u32).collect();
+            let mut sm = 0u64;
+            let scalar = crack::crack_three(&mut sv, &mut so, 0, n, k1, k2, &mut sm);
+            let mut xv = vals.clone();
+            let mut xo: Vec<u32> = (0..n as u32).collect();
+            let mut xm = 0u64;
+            // Drive the vector path directly; on hosts without AVX2 the
+            // dispatch returns None and there is nothing to pin.
+            if let Some((p1, p2)) = simd::crack_three(&mut xv, &mut xo, 0, n, k1, k2, &mut xm) {
+                prop_assert_eq!(scalar, (p1, p2), "split pair diverged");
+                prop_assert_eq!(
+                    xm,
+                    displaced_oracle(&vals, 0, n, k1, k2, p1, p2),
+                    "SIMD three-way moved must be the displacement count"
+                );
+                for (i, &oid) in xo.iter().enumerate() {
+                    prop_assert_eq!(xv[i], vals[oid as usize]);
+                }
+                for (a, b) in [(0, p1), (p1, p2), (p2, n)] {
+                    let mut got: Vec<i64> = xv[a..b].to_vec();
+                    let mut want: Vec<i64> = sv[a..b].to_vec();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "region multiset diverged");
+                }
+            }
         }
 
         /// Scan kernels emit identical position lists for arbitrary
-        /// predicates (one-sided, empty, inverted).
+        /// predicates (one-sided, empty, inverted) across the family.
         #[test]
         fn prop_scan_kernels_agree(
             vals in proptest::collection::vec(-50i64..50, 0..200),
@@ -879,13 +1254,40 @@ mod tests {
             let pred = RangePred::with_bounds(lo, hi);
             let n = vals.len();
             let mut scalar = Vec::new();
-            let mut bf = Vec::new();
             CrackKernel::Scalar.scan_into(&vals, 0..n, &pred, &mut scalar);
-            CrackKernel::BranchFree.scan_into(&vals, 0..n, &pred, &mut bf);
-            prop_assert_eq!(scalar, bf);
+            for k in &KERNELS[1..] {
+                let mut got = Vec::new();
+                k.scan_into(&vals, 0..n, &pred, &mut got);
+                prop_assert_eq!(&scalar, &got, "kernel {:?}", k);
+            }
         }
 
-        /// Overlay kernels agree on arbitrary delete sets.
+        /// The vector scan at sizes above its floor, where the 4-lane
+        /// compare masks actually run.
+        #[test]
+        fn prop_simd_scan_matches_scalar_on_large_pieces(
+            seed in 0u64..1000,
+            n in 64usize..500,
+            lo in proptest::option::of((0.0f64..1.0, proptest::bool::ANY)),
+            hi in proptest::option::of((0.0f64..1.0, proptest::bool::ANY)),
+        ) {
+            let vals = calibration_data(n, seed ^ 0x5CA7);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let pick = |f: f64| sorted[((f * (n - 1) as f64) as usize).min(n - 1)];
+            let pred = RangePred::with_bounds(
+                lo.map(|(f, inc)| (pick(f), inc)),
+                hi.map(|(f, inc)| (pick(f), inc)),
+            );
+            let mut scalar = Vec::new();
+            CrackKernel::Scalar.scan_into(&vals, 0..n, &pred, &mut scalar);
+            let mut got = Vec::new();
+            CrackKernel::Simd.scan_into(&vals, 0..n, &pred, &mut got);
+            prop_assert_eq!(scalar, got);
+        }
+
+        /// Overlay kernels agree on arbitrary delete sets across the
+        /// family.
         #[test]
         fn prop_overlay_kernels_agree(
             oids in proptest::collection::vec(0u32..500, 0..300),
@@ -894,14 +1296,33 @@ mod tests {
             let mut set = OidSet::new();
             for d in dels { set.insert(d); }
             let scalar_count = CrackKernel::Scalar.count_deleted(&oids, &set);
-            let bf_count = CrackKernel::BranchFree.count_deleted(&oids, &set);
-            prop_assert_eq!(scalar_count, bf_count);
-            let mut a = Vec::new();
-            let mut b = Vec::new();
-            CrackKernel::Scalar.for_each_live(&oids, &set, |i| a.push(i));
-            CrackKernel::BranchFree.for_each_live(&oids, &set, |i| b.push(i));
-            prop_assert_eq!(&a, &b);
-            prop_assert_eq!(a.len() + scalar_count, oids.len());
+            let mut scalar_live = Vec::new();
+            CrackKernel::Scalar.for_each_live(&oids, &set, |i| scalar_live.push(i));
+            prop_assert_eq!(scalar_live.len() + scalar_count, oids.len());
+            for k in &KERNELS[1..] {
+                prop_assert_eq!(k.count_deleted(&oids, &set), scalar_count, "kernel {:?}", k);
+                let mut live = Vec::new();
+                k.for_each_live(&oids, &set, |i| live.push(i));
+                prop_assert_eq!(&scalar_live, &live, "kernel {:?}", k);
+            }
+        }
+
+        /// The gathered overlay probe at sizes above its floor, with
+        /// OIDs far beyond the bitmap so the gather's bounds mask is
+        /// exercised.
+        #[test]
+        fn prop_simd_count_deleted_matches_scalar_on_large_sets(
+            n in 64usize..400,
+            dels in proptest::collection::vec(0u32..2000, 0..400),
+            stride in 1u32..17,
+        ) {
+            let mut set = OidSet::new();
+            for d in dels { set.insert(d); }
+            let oids: Vec<u32> = (0..n as u32).map(|i| i * stride).collect();
+            prop_assert_eq!(
+                CrackKernel::Simd.count_deleted(&oids, &set),
+                CrackKernel::Scalar.count_deleted(&oids, &set)
+            );
         }
     }
 }

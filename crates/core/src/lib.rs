@@ -65,6 +65,7 @@ pub mod pred;
 pub mod project;
 pub mod sharded;
 pub mod sideways;
+pub(crate) mod simd;
 pub mod sorted;
 pub mod stats;
 pub mod stochastic;
@@ -75,7 +76,7 @@ pub use column::{CrackerColumn, Selection};
 pub use concurrent::SharedCrackerColumn;
 pub use config::{CrackMode, CrackerConfig, FusionPolicy};
 pub use index::CrackerIndex;
-pub use kernel::{CrackKernel, KernelPolicy};
+pub use kernel::{simd_supported, CrackKernel, KernelPolicy, BAND_UPPER};
 pub use paged::PagedCracker;
 pub use policy::{CrackPolicy, PolicyCracker};
 pub use pred::RangePred;

@@ -48,9 +48,10 @@
 //! answers without a single index probe (and without cracking).
 //!
 //! Every shard is built from the same `CrackerConfig`, so the crack
-//! kernel selected there (scalar vs. branch-free, [`crate::kernel`]) runs
-//! inside every shard — a faster single-shard kernel multiplies through
-//! the whole latching scheme.
+//! kernel selected there (scalar / branch-free / SIMD / banded,
+//! [`crate::kernel`]) runs inside every shard — a faster single-shard
+//! kernel multiplies through the whole latching scheme, and the band
+//! dispatcher sees each shard's own (smaller) piece sizes.
 
 use crate::column::{CrackerColumn, Selection};
 use crate::concurrent::SharedCrackerColumn;

@@ -87,6 +87,18 @@ impl OidSet {
         self.len
     }
 
+    /// The dense bitmap words (bit `oid % 64` of `words[oid / 64]`) —
+    /// gathered directly by the SIMD overlay probe.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// True when any member lives in the sparse side set: the SIMD
+    /// overlay probe only covers the dense bitmap and must fall back.
+    pub(crate) fn has_sparse(&self) -> bool {
+        !self.sparse.is_empty()
+    }
+
     /// True when no OID is a member.
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -79,9 +79,11 @@ impl AdaptiveDb {
         self.concurrency
     }
 
-    /// Builder: choose the crack kernel (scalar / branch-free / auto) for
-    /// every column cracked from now on — the engine-level face of
-    /// [`cracker_core::kernel`]'s runtime selection. Combined with
+    /// Builder: choose the crack kernel (scalar / branch-free / SIMD /
+    /// banded / auto) for every column cracked from now on — the
+    /// engine-level face of [`cracker_core::kernel`]'s runtime selection
+    /// (env override → CPU detection → per-piece-size-band calibration →
+    /// skew guard). Combined with
     /// [`with_concurrency`](Self::with_concurrency), this puts the same
     /// kernels under the plain, single-lock, and sharded paths alike.
     pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
@@ -628,11 +630,18 @@ mod tests {
     #[test]
     fn kernel_choice_reaches_every_concurrency_mode() {
         // The same query stream through plain, single-lock, and sharded
-        // columns with the kernel forced each way: all six paths agree,
-        // and the plain cracker really runs the requested kernel.
+        // columns with every member of the kernel family forced: all
+        // paths agree, and the plain cracker really runs the requested
+        // kernel (SIMD degrades to branch-free where the CPU lacks a
+        // vector tier — still the same answers).
         let vals: Vec<i64> = (0..5_000).map(|i| (i * 131) % 5_000).collect();
         let mut answers = Vec::new();
-        for kernel in [KernelPolicy::Scalar, KernelPolicy::BranchFree] {
+        for kernel in [
+            KernelPolicy::Scalar,
+            KernelPolicy::BranchFree,
+            KernelPolicy::Simd,
+            KernelPolicy::Banded,
+        ] {
             for mode in [
                 ConcurrencyMode::SingleLock,
                 ConcurrencyMode::Sharded { shards: 4 },

@@ -52,11 +52,11 @@ pub use workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cracker_core::{
-        ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, SharedCrackerColumn,
+        simd_supported, CrackKernel, CrackMode, CrackStats, CrackerColumn, CrackerConfig,
+        FusionPolicy, KernelPolicy, RangePred,
     };
     pub use cracker_core::{
-        CrackKernel, CrackMode, CrackStats, CrackerColumn, CrackerConfig, FusionPolicy,
-        KernelPolicy, RangePred,
+        ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, SharedCrackerColumn,
     };
     pub use cracker_core::{CrackPolicy, PolicyCracker, StochasticCracker, StochasticPolicy};
     pub use engine::{
