@@ -225,6 +225,15 @@ impl<T: CrackValue> CrackerColumn<T> {
         &mut self.sorted
     }
 
+    /// True when inserts or deletes are staged but not yet merged into
+    /// the cracked area. While this holds, the cracked copy's answers can
+    /// differ from the base column it was cloned from, so derived fast
+    /// paths (e.g. refining a conjunct against base-table values) must
+    /// fall back to the full overlay-aware path.
+    pub fn has_pending_updates(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     /// Try to answer a range predicate **without mutating anything**:
     /// succeeds only when every needed boundary already exists in the
     /// index (exact boundary hits) and no pending updates are staged.

@@ -79,10 +79,20 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
     /// Qualifying OIDs (unordered), same locking discipline as
     /// [`count`](Self::count).
     pub fn select_oids(&self, pred: RangePred<T>) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.select_oids_into(pred, &mut out);
+        out
+    }
+
+    /// Append the qualifying OIDs of `pred` to `out` — the scratch-buffer
+    /// twin of [`select_oids`](Self::select_oids). The caller owns (and
+    /// reuses) the buffer, so a warm query allocates nothing.
+    pub fn select_oids_into(&self, pred: RangePred<T>, out: &mut Vec<u32>) {
         {
             let guard = self.inner.read();
             if let Some(sel) = guard.try_select_readonly(pred) {
-                return guard.selection_oids(&sel);
+                guard.selection_oids_into(&sel, out);
+                return;
             }
         }
         let mut guard = self.inner.write();
@@ -91,7 +101,53 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
             Some(sel) => sel,
             None => guard.select(pred),
         };
-        guard.selection_oids(&sel)
+        guard.selection_oids_into(&sel, out);
+    }
+
+    /// Answer a whole batch of predicates, appending the OIDs of
+    /// `preds[i]` to `outs[i]`, under **one** lock acquisition for the
+    /// whole batch instead of one per predicate.
+    ///
+    /// The prefix of predicates whose boundaries already exist is answered
+    /// under a single read lock; at the first boundary miss the read lock
+    /// is dropped and the remainder of the batch runs under a single write
+    /// lock (each predicate still double-checks the read-only path there,
+    /// so the per-predicate cracking discipline — at most one `select()`
+    /// entry per cold predicate — is unchanged).
+    pub fn select_oids_batch_into(&self, preds: &[RangePred<T>], outs: &mut [Vec<u32>]) {
+        assert_eq!(preds.len(), outs.len(), "one output buffer per predicate");
+        let mut done = 0;
+        {
+            let guard = self.inner.read();
+            for (pred, out) in preds.iter().zip(outs.iter_mut()) {
+                match guard.try_select_readonly(*pred) {
+                    Some(sel) => {
+                        guard.selection_oids_into(&sel, out);
+                        done += 1;
+                    }
+                    None => break,
+                }
+            }
+            if done == preds.len() {
+                return;
+            }
+        }
+        let mut guard = self.inner.write();
+        for (pred, out) in preds[done..].iter().zip(outs[done..].iter_mut()) {
+            let sel = match guard.try_select_readonly(*pred) {
+                Some(sel) => sel,
+                None => guard.select(*pred),
+            };
+            guard.selection_oids_into(&sel, out);
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`select_oids_batch_into`](Self::select_oids_batch_into).
+    pub fn select_oids_batch(&self, preds: &[RangePred<T>]) -> Vec<Vec<u32>> {
+        let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+        self.select_oids_batch_into(preds, &mut outs);
+        outs
     }
 
     /// Run a cracking select unconditionally (exclusive).
@@ -262,6 +318,38 @@ mod tests {
             );
         }
         col.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_select_matches_statement_at_a_time() {
+        let vals: Vec<i64> = (0..5_000).map(|i| (i * 17) % 5_000).collect();
+        let batch = SharedCrackerColumn::new(vals.clone());
+        let single = SharedCrackerColumn::new(vals);
+        let preds: Vec<RangePred<i64>> = (0..20)
+            .map(|i| RangePred::between(i * 190, i * 190 + 400))
+            .collect();
+        let got = batch.select_oids_batch(&preds);
+        for (pred, mut oids) in preds.iter().zip(got) {
+            let mut expect = single.select_oids(*pred);
+            oids.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(oids, expect, "pred {pred:?}");
+        }
+        // Same boundaries were created either way.
+        assert_eq!(batch.piece_count(), single.piece_count());
+        // A warm batch is answered entirely on the read-lock fast path:
+        // select() is never re-entered.
+        let queries = batch.stats().queries;
+        let again = batch.select_oids_batch(&preds);
+        assert_eq!(again.len(), preds.len());
+        assert_eq!(batch.stats().queries, queries);
+        // Scratch variant appends into caller buffers.
+        let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+        batch.select_oids_batch_into(&preds, &mut outs);
+        for (pred, out) in preds.iter().zip(&outs) {
+            assert_eq!(out.len(), batch.count(*pred), "pred {pred:?}");
+        }
+        batch.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Admission control: a semaphore-style gate with per-session fairness.
+//!
+//! Cracking turns reads into writes, so an update-heavy burst is doubly
+//! hostile to readers: it competes for execution slots *and* for the
+//! column's write latches. [`AdmissionGate`] bounds both by capping the
+//! number of in-flight operations, and keeps the cap fair by limiting how
+//! many of those slots any single session may hold at once.
+//!
+//! # Fairness policy
+//!
+//! The gate has `total` permits and a `session_cap` (≤ `total`). An
+//! operation is admitted when both hold:
+//!
+//! 1. fewer than `total` operations are in flight overall, and
+//! 2. the requesting session holds fewer than `session_cap` permits.
+//!
+//! Because no session can occupy more than `session_cap` slots, a bursty
+//! session (an `UpdateHeavy` writer fanned out over many threads) leaves
+//! at least `total - session_cap` slots that only *other* sessions can
+//! fill — a reader arriving during the burst waits for one permit release
+//! at most, never for the whole burst to drain. Releases wake all waiters
+//! (the state lock is held only for counter updates, so the thundering
+//! herd is a handful of counter checks).
+//!
+//! Permits are RAII: [`AdmissionPermit`] releases its slot on drop, so an
+//! early return or panic inside the admitted section cannot leak a slot.
+//!
+//! The shim `parking_lot` has no condvar, so the gate uses
+//! `std::sync::{Mutex, Condvar}`; the critical sections are a few counter
+//! updates and never overlap query execution.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// A counting gate bounding in-flight operations, with a per-session cap
+/// so one session cannot monopolize the permits. See the module doc for
+/// the fairness policy.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    released: Condvar,
+    total: usize,
+    session_cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_flight: usize,
+    per_session: HashMap<u64, usize>,
+}
+
+/// A held execution slot; dropping it releases the slot and wakes
+/// waiters.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+    session: u64,
+}
+
+impl AdmissionGate {
+    /// A gate with `total` permits of which any one session may hold at
+    /// most `session_cap` (clamped into `1..=total`).
+    pub fn new(total: usize, session_cap: usize) -> Self {
+        let total = total.max(1);
+        AdmissionGate {
+            state: Mutex::new(GateState::default()),
+            released: Condvar::new(),
+            total,
+            session_cap: session_cap.clamp(1, total),
+        }
+    }
+
+    /// Total number of permits.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Maximum permits any single session may hold at once.
+    pub fn session_cap(&self) -> usize {
+        self.session_cap
+    }
+
+    /// Operations currently admitted (diagnostic snapshot).
+    pub fn in_flight(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .in_flight
+    }
+
+    /// Block until `session` may run one more operation, then take a
+    /// permit for it.
+    pub fn admit(&self, session: u64) -> AdmissionPermit<'_> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if self.admissible(&st, session) {
+                self.book(&mut st, session);
+                return AdmissionPermit {
+                    gate: self,
+                    session,
+                };
+            }
+            st = self
+                .released
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Take a permit for `session` if one is available right now.
+    pub fn try_admit(&self, session: u64) -> Option<AdmissionPermit<'_>> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.admissible(&st, session) {
+            self.book(&mut st, session);
+            Some(AdmissionPermit {
+                gate: self,
+                session,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn admissible(&self, st: &GateState, session: u64) -> bool {
+        st.in_flight < self.total
+            && st.per_session.get(&session).copied().unwrap_or(0) < self.session_cap
+    }
+
+    fn book(&self, st: &mut GateState, session: u64) {
+        st.in_flight += 1;
+        *st.per_session.entry(session).or_insert(0) += 1;
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .gate
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.in_flight -= 1;
+            if let Some(held) = st.per_session.get_mut(&self.session) {
+                *held -= 1;
+                if *held == 0 {
+                    st.per_session.remove(&self.session);
+                }
+            }
+        }
+        self.gate.released.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn caps_are_clamped_and_reported() {
+        let gate = AdmissionGate::new(0, 9);
+        assert_eq!(gate.total(), 1);
+        assert_eq!(gate.session_cap(), 1);
+        let gate = AdmissionGate::new(8, 3);
+        assert_eq!(gate.total(), 8);
+        assert_eq!(gate.session_cap(), 3);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn session_cap_reserves_room_for_other_sessions() {
+        let gate = AdmissionGate::new(4, 2);
+        // Session 0 saturates its cap...
+        let _a = gate.admit(0);
+        let _b = gate.admit(0);
+        assert!(gate.try_admit(0).is_none(), "session cap reached");
+        // ...but other sessions still get the remaining permits.
+        let _c = gate.admit(1);
+        let _d = gate.admit(2);
+        assert_eq!(gate.in_flight(), 4);
+        assert!(gate.try_admit(3).is_none(), "gate full");
+    }
+
+    #[test]
+    fn dropping_a_permit_releases_the_slot() {
+        let gate = AdmissionGate::new(1, 1);
+        {
+            let _p = gate.admit(7);
+            assert!(gate.try_admit(8).is_none());
+        }
+        assert_eq!(gate.in_flight(), 0);
+        let _q = gate.admit(8);
+        assert_eq!(gate.in_flight(), 1);
+    }
+
+    #[test]
+    fn concurrent_burst_never_exceeds_its_session_cap() {
+        let gate = AdmissionGate::new(4, 2);
+        let peak = AtomicUsize::new(0);
+        let inside = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gate = &gate;
+                let (peak, inside, barrier) = (&peak, &inside, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let _p = gate.admit(0); // all threads: one bursty session
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "burst session held more than its cap: {}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn readers_make_progress_through_a_saturating_burst() {
+        let gate = AdmissionGate::new(4, 2);
+        let reader_ops = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // A bursty writer session fanned out over 6 threads.
+            for _ in 0..6 {
+                let gate = &gate;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _p = gate.admit(0);
+                        std::hint::black_box(());
+                    }
+                });
+            }
+            // Two reader sessions; both must finish (no starvation).
+            for sid in 1..=2u64 {
+                let gate = &gate;
+                let reader_ops = &reader_ops;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _p = gate.admit(sid);
+                        reader_ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(reader_ops.load(Ordering::Relaxed), 400);
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

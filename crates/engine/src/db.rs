@@ -8,9 +8,11 @@
 //! does the same on first use), routes selections/joins/group-bys through
 //! the Ξ/^/Ω operators, and records every crack in a lineage graph.
 
+use crate::admission::{AdmissionGate, AdmissionPermit};
 use crate::catalog::DbCatalog;
 use crate::cost::RunStats;
 use crate::error::EngineResult;
+use crate::exec::batch::{refine_conjunct, BlockScratch};
 use crate::query::{AggFunc, OutputMode, RangeQuery};
 use crate::table::Table;
 use cracker_core::group::{aggregate_groups, omega_crack};
@@ -21,6 +23,7 @@ use cracker_core::{
     ConcurrencyMode, ConcurrentColumn, CrackerColumn, CrackerConfig, KernelPolicy, RangePred,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A database whose physical organization adapts to the queries it
@@ -43,6 +46,11 @@ pub struct AdaptiveDb {
     /// Lineage roots per table, created on registration.
     lineage: LineageGraph,
     roots: HashMap<String, PieceId>,
+    /// Reusable block buffers for the vectorized conjunctive path.
+    scratch: BlockScratch,
+    /// Optional admission gate bounding in-flight operations (shared with
+    /// worker threads via [`admission`](Self::admission)).
+    admission: Option<Arc<AdmissionGate>>,
 }
 
 impl AdaptiveDb {
@@ -63,6 +71,8 @@ impl AdaptiveDb {
             maps: HashMap::new(),
             lineage: LineageGraph::new(),
             roots: HashMap::new(),
+            scratch: BlockScratch::new(),
+            admission: None,
         }
     }
 
@@ -94,6 +104,35 @@ impl AdaptiveDb {
     /// The kernel policy applied to newly cracked columns.
     pub fn kernel_policy(&self) -> KernelPolicy {
         self.config.kernel
+    }
+
+    /// Builder: install an [`AdmissionGate`] bounding in-flight operations
+    /// with per-session fairness (see [`crate::admission`] for the
+    /// policy). Callers take a permit via [`admit`](Self::admit) around
+    /// each gated operation.
+    pub fn with_admission(mut self, gate: AdmissionGate) -> Self {
+        self.admission = Some(Arc::new(gate));
+        self
+    }
+
+    /// The installed admission gate, if any. The `Arc` can be cloned into
+    /// worker threads alongside a [`shared_cracker`](Self::shared_cracker)
+    /// handle.
+    pub fn admission(&self) -> Option<&Arc<AdmissionGate>> {
+        self.admission.as_ref()
+    }
+
+    /// Take an execution permit for `session`, blocking while the gate is
+    /// saturated (or while this session is at its fairness cap). Returns
+    /// `None` when no gate is installed — callers hold the result for the
+    /// duration of one operation either way:
+    ///
+    /// ```ignore
+    /// let _permit = db.admit(session_id);
+    /// // ...gated work...
+    /// ```
+    pub fn admit(&self, session: u64) -> Option<AdmissionPermit<'_>> {
+        self.admission.as_deref().map(|g| g.admit(session))
     }
 
     /// Register a base table.
@@ -197,10 +236,21 @@ impl AdaptiveDb {
         Ok((oids, stats))
     }
 
-    /// Answer a conjunction of range predicates over one table by cracking
-    /// each referenced column and intersecting the OID sets — the
+    /// Answer a conjunction of range predicates over one table — the
     /// multi-attribute case the paper's strolling profile explores ("a
     /// user will ... try out different attributes").
+    ///
+    /// Every referenced column is still cracked (each query remains an
+    /// index builder), but the intersection is block-at-a-time instead of
+    /// per-tuple hash probes: the most selective predicate's OIDs are
+    /// materialized once through the scratch-buffer API, then each
+    /// residual predicate is evaluated over [`BLOCK_OIDS`]-sized gathers
+    /// of its base column through the configured
+    /// [`cracker_core::kernel`], so SIMD sees full blocks
+    /// ([`refine_conjunct`]). A residual column with staged updates falls
+    /// back to intersecting its overlay-aware materialized answer.
+    ///
+    /// [`BLOCK_OIDS`]: crate::exec::batch::BLOCK_OIDS
     pub fn select_conjunctive(
         &mut self,
         table: &str,
@@ -210,21 +260,75 @@ impl AdaptiveDb {
             let n = self.catalog.table(table)?.len() as u32;
             return Ok((0..n).collect());
         }
-        // Crack every column; intersect from the most selective answer.
-        let mut answers: Vec<Vec<u32>> = Vec::with_capacity(preds.len());
+        // Crack every column, keeping only the layout snapshots (counts
+        // come free from the selections — no materialization yet).
+        let mut sels = Vec::with_capacity(preds.len());
         for (attr, pred) in preds {
             let col = self.cracker(table, attr)?;
-            answers.push(col.select_oids(*pred));
+            sels.push(col.select(*pred));
         }
-        answers.sort_by_key(Vec::len);
-        let mut result: std::collections::HashSet<u32> = answers[0].iter().copied().collect();
-        for a in &answers[1..] {
-            let set: std::collections::HashSet<u32> = a.iter().copied().collect();
-            result.retain(|o| set.contains(o));
+        let driver = (0..preds.len())
+            .min_by_key(|&i| sels[i].count())
+            .expect("preds is non-empty");
+        let key = |attr: &str| (table.to_owned(), attr.to_owned());
+        let mut out = Vec::new();
+        self.crackers[&key(preds[driver].0)].selection_oids_into(&sels[driver], &mut out);
+        let kernel = self.config.kernel.resolve();
+        for (i, (attr, pred)) in preds.iter().enumerate() {
+            if i == driver {
+                continue;
+            }
+            let col = &self.crackers[&key(attr)];
+            if col.has_pending_updates() {
+                // Overlay-aware fallback: this column's answer can differ
+                // from its base values, so intersect the materialized
+                // (pending-corrected) OID set instead.
+                let mut other = Vec::new();
+                col.selection_oids_into(&sels[i], &mut other);
+                other.sort_unstable();
+                out.retain(|o| other.binary_search(o).is_ok());
+            } else {
+                let base = self.catalog.table(table)?.ints(attr)?;
+                refine_conjunct(kernel, base, pred, &mut out, &mut self.scratch);
+            }
         }
-        let mut out: Vec<u32> = result.into_iter().collect();
         out.sort_unstable();
         Ok(out)
+    }
+
+    /// Answer a batch of range predicates over one column through the
+    /// single-threaded cracked copy — the plain-column leg of the batch
+    /// executor (no latches to amortize here; the saving is the shared
+    /// plan and scratch reuse in the layers above).
+    pub fn select_batch(
+        &mut self,
+        table: &str,
+        attr: &str,
+        preds: &[RangePred<i64>],
+    ) -> EngineResult<Vec<Vec<u32>>> {
+        let col = self.cracker(table, attr)?;
+        Ok(preds
+            .iter()
+            .map(|p| {
+                let mut out = Vec::new();
+                col.select_oids_into(*p, &mut out);
+                out
+            })
+            .collect())
+    }
+
+    /// Answer a batch of range predicates through the latched shared copy
+    /// under amortized locking: one lock acquisition per batch
+    /// (single-lock mode) or one latch acquisition per touched shard per
+    /// batch (sharded mode) — see
+    /// [`ConcurrentColumn::select_oids_batch`].
+    pub fn shared_select_batch(
+        &mut self,
+        table: &str,
+        attr: &str,
+        preds: &[RangePred<i64>],
+    ) -> EngineResult<Vec<Vec<u32>>> {
+        Ok(self.shared_cracker(table, attr)?.select_oids_batch(preds))
     }
 
     /// Equi-join two tables on integer attributes via the ^ cracker:
@@ -473,6 +577,76 @@ mod tests {
             .collect();
         assert_eq!(got, want);
         assert_eq!(db.cracked_columns(), 2, "both columns cracked");
+    }
+
+    #[test]
+    fn conjunctive_selection_survives_staged_updates() {
+        let mut db = db();
+        // Driver column `a` gains a staged insert; residual column `k`
+        // gains a staged delete — the refine path must drop the unknown
+        // OID and the fallback path must honor the overlay.
+        db.stage_insert("r", "a", 500, 75).unwrap();
+        let got = db
+            .select_conjunctive(
+                "r",
+                &[("a", RangePred::between(70, 80)), ("k", RangePred::lt(5))],
+            )
+            .unwrap();
+        let want: Vec<u32> = (0..100u32)
+            .filter(|&o| (70..=80).contains(&(99 - o as i64)) && (o as i64 % 10) < 5)
+            .collect();
+        assert_eq!(got, want, "staged insert unknown to k must not qualify");
+        assert!(db.stage_delete("r", "k", *want.first().unwrap()).unwrap());
+        let got = db
+            .select_conjunctive(
+                "r",
+                &[("a", RangePred::between(70, 80)), ("k", RangePred::lt(5))],
+            )
+            .unwrap();
+        assert_eq!(got, want[1..], "k's staged delete must be honored");
+    }
+
+    #[test]
+    fn batch_selects_match_statement_at_a_time_in_every_mode() {
+        let vals: Vec<i64> = (0..8_000).map(|i| (i * 23) % 8_000).collect();
+        let preds: Vec<RangePred<i64>> = (0..16)
+            .map(|i| RangePred::between(i * 450, i * 450 + 900))
+            .collect();
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 8 },
+        ] {
+            let mut db = AdaptiveDb::new().with_concurrency(mode);
+            db.register(Table::from_int_columns("t", vec![("v", vals.clone())]).unwrap())
+                .unwrap();
+            let batch = db.shared_select_batch("t", "v", &preds).unwrap();
+            let plain = db.select_batch("t", "v", &preds).unwrap();
+            for ((pred, shared), plain) in preds.iter().zip(batch).zip(plain) {
+                let mut shared = shared;
+                let mut plain = plain;
+                shared.sort_unstable();
+                plain.sort_unstable();
+                assert_eq!(shared, plain, "{mode:?} pred {pred:?}");
+                let mut stmt = db.shared_cracker("t", "v").unwrap().select_oids(*pred);
+                stmt.sort_unstable();
+                assert_eq!(shared, stmt, "{mode:?} pred {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn admission_gate_is_optional_and_shareable() {
+        let db = db();
+        assert!(db.admission().is_none());
+        assert!(db.admit(1).is_none());
+        let db = db.with_admission(AdmissionGate::new(2, 1));
+        let gate = Arc::clone(db.admission().unwrap());
+        let permit = db.admit(1).expect("gate installed");
+        assert_eq!(gate.in_flight(), 1);
+        assert!(gate.try_admit(1).is_none(), "session cap is 1");
+        let _other = gate.try_admit(2).expect("second session admitted");
+        drop(permit);
+        assert_eq!(gate.in_flight(), 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! [`ops::XiTapOp`], which captures the non-qualifying tuples a filter
 //! would discard, turning a plain scan into a Ξ crack as a byproduct.
 
+pub mod batch;
 pub mod group;
 pub mod join;
 pub mod ops;

@@ -14,7 +14,11 @@
 //!   cracker "effectively realizes" (§3.3);
 //! * [`exec`] — Volcano-style pull operators ("most systems use a
 //!   Volcano-like query evaluation scheme", §3.4.1): scan, filter,
-//!   project, nested-loop / hash join, group, union, limit;
+//!   project, nested-loop / hash join, group, union, limit — plus
+//!   [`exec::batch`], the block-at-a-time layer that feeds OID blocks to
+//!   the crack kernels instead of probing per tuple;
+//! * [`admission`] — a semaphore-style gate with per-session fairness so
+//!   update bursts cannot starve concurrent readers;
 //! * [`engines`] — the three interchangeable access methods the
 //!   experiments compare: **ScanEngine** (the `nocrack` lines),
 //!   **SortEngine** (sort-upfront + binary search, the `sort` line of
@@ -26,6 +30,7 @@
 //!   without shipping four foreign code bases;
 //! * [`chain`] — the k-way linear join experiment of Figure 9.
 
+pub mod admission;
 pub mod catalog;
 pub mod chain;
 pub mod cost;
@@ -41,6 +46,7 @@ pub mod schema;
 pub mod sql_crack;
 pub mod table;
 
+pub use admission::{AdmissionGate, AdmissionPermit};
 pub use catalog::DbCatalog;
 pub use cost::RunStats;
 pub use cracker_core::{ConcurrencyMode, ConcurrentColumn};

@@ -84,6 +84,18 @@ impl DbScenarioRunner {
     pub fn into_db(self) -> AdaptiveDb {
         self.db
     }
+
+    /// Answer a buffered batch of select windows in one call through the
+    /// latched column's amortized batch path
+    /// ([`cracker_core::ConcurrentColumn::select_oids_batch`]): one lock
+    /// acquisition per batch (single-lock) or per touched shard per batch
+    /// (sharded). `results[i]` answers `windows[i]`.
+    pub fn run_select_batch(&mut self, windows: &[Window]) -> Vec<Vec<u32>> {
+        let preds: Vec<_> = windows.iter().map(|w| w.to_pred()).collect();
+        self.db
+            .shared_select_batch(SCENARIO_TABLE, SCENARIO_COLUMN, &preds)
+            .expect("scenario column registered at construction")
+    }
 }
 
 impl ScenarioExecutor for DbScenarioRunner {

@@ -109,15 +109,21 @@ pub enum Operand {
     Column(ColumnRef),
     /// An integer literal.
     Literal(i64),
+    /// A positional parameter (`?`), numbered left to right from 0 within
+    /// its statement. Bound to an integer by a prepared statement.
+    Param {
+        /// Zero-based position among the statement's `?` placeholders.
+        idx: usize,
+    },
 }
 
 impl Operand {
-    /// The source span (literals get the enclosing comparison's span from
-    /// the parser; column refs carry their own).
+    /// The source span (literals and parameters get the enclosing
+    /// comparison's span from the parser; column refs carry their own).
     pub fn span_or(&self, fallback: Span) -> Span {
         match self {
             Operand::Column(c) => c.span,
-            Operand::Literal(_) => fallback,
+            Operand::Literal(_) | Operand::Param { .. } => fallback,
         }
     }
 }

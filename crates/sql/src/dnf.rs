@@ -38,6 +38,19 @@ pub enum NormLit {
         /// Right column.
         right: ColumnRef,
     },
+    /// A range comparison against a positional parameter (`?`). The
+    /// concrete [`RangePred`] is produced at bind time by a prepared
+    /// statement; until then the literal carries the comparison shape.
+    /// `op` is never [`CmpOp::Ne`] — like [`cmp_lit`], `≠` splits into a
+    /// two-range disjunction during normalization.
+    ParamRange {
+        /// The filtered column.
+        col: ColumnRef,
+        /// Comparison operator (column on the left).
+        op: CmpOp,
+        /// Zero-based parameter index.
+        param: usize,
+    },
     /// A constant truth value (from literal-literal comparisons).
     Const(bool),
 }
@@ -157,6 +170,18 @@ fn normalize(expr: &Expr, negate: bool) -> SqlResult<Nnf> {
                         ))
                     }
                 }
+                // column op parameter: a bind-time range handle.
+                (Operand::Column(c), Operand::Param { idx }) => cmp_param(c, op, *idx),
+                // parameter op column: mirror.
+                (Operand::Param { idx }, Operand::Column(c)) => cmp_param(c, op.mirrored(), *idx),
+                // Parameters only compare against columns: a literal or
+                // parameter on the other side has no cracking handle.
+                (Operand::Param { .. }, _) | (_, Operand::Param { .. }) => {
+                    Err(SqlError::unsupported(
+                        "a parameter placeholder must be compared against a column",
+                        *span,
+                    ))
+                }
             }
         }
     }
@@ -198,6 +223,30 @@ fn cmp_lit(col: &ColumnRef, op: CmpOp, v: i64) -> SqlResult<Nnf> {
     Ok(Nnf::Lit(NormLit::Range {
         col: col.clone(),
         pred,
+    }))
+}
+
+/// A `column op ?` atom. Like [`cmp_lit`], `≠` splits into a two-range
+/// disjunction so bound terms stay pure ranges.
+fn cmp_param(col: &ColumnRef, op: CmpOp, param: usize) -> SqlResult<Nnf> {
+    if op == CmpOp::Ne {
+        return Ok(Nnf::Or(vec![
+            Nnf::Lit(NormLit::ParamRange {
+                col: col.clone(),
+                op: CmpOp::Lt,
+                param,
+            }),
+            Nnf::Lit(NormLit::ParamRange {
+                col: col.clone(),
+                op: CmpOp::Gt,
+                param,
+            }),
+        ]));
+    }
+    Ok(Nnf::Lit(NormLit::ParamRange {
+        col: col.clone(),
+        op,
+        param,
     }))
 }
 
@@ -266,6 +315,7 @@ mod tests {
                 NormLit::Range { pred, .. } => pred.matches(v),
                 NormLit::Const(b) => *b,
                 NormLit::Join { .. } => panic!("no joins in this test"),
+                NormLit::ParamRange { .. } => panic!("no parameters in this test"),
             })
         })
     }
@@ -412,6 +462,46 @@ mod tests {
     }
 
     #[test]
+    fn parameters_normalize_like_literals() {
+        // `? <= a` mirrors to `a >= ?`; NOT flips the operator.
+        let terms = dnf("not ? <= a").unwrap();
+        assert_eq!(terms.len(), 1);
+        match &terms[0][0] {
+            NormLit::ParamRange { col, op, param } => {
+                assert_eq!(col.column, "a");
+                assert_eq!(*op, CmpOp::Lt);
+                assert_eq!(*param, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // `a <> ?` splits into two parameter ranges, like `a <> 5` does.
+        let terms = dnf("a <> ?").unwrap();
+        assert_eq!(terms.len(), 2);
+        assert!(terms.iter().flatten().all(|l| matches!(
+            l,
+            NormLit::ParamRange {
+                op: CmpOp::Lt | CmpOp::Gt,
+                ..
+            }
+        )));
+        // `NOT a <> ?` folds back to equality.
+        let terms = dnf("not a <> ?").unwrap();
+        assert_eq!(terms.len(), 1);
+        assert!(matches!(
+            &terms[0][0],
+            NormLit::ParamRange { op: CmpOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn parameters_against_non_columns_are_unsupported() {
+        for clause in ["? < 5", "5 < ?", "? = ?"] {
+            let err = dnf(clause).unwrap_err();
+            assert!(matches!(err, SqlError::Unsupported { .. }), "{clause}");
+        }
+    }
+
+    #[test]
     fn term_explosion_is_capped() {
         // Each conjunct doubles the term count: 2^7 = 128 > 64.
         let clause = (0..7)
@@ -466,10 +556,12 @@ mod tests {
                 let l = match left {
                     Operand::Literal(x) => *x,
                     Operand::Column(_) => v,
+                    Operand::Param { .. } => unreachable!("no parameters generated"),
                 };
                 let r = match right {
                     Operand::Literal(x) => *x,
                     Operand::Column(_) => v,
+                    Operand::Param { .. } => unreachable!("no parameters generated"),
                 };
                 op.eval(l, r)
             }

@@ -16,7 +16,7 @@
 use crate::ast::{SelectStmt, Statement};
 use crate::error::{Span, SqlError, SqlResult};
 use crate::lower::{lower_select, LoweredSelect, OutputCol, Resolved};
-use crate::parser::parse;
+use crate::parser::{parse, parse_one};
 use cracker_core::{CrackerConfig, RangePred};
 use engine::query::{AggFunc, QueryTerm};
 use engine::{AdaptiveDb, Table};
@@ -118,6 +118,29 @@ struct TableBuffer {
     columns: Vec<(String, Vec<i64>)>,
 }
 
+/// A prepared SELECT: parsed, normalized and resolved once, with `?`
+/// placeholders left as bind-time slots. Produced by
+/// [`SqlSession::prepare`]; executed (any number of times, with different
+/// values) by [`SqlSession::execute_prepared`] and
+/// [`SqlSession::execute_prepared_many`].
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    lowered: LoweredSelect,
+    limit: Option<usize>,
+}
+
+impl Prepared {
+    /// Number of `?` placeholders each execution must bind.
+    pub fn param_count(&self) -> usize {
+        self.lowered.param_count
+    }
+
+    /// The lowered (still unbound) plan.
+    pub fn lowered(&self) -> &LoweredSelect {
+        &self.lowered
+    }
+}
+
 /// An interactive SQL session over an adaptive (cracking) database.
 pub struct SqlSession {
     buffers: BTreeMap<String, TableBuffer>,
@@ -188,11 +211,22 @@ impl SqlSession {
     }
 
     /// Execute every statement in `src`, returning one output per
-    /// statement.
+    /// statement. The whole source is parsed before any statement runs,
+    /// so a syntax error anywhere leaves the session untouched.
     pub fn execute(&mut self, src: &str) -> SqlResult<Vec<QueryOutput>> {
         let stmts = parse(src)?;
+        self.execute_batch(&stmts)
+    }
+
+    /// Execute a pre-parsed batch of statements in order, returning one
+    /// output per statement. This is the batch entry point of the
+    /// block-at-a-time executor: callers that parse (or build) statements
+    /// up front skip per-statement parsing entirely, and semantic errors
+    /// surface per statement, after the syntactic atomicity [`Self::execute`]
+    /// already guarantees.
+    pub fn execute_batch(&mut self, stmts: &[Statement]) -> SqlResult<Vec<QueryOutput>> {
         let mut out = Vec::with_capacity(stmts.len());
-        for stmt in &stmts {
+        for stmt in stmts {
             out.push(self.run_statement(stmt)?);
         }
         Ok(out)
@@ -200,8 +234,102 @@ impl SqlSession {
 
     /// Execute a source text expected to hold exactly one statement.
     pub fn execute_one(&mut self, src: &str) -> SqlResult<QueryOutput> {
-        let stmt = crate::parser::parse_one(src)?;
+        let stmt = parse_one(src)?;
         self.run_statement(&stmt)
+    }
+
+    /// Prepare a SELECT: parse, normalize and resolve once, leaving `?`
+    /// placeholders as unbound slots. The returned plan binds integer
+    /// values per execution via [`Self::execute_prepared`] /
+    /// [`Self::execute_prepared_many`] — the paper's recurring
+    /// experiment shape (`A < v1 < v2 < A+w`) without re-lowering per
+    /// query.
+    pub fn prepare(&mut self, src: &str) -> SqlResult<Prepared> {
+        let stmt = parse_one(src)?;
+        let Statement::Select(select) = stmt else {
+            return Err(SqlError::unsupported(
+                "only SELECT statements can be prepared",
+                Span::default(),
+            ));
+        };
+        self.sync();
+        let lowered = lower_select(&select, self.db.catalog())?;
+        Ok(Prepared {
+            lowered,
+            limit: select.limit,
+        })
+    }
+
+    /// Execute a prepared SELECT with one set of parameter values.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &[i64],
+    ) -> SqlResult<QueryOutput> {
+        let bound = prepared.lowered.bind(params)?;
+        self.sync();
+        self.run_lowered(&bound, prepared.limit)
+    }
+
+    /// Execute a prepared SELECT once per binding, returning one output
+    /// per binding. Single-table plans whose bindings all constrain one
+    /// column ride the database's batch select — the cracked column
+    /// answers the whole batch in one pass (and, on latched columns, under
+    /// amortized lock acquisitions); other shapes fall back to one
+    /// [`Self::execute_prepared`] per binding. Row order within each
+    /// output is unspecified, as everywhere in this engine (cracked
+    /// answers come back in physical piece order).
+    pub fn execute_prepared_many(
+        &mut self,
+        prepared: &Prepared,
+        bindings: &[Vec<i64>],
+    ) -> SqlResult<Vec<QueryOutput>> {
+        self.sync();
+        if let Some(out) = self.try_prepared_batch(prepared, bindings)? {
+            return Ok(out);
+        }
+        bindings
+            .iter()
+            .map(|b| self.execute_prepared(prepared, b))
+            .collect()
+    }
+
+    /// The batched leg of [`Self::execute_prepared_many`]: one term, one
+    /// table, no joins or grouping, and exactly one selection column —
+    /// every binding then lowers to one [`RangePred`] over the same
+    /// cracked column, which [`AdaptiveDb::select_batch`] answers in one
+    /// pass.
+    fn try_prepared_batch(
+        &mut self,
+        prepared: &Prepared,
+        bindings: &[Vec<i64>],
+    ) -> SqlResult<Option<Vec<QueryOutput>>> {
+        let l = &prepared.lowered;
+        let batchable = l.tables.len() == 1
+            && l.group_by.is_none()
+            && l.terms.len() == 1
+            && l.terms[0].joins.is_empty()
+            && l.terms[0].selections.len() == 1;
+        if !batchable || bindings.is_empty() {
+            return Ok(None);
+        }
+        let mut preds = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            preds.push(l.bind_single_pred(b)?);
+        }
+        let sel = &l.terms[0].selections[0];
+        let (table, attr) = (sel.table.clone(), sel.attr.clone());
+        let oid_batches = self.db.select_batch(&table, &attr, &preds)?;
+        let mut out = Vec::with_capacity(oid_batches.len());
+        for mut oids in oid_batches {
+            oids.sort_unstable();
+            let mut o = self.emit_single_table(l, &oids)?;
+            if let (Some(n), QueryOutput::Table { rows, .. }) = (prepared.limit, &mut o) {
+                rows.truncate(n);
+            }
+            out.push(o);
+        }
+        Ok(Some(out))
     }
 
     /// Rebuild the adaptive database from the buffers after DDL/DML.
@@ -360,6 +488,12 @@ impl SqlSession {
                 };
                 self.sync();
                 let lowered = lower_select(&probe, self.db.catalog())?;
+                if lowered.param_count > 0 {
+                    return Err(SqlError::unsupported(
+                        "parameter placeholders in DELETE (only SELECT can be prepared)",
+                        *span,
+                    ));
+                }
                 let doomed: HashSet<u32> = if lowered.terms.is_empty() {
                     HashSet::new()
                 } else {
@@ -386,16 +520,35 @@ impl SqlSession {
     fn run_select(&mut self, stmt: &SelectStmt) -> SqlResult<QueryOutput> {
         self.sync();
         let lowered = lower_select(stmt, self.db.catalog())?;
+        self.run_lowered(&lowered, stmt.limit)
+    }
+
+    /// Dispatch a fully bound lowered plan to the right evaluator.
+    fn run_lowered(
+        &mut self,
+        lowered: &LoweredSelect,
+        limit: Option<usize>,
+    ) -> SqlResult<QueryOutput> {
+        if lowered.param_count > 0 {
+            return Err(SqlError::unsupported(
+                format!(
+                    "{} unbound parameter placeholder(s) — prepare the \
+                     statement and bind values",
+                    lowered.param_count
+                ),
+                Span::default(),
+            ));
+        }
         let mut out = if lowered.group_by.is_some() {
-            self.run_grouped(&lowered)?
+            self.run_grouped(lowered)?
         } else if lowered.terms.iter().any(|t| !t.joins.is_empty()) {
-            self.run_join(&lowered)?
+            self.run_join(lowered)?
         } else {
-            self.run_single_table(&lowered)?
+            self.run_single_table(lowered)?
         };
         // LIMIT caps the delivered rows; the cracking already happened
         // (reorganization is a side effect of evaluation, not delivery).
-        if let (Some(n), QueryOutput::Table { rows, .. }) = (stmt.limit, &mut out) {
+        if let (Some(n), QueryOutput::Table { rows, .. }) = (limit, &mut out) {
             rows.truncate(n);
         }
         Ok(out)
@@ -455,12 +608,20 @@ impl SqlSession {
         } else {
             self.all_term_oids(lowered)?
         };
+        self.emit_single_table(lowered, &oids)
+    }
+
+    /// Materialize a single-table output (star, aggregate or plain-column
+    /// projection) from its qualifying OIDs. Shared by the
+    /// statement-at-a-time path and the prepared batch path.
+    fn emit_single_table(&self, lowered: &LoweredSelect, oids: &[u32]) -> SqlResult<QueryOutput> {
+        let table = &lowered.tables[0];
 
         // Header resolution: empty outputs means `SELECT *`.
         if lowered.outputs.is_empty() {
-            let t = self.db.catalog().table(&table)?;
+            let t = self.db.catalog().table(table)?;
             let columns: Vec<String> = t.schema().names().iter().map(|s| s.to_string()).collect();
-            let rows = project_rows(t, &oids, &columns)?;
+            let rows = project_rows(t, oids, &columns)?;
             return Ok(QueryOutput::Table { columns, rows });
         }
 
@@ -476,13 +637,13 @@ impl SqlSession {
                     Span::default(),
                 ));
             }
-            let t = self.db.catalog().table(&table)?;
+            let t = self.db.catalog().table(table)?;
             let mut row = Vec::with_capacity(aggregates.len());
             for agg in &aggregates {
                 let OutputCol::Aggregate { func, arg, .. } = agg else {
                     unreachable!("filtered above")
                 };
-                row.push(fold_aggregate(t, &oids, *func, arg.as_ref())?);
+                row.push(fold_aggregate(t, oids, *func, arg.as_ref())?);
             }
             return Ok(QueryOutput::Table {
                 columns: lowered
@@ -508,8 +669,8 @@ impl SqlSession {
                 OutputCol::Aggregate { .. } => unreachable!("no aggregates here"),
             })
             .collect();
-        let t = self.db.catalog().table(&table)?;
-        let rows = project_rows(t, &oids, &sources)?;
+        let t = self.db.catalog().table(table)?;
+        let rows = project_rows(t, oids, &sources)?;
         Ok(QueryOutput::Table { columns, rows })
     }
 
@@ -1267,5 +1428,118 @@ mod tests {
         let mut s = session();
         let err = s.execute_one("select * from r where k = a").unwrap_err();
         assert!(matches!(err, SqlError::Unsupported { .. }));
+    }
+
+    /// Sort rows so outputs compare as multisets (row order is
+    /// unspecified across execution paths).
+    fn sorted_rows(out: &QueryOutput) -> Vec<Vec<i64>> {
+        let mut r = rows(out).to_vec();
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn prepared_statements_match_literal_execution() {
+        let mut s = session();
+        let p = s.prepare("select * from r where a >= ? and a < ?").unwrap();
+        assert_eq!(p.param_count(), 2);
+        for (lo, hi) in [(20, 50), (0, 10), (90, 100), (50, 50)] {
+            let got = s.execute_prepared(&p, &[lo, hi]).unwrap();
+            let want = s
+                .execute_one(&format!("select * from r where a >= {lo} and a < {hi}"))
+                .unwrap();
+            assert_eq!(sorted_rows(&got), sorted_rows(&want), "[{lo}, {hi})");
+        }
+        // Wrong arity fails without running anything.
+        assert!(s.execute_prepared(&p, &[1]).is_err());
+    }
+
+    #[test]
+    fn execute_prepared_many_batches_single_column_plans() {
+        let mut s = session();
+        let p = s.prepare("select k from r where a >= ? and a < ?").unwrap();
+        let bindings: Vec<Vec<i64>> = (0..10).map(|i| vec![i * 10, i * 10 + 7]).collect();
+        let batched = s.execute_prepared_many(&p, &bindings).unwrap();
+        assert_eq!(batched.len(), bindings.len());
+        for (b, got) in bindings.iter().zip(&batched) {
+            let want = s
+                .execute_one(&format!(
+                    "select k from r where a >= {} and a < {}",
+                    b[0], b[1]
+                ))
+                .unwrap();
+            assert_eq!(sorted_rows(got), sorted_rows(&want), "binding {b:?}");
+        }
+    }
+
+    #[test]
+    fn execute_prepared_many_falls_back_for_multi_column_plans() {
+        let mut s = session();
+        // Two selection columns: not batchable, still correct.
+        let p = s
+            .prepare("select count(*) from r where a < ? and k >= ?")
+            .unwrap();
+        let outs = s
+            .execute_prepared_many(&p, &[vec![50, 5], vec![100, 0], vec![0, 0]])
+            .unwrap();
+        // a < 50 ⇒ oids 50..=99, k = oid%10 >= 5 ⇒ 5 per decade, 25 total.
+        assert_eq!(rows(&outs[0])[0][0], 25);
+        assert_eq!(rows(&outs[1])[0][0], 100);
+        assert_eq!(rows(&outs[2])[0][0], 0);
+    }
+
+    #[test]
+    fn prepared_aggregates_and_limit_ride_the_batch_path() {
+        let mut s = session();
+        let p = s
+            .prepare("select count(*), min(a), max(a) from r where a between 0 and 99 and a < ?")
+            .unwrap();
+        let outs = s
+            .execute_prepared_many(&p, &[vec![10], vec![1], vec![0]])
+            .unwrap();
+        assert_eq!(rows(&outs[0]), &[vec![10, 0, 9]]);
+        assert_eq!(rows(&outs[1]), &[vec![1, 0, 0]]);
+        assert_eq!(rows(&outs[2]), &[vec![0, 0, 0]]);
+        let p = s.prepare("select * from r where a < ? limit 3").unwrap();
+        let outs = s.execute_prepared_many(&p, &[vec![50], vec![2]]).unwrap();
+        assert_eq!(outs[0].row_count(), 3);
+        assert_eq!(outs[1].row_count(), 2);
+    }
+
+    #[test]
+    fn unbound_parameters_cannot_run_directly() {
+        let mut s = session();
+        let err = s.execute_one("select * from r where a < ?").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }));
+        assert!(err.to_string().contains("unbound"));
+        let err = s.execute_one("delete from r where a < ?").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }));
+        // Only SELECT prepares.
+        assert!(s.prepare("delete from r where a < ?").is_err());
+    }
+
+    #[test]
+    fn execute_parses_the_whole_source_before_running_any_statement() {
+        let mut s = session();
+        // The trailing statement is a syntax error: the leading DELETE
+        // must not have executed.
+        let err = s
+            .execute("delete from r where a < 50; select * frm r")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Syntax { .. }));
+        let out = s.execute_one("select count(*) from r").unwrap();
+        assert_eq!(rows(&out)[0][0], 100, "failed batch left the table intact");
+    }
+
+    #[test]
+    fn execute_batch_runs_pre_parsed_statements() {
+        let mut s = session();
+        let stmts = crate::parser::parse(
+            "insert into r values (5, 1000); select count(*) from r where a >= 1000",
+        )
+        .unwrap();
+        let outs = s.execute_batch(&stmts).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(rows(&outs[1])[0][0], 1);
     }
 }

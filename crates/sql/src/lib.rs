@@ -19,7 +19,10 @@
 //!   extracted;
 //! * [`exec`] — [`SqlSession`], an interactive session over an
 //!   [`engine::AdaptiveDb`]: every statement executed leaves the store
-//!   better partitioned for the next.
+//!   better partitioned for the next. Statements may carry `?`
+//!   placeholders; [`SqlSession::prepare`] lowers them once into a
+//!   [`Prepared`] plan that [`SqlSession::execute_prepared_many`] binds
+//!   and runs batch-at-a-time.
 //!
 //! ## Quick example
 //!
@@ -57,6 +60,6 @@ pub mod parser;
 pub mod token;
 
 pub use error::{Span, SqlError, SqlResult};
-pub use exec::{QueryOutput, SqlSession};
-pub use lower::{lower_select, LoweredSelect, SchemaProvider};
+pub use exec::{Prepared, QueryOutput, SqlSession};
+pub use lower::{lower_select, LoweredSelect, ParamSlot, SchemaProvider};
 pub use parser::{parse, parse_one};

@@ -8,7 +8,7 @@
 //! handles), and carries the grouping (the Ω handle) and projection (the
 //! Ψ handle) through to [`engine::query::QueryTerm`].
 
-use crate::ast::{ColumnRef, ProjItem, Projection, SelectStmt};
+use crate::ast::{CmpOp, ColumnRef, Expr, Operand, ProjItem, Projection, SelectStmt};
 use crate::dnf::{to_dnf, NormLit};
 use crate::error::{Span, SqlError, SqlResult};
 use cracker_core::pred::Bound;
@@ -54,6 +54,116 @@ pub struct LoweredSelect {
     pub group_by: Option<Resolved>,
     /// FROM tables in source order.
     pub tables: Vec<String>,
+    /// Unbound parameter slots: where each `?` placeholder lands once a
+    /// value is supplied. Empty after [`LoweredSelect::bind`].
+    pub slots: Vec<ParamSlot>,
+    /// Number of `?` placeholders the source statement contains. Counted
+    /// from the raw WHERE clause, so it stays authoritative even when
+    /// constant folding drops the DNF term a placeholder appeared in.
+    pub param_count: usize,
+}
+
+/// One unbound `?` placeholder of a lowered SELECT: which term and column
+/// it constrains, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// Index into [`LoweredSelect::terms`].
+    pub term: usize,
+    /// The constrained column.
+    pub target: Resolved,
+    /// Comparison operator (column on the left; never [`CmpOp::Ne`] —
+    /// normalization splits `≠` into two slots).
+    pub op: CmpOp,
+    /// Zero-based parameter index into the bound value list.
+    pub param: usize,
+}
+
+/// The concrete range a comparison operator binds to at value `v`.
+fn pred_for(op: CmpOp, v: i64) -> RangePred<i64> {
+    match op {
+        CmpOp::Lt => RangePred::lt(v),
+        CmpOp::Le => RangePred::le(v),
+        CmpOp::Eq => RangePred::eq(v),
+        CmpOp::Ge => RangePred::ge(v),
+        CmpOp::Gt => RangePred::gt(v),
+        CmpOp::Ne => unreachable!("normalization splits ≠ into < and >"),
+    }
+}
+
+/// Count the `?` placeholders of a WHERE clause (max index + 1).
+fn count_params(expr: &Expr) -> usize {
+    fn walk(e: &Expr, max: &mut Option<usize>) {
+        match e {
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                walk(l, max);
+                walk(r, max);
+            }
+            Expr::Not(i) => walk(i, max),
+            Expr::Between { .. } => {}
+            Expr::Cmp { left, right, .. } => {
+                for o in [left, right] {
+                    if let Operand::Param { idx } = o {
+                        *max = Some(max.map_or(*idx, |m| m.max(*idx)));
+                    }
+                }
+            }
+        }
+    }
+    let mut max = None;
+    walk(expr, &mut max);
+    max.map_or(0, |m| m + 1)
+}
+
+impl LoweredSelect {
+    /// Bind parameter values, producing a fully concrete plan: each slot's
+    /// comparison is intersected into its term's selection predicate (the
+    /// same per-column folding literal conjuncts get). The receiver is the
+    /// reusable prepared form — parse, normalize and resolve once, bind
+    /// and execute many times.
+    pub fn bind(&self, params: &[i64]) -> SqlResult<LoweredSelect> {
+        self.check_param_count(params)?;
+        let mut bound = self.clone();
+        for slot in &self.slots {
+            let pred = pred_for(slot.op, params[slot.param]);
+            let sel = bound.terms[slot.term]
+                .selections
+                .iter_mut()
+                .find(|s| s.table == slot.target.0 && s.attr == slot.target.1)
+                .expect("lowering seeds a selection for every parameter slot");
+            sel.pred = intersect(sel.pred, pred);
+        }
+        bound.slots.clear();
+        bound.param_count = 0;
+        Ok(bound)
+    }
+
+    /// [`bind`](Self::bind) specialized for the prepared-batch shape (one
+    /// term, one selection): returns just the bound predicate of
+    /// `terms[0].selections[0]`, skipping the per-binding plan clone a
+    /// full `bind` pays. Callers must have checked the shape; indexing
+    /// panics otherwise.
+    pub(crate) fn bind_single_pred(&self, params: &[i64]) -> SqlResult<RangePred<i64>> {
+        self.check_param_count(params)?;
+        let mut pred = self.terms[0].selections[0].pred;
+        for slot in &self.slots {
+            pred = intersect(pred, pred_for(slot.op, params[slot.param]));
+        }
+        Ok(pred)
+    }
+
+    fn check_param_count(&self, params: &[i64]) -> SqlResult<()> {
+        if params.len() != self.param_count {
+            return Err(SqlError::semantic(
+                format!(
+                    "statement takes {} parameter(s) but {} value(s) were bound",
+                    self.param_count,
+                    params.len()
+                ),
+                Span::default(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// One output column of a lowered SELECT.
@@ -199,8 +309,17 @@ pub fn lower_select(stmt: &SelectStmt, schema: &dyn SchemaProvider) -> SqlResult
         Some(expr) => to_dnf(expr)?,
     };
     let mut terms = Vec::with_capacity(dnf_terms.len());
-    for lits in &dnf_terms {
-        terms.push(lower_term(stmt, schema, lits, group_by.as_ref(), &outputs)?);
+    let mut slots = Vec::new();
+    for (idx, lits) in dnf_terms.iter().enumerate() {
+        terms.push(lower_term(
+            stmt,
+            schema,
+            lits,
+            group_by.as_ref(),
+            &outputs,
+            idx,
+            &mut slots,
+        )?);
     }
 
     Ok(LoweredSelect {
@@ -208,6 +327,8 @@ pub fn lower_select(stmt: &SelectStmt, schema: &dyn SchemaProvider) -> SqlResult
         outputs,
         group_by,
         tables: stmt.tables.iter().map(|(n, _)| n.clone()).collect(),
+        slots,
+        param_count: stmt.filter.as_ref().map_or(0, count_params),
     })
 }
 
@@ -274,6 +395,8 @@ fn lower_term(
     lits: &[NormLit],
     group_by: Option<&Resolved>,
     outputs: &[OutputCol],
+    term_idx: usize,
+    slots: &mut Vec<ParamSlot>,
 ) -> SqlResult<QueryTerm> {
     // Fold range literals into one predicate per resolved column.
     let mut ranges: BTreeMap<Resolved, RangePred<i64>> = BTreeMap::new();
@@ -286,6 +409,20 @@ fn lower_term(
                     .entry(key)
                     .or_insert(RangePred::with_bounds(None, None));
                 *entry = intersect(*entry, *pred);
+            }
+            NormLit::ParamRange { col, op, param } => {
+                // Seed an unbounded selection for the column so bind()
+                // has a predicate to tighten, and record the slot.
+                let key = resolve(col, &stmt.tables, schema)?;
+                ranges
+                    .entry(key.clone())
+                    .or_insert(RangePred::with_bounds(None, None));
+                slots.push(ParamSlot {
+                    term: term_idx,
+                    target: key,
+                    op: *op,
+                    param: *param,
+                });
             }
             NormLit::Join { left, right } => {
                 let l = resolve(left, &stmt.tables, schema)?;
@@ -560,6 +697,82 @@ mod tests {
                 a.matches(probe) && b.matches(probe)
             );
         }
+    }
+
+    #[test]
+    fn parameters_lower_to_slots_and_bind_to_tight_ranges() {
+        let l = lower("select * from r where a >= ? and a < ?").unwrap();
+        assert_eq!(l.param_count, 2);
+        assert_eq!(l.slots.len(), 2);
+        // Unbound: one seeded (unbounded) selection on `a`.
+        assert_eq!(l.terms[0].selections.len(), 1);
+        let bound = l.bind(&[3, 9]).unwrap();
+        assert_eq!(bound.param_count, 0);
+        assert!(bound.slots.is_empty());
+        assert_eq!(
+            bound.terms[0].selections[0].pred,
+            RangePred::half_open(3, 9)
+        );
+        // The prepared form is reusable: a second bind starts fresh.
+        let again = l.bind(&[5, 7]).unwrap();
+        assert_eq!(
+            again.terms[0].selections[0].pred,
+            RangePred::half_open(5, 7)
+        );
+        // Arity is checked.
+        assert!(l.bind(&[3]).is_err());
+        assert!(l.bind(&[3, 9, 1]).is_err());
+    }
+
+    #[test]
+    fn bind_single_pred_agrees_with_full_bind() {
+        for (src, params) in [
+            ("select * from r where a >= ? and a < ?", vec![3i64, 9]),
+            ("select * from r where a >= 3 and a < ?", vec![9]),
+            ("select * from r where a >= 3 and a < ?", vec![2]),
+        ] {
+            let l = lower(src).unwrap();
+            let full = l.bind(&params).unwrap().terms[0].selections[0].pred;
+            assert_eq!(l.bind_single_pred(&params).unwrap(), full, "{src}");
+        }
+        let l = lower("select * from r where a < ?").unwrap();
+        assert!(l.bind_single_pred(&[]).is_err(), "arity is checked");
+    }
+
+    #[test]
+    fn parameters_fold_with_literal_conjuncts() {
+        let l = lower("select * from r where a >= 3 and a < ?").unwrap();
+        let bound = l.bind(&[9]).unwrap();
+        assert_eq!(
+            bound.terms[0].selections[0].pred,
+            RangePred::half_open(3, 9)
+        );
+        // Binding tighter than the literal keeps the tighter bound.
+        let bound = l.bind(&[2]).unwrap();
+        assert!(bound.terms[0].selections[0].pred.is_empty_range());
+    }
+
+    #[test]
+    fn ne_parameter_binds_both_disjuncts() {
+        let l = lower("select * from r where a <> ?").unwrap();
+        assert_eq!(l.param_count, 1);
+        assert_eq!(l.terms.len(), 2);
+        let bound = l.bind(&[5]).unwrap();
+        let preds: Vec<_> = bound.terms.iter().map(|t| t.selections[0].pred).collect();
+        assert!(preds.contains(&RangePred::lt(5)));
+        assert!(preds.contains(&RangePred::gt(5)));
+    }
+
+    #[test]
+    fn param_count_survives_constant_folding() {
+        // The `1 > 2` conjunct kills the whole term, dropping the slot —
+        // but binding still demands the declared parameter.
+        let l = lower("select * from r where a < ? and 1 > 2").unwrap();
+        assert!(l.terms.is_empty());
+        assert!(l.slots.is_empty());
+        assert_eq!(l.param_count, 1);
+        assert!(l.bind(&[]).is_err());
+        assert!(l.bind(&[5]).unwrap().terms.is_empty());
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //! not_expr    := NOT not_expr | primary
 //! primary     := '(' expr ')' | colref [NOT] BETWEEN int AND int
 //!              | operand cmp operand
-//! operand     := colref | int
+//! operand     := colref | int | '?'
 //! colref      := ident ['.' ident]
 //! int         := ['-'] INT
 //! ```
+//!
+//! `?` is a positional parameter placeholder, numbered left to right from
+//! 0 within each statement; it binds through a prepared statement
+//! ([`crate::exec::SqlSession::prepare`]).
 
 use crate::ast::{CmpOp, ColumnRef, Expr, Operand, ProjItem, Projection, SelectStmt, Statement};
 use crate::error::{Span, SqlError, SqlResult};
@@ -36,6 +40,7 @@ pub fn parse(src: &str) -> SqlResult<Vec<Statement>> {
         tokens,
         pos: 0,
         src_len: src.len(),
+        params: 0,
     };
     let mut out = Vec::new();
     loop {
@@ -72,6 +77,9 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     src_len: usize,
+    /// `?` placeholders seen so far in the current statement; the next
+    /// placeholder takes this value as its zero-based index.
+    params: usize,
 }
 
 impl Parser {
@@ -164,6 +172,7 @@ impl Parser {
     }
 
     fn statement(&mut self) -> SqlResult<Statement> {
+        self.params = 0; // parameters number from 0 within each statement
         match self.peek() {
             Some(Tok::Select) => Ok(Statement::Select(self.select()?)),
             Some(Tok::Create) => self.create(),
@@ -451,7 +460,7 @@ impl Parser {
         if self.eat(&Tok::Between) {
             let col = match left {
                 Operand::Column(c) => c,
-                Operand::Literal(_) => {
+                Operand::Literal(_) | Operand::Param { .. } => {
                     return Err(SqlError::syntax(
                         "BETWEEN requires a column on the left",
                         start,
@@ -509,8 +518,17 @@ impl Parser {
         match self.peek() {
             Some(Tok::Ident(_)) => Ok(Operand::Column(self.column_ref()?)),
             Some(Tok::Int(_)) | Some(Tok::Minus) => Ok(Operand::Literal(self.int_literal()?.0)),
+            Some(Tok::Param) => {
+                self.advance();
+                let idx = self.params;
+                self.params += 1;
+                Ok(Operand::Param { idx })
+            }
             _ => Err(SqlError::syntax(
-                format!("expected a column or integer, found {}", self.peek_desc()),
+                format!(
+                    "expected a column, integer or parameter, found {}",
+                    self.peek_desc()
+                ),
                 self.peek_span(),
             )),
         }
@@ -724,6 +742,42 @@ mod tests {
     fn parse_one_rejects_multiples_and_empties() {
         assert!(parse_one("").is_err());
         assert!(parse_one("select * from r; select * from r").is_err());
+    }
+
+    #[test]
+    fn parameters_number_left_to_right_per_statement() {
+        let s = sel("select * from r where a >= ? and a < ?");
+        let mut idxs = Vec::new();
+        fn collect(e: &Expr, idxs: &mut Vec<usize>) {
+            match e {
+                Expr::And(l, r) | Expr::Or(l, r) => {
+                    collect(l, idxs);
+                    collect(r, idxs);
+                }
+                Expr::Not(i) => collect(i, idxs),
+                Expr::Cmp { left, right, .. } => {
+                    for o in [left, right] {
+                        if let Operand::Param { idx } = o {
+                            idxs.push(*idx);
+                        }
+                    }
+                }
+                Expr::Between { .. } => {}
+            }
+        }
+        collect(&s.filter.unwrap(), &mut idxs);
+        assert_eq!(idxs, vec![0, 1]);
+
+        // Numbering restarts at each statement.
+        let stmts = parse("select * from r where a < ?; select * from r where a > ?").unwrap();
+        for stmt in &stmts {
+            let Statement::Select(s) = stmt else {
+                panic!("expected SELECT")
+            };
+            let mut idxs = Vec::new();
+            collect(s.filter.as_ref().unwrap(), &mut idxs);
+            assert_eq!(idxs, vec![0]);
+        }
     }
 
     #[test]

@@ -96,6 +96,8 @@ pub enum Tok {
     Gt,
     /// `>=`
     Ge,
+    /// `?` — a positional parameter placeholder (prepared statements).
+    Param,
 }
 
 impl fmt::Display for Tok {
@@ -142,6 +144,7 @@ impl fmt::Display for Tok {
                     Tok::Le => "<=",
                     Tok::Gt => ">",
                     Tok::Ge => ">=",
+                    Tok::Param => "?",
                     Tok::Ident(_) | Tok::Int(_) => unreachable!(),
                 };
                 f.write_str(s)
@@ -246,6 +249,7 @@ pub fn lex(src: &str) -> SqlResult<Vec<Token>> {
             b')' => (Tok::RParen, 1),
             b';' => (Tok::Semi, 1),
             b'-' => (Tok::Minus, 1),
+            b'?' => (Tok::Param, 1),
             b'=' => (Tok::Eq, 1),
             b'<' if two(b'=') => (Tok::Le, 2),
             b'<' if two(b'>') => (Tok::Ne, 2),
@@ -335,6 +339,22 @@ mod tests {
                 Tok::Lt,
                 Tok::Gt,
                 Tok::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn parameter_placeholders_lex() {
+        assert_eq!(
+            kinds("a >= ? and a < ?"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ge,
+                Tok::Param,
+                Tok::And,
+                Tok::Ident("a".into()),
+                Tok::Lt,
+                Tok::Param,
             ]
         );
     }

@@ -2,8 +2,9 @@
 //! workspace's benches.
 //!
 //! It keeps the criterion surface (`criterion_group!` / `criterion_main!`,
-//! `Criterion::benchmark_group`, `Bencher::{iter, iter_batched}`,
-//! `BenchmarkId`, `BatchSize`, `black_box`) but replaces the statistical
+//! `Criterion::benchmark_group`,
+//! `Bencher::{iter, iter_batched, iter_custom}`, `BenchmarkId`,
+//! `BatchSize`, `black_box`) but replaces the statistical
 //! machinery with a plain measured loop: a short warm-up, then
 //! `sample_size` timed samples whose min/mean are printed to stdout. Good
 //! enough to compare orders of magnitude offline; swap in real criterion
@@ -127,6 +128,19 @@ impl Bencher {
             let t = Instant::now();
             black_box(routine(input));
             self.recorded.push(t.elapsed());
+        }
+    }
+
+    /// Hand timing to the routine: it receives an iteration count and
+    /// returns the measured [`Duration`] for that many iterations. The
+    /// shim calls it once per sample with `iters = 1`, recording the
+    /// returned duration verbatim — which lets a routine report a derived
+    /// time (a tail latency, a span across threads) instead of wall-clock
+    /// around the closure.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        black_box(routine(1));
+        for _ in 0..self.samples {
+            self.recorded.push(routine(1));
         }
     }
 
