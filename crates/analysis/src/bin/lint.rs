@@ -1,0 +1,37 @@
+//! Workspace lint CLI: `cargo run -p analysis --bin lint [ROOT]`.
+//!
+//! Walks the workspace's library sources and enforces the conventions
+//! documented in [`analysis::lint`]; exits non-zero when any finding
+//! survives, so CI can use it as a required gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| {
+            // When run via `cargo run -p analysis`, the manifest dir is
+            // crates/analysis; the workspace root is two levels up.
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+    let findings = match analysis::lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

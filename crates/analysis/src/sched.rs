@@ -1,0 +1,963 @@
+//! A miniature loom: deterministic, bounded exploration of thread
+//! interleavings over small protocol models.
+//!
+//! Virtual threads are ordinary closures running on real OS threads, but
+//! only **one is ever unparked at a time**: every model sync operation
+//! (latch acquire/release, mutex lock, condvar wait/notify, or an
+//! explicit [`Ctx::step`]) first hands control back to a cooperative
+//! scheduler, which decides who runs next. Each such decision — and each
+//! "which waiter does `notify_one` wake" choice — is a branch point; the
+//! explorer enumerates branches depth-first, replaying a choice prefix
+//! and diverging at the end, until the space is exhausted or a bound is
+//! hit.
+//!
+//! The search is bounded CHESS-style by a **preemption budget**: a
+//! context switch away from a thread that could have kept running costs
+//! one preemption, switches away from a blocked or finished thread are
+//! free. Almost all real concurrency bugs — including the double-crack
+//! and lost-wakeup seeds in [`crate::models`] — need only one or two
+//! preemptions, so a small budget explores the interesting schedules in
+//! milliseconds while the unbounded space would be factorial.
+//!
+//! What the explorer checks on *every* schedule:
+//!
+//! * **deadlock** — some thread can never run again (all non-finished
+//!   threads blocked or asleep on a condvar nobody will notify: the
+//!   lost-wakeup symptom);
+//! * **model assertions** — any panic inside a virtual thread (failed
+//!   `assert!`, a release of a latch the thread does not hold, …);
+//! * **post-conditions** — a [`Model::check`] closure run after all
+//!   threads of a schedule finished (crack-exactly-once counters,
+//!   oracle-equal answers, …);
+//! * **livelock** — a per-schedule step limit.
+//!
+//! Models assume no spurious condvar wakeups (every wakeup stems from a
+//! notify); protocol loops that re-check their condition are modeled
+//! as-is, so a protocol relying on spurious wakeups for liveness would
+//! show up here as a lost wakeup — which is exactly the bug class the
+//! suite exists to catch. Determinism contract: model closures must not
+//! branch on wall-clock time or ambient randomness; given that, the
+//! explorer's replay is exact.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, PoisonError};
+
+/// Handle to a model reader-writer latch (also used as the mutex handle:
+/// a mutex is a latch that is only ever write-acquired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRef(usize);
+
+/// Handle to a model condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvRef(usize);
+
+/// Shared model data: accessed by virtual threads *between* sync points.
+/// Mutation is race-free by construction (one virtual thread runs at a
+/// time), so the inner lock is never contended; it exists to satisfy
+/// `Send`/`Sync`.
+#[derive(Debug)]
+pub struct ModelCell<T>(Arc<OsMutex<T>>);
+
+impl<T> Clone for ModelCell<T> {
+    fn clone(&self) -> Self {
+        ModelCell(Arc::clone(&self.0))
+    }
+}
+
+impl<T> ModelCell<T> {
+    /// Run `f` over the shared state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// A registered virtual-thread body.
+type ThreadBody = Box<dyn FnOnce(&mut Ctx) + Send>;
+
+/// One schedule's registration surface: create resources, spawn virtual
+/// threads, install the post-condition. The build closure passed to
+/// [`Explorer::explore`] runs once per explored schedule, so everything
+/// it creates is schedule-fresh.
+pub struct Model {
+    lock_names: Vec<&'static str>,
+    cv_names: Vec<&'static str>,
+    threads: Vec<(&'static str, ThreadBody)>,
+    check: Option<Box<dyn FnOnce() -> Result<(), String> + Send>>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            lock_names: Vec::new(),
+            cv_names: Vec::new(),
+            threads: Vec::new(),
+            check: None,
+        }
+    }
+
+    /// A fresh reader-writer latch.
+    pub fn rwlock(&mut self, name: &'static str) -> LockRef {
+        self.lock_names.push(name);
+        LockRef(self.lock_names.len() - 1)
+    }
+
+    /// A fresh mutex (a write-only latch).
+    pub fn mutex(&mut self, name: &'static str) -> LockRef {
+        self.rwlock(name)
+    }
+
+    /// A fresh condition variable.
+    pub fn condvar(&mut self, name: &'static str) -> CvRef {
+        self.cv_names.push(name);
+        CvRef(self.cv_names.len() - 1)
+    }
+
+    /// Schedule-fresh shared state.
+    pub fn cell<T: Send + 'static>(&mut self, init: T) -> ModelCell<T> {
+        ModelCell(Arc::new(OsMutex::new(init)))
+    }
+
+    /// Register a virtual thread.
+    pub fn thread(&mut self, name: &'static str, body: impl FnOnce(&mut Ctx) + Send + 'static) {
+        self.threads.push((name, Box::new(body)));
+    }
+
+    /// Post-condition evaluated after every deadlock-free schedule.
+    pub fn check(&mut self, check: impl FnOnce() -> Result<(), String> + Send + 'static) {
+        self.check = Some(Box::new(check));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockSt {
+    Unlocked,
+    /// Shared by `count` readers.
+    Read(usize),
+    /// Exclusively owned by thread `tid`.
+    Write(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    Read(usize),
+    Write(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked(Want),
+    /// Asleep on condvar `cv`; woken to `Blocked(Write(lock))` when the
+    /// wait is mutex-linked, to `Ready` when unlinked.
+    CvWait(usize),
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    options: usize,
+    chosen: usize,
+}
+
+#[derive(Debug)]
+struct RunState {
+    /// `None` = the scheduler decides next; `Some(tid)` = that virtual
+    /// thread holds the baton.
+    baton: Option<usize>,
+    statuses: Vec<Status>,
+    locks: Vec<LockSt>,
+    cv_waiters: Vec<Vec<usize>>,
+    steps: usize,
+    last_ran: Option<usize>,
+    preemptions: usize,
+    prefix: Vec<usize>,
+    cursor: usize,
+    decisions: Vec<Decision>,
+    trace: Vec<String>,
+    panic_msg: Option<String>,
+    abort: bool,
+}
+
+struct Shared {
+    mx: OsMutex<RunState>,
+    cv: OsCondvar,
+    lock_names: Vec<&'static str>,
+    cv_names: Vec<&'static str>,
+    thread_names: Vec<&'static str>,
+}
+
+/// Sentinel unwound through a virtual thread when the run is torn down
+/// early; recognized (and swallowed) by the thread wrapper.
+struct AbortToken;
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RunState> {
+        self.mx.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park until this thread is handed the baton. Panics with
+    /// [`AbortToken`] when the run is being torn down.
+    fn wait_turn(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.baton == Some(tid) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Hand the baton back to the scheduler.
+    fn yield_to_scheduler(&self, st: &mut RunState) {
+        st.baton = None;
+        self.cv.notify_all();
+    }
+}
+
+/// The per-virtual-thread operation surface. Every method is a
+/// scheduling point; see the module docs.
+pub struct Ctx {
+    tid: usize,
+    shared: Arc<Shared>,
+}
+
+impl Ctx {
+    /// Yield, letting the scheduler interleave other threads here. Use to
+    /// mark a visible step (a critical section, a data-race window).
+    pub fn step(&mut self, label: &'static str) {
+        self.turn(label, "");
+    }
+
+    /// Scheduling point: give the baton up and wait to be rescheduled.
+    /// `op` names the operation, `res` the resource it targets.
+    fn turn(&mut self, op: &'static str, res: &'static str) {
+        {
+            let mut st = self.shared.lock();
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            let name = self.shared.thread_names[self.tid];
+            st.trace.push(if res.is_empty() {
+                format!("{name}: {op}")
+            } else {
+                format!("{name}: {op} `{res}`")
+            });
+            self.shared.yield_to_scheduler(&mut st);
+        }
+        self.shared.wait_turn(self.tid);
+    }
+
+    /// Block until `want` is grantable, then take it. Assumes the thread
+    /// currently holds the baton; re-parks whenever the resource is busy
+    /// (the scheduler re-baton's us only when it became grantable).
+    fn acquire(&mut self, want: Want) {
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if grantable(&st, want) {
+                    grant(&mut st, self.tid, want);
+                    return;
+                }
+                st.statuses[self.tid] = Status::Blocked(want);
+                self.shared.yield_to_scheduler(&mut st);
+            }
+            self.shared.wait_turn(self.tid);
+            let mut st = self.shared.lock();
+            st.statuses[self.tid] = Status::Ready;
+        }
+    }
+
+    /// Acquire `l` shared.
+    pub fn acquire_read(&mut self, l: LockRef) {
+        self.turn("acquire_read", self.shared.lock_names[l.0]);
+        self.acquire(Want::Read(l.0));
+    }
+
+    /// Acquire `l` exclusive.
+    pub fn acquire_write(&mut self, l: LockRef) {
+        self.turn("acquire_write", self.shared.lock_names[l.0]);
+        self.acquire(Want::Write(l.0));
+    }
+
+    /// Lock a mutex (alias of [`acquire_write`](Self::acquire_write)).
+    pub fn lock(&mut self, m: LockRef) {
+        self.acquire_write(m);
+    }
+
+    /// Release a shared hold on `l`.
+    pub fn release_read(&mut self, l: LockRef) {
+        self.turn("release_read", self.shared.lock_names[l.0]);
+        let mut st = self.shared.lock();
+        match st.locks[l.0] {
+            LockSt::Read(n) if n > 0 => {
+                st.locks[l.0] = if n == 1 {
+                    LockSt::Unlocked
+                } else {
+                    LockSt::Read(n - 1)
+                };
+            }
+            other => panic!(
+                "model error: release_read of `{}` in state {:?}",
+                self.shared.lock_names[l.0], other
+            ),
+        }
+    }
+
+    /// Release an exclusive hold on `l`.
+    pub fn release_write(&mut self, l: LockRef) {
+        self.turn("release_write", self.shared.lock_names[l.0]);
+        let mut st = self.shared.lock();
+        match st.locks[l.0] {
+            LockSt::Write(owner) if owner == self.tid => st.locks[l.0] = LockSt::Unlocked,
+            other => panic!(
+                "model error: release_write of `{}` by t{} in state {:?}",
+                self.shared.lock_names[l.0], self.tid, other
+            ),
+        }
+    }
+
+    /// Unlock a mutex (alias of [`release_write`](Self::release_write)).
+    pub fn unlock(&mut self, m: LockRef) {
+        self.release_write(m);
+    }
+
+    /// Correct condvar wait: atomically release mutex `m` (which the
+    /// thread must hold exclusively) and sleep on `cv`; re-acquires `m`
+    /// before returning, exactly like `std::sync::Condvar::wait`.
+    pub fn wait(&mut self, cv: CvRef, m: LockRef) {
+        self.turn("wait", self.shared.cv_names[cv.0]);
+        {
+            let mut st = self.shared.lock();
+            match st.locks[m.0] {
+                LockSt::Write(owner) if owner == self.tid => st.locks[m.0] = LockSt::Unlocked,
+                other => panic!(
+                    "model error: wait on `{}` without holding `{}` (state {:?})",
+                    self.shared.cv_names[cv.0], self.shared.lock_names[m.0], other
+                ),
+            }
+            st.cv_waiters[cv.0].push(self.tid);
+            st.statuses[self.tid] = Status::CvWait(cv.0);
+            self.shared.yield_to_scheduler(&mut st);
+        }
+        self.shared.wait_turn(self.tid);
+        {
+            let mut st = self.shared.lock();
+            st.statuses[self.tid] = Status::Ready;
+        }
+        // The notifier left us blocked on the mutex; take it.
+        self.acquire(Want::Write(m.0));
+    }
+
+    /// The *seeded-bug* wait: sleep on `cv` without any mutex interplay —
+    /// the classic non-atomic "unlock, then sleep" window. A notify that
+    /// fires inside that window is lost; the schedule explorer exists to
+    /// find exactly this.
+    pub fn wait_unlinked(&mut self, cv: CvRef) {
+        self.turn("wait_unlinked", self.shared.cv_names[cv.0]);
+        {
+            let mut st = self.shared.lock();
+            st.cv_waiters[cv.0].push(self.tid);
+            st.statuses[self.tid] = Status::CvWait(cv.0);
+            self.shared.yield_to_scheduler(&mut st);
+        }
+        self.shared.wait_turn(self.tid);
+        let mut st = self.shared.lock();
+        st.statuses[self.tid] = Status::Ready;
+    }
+
+    /// Wake one waiter of `cv` (no-op — a lost notification — when none
+    /// is sleeping). When several wait and the wait was mutex-linked,
+    /// *which* one wakes is a scheduler branch point.
+    pub fn notify_one(&mut self, cv: CvRef) {
+        self.turn("notify_one", self.shared.cv_names[cv.0]);
+        let mut st = self.shared.lock();
+        if st.cv_waiters[cv.0].is_empty() {
+            return;
+        }
+        let waiters = st.cv_waiters[cv.0].len();
+        let idx = choose(&mut st, waiters);
+        let woken = st.cv_waiters[cv.0].remove(idx);
+        wake(&mut st, woken);
+    }
+
+    /// Wake every waiter of `cv`.
+    pub fn notify_all(&mut self, cv: CvRef) {
+        self.turn("notify_all", self.shared.cv_names[cv.0]);
+        let mut st = self.shared.lock();
+        let waiters = std::mem::take(&mut st.cv_waiters[cv.0]);
+        for tid in waiters {
+            wake(&mut st, tid);
+        }
+    }
+}
+
+/// Transition a condvar sleeper to its post-wakeup state.
+fn wake(st: &mut RunState, tid: usize) {
+    st.statuses[tid] = Status::Ready;
+}
+
+fn grantable(st: &RunState, want: Want) -> bool {
+    match want {
+        Want::Read(l) => matches!(st.locks[l], LockSt::Unlocked | LockSt::Read(_)),
+        Want::Write(l) => st.locks[l] == LockSt::Unlocked,
+    }
+}
+
+fn grant(st: &mut RunState, tid: usize, want: Want) {
+    match want {
+        Want::Read(l) => {
+            st.locks[l] = match st.locks[l] {
+                LockSt::Unlocked => LockSt::Read(1),
+                LockSt::Read(n) => LockSt::Read(n + 1),
+                LockSt::Write(_) => unreachable!("grant checked by grantable"),
+            };
+        }
+        Want::Write(l) => st.locks[l] = LockSt::Write(tid),
+    }
+}
+
+/// Take the next branch decision: replay the prefix, default to 0 past
+/// its end, and record `(options, chosen)` for backtracking. Single-
+/// option "decisions" are not recorded.
+fn choose(st: &mut RunState, options: usize) -> usize {
+    if options <= 1 {
+        return 0;
+    }
+    let chosen = if st.cursor < st.prefix.len() {
+        st.prefix[st.cursor].min(options - 1)
+    } else {
+        0
+    };
+    st.cursor += 1;
+    st.decisions.push(Decision { options, chosen });
+    chosen
+}
+
+/// How one explored schedule failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unfinished threads, none runnable (includes lost wakeups).
+    Deadlock,
+    /// A virtual thread panicked (failed assertion, model error).
+    Panic,
+    /// The post-condition ([`Model::check`]) rejected the final state.
+    Check,
+    /// Step limit exceeded (livelock guard).
+    StepLimit,
+}
+
+/// A counterexample schedule.
+#[derive(Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description (statuses at deadlock, panic payload…).
+    pub message: String,
+    /// The schedule: one line per scheduling decision taken.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// True when the bounded space was exhausted (no early stop).
+    pub complete: bool,
+    /// Counterexamples found (empty = all explored schedules passed).
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// Panic unless every explored schedule passed; the message carries
+    /// the first counterexample's trace.
+    pub fn assert_clean(&self) {
+        if let Some(f) = self.failures.first() {
+            panic!(
+                "model failed ({:?}) after {} schedules: {}\nschedule:\n  {}",
+                f.kind,
+                self.schedules,
+                f.message,
+                f.trace.join("\n  ")
+            );
+        }
+    }
+}
+
+/// The bounded DFS driver. See the module docs for the search strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Context switches away from a runnable thread allowed per schedule.
+    pub preemption_bound: usize,
+    /// Cap on explored schedules (the DFS stops, `complete = false`).
+    pub max_schedules: usize,
+    /// Per-schedule step cap (livelock guard).
+    pub max_steps: usize,
+    /// Stop at the first counterexample (default) or keep enumerating.
+    pub stop_on_failure: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            preemption_bound: 3,
+            max_schedules: 20_000,
+            max_steps: 2_000,
+            stop_on_failure: true,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with a custom preemption budget.
+    pub fn with_preemptions(bound: usize) -> Self {
+        Explorer {
+            preemption_bound: bound,
+            ..Explorer::default()
+        }
+    }
+
+    /// Explore the model `build` constructs, one invocation per schedule.
+    pub fn explore(&self, build: impl Fn(&mut Model)) -> Report {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut report = Report {
+            schedules: 0,
+            complete: true,
+            failures: Vec::new(),
+        };
+        loop {
+            let (decisions, failure) = self.run_once(&build, &prefix);
+            report.schedules += 1;
+            if let Some(f) = failure {
+                report.failures.push(f);
+                if self.stop_on_failure {
+                    report.complete = false;
+                    return report;
+                }
+            }
+            // Next prefix: increment the deepest incrementable decision.
+            let mut next = decisions;
+            loop {
+                match next.pop() {
+                    None => return report, // space exhausted
+                    Some(d) if d.chosen + 1 < d.options => {
+                        prefix = next.iter().map(|d| d.chosen).collect();
+                        prefix.push(d.chosen + 1);
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if report.schedules >= self.max_schedules {
+                report.complete = false;
+                return report;
+            }
+        }
+    }
+
+    /// Execute one schedule following `prefix`.
+    fn run_once(
+        &self,
+        build: &impl Fn(&mut Model),
+        prefix: &[usize],
+    ) -> (Vec<Decision>, Option<Failure>) {
+        let mut model = Model::new();
+        build(&mut model);
+        let n = model.threads.len();
+        assert!(n > 0, "a model needs at least one thread");
+        let shared = Arc::new(Shared {
+            mx: OsMutex::new(RunState {
+                baton: None,
+                statuses: vec![Status::Ready; n],
+                locks: vec![LockSt::Unlocked; model.lock_names.len()],
+                cv_waiters: vec![Vec::new(); model.cv_names.len()],
+                steps: 0,
+                last_ran: None,
+                preemptions: 0,
+                prefix: prefix.to_vec(),
+                cursor: 0,
+                decisions: Vec::new(),
+                trace: Vec::new(),
+                panic_msg: None,
+                abort: false,
+            }),
+            cv: OsCondvar::new(),
+            lock_names: model.lock_names.clone(),
+            cv_names: model.cv_names.clone(),
+            thread_names: model.threads.iter().map(|(name, _)| *name).collect(),
+        });
+        let mut handles = Vec::with_capacity(n);
+        for (tid, (_, body)) in model.threads.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("vthread-{tid}"))
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    let mut ctx = Ctx {
+                        tid,
+                        shared: Arc::clone(&shared),
+                    };
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        shared.wait_turn(tid);
+                        body(&mut ctx);
+                    }));
+                    let mut st = shared.lock();
+                    if let Err(payload) = result {
+                        if !payload.is::<AbortToken>() && st.panic_msg.is_none() {
+                            st.panic_msg = Some(payload_to_string(&payload));
+                        }
+                    }
+                    st.statuses[tid] = Status::Finished;
+                    shared.yield_to_scheduler(&mut st);
+                })
+                .expect("spawn virtual thread"); // lint: allow(unwrap) — cannot explore without threads; abort is correct
+            handles.push(handle);
+        }
+
+        let failure = self.schedule_loop(&shared);
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = shared.lock();
+        let decisions = std::mem::take(&mut st.decisions);
+        let failure = failure.or_else(|| {
+            st.panic_msg.take().map(|message| Failure {
+                kind: FailureKind::Panic,
+                message,
+                trace: st.trace.clone(),
+            })
+        });
+        drop(st);
+        // Post-condition, only for schedules that completed cleanly.
+        let failure = failure.or_else(|| {
+            model.check.take().and_then(|check| {
+                match panic::catch_unwind(AssertUnwindSafe(check)) {
+                    Ok(Ok(())) => None,
+                    Ok(Err(message)) => Some(Failure {
+                        kind: FailureKind::Check,
+                        message,
+                        trace: shared.lock().trace.clone(),
+                    }),
+                    Err(payload) => Some(Failure {
+                        kind: FailureKind::Check,
+                        message: payload_to_string(&payload),
+                        trace: shared.lock().trace.clone(),
+                    }),
+                }
+            })
+        });
+        (decisions, failure)
+    }
+
+    /// The scheduler: pick a runnable thread, hand it the baton, wait for
+    /// it to yield, repeat until everyone finished or nobody can run.
+    fn schedule_loop(&self, shared: &Shared) -> Option<Failure> {
+        loop {
+            let mut st = shared.lock();
+            while st.baton.is_some() {
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.panic_msg.is_some() {
+                teardown(shared, &mut st);
+                return None; // reported as Panic by run_once
+            }
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                return None;
+            }
+            let runnable: Vec<usize> = (0..st.statuses.len())
+                .filter(|&tid| match st.statuses[tid] {
+                    Status::Ready => true,
+                    Status::Blocked(want) => grantable(&st, want),
+                    Status::CvWait(_) | Status::Finished => false,
+                })
+                .collect();
+            if runnable.is_empty() {
+                let message = format!(
+                    "deadlock: no runnable thread; statuses: {}",
+                    describe_statuses(shared, &st)
+                );
+                let trace = st.trace.clone();
+                teardown(shared, &mut st);
+                return Some(Failure {
+                    kind: FailureKind::Deadlock,
+                    message,
+                    trace,
+                });
+            }
+            st.steps += 1;
+            if st.steps > self.max_steps {
+                let trace = st.trace.clone();
+                teardown(shared, &mut st);
+                return Some(Failure {
+                    kind: FailureKind::StepLimit,
+                    message: format!("exceeded {} steps (livelock?)", self.max_steps),
+                    trace,
+                });
+            }
+            // Preemption-bounded choice: continuing the last-run thread is
+            // free; switching away from it while it could continue costs
+            // one preemption.
+            let prev_runnable = st.last_ran.filter(|p| runnable.contains(p));
+            let choices: Vec<usize> = match prev_runnable {
+                Some(p) if st.preemptions >= self.preemption_bound => vec![p],
+                Some(p) => {
+                    let mut c = vec![p];
+                    c.extend(runnable.iter().copied().filter(|&t| t != p));
+                    c
+                }
+                None => runnable,
+            };
+            let idx = choose(&mut st, choices.len());
+            let tid = choices[idx];
+            if prev_runnable.is_some_and(|p| p != tid) {
+                st.preemptions += 1;
+            }
+            st.last_ran = Some(tid);
+            st.baton = Some(tid);
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Unblock every parked virtual thread into the abort path.
+fn teardown(shared: &Shared, st: &mut RunState) {
+    st.abort = true;
+    shared.cv.notify_all();
+}
+
+fn describe_statuses(shared: &Shared, st: &RunState) -> String {
+    st.statuses
+        .iter()
+        .enumerate()
+        .map(|(tid, s)| {
+            let what = match s {
+                Status::Ready => "ready".to_string(),
+                Status::Finished => "finished".to_string(),
+                Status::Blocked(Want::Read(l)) => {
+                    format!("blocked acquiring read `{}`", shared.lock_names[*l])
+                }
+                Status::Blocked(Want::Write(l)) => {
+                    format!("blocked acquiring write `{}`", shared.lock_names[*l])
+                }
+                Status::CvWait(cv) => {
+                    format!("asleep on `{}` (never notified)", shared.cv_names[*cv])
+                }
+            };
+            format!("{}={what}", shared.thread_names[tid])
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "virtual thread panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let report = Explorer::default().explore(|m| {
+            let l = m.rwlock("l");
+            let data = m.cell(0u32);
+            let d = data.clone();
+            m.thread("t0", move |ctx| {
+                ctx.acquire_write(l);
+                d.with(|v| *v += 1);
+                ctx.release_write(l);
+            });
+            let d = data.clone();
+            m.check(move || {
+                let v = d.with(|v| *v);
+                if v == 1 {
+                    Ok(())
+                } else {
+                    Err(format!("expected 1, got {v}"))
+                }
+            });
+        });
+        report.assert_clean();
+        assert_eq!(report.schedules, 1, "one thread has exactly one schedule");
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn two_unsynchronized_increments_explore_multiple_schedules() {
+        // A classic read-modify-write race: both threads read 0 on some
+        // schedule, so the final value is 1 — the checker must see it.
+        let report = Explorer::default().explore(|m| {
+            let data = m.cell(0u32);
+            for name in ["a", "b"] {
+                let d = data.clone();
+                m.thread(name, move |ctx| {
+                    let seen = d.with(|v| *v);
+                    ctx.step("between read and write");
+                    d.with(|v| *v = seen + 1);
+                });
+            }
+            let d = data.clone();
+            m.check(move || {
+                let v = d.with(|v| *v);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: final value {v}"))
+                }
+            });
+        });
+        assert!(
+            !report.failures.is_empty(),
+            "the lost-update schedule must be found"
+        );
+        assert_eq!(report.failures[0].kind, FailureKind::Check);
+    }
+
+    #[test]
+    fn mutex_serializes_the_same_increments() {
+        let report = Explorer::default().explore(|m| {
+            let mx = m.mutex("m");
+            let data = m.cell(0u32);
+            for name in ["a", "b"] {
+                let d = data.clone();
+                m.thread(name, move |ctx| {
+                    ctx.lock(mx);
+                    let seen = d.with(|v| *v);
+                    ctx.step("inside critical section");
+                    d.with(|v| *v = seen + 1);
+                    ctx.unlock(mx);
+                });
+            }
+            let d = data.clone();
+            m.check(move || {
+                let v = d.with(|v| *v);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("mutex failed to serialize: {v}"))
+                }
+            });
+        });
+        report.assert_clean();
+        assert!(report.schedules > 1, "contended mutex has real choices");
+    }
+
+    #[test]
+    fn self_deadlock_is_detected() {
+        let report = Explorer::default().explore(|m| {
+            let mx = m.mutex("m");
+            m.thread("t0", move |ctx| {
+                ctx.lock(mx);
+                ctx.lock(mx); // blocks forever
+            });
+        });
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].kind, FailureKind::Deadlock);
+        assert!(report.failures[0].message.contains("blocked acquiring"));
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_found_with_one_preemption() {
+        let report = Explorer::with_preemptions(1).explore(|m| {
+            let a = m.mutex("a");
+            let b = m.mutex("b");
+            m.thread("t0", move |ctx| {
+                ctx.lock(a);
+                ctx.lock(b);
+                ctx.unlock(b);
+                ctx.unlock(a);
+            });
+            m.thread("t1", move |ctx| {
+                ctx.lock(b);
+                ctx.lock(a);
+                ctx.unlock(a);
+                ctx.unlock(b);
+            });
+        });
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.kind == FailureKind::Deadlock),
+            "AB-BA deadlock must be explored"
+        );
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let report = Explorer::default().explore(|m| {
+            let l = m.rwlock("l");
+            let peak = m.cell((0usize, 0usize)); // (inside, peak readers)
+            for name in ["r0", "r1"] {
+                let p = peak.clone();
+                m.thread(name, move |ctx| {
+                    ctx.acquire_read(l);
+                    p.with(|(inside, pk)| {
+                        *inside += 1;
+                        *pk = (*pk).max(*inside);
+                    });
+                    ctx.step("reading");
+                    p.with(|(inside, _)| *inside -= 1);
+                    ctx.release_read(l);
+                });
+            }
+            m.thread("w", move |ctx| {
+                ctx.acquire_write(l);
+                ctx.step("writing");
+                ctx.release_write(l);
+            });
+            let p = peak.clone();
+            m.check(move || {
+                let pk = p.with(|(_, pk)| *pk);
+                if pk >= 1 {
+                    Ok(())
+                } else {
+                    Err("readers never ran".into())
+                }
+            });
+        });
+        report.assert_clean();
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_one_linked_waiter() {
+        // Two sleepers, one notify_one, then one notify_all: all finish.
+        let report = Explorer::default().explore(|m| {
+            let mx = m.mutex("m");
+            let cv = m.condvar("cv");
+            let flags = m.cell(0u32);
+            for name in ["w0", "w1"] {
+                let f = flags.clone();
+                m.thread(name, move |ctx| {
+                    ctx.lock(mx);
+                    while f.with(|v| *v) == 0 {
+                        ctx.wait(cv, mx);
+                    }
+                    f.with(|v| *v -= 1);
+                    ctx.unlock(mx);
+                });
+            }
+            let f = flags.clone();
+            m.thread("n", move |ctx| {
+                ctx.lock(mx);
+                f.with(|v| *v = 2);
+                ctx.unlock(mx);
+                ctx.notify_one(cv);
+                ctx.notify_all(cv);
+            });
+        });
+        report.assert_clean();
+    }
+}

@@ -28,13 +28,23 @@
 //! SIMD, or the per-piece-size-band dispatcher — [`crate::kernel`]) from
 //! the `CrackerConfig` it is built with, so the single-lock path runs
 //! exactly the same hot loops as the plain and sharded paths.
+//!
+//! The lock itself comes from the [`crate::sync`] facade (lockdep): under
+//! `LOCK_ANALYSIS=1` every acquisition here is checked for order
+//! inversions, upgrade-while-held, and the batch path's one-read-plus-
+//! one-write latch budget. `CONCURRENCY.md` at the repository root
+//! documents the full latch hierarchy and which invariants are checked
+//! mechanically vs. stress-tested.
 
 use crate::column::{CrackerColumn, Selection};
 use crate::config::CrackerConfig;
 use crate::pred::RangePred;
 use crate::stats::CrackStats;
+use crate::sync::{lockdep, LockGroup, RwLock};
 use crate::value_trait::CrackValue;
-use parking_lot::RwLock;
+
+/// Lockdep class of the column-wide latch.
+const LATCH_CLASS: &str = "column";
 
 /// A [`CrackerColumn`] behind a read/write lock with a boundary-reuse
 /// fast path.
@@ -57,7 +67,7 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
     /// Wrap an existing column.
     pub fn from_column(column: CrackerColumn<T>) -> Self {
         SharedCrackerColumn {
-            inner: RwLock::new(column),
+            inner: RwLock::with_class(column, LATCH_CLASS, 0, LockGroup::new()),
         }
     }
 
@@ -116,6 +126,10 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
     /// entry per cold predicate — is unchanged).
     pub fn select_oids_batch_into(&self, preds: &[RangePred<T>], outs: &mut [Vec<u32>]) {
         assert_eq!(preds.len(), outs.len(), "one output buffer per predicate");
+        // Machine-checked form of the amortization contract above: the
+        // whole batch costs at most one read plus one write acquisition
+        // of the column latch (no-op unless lock analysis is on).
+        let _budget = lockdep::LatchBudget::new(LATCH_CLASS, 2, "batch select amortization");
         let mut done = 0;
         {
             let guard = self.inner.read();

@@ -69,12 +69,14 @@ pub fn omega_crack<T: CrackValue>(col: &mut PairColumn<T>, range: Range<usize>) 
         for i in range.clone() {
             let v = col.values()[i];
             let o = col.oids()[i];
+            // lint: allow(unwrap) — pass 1 inserted a slot for every value
             let slot = next_slot.get_mut(&v).expect("counted in pass 1");
             scratch[*slot - range.start] = Some((v, o));
             *slot += 1;
         }
         let (vals, oids) = col.arrays_mut_for_omega();
         for (offset, entry) in scratch.into_iter().enumerate() {
+            // lint: allow(unwrap) — the scatter writes each slot exactly once
             let (v, o) = entry.expect("every slot is filled by the scatter");
             let i = range.start + offset;
             if vals[i] != v || oids[i] != o {

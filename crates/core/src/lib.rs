@@ -69,6 +69,7 @@ pub(crate) mod simd;
 pub mod sorted;
 pub mod stats;
 pub mod stochastic;
+pub mod sync;
 pub mod updates;
 pub mod value_trait;
 

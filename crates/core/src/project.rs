@@ -117,8 +117,9 @@ pub fn psi_reconstruct(p: &PsiResult) -> StorageResult<VerticalFragment> {
     // 1:1-join verification: every OID of one side must appear in the
     // other (when both sides are non-empty).
     if !p.projected.is_empty() && !p.rest.is_empty() {
+        // lint: allow(unwrap) — both sides checked non-empty just above
         let left = p.projected.columns.values().next().expect("non-empty");
-        let right = p.rest.columns.values().next().expect("non-empty");
+        let right = p.rest.columns.values().next().expect("non-empty"); // lint: allow(unwrap) — same guard
         if left.len() != right.len() {
             return Err(StorageError::Misaligned {
                 left: left.len(),

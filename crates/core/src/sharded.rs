@@ -76,11 +76,17 @@ use crate::concurrent::SharedCrackerColumn;
 use crate::config::CrackerConfig;
 use crate::pred::RangePred;
 use crate::stats::CrackStats;
+use crate::sync::{lockdep, LockGroup, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use crate::value_trait::CrackValue;
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Upper bound on the number of values sampled to choose shard splits.
 const SPLIT_SAMPLE: usize = 4096;
+
+/// Lockdep class of the per-shard latches. Shard `i`'s latch carries
+/// order key `i` inside the column's [`LockGroup`], so the ascending-
+/// index discipline documented above is checked mechanically under
+/// `LOCK_ANALYSIS=1` (see [`crate::sync`] and `CONCURRENCY.md`).
+const LATCH_CLASS: &str = "shard";
 
 /// A held shard latch of either strength (phase 2 mixes them: shards that
 /// need no cracking stay read-latched).
@@ -174,9 +180,18 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
             parts[s].0.push(v);
             parts[s].1.push(i as u32);
         }
+        let group = LockGroup::new();
         let shards = parts
             .into_iter()
-            .map(|(v, o)| RwLock::new(CrackerColumn::from_pairs(v, o, config)))
+            .enumerate()
+            .map(|(i, (v, o))| {
+                RwLock::with_class(
+                    CrackerColumn::from_pairs(v, o, config),
+                    LATCH_CLASS,
+                    i as u32,
+                    group,
+                )
+            })
             .collect();
         ShardedCrackerColumn { splits, shards }
     }
@@ -301,6 +316,10 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
         preds: &[RangePred<T>],
         consume: &mut dyn FnMut(usize, &CrackerColumn<T>, &Selection),
     ) {
+        // Machine-checked form of the amortization contract: at most two
+        // latch round-trips (one read + one write) per shard for the
+        // whole batch (no-op unless lock analysis is on).
+        let _budget = lockdep::LatchBudget::new(LATCH_CLASS, 2, "batch latch amortization");
         // Bucket the batch by shard: `work[s]` holds `(batch index,
         // clamped per-shard predicate)` for every predicate touching
         // shard `s`, in batch order.

@@ -227,14 +227,11 @@ impl<T: CrackValue> SidewaysCracker<T> {
         fetch_tail: impl FnOnce() -> Vec<T>,
         pred: RangePred<T>,
     ) -> &'a [T] {
-        if !self.maps.contains_key(tail_name) {
-            let tail = fetch_tail();
-            self.maps.insert(
-                tail_name.to_owned(),
-                CrackerMap::new(self.head.clone(), tail),
-            );
-        }
-        let map = self.maps.get_mut(tail_name).expect("inserted above");
+        let head = &self.head;
+        let map = self
+            .maps
+            .entry(tail_name.to_owned())
+            .or_insert_with(|| CrackerMap::new(head.clone(), fetch_tail()));
         let r = map.select(pred);
         map.project(r)
     }

@@ -632,7 +632,7 @@ unsafe fn place_scalar(
 /// and `hi - lo ≥ SIMD_MIN`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // kernel entry point: partition state arrives unpacked by design
 unsafe fn crack_two_avx2<const LTE: bool>(
     lanes: &mut [i64],
     oids: &mut [u32],
@@ -870,7 +870,7 @@ fn pos_mask_below(pos: usize, bound: usize) -> usize {
 /// Caller guarantees AVX2+popcnt and `from ≤ to ≤ lanes.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // kernel entry point: partition state arrives unpacked by design
 unsafe fn count3_avx2(
     lanes: &[i64],
     from: usize,
@@ -918,7 +918,7 @@ unsafe fn count3_avx2(
 /// `c1`/`c3` are the exact L/G-class populations of `lanes[lo..hi)`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,popcnt")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // kernel entry point: partition state arrives unpacked by design
 unsafe fn crack_three_avx2(
     lanes: &mut [i64],
     oids: &mut [u32],
@@ -1198,7 +1198,7 @@ unsafe fn mask2_before<const LTE: bool>(v: __m128i, pv: __m128i, fv: __m128i) ->
 /// As [`crack_two_avx2`], with SSE4.2+SSSE3+popcnt.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.2,ssse3,popcnt")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // kernel entry point: partition state arrives unpacked by design
 unsafe fn crack_two_sse42<const LTE: bool>(
     lanes: &mut [i64],
     oids: &mut [u32],

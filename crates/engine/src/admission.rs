@@ -18,39 +18,90 @@
 //! session (an `UpdateHeavy` writer fanned out over many threads) leaves
 //! at least `total - session_cap` slots that only *other* sessions can
 //! fill — a reader arriving during the burst waits for one permit release
-//! at most, never for the whole burst to drain. Releases wake all waiters
-//! (the state lock is held only for counter updates, so the thundering
-//! herd is a handful of counter checks).
+//! at most, never for the whole burst to drain.
+//!
+//! # Wakeup policy
+//!
+//! A single permit release admits at most one extra operation, so waking
+//! every waiter (the previous `notify_all` herd) buys nothing: all but
+//! one loser re-check the counters and go back to sleep. The gate instead
+//! tracks *which sessions are waiting* and, on release:
+//!
+//! * wakes **nobody** when no one is waiting (the common uncontended
+//!   case — no syscall at all);
+//! * wakes **one** waiter when every waiting session is below its cap
+//!   (then any waiter the OS picks can take the freed slot, so one wakeup
+//!   is both sufficient and non-stalling);
+//! * **broadcasts** only in the mixed case — some waiting session is
+//!   still at its cap. A single wakeup could then land on a cap-blocked
+//!   waiter, which would re-sleep and leave the freed slot idle until the
+//!   capped session's next release, stalling eligible waiters for
+//!   arbitrarily long (this is a latency hazard, not a deadlock: a session
+//!   at cap implies outstanding permits whose releases re-notify). The
+//!   broadcast is the price of precision without per-session condvars,
+//!   and it only fires while a session is saturating its cap.
+//!
+//! The same reasoning is model-checked: `analysis::models::gate` explores
+//! every bounded interleaving of this protocol (and of a seeded
+//! lost-wakeup variant, which the explorer duly catches) — see
+//! `crates/analysis` and `CONCURRENCY.md`.
 //!
 //! Permits are RAII: [`AdmissionPermit`] releases its slot on drop, so an
 //! early return or panic inside the admitted section cannot leak a slot.
 //!
-//! The shim `parking_lot` has no condvar, so the gate uses
-//! `std::sync::{Mutex, Condvar}`; the critical sections are a few counter
-//! updates and never overlap query execution.
+//! The mutex/condvar pair comes from the [`cracker_core::sync`] facade
+//! (class `"admission"`), so gate acquisitions participate in lockdep's
+//! lock-order graph under `LOCK_ANALYSIS=1`. The critical sections are a
+//! few counter updates and never overlap query execution.
 
+use cracker_core::sync::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A counting gate bounding in-flight operations, with a per-session cap
 /// so one session cannot monopolize the permits. See the module doc for
-/// the fairness policy.
+/// the fairness and wakeup policies.
 #[derive(Debug)]
 pub struct AdmissionGate {
     state: Mutex<GateState>,
     released: Condvar,
     total: usize,
     session_cap: usize,
+    wakes: WakeStats,
 }
 
 #[derive(Debug, Default)]
 struct GateState {
     in_flight: usize,
     per_session: HashMap<u64, usize>,
+    /// Sessions currently blocked in [`AdmissionGate::admit`], with their
+    /// waiter counts — the wakeup policy's eligibility input.
+    waiting: HashMap<u64, usize>,
+}
+
+/// Wakeup counters (diagnostics and regression tests; relaxed atomics).
+#[derive(Debug, Default)]
+struct WakeStats {
+    notify_one: AtomicU64,
+    notify_all: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+/// Snapshot of the gate's wakeup counters — the observable side of the
+/// wakeup policy, pinned by regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeCounts {
+    /// Single-waiter wakeups issued (uniform-eligibility releases).
+    pub notify_one: u64,
+    /// Broadcasts issued (a waiting session was at its cap).
+    pub notify_all: u64,
+    /// Times any waiter woke inside `admit` (including spurious and
+    /// losing wakeups — the herd metric).
+    pub wakeups: u64,
 }
 
 /// A held execution slot; dropping it releases the slot and wakes
-/// waiters.
+/// waiters per the wakeup policy.
 #[derive(Debug)]
 pub struct AdmissionPermit<'a> {
     gate: &'a AdmissionGate,
@@ -63,10 +114,11 @@ impl AdmissionGate {
     pub fn new(total: usize, session_cap: usize) -> Self {
         let total = total.max(1);
         AdmissionGate {
-            state: Mutex::new(GateState::default()),
+            state: Mutex::with_class(GateState::default(), "admission"),
             released: Condvar::new(),
             total,
             session_cap: session_cap.clamp(1, total),
+            wakes: WakeStats::default(),
         }
     }
 
@@ -82,34 +134,43 @@ impl AdmissionGate {
 
     /// Operations currently admitted (diagnostic snapshot).
     pub fn in_flight(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .in_flight
+        self.state.lock().in_flight
+    }
+
+    /// Snapshot of the wakeup counters.
+    pub fn wake_counts(&self) -> WakeCounts {
+        WakeCounts {
+            notify_one: self.wakes.notify_one.load(Ordering::Relaxed),
+            notify_all: self.wakes.notify_all.load(Ordering::Relaxed),
+            wakeups: self.wakes.wakeups.load(Ordering::Relaxed),
+        }
     }
 
     /// Block until `session` may run one more operation, then take a
     /// permit for it.
     pub fn admit(&self, session: u64) -> AdmissionPermit<'_> {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if self.admissible(&st, session) {
-                self.book(&mut st, session);
-                return AdmissionPermit {
-                    gate: self,
-                    session,
-                };
+        let mut st = self.state.lock();
+        if !self.admissible(&st, session) {
+            *st.waiting.entry(session).or_insert(0) += 1;
+            loop {
+                st = self.released.wait(st);
+                self.wakes.wakeups.fetch_add(1, Ordering::Relaxed);
+                if self.admissible(&st, session) {
+                    break;
+                }
             }
-            st = self
-                .released
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            remove_one(&mut st.waiting, session);
+        }
+        self.book(&mut st, session);
+        AdmissionPermit {
+            gate: self,
+            session,
         }
     }
 
     /// Take a permit for `session` if one is available right now.
     pub fn try_admit(&self, session: u64) -> Option<AdmissionPermit<'_>> {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state.lock();
         if self.admissible(&st, session) {
             self.book(&mut st, session);
             Some(AdmissionPermit {
@@ -132,24 +193,60 @@ impl AdmissionGate {
     }
 }
 
+/// Decrement `map[key]`, removing the entry at zero.
+fn remove_one(map: &mut HashMap<u64, usize>, key: u64) {
+    if let Some(n) = map.get_mut(&key) {
+        *n -= 1;
+        if *n == 0 {
+            map.remove(&key);
+        }
+    }
+}
+
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        {
-            let mut st = self
-                .gate
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+        let wake = {
+            let mut st = self.gate.state.lock();
             st.in_flight -= 1;
-            if let Some(held) = st.per_session.get_mut(&self.session) {
-                *held -= 1;
-                if *held == 0 {
-                    st.per_session.remove(&self.session);
-                }
+            remove_one(&mut st.per_session, self.session);
+            if st.waiting.is_empty() {
+                Wake::None
+            } else if st
+                .waiting
+                .keys()
+                .all(|s| st.per_session.get(s).copied().unwrap_or(0) < self.gate.session_cap)
+            {
+                Wake::One
+            } else {
+                Wake::All
+            }
+        };
+        // Notify after unlock: the woken waiter re-acquires the state
+        // mutex immediately, so signalling under it would just bounce the
+        // wakeup through an extra block. The waiting-set snapshot taken
+        // under the lock is what the decision is about — the set of
+        // threads a notify can reach is exactly the waiters present when
+        // it fires, and any thread arriving later re-checks the fresh
+        // counters before it ever sleeps.
+        match wake {
+            Wake::None => {}
+            Wake::One => {
+                self.gate.wakes.notify_one.fetch_add(1, Ordering::Relaxed);
+                self.gate.released.notify_one();
+            }
+            Wake::All => {
+                self.gate.wakes.notify_all.fetch_add(1, Ordering::Relaxed);
+                self.gate.released.notify_all();
             }
         }
-        self.gate.released.notify_all();
     }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Wake {
+    None,
+    One,
+    All,
 }
 
 #[cfg(test)]
@@ -193,6 +290,101 @@ mod tests {
         assert_eq!(gate.in_flight(), 0);
         let _q = gate.admit(8);
         assert_eq!(gate.in_flight(), 1);
+    }
+
+    #[test]
+    fn uncontended_releases_never_notify() {
+        let gate = AdmissionGate::new(4, 2);
+        for i in 0..100 {
+            let _p = gate.admit(i);
+        }
+        let counts = gate.wake_counts();
+        assert_eq!(counts.notify_one, 0, "no waiters, no wakeups");
+        assert_eq!(counts.notify_all, 0);
+        assert_eq!(counts.wakeups, 0);
+    }
+
+    #[test]
+    fn uniform_eligibility_wakes_one_not_the_herd() {
+        // Regression for the thundering herd: N threads from N distinct
+        // sessions (the per-session cap never binds) contending on one
+        // permit. Every release must use notify_one — never a broadcast —
+        // so total observed wakeups stay bounded by one per release
+        // instead of (waiters × releases).
+        let threads = 8u64;
+        let ops = 50u64;
+        let gate = AdmissionGate::new(1, 1);
+        let barrier = Barrier::new(threads as usize);
+        std::thread::scope(|s| {
+            for sid in 0..threads {
+                let gate = &gate;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..ops {
+                        let _p = gate.admit(sid);
+                        std::hint::black_box(());
+                    }
+                });
+            }
+        });
+        let releases = threads * ops;
+        let counts = gate.wake_counts();
+        assert_eq!(
+            counts.notify_all, 0,
+            "all waiting sessions below cap: broadcasts must never fire"
+        );
+        assert!(
+            counts.notify_one <= releases,
+            "at most one wakeup per release, got {} for {} releases",
+            counts.notify_one,
+            releases
+        );
+        // The herd bound: each release wakes at most one sleeper, plus
+        // spurious-wakeup slack. With the old notify_all this count was
+        // O(waiters) per release; allow 2x for OS-level spurious wakeups.
+        assert!(
+            counts.wakeups <= 2 * releases,
+            "wakeup herd detected: {} wakeups for {} releases",
+            counts.wakeups,
+            releases
+        );
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn capped_waiters_trigger_broadcast_but_never_stall() {
+        // Mixed eligibility: a bursty session pinned at its cap forces the
+        // broadcast path; eligible sessions must still drain promptly and
+        // everything terminates.
+        let gate = AdmissionGate::new(2, 1);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Session 0 fanned out over 3 threads: at most 1 in flight, so
+            // its waiters are cap-blocked whenever a sibling holds.
+            for _ in 0..3 {
+                let gate = &gate;
+                let done = &done;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _p = gate.admit(0);
+                        std::hint::black_box(());
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // A second session must keep making progress throughout.
+            let gate = &gate;
+            let done = &done;
+            s.spawn(move || {
+                for _ in 0..100 {
+                    let _p = gate.admit(1);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+        assert_eq!(gate.in_flight(), 0);
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl AdaptiveDb {
             self.crackers
                 .insert(key.clone(), CrackerColumn::with_config(vals, self.config));
         }
+        // lint: allow(unwrap) — the miss branch above just inserted the key
         Ok(self.crackers.get_mut(&key).expect("inserted above"))
     }
 
@@ -198,6 +199,7 @@ impl AdaptiveDb {
                 ConcurrentColumn::build(vals, self.config, self.concurrency),
             );
         }
+        // lint: allow(unwrap) — the miss branch above just inserted the key
         Ok(self.shared.get(&key).expect("inserted above"))
     }
 
@@ -269,7 +271,7 @@ impl AdaptiveDb {
         }
         let driver = (0..preds.len())
             .min_by_key(|&i| sels[i].count())
-            .expect("preds is non-empty");
+            .expect("preds is non-empty"); // lint: allow(unwrap) — empty preds returned early
         let key = |attr: &str| (table.to_owned(), attr.to_owned());
         let mut out = Vec::new();
         self.crackers[&key(preds[driver].0)].selection_oids_into(&sels[driver], &mut out);
@@ -407,6 +409,7 @@ impl AdaptiveDb {
         for name in t.schema().names() {
             cols.insert(
                 name.to_string(),
+                // lint: allow(unwrap) — iterating the schema's own names
                 std::sync::Arc::clone(t.column(name).expect("schema names resolve")),
             );
         }
@@ -446,6 +449,7 @@ impl AdaptiveDb {
             self.maps
                 .insert(key.clone(), CrackerMap::new(head_vals, tail_vals));
         }
+        // lint: allow(unwrap) — the miss branch above just inserted the key
         let map = self.maps.get_mut(&key).expect("inserted above");
         let r = map.select(pred);
         Ok(map.project(r).to_vec())

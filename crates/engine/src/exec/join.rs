@@ -117,6 +117,7 @@ impl Operator for NestedLoopJoinOp {
                 self.current_right = Some(self.right.next()?);
                 self.left_cursor = 0;
             }
+            // lint: allow(unwrap) — assigned Some() two lines up when None
             let probe = self.current_right.as_ref().expect("just set");
             while self.left_cursor < self.left_rows.len() {
                 let l = &self.left_rows[self.left_cursor];

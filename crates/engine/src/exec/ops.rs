@@ -23,6 +23,7 @@ impl TableScanOp {
             .schema()
             .names()
             .iter()
+            // lint: allow(unwrap) — iterating the schema's own names
             .map(|n| Arc::clone(table.column(n).expect("schema names resolve")))
             .collect();
         TableScanOp {
@@ -53,6 +54,7 @@ impl Operator for TableScanOp {
             row.push(Atom::Oid(pos as u64));
         }
         for bat in &self.columns {
+            // lint: allow(unwrap) — pos was bounds-checked against len() above
             row.push(bat.atom_at(pos).expect("pos < len"));
         }
         Some(row)

@@ -94,6 +94,7 @@ impl DbScenarioRunner {
         let preds: Vec<_> = windows.iter().map(|w| w.to_pred()).collect();
         self.db
             .shared_select_batch(SCENARIO_TABLE, SCENARIO_COLUMN, &preds)
+            // lint: allow(unwrap) — the constructor registers this column
             .expect("scenario column registered at construction")
     }
 }
@@ -106,6 +107,7 @@ impl ScenarioExecutor for DbScenarioRunner {
     fn run_select(&mut self, w: Window) -> Vec<u32> {
         self.db
             .shared_cracker(SCENARIO_TABLE, SCENARIO_COLUMN)
+            // lint: allow(unwrap) — the constructor registers this column
             .expect("scenario column registered at construction")
             .select_oids(w.to_pred())
     }
@@ -113,12 +115,14 @@ impl ScenarioExecutor for DbScenarioRunner {
     fn run_insert(&mut self, oid: u32, value: i64) {
         self.db
             .stage_insert(SCENARIO_TABLE, SCENARIO_COLUMN, oid, value)
+            // lint: allow(unwrap) — the constructor registers this column
             .expect("scenario column registered at construction");
     }
 
     fn run_delete(&mut self, oid: u32) -> bool {
         self.db
             .stage_delete(SCENARIO_TABLE, SCENARIO_COLUMN, oid)
+            // lint: allow(unwrap) — the constructor registers this column
             .expect("scenario column registered at construction")
     }
 }

@@ -138,6 +138,7 @@ impl Table {
         (0..self.len() as Oid).map(move |oid| {
             let row = self
                 .row(oid)
+                // lint: allow(unwrap) — OIDs 0..len are dense by construction
                 .expect("dense OID space: every position resolves");
             (oid, row)
         })

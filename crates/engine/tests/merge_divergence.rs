@@ -1,3 +1,6 @@
+//! Regression: a conjunction naming the same attribute twice must merge
+//! both predicates instead of diverging on a duplicate cracker key.
+
 use cracker_core::RangePred;
 use engine::{AdaptiveDb, Table};
 
@@ -5,17 +8,14 @@ use engine::{AdaptiveDb, Table};
 fn duplicate_attr_conjunction() {
     let mut db = AdaptiveDb::new();
     let n = 1000i64;
-    db.register(Table::from_int_columns("r", vec![
-        ("a", (0..n).rev().collect()),
-    ]).unwrap()).unwrap();
-    let got = db.select_conjunctive("r", &[
-        ("a", RangePred::lt(500)),
-        ("a", RangePred::ge(100)),
-    ]).unwrap();
-    let want: Vec<u32> = (0..n as u32).filter(|&o| {
-        let v = n - 1 - o as i64;
-        v < 500 && v >= 100
-    }).collect();
+    db.register(Table::from_int_columns("r", vec![("a", (0..n).rev().collect())]).unwrap())
+        .unwrap();
+    let got = db
+        .select_conjunctive("r", &[("a", RangePred::lt(500)), ("a", RangePred::ge(100))])
+        .unwrap();
+    let want: Vec<u32> = (0..n as u32)
+        .filter(|&o| (100..500).contains(&(n - 1 - o as i64)))
+        .collect();
     let mut got_sorted = got.clone();
     got_sorted.sort_unstable();
     assert_eq!(got_sorted, want);

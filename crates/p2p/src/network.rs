@@ -77,8 +77,10 @@ impl Node {
         let Some((a, b, _)) = best else {
             return false;
         };
+        // lint: allow(unwrap) — `best` was chosen from this map's own keys
         let right = self.pieces.remove(&b).expect("key listed");
-        self.pieces.get_mut(&a).expect("key listed").fuse(right);
+        self.pieces.get_mut(&a).expect("key listed").fuse(right); // lint: allow(unwrap) — same
+
         true
     }
 }
@@ -272,7 +274,7 @@ impl Network {
             let mut piece = self.nodes[from.0]
                 .pieces
                 .remove(&key)
-                .expect("migration key collected above");
+                .expect("migration key collected above"); // lint: allow(unwrap) — see message
             trace.migrations += 1;
             trace.migrated_tuples += piece.len() as u64;
             piece.reset_accesses();
@@ -300,13 +302,13 @@ impl Network {
         );
         let owner = self
             .owner_of(value)
-            .expect("pieces tile the domain, so every value has an owner");
+            .expect("pieces tile the domain, so every value has an owner"); // lint: allow(unwrap) — tiling invariant
         let node = &mut self.nodes[owner.0];
         let piece = node
             .pieces
             .values_mut()
             .find(|p| (p.lo..p.hi).contains(&value))
-            .expect("owner_of found this piece");
+            .expect("owner_of found this piece"); // lint: allow(unwrap) — owner_of just matched it
         piece.tuples.push(value);
         owner
     }
@@ -345,6 +347,7 @@ impl Network {
             .map(|p| p.lo)
             .collect();
         for key in keys {
+            // lint: allow(unwrap) — keys were collected from this node's map
             let piece = node.pieces.remove(&key).expect("key collected above");
             let (below, inside, above) = piece.crack(lo, hi);
             for np in [below, inside, above].into_iter().flatten() {

@@ -345,7 +345,9 @@ impl SqlSession {
                 .map(|(n, v)| (n.as_str(), v.clone()))
                 .collect();
             let table = Table::from_int_columns(name.clone(), cols)
+                // lint: allow(unwrap) — every mutation path validates the buffer
                 .expect("buffers are validated on mutation");
+            // lint: allow(unwrap) — buffers are keyed by name, so names are unique
             db.register(table).expect("buffer names are unique");
         }
         self.db = db;
@@ -499,6 +501,7 @@ impl SqlSession {
                 } else {
                     self.all_term_oids(&lowered)?.into_iter().collect()
                 };
+                // lint: allow(unwrap) — membership checked at the top of this arm
                 let buf = self.buffers.get_mut(table).expect("checked above");
                 for (_, col) in &mut buf.columns {
                     let mut i = 0u32;
@@ -675,6 +678,7 @@ impl SqlSession {
     }
 
     fn run_grouped(&mut self, lowered: &LoweredSelect) -> SqlResult<QueryOutput> {
+        // lint: allow(unwrap) — run_select dispatches here only when group_by is set
         let (g_table, g_col) = lowered.group_by.clone().expect("caller checked group_by");
         if lowered.tables.len() > 1 || lowered.terms.iter().any(|t| !t.joins.is_empty()) {
             return Err(SqlError::unsupported(
@@ -866,7 +870,7 @@ impl SqlSession {
             let idx = joined
                 .iter()
                 .position(|t| t == existing_table)
-                .expect("attach order puts the existing table in `joined`");
+                .expect("attach order puts the existing table in `joined`"); // lint: allow(unwrap) — see message
             let mut next = Vec::new();
             for row in &rows {
                 if let Some(news) = matches.get(&row[idx]) {
@@ -887,11 +891,12 @@ impl SqlSession {
                 .join(&step.left, &step.left_attr, &step.right, &step.right_attr)?
                 .into_iter()
                 .collect();
+            // lint: allow(unwrap) — the join planner only emits tables already attached
             let li = joined.iter().position(|t| *t == step.left).expect("joined");
             let ri = joined
                 .iter()
                 .position(|t| *t == step.right)
-                .expect("joined");
+                .expect("joined"); // lint: allow(unwrap) — same planner invariant
             rows.retain(|row| pairs.contains(&(row[li], row[ri])));
         }
         rows.sort_unstable();
@@ -955,7 +960,7 @@ impl SqlSession {
                 let ti = joined
                     .iter()
                     .position(|t| *t == source.0)
-                    .expect("resolution checked FROM membership");
+                    .expect("resolution checked FROM membership"); // lint: allow(unwrap) — see message
                 getters.push((ti, source.1.clone()));
             }
         }
@@ -1003,6 +1008,7 @@ fn fold_aggregate(
     if func == AggFunc::Count {
         return Ok(oids.len() as i64);
     }
+    // lint: allow(unwrap) — the parser rejects argument-less non-COUNT aggregates
     let (_, col) = arg.expect("parser guarantees non-COUNT aggregates have a column");
     let vals = table.ints(col)?;
     let it = oids.iter().map(|&o| vals[o as usize]);

@@ -129,6 +129,7 @@ impl LoweredSelect {
                 .selections
                 .iter_mut()
                 .find(|s| s.table == slot.target.0 && s.attr == slot.target.1)
+                // lint: allow(unwrap) — bind() seeded one selection per slot
                 .expect("lowering seeds a selection for every parameter slot");
             sel.pred = intersect(sel.pred, pred);
         }

@@ -64,6 +64,7 @@ pub fn parse(src: &str) -> SqlResult<Vec<Statement>> {
 pub fn parse_one(src: &str) -> SqlResult<Statement> {
     let mut stmts = parse(src)?;
     match stmts.len() {
+        // lint: allow(unwrap) — guarded by the len() == 1 match arm
         1 => Ok(stmts.pop().expect("len checked")),
         0 => Err(SqlError::syntax("empty input", Span::default())),
         n => Err(SqlError::syntax(

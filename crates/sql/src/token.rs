@@ -261,7 +261,10 @@ pub fn lex(src: &str) -> SqlResult<Vec<Token>> {
                 return Err(SqlError::syntax(
                     format!(
                         "unexpected character {:?}",
-                        src[start..].chars().next().unwrap()
+                        src[start..]
+                            .chars()
+                            .next()
+                            .unwrap_or(char::REPLACEMENT_CHARACTER)
                     ),
                     Span::new(start, start + 1),
                 ))

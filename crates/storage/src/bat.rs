@@ -407,10 +407,8 @@ impl Bat {
     /// Statistics ((min,max), sortedness, cardinality), computed on first
     /// use and cached until the next mutation.
     pub fn stats(&mut self) -> &BatStats {
-        if self.stats.is_none() {
-            self.stats = Some(BatStats::compute(&self.tail));
-        }
-        self.stats.as_ref().expect("just computed")
+        let tail = &self.tail;
+        self.stats.get_or_insert_with(|| BatStats::compute(tail))
     }
 
     /// Statistics without caching (for immutable contexts such as views).

@@ -79,6 +79,7 @@ impl StrHeap {
         let (off, len) = self.entries[r as usize];
         let slice = &self.bytes[off as usize..(off + len) as usize];
         // Safety of contents: only ever filled from &str in `intern`.
+        // lint: allow(unwrap) — bytes come exclusively from &str input
         std::str::from_utf8(slice).expect("heap contains valid UTF-8 by construction")
     }
 

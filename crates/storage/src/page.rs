@@ -60,6 +60,7 @@ impl PageBuf {
 
     /// Number of values currently stored.
     pub fn len(&self) -> usize {
+        // lint: allow(unwrap) — 4-byte slice into a 4-byte array is infallible
         u32::from_le_bytes(self.data[0..4].try_into().expect("header")) as usize
     }
 
@@ -92,6 +93,7 @@ impl PageBuf {
     pub fn get(&self, slot: usize) -> StorageResult<i64> {
         let off = self.slot_range(slot)?;
         Ok(i64::from_le_bytes(
+            // lint: allow(unwrap) — 8-byte slice into an 8-byte array is infallible
             self.data[off..off + 8].try_into().expect("aligned"),
         ))
     }
@@ -118,7 +120,7 @@ impl PageBuf {
     /// All stored values, decoded (test/debug surface, not a hot path).
     pub fn values(&self) -> Vec<i64> {
         (0..self.len())
-            .map(|s| self.get(s).expect("slot < len"))
+            .map(|s| self.get(s).expect("slot < len")) // lint: allow(unwrap) — range bounded by len()
             .collect()
     }
 

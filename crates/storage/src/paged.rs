@@ -128,6 +128,7 @@ impl PagedColumn {
             acc = pool.with_page(self.pages[p], |page| {
                 let mut a = acc;
                 for s in page_lo..page_hi {
+                    // lint: allow(unwrap) — page_hi is clamped to the page's len
                     a = f(a, page.get(s).expect("slot within page len"));
                 }
                 a

@@ -78,9 +78,7 @@ pub fn power_remap(perm: &[i64], gamma: f64) -> Vec<i64> {
     order.sort_by(|&a, &b| {
         let ka = (perm[a] as f64 / n as f64).powf(gamma);
         let kb = (perm[b] as f64 / n as f64).powf(gamma);
-        ka.partial_cmp(&kb)
-            .expect("finite keys")
-            .then(perm[a].cmp(&perm[b]))
+        ka.total_cmp(&kb).then(perm[a].cmp(&perm[b]))
     });
     let mut out = vec![0i64; n];
     for (rank, &idx) in order.iter().enumerate() {
