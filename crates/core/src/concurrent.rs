@@ -208,6 +208,13 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
     pub fn validate(&self) -> Result<(), String> {
         self.inner.read().validate()
     }
+
+    /// Run `f` against the wrapped column under the read latch — the
+    /// export path for checkpointing (the durability layer snapshots the
+    /// piece map and pending overlay through this).
+    pub fn read_with<R>(&self, f: impl FnOnce(&CrackerColumn<T>) -> R) -> R {
+        f(&self.inner.read())
+    }
 }
 
 #[cfg(test)]

@@ -259,6 +259,56 @@ impl<T: CrackValue> CrackerIndex<T> {
         }
         Ok(())
     }
+    /// Check every index invariant against the actual values in `O(n + p)`
+    /// — the recovery-time counterpart of [`CrackerIndex::validate`].
+    ///
+    /// Boundary before-sets are nested along key order, so a value that
+    /// respects its piece's two *adjacent* boundaries respects every other
+    /// boundary by transitivity: checking each slot against only its
+    /// enclosing piece's bounds proves the full `O(n · p)` property.
+    pub fn check_pieces(&self, vals: &[T]) -> Result<(), String> {
+        if vals.len() != self.n {
+            return Err(format!(
+                "slot count mismatch: index says {}, column has {}",
+                self.n,
+                vals.len()
+            ));
+        }
+        let mut prev_pos = 0usize;
+        for (key, info) in &self.bounds {
+            if info.pos < prev_pos {
+                return Err(format!(
+                    "boundary {key:?} at {} violates monotonicity (prev {prev_pos})",
+                    info.pos
+                ));
+            }
+            if info.pos > self.n {
+                return Err(format!("boundary {key:?} beyond end: {}", info.pos));
+            }
+            prev_pos = info.pos;
+        }
+        for piece in self.pieces() {
+            for (i, &v) in vals[piece.start..piece.end].iter().enumerate() {
+                if let Some(lower) = piece.lower {
+                    if lower.before(v) {
+                        return Err(format!(
+                            "value {v:?} at slot {} should be after boundary {lower:?}",
+                            piece.start + i
+                        ));
+                    }
+                }
+                if let Some(upper) = piece.upper {
+                    if !upper.before(v) {
+                        return Err(format!(
+                            "value {v:?} at slot {} should be before boundary {upper:?}",
+                            piece.start + i
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

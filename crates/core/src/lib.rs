@@ -66,6 +66,7 @@ pub mod project;
 pub mod sharded;
 pub mod sideways;
 pub(crate) mod simd;
+pub mod snapshot;
 pub mod sorted;
 pub mod stats;
 pub mod stochastic;
@@ -83,6 +84,7 @@ pub use policy::{CrackPolicy, PolicyCracker};
 pub use pred::RangePred;
 pub use sharded::{ConcurrencyMode, ConcurrentColumn, ShardedCrackerColumn, ShardedSelection};
 pub use sideways::{CrackerMap, SidewaysCracker};
+pub use snapshot::{BoundaryRecord, ColumnSnapshot, ConcurrentSnapshot};
 pub use stats::CrackStats;
 pub use stochastic::{StochasticCracker, StochasticPolicy};
 pub use updates::OidSet;

@@ -196,6 +196,51 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
         ShardedCrackerColumn { splits, shards }
     }
 
+    /// Reassemble a sharded column from previously exported parts — the
+    /// recovery constructor. `columns[i]` becomes shard `i` under the same
+    /// latch classes and ascending order keys as
+    /// [`with_config`](Self::with_config); `splits` must be strictly
+    /// ascending with `columns.len() == splits.len() + 1`. The per-shard
+    /// range invariant (every cracked value inside its shard's assigned
+    /// range) is checked here so a tampered checkpoint fails loudly
+    /// instead of producing a silently mis-routed column.
+    pub fn from_parts(splits: Vec<T>, columns: Vec<CrackerColumn<T>>) -> Result<Self, String> {
+        if columns.len() != splits.len() + 1 {
+            return Err(format!(
+                "shard count mismatch: {} columns for {} splits",
+                columns.len(),
+                splits.len()
+            ));
+        }
+        if splits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("split points must be strictly ascending".to_string());
+        }
+        for (i, col) in columns.iter().enumerate() {
+            let lower = i.checked_sub(1).map(|j| splits[j]);
+            let upper = splits.get(i).copied();
+            for &v in col.values() {
+                if lower.is_some_and(|lo| v < lo) || upper.is_some_and(|hi| v >= hi) {
+                    return Err(format!(
+                        "shard {i}: value {v:?} outside range {lower:?}..{upper:?}"
+                    ));
+                }
+            }
+        }
+        let group = LockGroup::new();
+        let shards = columns
+            .into_iter()
+            .enumerate()
+            .map(|(i, col)| RwLock::with_class(col, LATCH_CLASS, i as u32, group))
+            .collect();
+        Ok(ShardedCrackerColumn { splits, shards })
+    }
+
+    /// Run `f` over every shard's column in ascending shard order, one
+    /// read latch at a time — the export path for checkpointing.
+    pub fn read_shards<R>(&self, mut f: impl FnMut(&CrackerColumn<T>) -> R) -> Vec<R> {
+        self.shards.iter().map(|s| f(&s.read())).collect()
+    }
+
     /// Number of shards actually realized.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

@@ -1,0 +1,411 @@
+//! Serializable crack-state records — the piece-map export/import layer
+//! behind the durability subsystem (see `PERSISTENCE.md` at the
+//! repository root).
+//!
+//! The paper treats the cracker index as a session-local auxiliary
+//! structure (§5.2); keeping a restarted store *warm* means persisting
+//! exactly three things per cracked column: the physically reorganized
+//! value/OID arrays, the boundary map (key + split position — tiny), and
+//! the pending-update overlay. [`ColumnSnapshot`] captures those from a
+//! [`CrackerColumn`] and rebuilds one on recovery; [`ConcurrentSnapshot`]
+//! does the same for either latching mode of a [`ConcurrentColumn`].
+//!
+//! Restore never trusts the snapshot: boundary positions are re-validated
+//! against the actual values in `O(n + p)`
+//! ([`CrackerIndex::check_pieces`]) and the sharded range invariant is
+//! re-checked ([`ShardedCrackerColumn::from_parts`]), so a corrupt or
+//! tampered checkpoint fails loudly instead of yielding a silently wrong
+//! column. Recency ticks and cost counters are deliberately *not*
+//! persisted — they restart at zero, which only delays LRU fusion and
+//! resets instrumentation, never answers.
+//!
+//! Records are concrete over `i64` (the engine's cracked-attribute type):
+//! keeping the on-disk schema monomorphic makes the checkpoint format a
+//! stable, documentable artifact.
+
+use crate::column::CrackerColumn;
+use crate::concurrent::SharedCrackerColumn;
+use crate::config::CrackerConfig;
+use crate::crack::BoundaryKey;
+use crate::index::CrackerIndex;
+use crate::sharded::{ConcurrentColumn, ShardedCrackerColumn};
+use serde::{Deserialize, Serialize};
+
+/// One crack boundary as persisted: the [`BoundaryKey`] flattened next to
+/// its split position. Recency is not persisted (see the module doc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryRecord {
+    /// Boundary value.
+    pub value: i64,
+    /// Whether values equal to `value` fall before the boundary.
+    pub lte: bool,
+    /// Split position: slots before `pos` are "before" the key.
+    pub pos: usize,
+}
+
+impl BoundaryRecord {
+    /// The in-memory boundary key this record denotes.
+    pub fn key(&self) -> BoundaryKey<i64> {
+        if self.lte {
+            BoundaryKey::le(self.value)
+        } else {
+            BoundaryKey::lt(self.value)
+        }
+    }
+}
+
+/// Everything worth persisting about one [`CrackerColumn`]: the cracked
+/// arrays, the piece map, and the pending-update overlay.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSnapshot {
+    /// Cracked values in physical (piece) order.
+    pub values: Vec<i64>,
+    /// Parallel OID array.
+    pub oids: Vec<u32>,
+    /// Crack boundaries in ascending key order.
+    pub boundaries: Vec<BoundaryRecord>,
+    /// Staged-but-unmerged inserts, in staging order.
+    pub pending_inserts: Vec<(u32, i64)>,
+    /// OIDs staged for deletion (sorted for a canonical encoding).
+    pub pending_deletes: Vec<u32>,
+}
+
+impl ColumnSnapshot {
+    /// Capture the persistent state of `col`.
+    pub fn capture(col: &CrackerColumn<i64>) -> Self {
+        let mut pending_deletes: Vec<u32> = col.pending.deleted_set().iter().collect();
+        pending_deletes.sort_unstable();
+        ColumnSnapshot {
+            values: col.values().to_vec(),
+            oids: col.oids().to_vec(),
+            boundaries: col
+                .index()
+                .boundaries()
+                .map(|(k, info)| BoundaryRecord {
+                    value: k.value,
+                    lte: k.lte,
+                    pos: info.pos,
+                })
+                .collect(),
+            pending_inserts: col.pending.staged_inserts().to_vec(),
+            pending_deletes,
+        }
+    }
+
+    /// Rebuild a column from this snapshot, re-validating every invariant.
+    ///
+    /// The piece map is re-imposed boundary by boundary and then checked
+    /// against the actual values ([`CrackerIndex::check_pieces`]); the
+    /// overlay is re-staged through the public update API so the
+    /// insert/delete disjointness invariant is re-established by
+    /// construction. Any inconsistency is an error — a recovered column is
+    /// either exactly the captured one or refused.
+    pub fn restore(&self, config: CrackerConfig) -> Result<CrackerColumn<i64>, String> {
+        if self.values.len() != self.oids.len() {
+            return Err(format!(
+                "column snapshot misaligned: {} values vs {} oids",
+                self.values.len(),
+                self.oids.len()
+            ));
+        }
+        let mut col = CrackerColumn::from_pairs(self.values.clone(), self.oids.clone(), config);
+        {
+            let index = col.index_mut();
+            for b in &self.boundaries {
+                if b.pos > self.values.len() {
+                    return Err(format!(
+                        "boundary {:?} position {} beyond column end {}",
+                        b.key(),
+                        b.pos,
+                        self.values.len()
+                    ));
+                }
+                index.set_position(b.key(), b.pos);
+            }
+        }
+        col.index().check_pieces(col.values())?;
+        for &(oid, v) in &self.pending_inserts {
+            col.insert(oid, v);
+        }
+        for &oid in &self.pending_deletes {
+            if !col.delete(oid) {
+                return Err(format!(
+                    "pending delete references unknown oid {oid} — snapshot corrupt"
+                ));
+            }
+        }
+        Ok(col)
+    }
+
+    /// Cheap dirty-tracking fingerprint of a column's persistent state:
+    /// two snapshots of the same column are byte-identical whenever its
+    /// fingerprints match, so an unchanged fingerprint lets the
+    /// checkpoint layer skip re-serializing a warm column. Counter-based
+    /// (cracks/fusions/merges are monotone), so it never misses a
+    /// layout-changing operation.
+    pub fn fingerprint(col: &CrackerColumn<i64>) -> String {
+        let s = col.stats();
+        format!(
+            "n{}b{}c{}f{}m{}t{}p{}",
+            col.len(),
+            col.index().boundary_count(),
+            s.cracks,
+            s.fusions,
+            s.merges,
+            s.tuples_moved,
+            col.pending_len()
+        )
+    }
+}
+
+/// The persistent state of a [`ConcurrentColumn`] under either latching
+/// mode: a single-lock column is one [`ColumnSnapshot`]; a sharded column
+/// is its split points plus one snapshot per shard in ascending order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConcurrentSnapshot {
+    /// True for [`ShardedCrackerColumn`]; false for the single-lock mode.
+    pub sharded: bool,
+    /// Ascending split values (empty in single-lock mode).
+    pub splits: Vec<i64>,
+    /// Per-shard snapshots (exactly one in single-lock mode).
+    pub shards: Vec<ColumnSnapshot>,
+}
+
+impl ConcurrentSnapshot {
+    /// Capture the persistent state of `col` (read latches only, one
+    /// shard at a time in ascending order).
+    pub fn capture(col: &ConcurrentColumn<i64>) -> Self {
+        match col {
+            ConcurrentColumn::Single(c) => ConcurrentSnapshot {
+                sharded: false,
+                splits: Vec::new(),
+                shards: vec![c.read_with(ColumnSnapshot::capture)],
+            },
+            ConcurrentColumn::Sharded(s) => ConcurrentSnapshot {
+                sharded: true,
+                splits: s.splits().to_vec(),
+                shards: s.read_shards(ColumnSnapshot::capture),
+            },
+        }
+    }
+
+    /// Rebuild a concurrent column, re-validating per-shard piece maps
+    /// and the sharded range invariant.
+    pub fn restore(&self, config: CrackerConfig) -> Result<ConcurrentColumn<i64>, String> {
+        if !self.sharded {
+            if self.shards.len() != 1 {
+                return Err(format!(
+                    "single-lock snapshot must hold exactly one shard, got {}",
+                    self.shards.len()
+                ));
+            }
+            if !self.splits.is_empty() {
+                return Err("single-lock snapshot must not carry splits".to_string());
+            }
+            let col = self.shards[0].restore(config)?;
+            return Ok(ConcurrentColumn::Single(SharedCrackerColumn::from_column(
+                col,
+            )));
+        }
+        let mut columns = Vec::with_capacity(self.shards.len());
+        for (i, snap) in self.shards.iter().enumerate() {
+            columns.push(
+                snap.restore(config)
+                    .map_err(|e| format!("shard {i}: {e}"))?,
+            );
+        }
+        let sharded = ShardedCrackerColumn::from_parts(self.splits.clone(), columns)?;
+        Ok(ConcurrentColumn::Sharded(sharded))
+    }
+
+    /// Dirty-tracking fingerprint: the mode tag plus every shard's
+    /// [`ColumnSnapshot::fingerprint`], in ascending shard order.
+    pub fn fingerprint(col: &ConcurrentColumn<i64>) -> String {
+        match col {
+            ConcurrentColumn::Single(c) => {
+                format!("single:{}", c.read_with(ColumnSnapshot::fingerprint))
+            }
+            ConcurrentColumn::Sharded(s) => {
+                format!(
+                    "sharded:{}",
+                    s.read_shards(ColumnSnapshot::fingerprint).join("/")
+                )
+            }
+        }
+    }
+}
+
+/// Re-validate a restored index against values — re-exported convenience
+/// so callers outside the crate can run the same `O(n + p)` check the
+/// restore path uses.
+pub fn check_piece_map(index: &CrackerIndex<i64>, vals: &[i64]) -> Result<(), String> {
+    index.check_pieces(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::RangePred;
+    use crate::sharded::ConcurrencyMode;
+
+    fn warmed_column() -> CrackerColumn<i64> {
+        let mut c = CrackerColumn::new((0..500).rev().collect::<Vec<i64>>());
+        c.select(RangePred::between(100, 200));
+        c.select(RangePred::lt(50));
+        c.select(RangePred::ge(400));
+        c.insert(1_000, 150);
+        c.insert(1_001, 425);
+        c.delete(3); // cracked value 496
+        c
+    }
+
+    #[test]
+    fn column_snapshot_roundtrip_preserves_layout_and_overlay() {
+        let col = warmed_column();
+        let snap = ColumnSnapshot::capture(&col);
+        let restored = snap.restore(*col.config()).unwrap();
+        assert_eq!(restored.values(), col.values());
+        assert_eq!(restored.oids(), col.oids());
+        assert_eq!(restored.piece_count(), col.piece_count());
+        assert_eq!(restored.pending_len(), col.pending_len());
+        restored.validate().unwrap();
+        // Snapshot of the restored column is identical: capture∘restore
+        // is idempotent.
+        assert_eq!(ColumnSnapshot::capture(&restored), snap);
+    }
+
+    #[test]
+    fn restored_column_answers_like_the_original() {
+        let col = warmed_column();
+        let snap = ColumnSnapshot::capture(&col);
+        let mut restored = snap.restore(*col.config()).unwrap();
+        let mut original = col;
+        for pred in [
+            RangePred::between(100, 200),
+            RangePred::eq(150),
+            RangePred::ge(400),
+            RangePred::with_bounds(None, None),
+        ] {
+            let mut a = original.select_oids(pred);
+            let mut b = restored.select_oids(pred);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "pred {pred:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_boundary_position_is_rejected() {
+        let col = warmed_column();
+        let mut snap = ColumnSnapshot::capture(&col);
+        snap.boundaries[0].pos += 1;
+        assert!(snap.restore(*col.config()).is_err());
+    }
+
+    #[test]
+    fn misaligned_and_out_of_range_snapshots_are_rejected() {
+        let col = warmed_column();
+        let mut snap = ColumnSnapshot::capture(&col);
+        snap.oids.pop();
+        assert!(snap.restore(*col.config()).is_err());
+
+        let mut snap = ColumnSnapshot::capture(&col);
+        snap.boundaries[0].pos = snap.values.len() + 7;
+        assert!(snap.restore(*col.config()).is_err());
+
+        let mut snap = ColumnSnapshot::capture(&col);
+        snap.pending_deletes.push(999_999);
+        assert!(snap.restore(*col.config()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_layout_change() {
+        let mut col = CrackerColumn::new((0..300).rev().collect::<Vec<i64>>());
+        let f0 = ColumnSnapshot::fingerprint(&col);
+        col.select(RangePred::between(50, 100)); // cracks
+        let f1 = ColumnSnapshot::fingerprint(&col);
+        assert_ne!(f0, f1);
+        col.insert(900, 75); // overlay grows
+        let f2 = ColumnSnapshot::fingerprint(&col);
+        assert_ne!(f1, f2);
+        col.merge_pending(); // overlay folded in
+        let f3 = ColumnSnapshot::fingerprint(&col);
+        assert_ne!(f2, f3);
+        // A repeated warm query changes nothing persistent.
+        col.select(RangePred::between(50, 100));
+        assert_eq!(ColumnSnapshot::fingerprint(&col), f3);
+    }
+
+    #[test]
+    fn concurrent_snapshot_roundtrip_both_modes() {
+        let vals: Vec<i64> = (0..4_000).map(|i| (i * 37) % 4_000).collect();
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 4 },
+        ] {
+            let col = ConcurrentColumn::build(vals.clone(), CrackerConfig::default(), mode);
+            col.count(RangePred::between(500, 1_500));
+            col.insert(90_000, 1_000);
+            col.delete(17);
+            let snap = ConcurrentSnapshot::capture(&col);
+            let restored = snap.restore(CrackerConfig::default()).unwrap();
+            assert_eq!(restored.mode(), col.mode(), "mode {mode:?}");
+            assert_eq!(restored.piece_count(), col.piece_count());
+            for pred in [
+                RangePred::between(500, 1_500),
+                RangePred::eq(1_000),
+                RangePred::with_bounds(None, None),
+            ] {
+                let mut a = col.select_oids(pred);
+                let mut b = restored.select_oids(pred);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "mode {mode:?} pred {pred:?}");
+            }
+            restored.validate().unwrap();
+            // Counters restart at zero after restore, so fingerprints are
+            // comparable only within one column's lifetime — but the
+            // *snapshot* of the restored overlay/layout must match.
+            assert_eq!(
+                ConcurrentSnapshot::capture(&restored).shards.len(),
+                snap.shards.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_with_wrong_shape_is_rejected() {
+        let vals: Vec<i64> = (0..1_000).collect();
+        let col = ConcurrentColumn::build(
+            vals,
+            CrackerConfig::default(),
+            ConcurrencyMode::Sharded { shards: 4 },
+        );
+        let good = ConcurrentSnapshot::capture(&col);
+
+        let mut snap = good.clone();
+        snap.shards.pop();
+        assert!(snap.restore(CrackerConfig::default()).is_err());
+
+        let mut snap = good.clone();
+        snap.splits.reverse(); // no longer ascending
+        assert!(snap.restore(CrackerConfig::default()).is_err());
+
+        // A value planted outside its shard's range is caught.
+        let mut snap = good.clone();
+        snap.shards[0].values[0] = i64::MAX;
+        assert!(snap.restore(CrackerConfig::default()).is_err());
+
+        let mut snap = good;
+        snap.sharded = false;
+        assert!(snap.restore(CrackerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn check_piece_map_reexport_agrees_with_validate() {
+        let mut col = CrackerColumn::new((0..200).rev().collect::<Vec<i64>>());
+        col.select(RangePred::between(40, 120));
+        check_piece_map(col.index(), col.values()).unwrap();
+        col.index().validate(col.values()).unwrap();
+    }
+}

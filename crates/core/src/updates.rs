@@ -103,6 +103,17 @@ impl OidSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Iterate all members in unspecified order — the export path for
+    /// checkpointing the pending-delete overlay.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let dense = self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |bit| bits & (1u64 << bit) != 0)
+                .map(move |bit| (w * 64 + bit) as u32)
+        });
+        dense.chain(self.sparse.iter().copied())
+    }
 }
 
 /// Staging areas for not-yet-merged updates.
@@ -167,6 +178,12 @@ impl<T: CrackValue> PendingUpdates<T> {
     /// Should a merge run before the next query?
     pub fn should_merge(&self, threshold: usize) -> bool {
         self.len() >= threshold
+    }
+
+    /// All staged inserts in staging order — the export path for
+    /// checkpointing the pending-insert overlay.
+    pub fn staged_inserts(&self) -> &[(u32, T)] {
+        &self.inserts
     }
 
     /// OIDs of staged inserts matching `pred`.
@@ -350,6 +367,19 @@ mod tests {
         assert!(s.contains(outlier));
         assert!(!s.insert(outlier), "still a member after migration");
         assert_eq!(s.len(), 80_000);
+    }
+
+    #[test]
+    fn oidset_iter_visits_dense_and_sparse_members_once() {
+        let mut s = OidSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(u32::MAX); // spilled to the sparse side set
+        let mut got: Vec<u32> = s.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 63, 64, u32::MAX]);
+        assert_eq!(s.iter().count(), s.len());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Durability wiring for [`AdaptiveDb`](crate::AdaptiveDb): what a
+//! checkpoint of the whole database contains and the live handle pairing a
+//! [`CheckpointStore`] with the current epoch's [`RedoLog`].
+//!
+//! The protocol (documented in `PERSISTENCE.md` at the repository root) is
+//! checkpoint + redo log:
+//!
+//! * [`AdaptiveDb::checkpoint`](crate::AdaptiveDb::checkpoint) writes the
+//!   base tables, every cracked copy's piece map, and the pending-update
+//!   overlay into an atomic [`storage::checkpoint`] epoch — unchanged
+//!   payloads (per a content fingerprint) are carried forward without
+//!   rewriting;
+//! * between checkpoints, staged inserts/deletes are appended to the
+//!   epoch's redo log *before* being applied (write-ahead), fsync'd on the
+//!   configured group-commit interval;
+//! * [`AdaptiveDb::recover`](crate::AdaptiveDb::recover) reloads the last
+//!   committed epoch, restores every piece map with full validation
+//!   ([`cracker_core::snapshot`]), and replays the log — so the recovered
+//!   database answers *warm*, at the cracked cost the workload had already
+//!   paid for, never cold and never silently wrong.
+
+use crate::error::{EngineError, EngineResult};
+use serde::{Deserialize, Serialize};
+use storage::wal::RedoLog;
+use storage::{CheckpointStore, Manifest, StorageError};
+
+/// Version tag of the [`DbMeta`] payload.
+pub const DB_META_VERSION: u32 = 1;
+
+/// Manifest key under which the database-level metadata payload lives.
+pub const META_KEY: &str = "__meta__";
+
+/// One registered table in a checkpoint: its name and column names, in
+/// schema order. Column payloads live under [`table_key`] entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Column names in schema order.
+    pub columns: Vec<String>,
+}
+
+/// The database-level metadata payload of a checkpoint: everything
+/// [`AdaptiveDb::recover`](crate::AdaptiveDb::recover) needs to know which
+/// other payloads to read and how to rebuild the in-memory shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbMeta {
+    /// Payload format version.
+    pub version: u32,
+    /// Requested shard count of the concurrency mode; `0` = single lock.
+    pub concurrency_shards: u64,
+    /// Registered tables, sorted by name.
+    pub tables: Vec<TableMeta>,
+    /// `(table, column)` keys of single-threaded cracked copies.
+    pub crackers: Vec<(String, String)>,
+    /// `(table, column)` keys of latched shared cracked copies.
+    pub shared: Vec<(String, String)>,
+}
+
+/// Manifest key of a base-table column payload (`Vec<i64>`).
+pub fn table_key(table: &str, column: &str) -> String {
+    format!("table/{table}/{column}")
+}
+
+/// Manifest key of a single-threaded cracked copy's
+/// [`cracker_core::ColumnSnapshot`].
+pub fn cracker_key(table: &str, column: &str) -> String {
+    format!("cracker/{table}/{column}")
+}
+
+/// Manifest key of a shared cracked copy's
+/// [`cracker_core::ConcurrentSnapshot`].
+pub fn shared_key(table: &str, column: &str) -> String {
+    format!("shared/{table}/{column}")
+}
+
+/// The live durability handle an [`AdaptiveDb`](crate::AdaptiveDb)
+/// carries once attached: the checkpoint store plus the redo log of the
+/// current epoch.
+#[derive(Debug)]
+pub struct Durability {
+    /// The checkpoint directory.
+    pub(crate) store: CheckpointStore,
+    /// Open append handle on the current epoch's redo log.
+    pub(crate) log: RedoLog,
+    /// Group-commit interval re-applied after every log rotation.
+    pub(crate) group_commit: usize,
+    /// Epoch of the last committed checkpoint.
+    pub(crate) epoch: u64,
+}
+
+impl Durability {
+    /// Pair `store` with the redo log the committed `manifest` names,
+    /// applying `group_commit` to the fresh log handle.
+    pub(crate) fn from_manifest(
+        store: CheckpointStore,
+        manifest: &Manifest,
+        group_commit: usize,
+    ) -> EngineResult<Self> {
+        let log = RedoLog::open_append(store.log_path(manifest))
+            .map_err(EngineError::from)?
+            .with_group_commit(group_commit);
+        Ok(Durability {
+            store,
+            log,
+            group_commit,
+            epoch: manifest.epoch,
+        })
+    }
+}
+
+/// Error for durability entry points called before
+/// [`AdaptiveDb::attach_durability`](crate::AdaptiveDb::attach_durability).
+pub(crate) fn not_attached() -> EngineError {
+    EngineError::Storage(StorageError::Persist(
+        "no durability attached — call attach_durability first".to_string(),
+    ))
+}

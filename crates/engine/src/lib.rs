@@ -19,6 +19,8 @@
 //!   the crack kernels instead of probing per tuple;
 //! * [`admission`] — a semaphore-style gate with per-session fairness so
 //!   update bursts cannot starve concurrent readers;
+//! * [`durability`] — checkpoint/redo-log wiring so crack state survives
+//!   restarts *warm* (protocol in `PERSISTENCE.md`);
 //! * [`engines`] — the three interchangeable access methods the
 //!   experiments compare: **ScanEngine** (the `nocrack` lines),
 //!   **SortEngine** (sort-upfront + binary search, the `sort` line of
@@ -35,6 +37,7 @@ pub mod catalog;
 pub mod chain;
 pub mod cost;
 pub mod db;
+pub mod durability;
 pub mod engines;
 pub mod error;
 pub mod exec;
@@ -51,6 +54,7 @@ pub use catalog::DbCatalog;
 pub use cost::RunStats;
 pub use cracker_core::{ConcurrencyMode, ConcurrentColumn};
 pub use db::AdaptiveDb;
+pub use durability::{DbMeta, TableMeta};
 pub use engines::{CrackEngine, QueryEngine, ScanEngine, SortEngine, StochasticEngine};
 pub use error::{EngineError, EngineResult};
 pub use profile::EngineProfile;

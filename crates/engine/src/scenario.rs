@@ -16,6 +16,7 @@
 //!   a production path would exercise.
 
 use cracker_core::ConcurrencyMode;
+use std::path::PathBuf;
 use workload::scenario::{Scenario, ScenarioExecutor};
 use workload::Window;
 
@@ -53,6 +54,9 @@ pub const SCENARIO_COLUMN: &str = "v";
 pub struct DbScenarioRunner {
     db: AdaptiveDb,
     mode: ConcurrencyMode,
+    /// Durability directory + group-commit interval, when attached via
+    /// [`with_durability`](Self::with_durability).
+    durable: Option<(PathBuf, usize)>,
 }
 
 impl DbScenarioRunner {
@@ -67,7 +71,48 @@ impl DbScenarioRunner {
             vec![(SCENARIO_COLUMN, scenario.base().to_vec())],
         )?)?;
         db.shared_cracker(SCENARIO_TABLE, SCENARIO_COLUMN)?;
-        Ok(DbScenarioRunner { db, mode })
+        Ok(DbScenarioRunner {
+            db,
+            mode,
+            durable: None,
+        })
+    }
+
+    /// Like [`new`](Self::new), but durable: the db checkpoints into `dir`
+    /// at construction and redo-logs every staged update with the given
+    /// group-commit interval, so the replay can be interrupted by
+    /// [`restart`](Self::restart) (or a real crash) at any point.
+    pub fn with_durability<S: Scenario + ?Sized>(
+        scenario: &S,
+        mode: ConcurrencyMode,
+        dir: impl Into<PathBuf>,
+        group_commit: usize,
+    ) -> EngineResult<Self> {
+        let dir = dir.into();
+        let mut runner = Self::new(scenario, mode)?;
+        runner.db.attach_durability(&dir, group_commit)?;
+        runner.durable = Some((dir, group_commit));
+        Ok(runner)
+    }
+
+    /// Checkpoint the replayed state (no-op error when the runner was not
+    /// built [`with_durability`](Self::with_durability)). Returns the
+    /// committed epoch.
+    pub fn checkpoint(&mut self) -> EngineResult<u64> {
+        self.db.checkpoint()
+    }
+
+    /// Simulate a process restart: drop the in-memory database on the
+    /// floor and recover a fresh one from the durability directory — last
+    /// checkpoint plus redo-log replay, piece maps validated, crack state
+    /// warm. Replay then continues through the recovered db.
+    pub fn restart(&mut self) -> EngineResult<()> {
+        let (dir, group_commit) = self
+            .durable
+            .clone()
+            .ok_or_else(crate::durability::not_attached)?;
+        self.db = AdaptiveDb::recover(&dir, cracker_core::CrackerConfig::default(), group_commit)?;
+        Ok(())
     }
 
     /// The concurrency mode the replay runs under.

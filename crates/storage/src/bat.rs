@@ -437,6 +437,39 @@ impl Bat {
         self.accel.sorted_permutation()
     }
 
+    /// Verify the structural invariants deserialization cannot enforce
+    /// (serde rebuilds head and tail independently, so a tampered or
+    /// truncated snapshot can produce a BAT the constructors would have
+    /// rejected): an explicit head must align with the tail, and a string
+    /// tail's references must resolve inside its heap. Called by
+    /// `persist::load_catalog` before a deserialized BAT is registered.
+    pub fn check_invariants(&self) -> StorageResult<()> {
+        if let HeadColumn::Explicit(oids) = &self.head {
+            if oids.len() != self.tail.len() {
+                return Err(StorageError::PersistFormat(format!(
+                    "BAT {:?}: explicit head has {} OIDs but tail has {} BUNs",
+                    self.name,
+                    oids.len(),
+                    self.tail.len()
+                )));
+            }
+        }
+        if let TailData::Str { refs, heap } = &self.tail {
+            heap.check()
+                .map_err(|e| StorageError::PersistFormat(format!("BAT {:?}: {e}", self.name)))?;
+            for &r in refs {
+                if r as usize >= heap.len() {
+                    return Err(StorageError::PersistFormat(format!(
+                        "BAT {:?}: tail ref {r} beyond heap of {} entries",
+                        self.name,
+                        heap.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn check(&self, pos: usize) -> StorageResult<()> {
         if pos < self.len() {
             Ok(())

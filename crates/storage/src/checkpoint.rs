@@ -1,0 +1,547 @@
+//! Atomic incremental checkpoints — the durable half of the crash-safety
+//! story (`PERSISTENCE.md` at the repository root documents the format;
+//! [`crate::wal`] is the other half).
+//!
+//! A [`CheckpointStore`] owns a directory. Each checkpoint writes one
+//! payload file per logical key plus a `MANIFEST.json` naming them; the
+//! manifest is the *only* commit point. Every file lands via the same
+//! protocol: serialize to a sibling temp file, fsync, rename into place,
+//! fsync the directory — so at any crash instant the directory contains
+//! either the previous complete checkpoint or the new one, never a torn
+//! mixture. Payloads are written under epoch-stamped names and the old
+//! manifest keeps referencing the old epoch's files until the new
+//! manifest's rename lands, which is what makes the rename atomic *and*
+//! incremental at once.
+//!
+//! **Dirty tracking:** callers pass an opaque fingerprint with each
+//! payload. When the previous manifest recorded the same fingerprint for
+//! the same key, the old payload file is carried forward by reference and
+//! the payload is not re-serialized — a warm column whose crack state
+//! didn't change between checkpoints costs one string compare, not an
+//! `O(n)` rewrite.
+//!
+//! **Log rotation:** committing a checkpoint creates a fresh, empty
+//! redo-log file for the new epoch and records its name in the manifest.
+//! Recovery replays only the log the manifest names, so a crash *before*
+//! the manifest rename leaves the old manifest + old log pair intact
+//! (updates since the attempted checkpoint replay from the old log), and
+//! a crash *after* it leaves the new pair (the old log's records are
+//! already folded into the new payloads). Orphaned files from either
+//! outcome are garbage-collected on the next successful commit.
+//!
+//! **Crash injection:** [`CheckpointStore::set_crash_after`] arms a
+//! countdown over the writer's durable operations (payload writes,
+//! renames, log creation, the manifest write and rename). When it fires,
+//! the writer aborts exactly as a dying process would — leaving a torn
+//! temp file behind — so tests can probe every write boundary
+//! (`tests/recovery_oracle.rs` does, exhaustively).
+
+use crate::error::{StorageError, StorageResult};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside a checkpoint directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// The sibling temp path `write_atomic` stages through: `<file>.tmp` in
+/// the same directory (same filesystem, so the rename is atomic).
+pub(crate) fn sibling_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsync a directory so a just-renamed entry is durable (no-op off Unix,
+/// where opening a directory for sync is not portable).
+fn sync_dir(dir: &Path) -> StorageResult<()> {
+    #[cfg(unix)]
+    {
+        let d = File::open(dir).map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        d.sync_all()
+            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Write `bytes` to `path` atomically: sibling temp file, fsync, rename,
+/// directory fsync. A crash at any point leaves the previous content of
+/// `path` (or its absence) intact.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> StorageResult<()> {
+    let tmp = sibling_tmp_path(path);
+    let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+    let mut file = File::create(&tmp).map_err(io)?;
+    file.write_all(bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a over a string — stable, dependency-free file-name salt.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Key sanitized for use in a file name (alphanumerics kept, everything
+/// else `_`, truncated) plus an FNV salt so distinct keys never collide.
+fn payload_file_name(key: &str, epoch: u64) -> String {
+    let mut clean: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    clean.truncate(48);
+    format!("{clean}-{:016x}.{epoch}.json", fnv(key))
+}
+
+/// One payload recorded in a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Logical key (e.g. `cracker/scenario/v`).
+    pub key: String,
+    /// Payload file name inside the checkpoint directory.
+    pub file: String,
+    /// Caller-supplied dirty-tracking fingerprint.
+    pub fingerprint: String,
+}
+
+/// The commit record of one checkpoint epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Checkpoint epoch (monotonically increasing).
+    pub epoch: u64,
+    /// All payloads of this epoch, in `put` order.
+    pub entries: Vec<ManifestEntry>,
+    /// Redo-log file (inside the directory) for updates after this epoch.
+    pub log: String,
+}
+
+impl Manifest {
+    /// The entry for `key`, if present.
+    pub fn entry(&self, key: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A directory of atomic incremental checkpoints. The directory is owned
+/// by the store: files not referenced by the current manifest are
+/// reclaimed on commit.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Crash-injection countdown over durable writer operations.
+    crash_after: Option<u32>,
+}
+
+impl CheckpointStore {
+    /// Open (creating if necessary) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        Ok(CheckpointStore {
+            dir,
+            crash_after: None,
+        })
+    }
+
+    /// The directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arm the crash-injection countdown: the writer's `n`-th next durable
+    /// operation fails exactly as a dying process would (leaving torn temp
+    /// artifacts). `n = 0` fails the first operation. Test hook.
+    pub fn set_crash_after(&mut self, n: u32) {
+        self.crash_after = Some(n);
+    }
+
+    /// Disarm crash injection.
+    pub fn clear_crash_after(&mut self) {
+        self.crash_after = None;
+    }
+
+    /// True when the armed crash countdown should fire now (consuming one
+    /// operation otherwise).
+    fn crash_now(&mut self) -> bool {
+        match self.crash_after.as_mut() {
+            None => false,
+            Some(0) => true,
+            Some(n) => {
+                *n -= 1;
+                false
+            }
+        }
+    }
+
+    /// The current manifest, or `None` when no checkpoint has committed
+    /// yet. A present-but-unreadable manifest is a loud error, never
+    /// silently treated as empty.
+    pub fn manifest(&self) -> StorageResult<Option<Manifest>> {
+        let path = self.dir.join(MANIFEST_NAME);
+        let doc = match fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StorageError::PersistIo(e.to_string())),
+        };
+        let manifest: Manifest =
+            serde_json::from_str(&doc).map_err(|e| StorageError::PersistFormat(e.to_string()))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(StorageError::PersistFormat(format!(
+                "unsupported manifest version {}",
+                manifest.version
+            )));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Deserialize the payload a manifest entry points at.
+    pub fn read_payload<T: DeserializeOwned>(&self, entry: &ManifestEntry) -> StorageResult<T> {
+        let doc = fs::read_to_string(self.dir.join(&entry.file))
+            .map_err(|e| StorageError::PersistIo(format!("payload {:?}: {e}", entry.key)))?;
+        serde_json::from_str(&doc)
+            .map_err(|e| StorageError::PersistFormat(format!("payload {:?}: {e}", entry.key)))
+    }
+
+    /// Absolute path of the redo log a manifest names.
+    pub fn log_path(&self, manifest: &Manifest) -> PathBuf {
+        self.dir.join(&manifest.log)
+    }
+
+    /// Start a new checkpoint epoch. Nothing becomes durable until
+    /// [`CheckpointWriter::commit`].
+    pub fn begin(&mut self) -> StorageResult<CheckpointWriter<'_>> {
+        let prev = self.manifest()?;
+        let epoch = prev.as_ref().map_or(1, |m| m.epoch + 1);
+        Ok(CheckpointWriter {
+            store: self,
+            prev,
+            epoch,
+            entries: Vec::new(),
+            reused: 0,
+        })
+    }
+}
+
+/// An in-progress checkpoint. Dropping it without [`commit`] aborts the
+/// epoch: the previous manifest stays authoritative and any payload files
+/// already written are reclaimed by the next successful commit.
+///
+/// [`commit`]: CheckpointWriter::commit
+#[derive(Debug)]
+pub struct CheckpointWriter<'a> {
+    store: &'a mut CheckpointStore,
+    prev: Option<Manifest>,
+    epoch: u64,
+    entries: Vec<ManifestEntry>,
+    reused: usize,
+}
+
+impl CheckpointWriter<'_> {
+    /// The epoch this writer will commit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of payloads carried forward unchanged so far.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// Stage `payload` under `key`. Returns `true` when the payload was
+    /// actually (re-)serialized, `false` when the previous epoch's file
+    /// was carried forward because `fingerprint` is unchanged.
+    pub fn put<T: Serialize>(
+        &mut self,
+        key: &str,
+        fingerprint: &str,
+        payload: &T,
+    ) -> StorageResult<bool> {
+        if let Some(prev) = self
+            .prev
+            .as_ref()
+            .and_then(|m| m.entry(key))
+            .filter(|e| e.fingerprint == fingerprint)
+        {
+            if self.store.dir.join(&prev.file).exists() {
+                self.entries.push(ManifestEntry {
+                    key: key.to_string(),
+                    file: prev.file.clone(),
+                    fingerprint: fingerprint.to_string(),
+                });
+                self.reused += 1;
+                return Ok(false);
+            }
+        }
+        let file = payload_file_name(key, self.epoch);
+        let doc =
+            serde_json::to_string(payload).map_err(|e| StorageError::Persist(e.to_string()))?;
+        self.write_with_injection(&file, doc.as_bytes())?;
+        self.entries.push(ManifestEntry {
+            key: key.to_string(),
+            file,
+            fingerprint: fingerprint.to_string(),
+        });
+        Ok(true)
+    }
+
+    /// Atomically publish this epoch: create its empty redo log, then
+    /// rename the new manifest into place (the commit point), then
+    /// garbage-collect files no longer referenced. Consumes the writer.
+    pub fn commit(self) -> StorageResult<Manifest> {
+        let log = format!("wal.{}.log", self.epoch);
+        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+        // The new epoch's (empty) log must be durable before any manifest
+        // names it.
+        if self.store.crash_now() {
+            return Err(StorageError::Persist(
+                "injected crash before log creation".to_string(),
+            ));
+        }
+        let log_file = File::create(self.store.dir.join(&log)).map_err(io)?;
+        log_file.sync_all().map_err(io)?;
+        drop(log_file);
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            epoch: self.epoch,
+            entries: self.entries,
+            log,
+        };
+        let doc =
+            serde_json::to_string(&manifest).map_err(|e| StorageError::Persist(e.to_string()))?;
+        let manifest_path = self.store.dir.join(MANIFEST_NAME);
+        let tmp = sibling_tmp_path(&manifest_path);
+        if self.store.crash_now() {
+            // Die mid-write: a torn manifest temp file, target untouched.
+            let _ = fs::write(&tmp, &doc.as_bytes()[..doc.len() / 2]);
+            return Err(StorageError::Persist(
+                "injected crash during manifest write".to_string(),
+            ));
+        }
+        let mut file = File::create(&tmp).map_err(io)?;
+        file.write_all(doc.as_bytes()).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        drop(file);
+        if self.store.crash_now() {
+            return Err(StorageError::Persist(
+                "injected crash before manifest rename".to_string(),
+            ));
+        }
+        fs::rename(&tmp, &manifest_path).map_err(io)?;
+        sync_dir(&self.store.dir)?;
+        // Commit point passed: reclaim everything the new manifest does
+        // not reference. Best-effort — an orphan costs disk, not
+        // correctness, and the next commit retries.
+        let mut keep: Vec<&str> = vec![MANIFEST_NAME, &manifest.log];
+        keep.extend(manifest.entries.iter().map(|e| e.file.as_str()));
+        if let Ok(dir) = fs::read_dir(&self.store.dir) {
+            for entry in dir.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let ours =
+                    name.ends_with(".json") || name.ends_with(".log") || name.ends_with(".tmp");
+                if ours && !keep.iter().any(|k| *k == name) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Write one payload file through the temp-fsync-rename protocol with
+    /// the crash countdown applied at both durable boundaries.
+    fn write_with_injection(&mut self, file: &str, bytes: &[u8]) -> StorageResult<()> {
+        let target = self.store.dir.join(file);
+        let tmp = sibling_tmp_path(&target);
+        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+        if self.store.crash_now() {
+            // Die mid-write, leaving a torn temp file.
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return Err(StorageError::Persist(
+                "injected crash during payload write".to_string(),
+            ));
+        }
+        let mut f = File::create(&tmp).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
+        f.sync_all().map_err(io)?;
+        drop(f);
+        if self.store.crash_now() {
+            return Err(StorageError::Persist(
+                "injected crash before payload rename".to_string(),
+            ));
+        }
+        fs::rename(&tmp, &target).map_err(io)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dbcracker-ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_manifest() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.manifest().unwrap().is_none());
+        let mut w = store.begin().unwrap();
+        assert_eq!(w.epoch(), 1);
+        assert!(w.put("col/a", "f1", &vec![1i64, 2, 3]).unwrap());
+        assert!(w.put("col/b", "f9", &vec![9i64]).unwrap());
+        let m = w.commit().unwrap();
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.log, "wal.1.log");
+        assert!(store.log_path(&m).exists());
+        let m2 = store.manifest().unwrap().unwrap();
+        assert_eq!(m, m2);
+        let a: Vec<i64> = store.read_payload(m2.entry("col/a").unwrap()).unwrap();
+        assert_eq!(a, vec![1, 2, 3]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unchanged_fingerprint_reuses_payload_file() {
+        let dir = tmp_dir("reuse");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &vec![1i64, 2]).unwrap();
+        w.put("col/b", "f1", &vec![5i64]).unwrap();
+        let m1 = w.commit().unwrap();
+        let file_a = m1.entry("col/a").unwrap().file.clone();
+
+        let mut w = store.begin().unwrap();
+        assert!(
+            !w.put("col/a", "f1", &vec![1i64, 2]).unwrap(),
+            "clean: reused"
+        );
+        assert!(
+            w.put("col/b", "f2", &vec![6i64]).unwrap(),
+            "dirty: rewritten"
+        );
+        assert_eq!(w.reused(), 1);
+        let m2 = w.commit().unwrap();
+        assert_eq!(m2.epoch, 2);
+        assert_eq!(m2.entry("col/a").unwrap().file, file_a, "same file carried");
+        assert_ne!(
+            m2.entry("col/b").unwrap().file,
+            m1.entry("col/b").unwrap().file
+        );
+        // Old epoch's b-payload and log were garbage-collected.
+        assert!(!dir.join(&m1.entry("col/b").unwrap().file).exists());
+        assert!(!dir.join(&m1.log).exists());
+        let b: Vec<i64> = store.read_payload(m2.entry("col/b").unwrap()).unwrap();
+        assert_eq!(b, vec![6]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dropped_keys_vanish_from_the_next_manifest() {
+        let dir = tmp_dir("dropped");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &1i64).unwrap();
+        w.put("col/b", "f1", &2i64).unwrap();
+        w.commit().unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &1i64).unwrap();
+        let m = w.commit().unwrap();
+        assert!(m.entry("col/b").is_none());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn crash_at_every_boundary_preserves_the_previous_checkpoint() {
+        // Arm the countdown at every successive durable operation of a
+        // two-payload checkpoint; whichever boundary dies, the previous
+        // manifest and its payloads must stay fully loadable.
+        let dir = tmp_dir("crash");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "v1", &vec![1i64]).unwrap();
+        let m1 = w.commit().unwrap();
+        for k in 0..32 {
+            store.set_crash_after(k);
+            let attempt = (|| -> StorageResult<Manifest> {
+                let mut w = store.begin()?;
+                w.put("col/a", "v2", &vec![2i64])?;
+                w.put("col/c", "v1", &vec![3i64])?;
+                w.commit()
+            })();
+            store.clear_crash_after();
+            match attempt {
+                Err(_) => {
+                    // Crashed: epoch 1 must still be the durable state.
+                    let m = store.manifest().unwrap().unwrap();
+                    assert_eq!(m, m1, "crash at op {k} corrupted the manifest");
+                    let a: Vec<i64> = store.read_payload(m.entry("col/a").unwrap()).unwrap();
+                    assert_eq!(a, vec![1], "crash at op {k} corrupted a payload");
+                    assert!(store.log_path(&m).exists(), "crash at op {k} lost the log");
+                }
+                Ok(m) => {
+                    // The countdown outlived the commit: fully durable.
+                    let a: Vec<i64> = store.read_payload(m.entry("col/a").unwrap()).unwrap();
+                    assert_eq!(a, vec![2]);
+                    assert!(k >= 7, "a full 2-payload commit takes at least 8 ops");
+                    break;
+                }
+            }
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_manifest_is_a_loud_error() {
+        let dir = tmp_dir("torn");
+        let store = CheckpointStore::open(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_NAME), b"{\"version\":1,\"epo").unwrap();
+        assert!(matches!(
+            store.manifest().unwrap_err(),
+            StorageError::PersistFormat(_)
+        ));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_payload_is_an_io_error() {
+        let dir = tmp_dir("missing");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let entry = ManifestEntry {
+            key: "col/a".into(),
+            file: "nope.json".into(),
+            fingerprint: "f".into(),
+        };
+        assert!(matches!(
+            store.read_payload::<Vec<i64>>(&entry).unwrap_err(),
+            StorageError::PersistIo(_)
+        ));
+        fs::remove_dir_all(dir).ok();
+    }
+}

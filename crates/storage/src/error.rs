@@ -38,6 +38,12 @@ pub enum StorageError {
     SharedMutation(String),
     /// Persistence (I/O or serialization) failure.
     Persist(String),
+    /// Persistence failed at the I/O layer (open/read/write/fsync/rename):
+    /// the environment is at fault and a retry may succeed.
+    PersistIo(String),
+    /// A persisted artifact is malformed (bad JSON, wrong version, broken
+    /// BAT invariants): retrying cannot help, the file itself is bad.
+    PersistFormat(String),
     /// A page id does not exist on the page store.
     UnknownPage(u32),
     /// The buffer pool has no evictable frame left.
@@ -68,6 +74,8 @@ impl fmt::Display for StorageError {
                 write!(f, "cannot mutate BAT {name:?}: live views exist")
             }
             StorageError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            StorageError::PersistIo(msg) => write!(f, "persistence I/O error: {msg}"),
+            StorageError::PersistFormat(msg) => write!(f, "persisted data malformed: {msg}"),
             StorageError::UnknownPage(id) => write!(f, "unknown page {id}"),
             StorageError::PoolExhausted { capacity } => {
                 write!(f, "buffer pool exhausted: all {capacity} frames in use")
@@ -96,6 +104,14 @@ mod tests {
         assert_eq!(
             StorageError::OutOfBounds { index: 9, len: 3 }.to_string(),
             "position 9 out of bounds for BAT of length 3"
+        );
+        assert_eq!(
+            StorageError::PersistIo("disk gone".into()).to_string(),
+            "persistence I/O error: disk gone"
+        );
+        assert_eq!(
+            StorageError::PersistFormat("bad json".into()).to_string(),
+            "persisted data malformed: bad json"
         );
     }
 

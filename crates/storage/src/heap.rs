@@ -98,6 +98,26 @@ impl StrHeap {
         self.bytes.len()
     }
 
+    /// Verify heap integrity — used on snapshots, where a hand-edited or
+    /// truncated file could hold entries [`get`](Self::get) would panic
+    /// on: every entry's byte range must lie inside the buffer and hold
+    /// valid UTF-8.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, &(off, len)) in self.entries.iter().enumerate() {
+            let end = off as usize + len as usize;
+            if end > self.bytes.len() {
+                return Err(format!(
+                    "heap entry {i} spans {off}..{end} but the buffer has {} bytes",
+                    self.bytes.len()
+                ));
+            }
+            if std::str::from_utf8(&self.bytes[off as usize..end]).is_err() {
+                return Err(format!("heap entry {i} is not valid UTF-8"));
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuild the (non-serialized) dedup dictionary after deserialization.
     pub fn rebuild_dedup(&mut self) {
         if !self.dedup_enabled {

@@ -28,6 +28,10 @@
 //!   what makes SQL-level cracking prohibitively expensive (§5.1, §7);
 //! * [`persist`] — snapshot save/load of a catalog, so experiments can be
 //!   checkpointed;
+//! * [`checkpoint`] / [`wal`] — the durability layer: atomic incremental
+//!   checkpoints (manifest + per-key payload files) and an append-only redo
+//!   log for the pending-update overlay, so crack state recovers *warm*
+//!   after a crash (protocol in `PERSISTENCE.md` at the repository root);
 //! * [`page`] / [`pool`] / [`paged`] — the disk-block layer: fixed-size
 //!   pages on a simulated disk, a CLOCK buffer pool with IO counters, and
 //!   a paged integer column — the substrate that makes §3.4.2's
@@ -41,6 +45,7 @@
 pub mod accel;
 pub mod bat;
 pub mod catalog;
+pub mod checkpoint;
 pub mod error;
 pub mod heap;
 pub mod ops;
@@ -52,12 +57,15 @@ pub mod stats;
 pub mod txn;
 pub mod value;
 pub mod view;
+pub mod wal;
 
 pub use bat::{Bat, HeadColumn, TailData};
 pub use catalog::StoreCatalog;
+pub use checkpoint::{CheckpointStore, CheckpointWriter, Manifest, ManifestEntry};
 pub use error::{StorageError, StorageResult};
 pub use page::{IoStats, MemDisk, PageBuf, PageId, PageStore, DEFAULT_PAGE_SIZE};
 pub use paged::PagedColumn;
 pub use pool::{BufferPool, PoolStats};
 pub use value::{Atom, AtomType, Oid};
 pub use view::BatView;
+pub use wal::{RedoLog, WalRecord};

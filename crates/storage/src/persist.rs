@@ -5,16 +5,28 @@
 //! is a single JSON document (`serde_json` is used only here and for
 //! machine-readable experiment output — never on a query hot path).
 //!
+//! Writes are **atomic**: the snapshot is serialized to a sibling temp
+//! file, fsync'd, and renamed over the target, so a crash mid-save leaves
+//! the previous snapshot intact (see `PERSISTENCE.md` at the repository
+//! root; [`crate::checkpoint`] builds its incremental checkpoints on the
+//! same primitive). Loads distinguish environment failures
+//! ([`StorageError::PersistIo`]) from malformed artifacts
+//! ([`StorageError::PersistFormat`]) and re-check every BAT's structural
+//! invariants before registration.
+//!
 //! Note the paper's cracker indices "are not saved between sessions. They
 //! are pure auxiliary datastructures" (§5.2) — accordingly, accelerators and
-//! stats are *not* serialized; they are rebuilt lazily after load.
+//! stats are *not* serialized; they are rebuilt lazily after load. (The
+//! durability layer that *does* keep crack state warm across restarts is
+//! [`crate::checkpoint`] + [`crate::wal`].)
 
 use crate::bat::Bat;
 use crate::catalog::StoreCatalog;
+use crate::checkpoint::write_atomic;
 use crate::error::{StorageError, StorageResult};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::path::Path;
 
 /// On-disk snapshot format.
@@ -28,7 +40,10 @@ struct Snapshot {
 
 const SNAPSHOT_VERSION: u32 = 1;
 
-/// Write every BAT in `catalog` to `path` as JSON.
+/// Write every BAT in `catalog` to `path` as JSON, atomically: the
+/// document lands in a sibling temp file first and is renamed over `path`
+/// only after an fsync, so an interrupted save never destroys the
+/// previous snapshot.
 pub fn save_catalog(catalog: &StoreCatalog, path: impl AsRef<Path>) -> StorageResult<()> {
     let bats = catalog
         .snapshot()
@@ -39,24 +54,29 @@ pub fn save_catalog(catalog: &StoreCatalog, path: impl AsRef<Path>) -> StorageRe
         version: SNAPSHOT_VERSION,
         bats,
     };
-    let file = File::create(path).map_err(|e| StorageError::Persist(e.to_string()))?;
-    serde_json::to_writer(BufWriter::new(file), &snap)
-        .map_err(|e| StorageError::Persist(e.to_string()))
+    let doc = serde_json::to_string(&snap).map_err(|e| StorageError::Persist(e.to_string()))?;
+    write_atomic(path.as_ref(), doc.as_bytes())
 }
 
 /// Load a snapshot written by [`save_catalog`] into a fresh catalog.
+///
+/// I/O failures surface as [`StorageError::PersistIo`]; malformed content
+/// (bad JSON, unsupported version, a BAT violating its structural
+/// invariants) as [`StorageError::PersistFormat`] — a malformed BAT is
+/// rejected here rather than registered.
 pub fn load_catalog(path: impl AsRef<Path>) -> StorageResult<StoreCatalog> {
-    let file = File::open(path).map_err(|e| StorageError::Persist(e.to_string()))?;
+    let file = File::open(path).map_err(|e| StorageError::PersistIo(e.to_string()))?;
     let snap: Snapshot = serde_json::from_reader(BufReader::new(file))
-        .map_err(|e| StorageError::Persist(e.to_string()))?;
+        .map_err(|e| StorageError::PersistFormat(e.to_string()))?;
     if snap.version != SNAPSHOT_VERSION {
-        return Err(StorageError::Persist(format!(
+        return Err(StorageError::PersistFormat(format!(
             "unsupported snapshot version {}",
             snap.version
         )));
     }
     let catalog = StoreCatalog::new();
     for bat in snap.bats {
+        bat.check_invariants()?;
         catalog.register(bat)?;
     }
     Ok(catalog)
@@ -65,6 +85,7 @@ pub fn load_catalog(path: impl AsRef<Path>) -> StorageResult<StoreCatalog> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bat::TailData;
     use crate::value::Atom;
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -102,17 +123,128 @@ mod tests {
     }
 
     #[test]
-    fn loading_missing_file_is_an_error() {
-        let err = load_catalog("/nonexistent/dir/snap.json").unwrap_err();
-        assert!(matches!(err, StorageError::Persist(_)));
+    fn loaded_bat_answers_like_a_never_persisted_one_after_mutation() {
+        // Stale-cache regression: `accel`/`stats` are #[serde(skip)], so a
+        // loaded BAT must behave exactly like a fresh one through a full
+        // save → load → mutate → query sequence — in particular the
+        // accelerators built *before* the save must not leak stale
+        // answers afterwards.
+        let mut fresh = Bat::from_ints("r_a", vec![30, 10, 20, 25]);
+        let mut original = Bat::from_ints("r_a", vec![30, 10, 20, 25]);
+        // Populate every lazy cache on the original before saving.
+        let _ = original.sorted_permutation();
+        let _ = original.hash_lookup(&Atom::Int(10));
+        let _ = original.stats();
+        let cat = StoreCatalog::new();
+        cat.register(original).unwrap();
+        let path = tmp("stale-cache");
+        save_catalog(&cat, &path).unwrap();
+        let back = load_catalog(&path).unwrap();
+        let mut loaded = (*back.get("r_a").unwrap()).clone();
+        // Mutate both the same way, then compare every cached query path.
+        loaded.append(Atom::Int(5)).unwrap();
+        fresh.append(Atom::Int(5)).unwrap();
+        assert!(loaded.delete_oid(1));
+        assert!(fresh.delete_oid(1));
+        assert_eq!(loaded.sorted_permutation(), fresh.sorted_permutation());
+        assert_eq!(
+            loaded.hash_lookup(&Atom::Int(5)),
+            fresh.hash_lookup(&Atom::Int(5))
+        );
+        assert_eq!(
+            loaded.hash_lookup(&Atom::Int(10)),
+            fresh.hash_lookup(&Atom::Int(10)),
+            "pre-save hash accelerator must not survive the round trip"
+        );
+        assert_eq!(loaded.compute_stats(), fresh.compute_stats());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]
-    fn corrupt_snapshot_is_an_error() {
+    fn interrupted_save_leaves_previous_snapshot_loadable() {
+        // Regression for the truncate-in-place bug: `save_catalog` used to
+        // `File::create(path)` before serializing, so a crash mid-write
+        // destroyed the last good snapshot. With atomic writes the target
+        // is only ever replaced by a complete, fsync'd temp file.
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_ints("r_a", vec![1, 2, 3])).unwrap();
+        let path = tmp("interrupted");
+        save_catalog(&cat, &path).unwrap();
+        // Simulate a crash mid-save: a partial temp file next to the
+        // target (exactly what an interrupted `write_atomic` leaves).
+        let tmp_path = crate::checkpoint::sibling_tmp_path(&path);
+        std::fs::write(&tmp_path, b"{\"version\":1,\"bats\":[{\"nam").unwrap();
+        let back = load_catalog(&path).unwrap();
+        assert_eq!(back.get("r_a").unwrap().ints().unwrap(), &[1, 2, 3]);
+        // A subsequent save replaces both cleanly.
+        let cat2 = StoreCatalog::new();
+        cat2.register(Bat::from_ints("r_a", vec![7])).unwrap();
+        save_catalog(&cat2, &path).unwrap();
+        assert!(!tmp_path.exists(), "temp file must not outlive the save");
+        let back = load_catalog(&path).unwrap();
+        assert_eq!(back.get("r_a").unwrap().ints().unwrap(), &[7]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loading_missing_file_is_an_io_error() {
+        let err = load_catalog("/nonexistent/dir/snap.json").unwrap_err();
+        assert!(matches!(err, StorageError::PersistIo(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_format_error() {
         let path = tmp("corrupt");
         std::fs::write(&path, b"not json at all").unwrap();
         let err = load_catalog(&path).unwrap_err();
-        assert!(matches!(err, StorageError::Persist(_)));
+        assert!(matches!(err, StorageError::PersistFormat(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unsupported_version_is_a_format_error() {
+        let path = tmp("version");
+        std::fs::write(&path, b"{\"version\":99,\"bats\":[]}").unwrap();
+        let err = load_catalog(&path).unwrap_err();
+        assert!(matches!(err, StorageError::PersistFormat(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn misaligned_bat_in_snapshot_is_rejected() {
+        // Serde rebuilds head and tail independently, so a tampered
+        // snapshot can encode a head/tail length mismatch no constructor
+        // allows. Build a valid snapshot, then shrink one tail in the
+        // JSON text.
+        let cat = StoreCatalog::new();
+        cat.register(
+            Bat::with_explicit_head("r_a", vec![10, 11, 12], TailData::Int(vec![5, 6, 7])).unwrap(),
+        )
+        .unwrap();
+        let path = tmp("misaligned");
+        save_catalog(&cat, &path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let tampered = doc.replace("[5,6,7]", "[5,6]");
+        assert_ne!(doc, tampered, "fixture must actually change the tail");
+        std::fs::write(&path, tampered).unwrap();
+        let err = load_catalog(&path).unwrap_err();
+        assert!(matches!(err, StorageError::PersistFormat(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn dangling_heap_ref_in_snapshot_is_rejected() {
+        let cat = StoreCatalog::new();
+        cat.register(Bat::from_strs("r_s", ["aa", "bb"])).unwrap();
+        let path = tmp("dangling");
+        save_catalog(&cat, &path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        // Point the second BUN at a heap entry that doesn't exist.
+        let tampered = doc.replace("\"refs\":[0,1]", "\"refs\":[0,9]");
+        assert_ne!(doc, tampered, "fixture must actually change the refs");
+        std::fs::write(&path, tampered).unwrap();
+        let err = load_catalog(&path).unwrap_err();
+        assert!(matches!(err, StorageError::PersistFormat(_)), "{err}");
         std::fs::remove_file(path).ok();
     }
 }

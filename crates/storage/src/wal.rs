@@ -1,0 +1,392 @@
+//! Append-only redo log for the pending-update overlay — the volatile
+//! half of the durability story ([`crate::checkpoint`] is the durable
+//! half; `PERSISTENCE.md` at the repository root documents the protocol).
+//!
+//! Staged inserts/deletes are the only crack state that mutates between
+//! checkpoints on the query path, so they are the only state worth
+//! logging: one line-delimited JSON record per staged update, fsync'd on
+//! a **group-commit interval** (every record by default; every N-th for
+//! throughput at the cost of the tail). Recovery replays the log on top
+//! of the last checkpoint.
+//!
+//! The log is never truncated in place: a checkpoint *rotates* to a fresh
+//! epoch-named file (`wal.<epoch>.log`) and the manifest rename atomically
+//! switches which log recovery reads — see [`crate::checkpoint`].
+//!
+//! **Torn tails.** A crash mid-append leaves a partial final line. Replay
+//! tolerates exactly that: an unparseable *last* line is ignored (the
+//! record was not durable), while a malformed line anywhere *before* the
+//! end means real corruption and fails loudly as
+//! [`StorageError::PersistFormat`].
+
+use crate::error::{StorageError, StorageResult};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One redo record: a staged update against a named cracked column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A staged insert of `(oid, value)` into `table.column`.
+    Insert {
+        /// Table the cracked column belongs to.
+        table: String,
+        /// Column name.
+        column: String,
+        /// OID of the inserted tuple.
+        oid: u32,
+        /// Inserted value.
+        value: i64,
+    },
+    /// A staged delete of `oid` from `table.column`.
+    Delete {
+        /// Table the cracked column belongs to.
+        table: String,
+        /// Column name.
+        column: String,
+        /// OID of the deleted tuple.
+        oid: u32,
+    },
+}
+
+/// An open, append-only redo log.
+#[derive(Debug)]
+pub struct RedoLog {
+    path: PathBuf,
+    file: File,
+    /// Fsync once per this many appends (1 = every append durable).
+    group_commit: usize,
+    /// Appends since the last fsync.
+    unsynced: usize,
+    /// Total records appended through this handle.
+    appended: u64,
+    /// Crash-injection countdown over appends (test hook).
+    crash_after: Option<u32>,
+}
+
+impl RedoLog {
+    /// Open `path` for appending, creating it if absent — the normal way
+    /// to continue the log the current manifest names.
+    pub fn open_append(path: impl Into<PathBuf>) -> StorageResult<Self> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        Ok(RedoLog {
+            path,
+            file,
+            group_commit: 1,
+            unsynced: 0,
+            appended: 0,
+            crash_after: None,
+        })
+    }
+
+    /// Set the group-commit interval: `sync` runs after every `every`-th
+    /// append instead of every append. `every = 1` (the default) makes
+    /// each append durable before returning; larger intervals trade the
+    /// unsynced tail for throughput.
+    pub fn with_group_commit(mut self, every: usize) -> Self {
+        self.group_commit = every.max(1);
+        self
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Arm the crash-injection countdown: the `n`-th next append dies
+    /// mid-write, leaving a torn final line exactly as a crashing process
+    /// would. Test hook.
+    pub fn set_crash_after(&mut self, n: u32) {
+        self.crash_after = Some(n);
+    }
+
+    /// Append one record, fsyncing per the group-commit interval.
+    pub fn append(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+        let mut line =
+            serde_json::to_string(rec).map_err(|e| StorageError::Persist(e.to_string()))?;
+        line.push('\n');
+        if let Some(n) = self.crash_after.as_mut() {
+            if *n == 0 {
+                // Die mid-write: half the record reaches the file, no
+                // newline, no fsync of the rest.
+                let half = &line.as_bytes()[..line.len() / 2];
+                let _ = self.file.write_all(half);
+                let _ = self.file.sync_all();
+                return Err(StorageError::Persist(
+                    "injected crash during log append".to_string(),
+                ));
+            }
+            *n -= 1;
+        }
+        self.file.write_all(line.as_bytes()).map_err(io)?;
+        self.appended += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.group_commit {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to durable storage.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Read back every durable record of the log at `path`, in append
+    /// order. A missing file is an empty log (the checkpoint that names a
+    /// log creates it, but a crash can land between manifest read and log
+    /// creation on foreign tools — absence is never corruption). A
+    /// partial *final* line (torn append) is skipped; malformed content
+    /// anywhere else is a loud [`StorageError::PersistFormat`].
+    pub fn replay(path: impl AsRef<Path>) -> StorageResult<Vec<WalRecord>> {
+        let Some(doc) = read_log(path.as_ref())? else {
+            return Ok(Vec::new());
+        };
+        Ok(scan(&doc)?.0)
+    }
+
+    /// Like [`replay`](Self::replay), but additionally truncate a torn
+    /// tail off the file, so a recovered process can safely continue
+    /// appending to the same log — without the repair, fresh appends
+    /// would concatenate onto the partial line and corrupt the record
+    /// *after* the tear.
+    pub fn replay_and_repair(path: impl AsRef<Path>) -> StorageResult<Vec<WalRecord>> {
+        let Some(doc) = read_log(path.as_ref())? else {
+            return Ok(Vec::new());
+        };
+        let (out, durable_len) = scan(&doc)?;
+        if durable_len < doc.len() {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path.as_ref())
+                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+            file.set_len(durable_len as u64)
+                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+            file.sync_all()
+                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        }
+        Ok(out)
+    }
+}
+
+/// Read a log file, mapping absence to `None` (an empty log).
+fn read_log(path: &Path) -> StorageResult<Option<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(doc) => Ok(Some(doc)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StorageError::PersistIo(e.to_string())),
+    }
+}
+
+/// Parse the durable prefix of a log document: the records, plus the byte
+/// length of the prefix they occupy (everything past it is a torn tail).
+fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize)> {
+    let mut out = Vec::new();
+    let mut durable_len = 0usize;
+    let mut lines = doc.split_inclusive('\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let body = line.strip_suffix('\n');
+        match body {
+            None => {
+                // No trailing newline: can only legally happen on the
+                // final line — a torn append whose record was not durable.
+                debug_assert!(is_last);
+                return Ok((out, durable_len));
+            }
+            Some(body) => {
+                if body.is_empty() {
+                    durable_len += line.len();
+                    continue;
+                }
+                match serde_json::from_str::<WalRecord>(body) {
+                    Ok(rec) => {
+                        out.push(rec);
+                        durable_len += line.len();
+                    }
+                    Err(e) if is_last => {
+                        // A complete-looking but unparseable final line:
+                        // treat as torn (the newline may have landed while
+                        // the body did not — sector writes are not
+                        // ordered).
+                        let _ = e;
+                        return Ok((out, durable_len));
+                    }
+                    Err(e) => {
+                        return Err(StorageError::PersistFormat(format!(
+                            "redo log record {} malformed: {e}",
+                            out.len()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, durable_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dbcracker-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn rec_i(oid: u32, value: i64) -> WalRecord {
+        WalRecord::Insert {
+            table: "t".into(),
+            column: "v".into(),
+            oid,
+            value,
+        }
+    }
+
+    fn rec_d(oid: u32) -> WalRecord {
+        WalRecord::Delete {
+            table: "t".into(),
+            column: "v".into(),
+            oid,
+        }
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(7, 42)).unwrap();
+        log.append(&rec_d(3)).unwrap();
+        log.append(&rec_i(8, -5)).unwrap();
+        assert_eq!(log.appended(), 3);
+        drop(log);
+        let got = RedoLog::replay(&path).unwrap();
+        assert_eq!(got, vec![rec_i(7, 42), rec_d(3), rec_i(8, -5)]);
+        // Re-open appends, not truncates.
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_d(9)).unwrap();
+        drop(log);
+        assert_eq!(RedoLog::replay(&path).unwrap().len(), 4);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_log_replays_empty() {
+        assert!(RedoLog::replay("/nonexistent/dir/wal.1.log")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn group_commit_interval_still_replays_everything_after_sync() {
+        let path = tmp("group");
+        let mut log = RedoLog::open_append(&path).unwrap().with_group_commit(8);
+        for i in 0..20 {
+            log.append(&rec_i(i, i as i64)).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+        assert_eq!(RedoLog::replay(&path).unwrap().len(), 20);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_not_fatal() {
+        let path = tmp("torn");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        log.append(&rec_i(2, 20)).unwrap();
+        log.set_crash_after(0);
+        assert!(log.append(&rec_i(3, 30)).is_err());
+        drop(log);
+        // The two durable records replay; the torn third is ignored.
+        let got = RedoLog::replay(&path).unwrap();
+        assert_eq!(got, vec![rec_i(1, 10), rec_i(2, 20)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn repair_truncates_torn_tail_so_appends_continue_safely() {
+        let path = tmp("repair");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        log.set_crash_after(0);
+        assert!(log.append(&rec_i(2, 20)).is_err());
+        drop(log);
+        // Recovery repairs the tear, then appending resumes cleanly.
+        let got = RedoLog::replay_and_repair(&path).unwrap();
+        assert_eq!(got, vec![rec_i(1, 10)]);
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(3, 30)).unwrap();
+        drop(log);
+        assert_eq!(
+            RedoLog::replay(&path).unwrap(),
+            vec![rec_i(1, 10), rec_i(3, 30)],
+            "post-repair append must not merge into the torn line"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_countdown_fires_on_the_nth_append() {
+        let path = tmp("countdown");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.set_crash_after(2);
+        assert!(log.append(&rec_i(1, 1)).is_ok());
+        assert!(log.append(&rec_i(2, 2)).is_ok());
+        assert!(log.append(&rec_i(3, 3)).is_err());
+        drop(log);
+        assert_eq!(RedoLog::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_end_is_loud() {
+        let path = tmp("corrupt");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        drop(log);
+        // Splice garbage *between* two valid records.
+        let mut doc = std::fs::read_to_string(&path).unwrap();
+        doc.push_str("garbage not json\n");
+        std::fs::write(&path, &doc).unwrap();
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(2, 20)).unwrap();
+        drop(log);
+        assert!(matches!(
+            RedoLog::replay(&path).unwrap_err(),
+            StorageError::PersistFormat(_)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let path = tmp("blank");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        drop(log);
+        let mut doc = std::fs::read_to_string(&path).unwrap();
+        doc.push('\n');
+        std::fs::write(&path, &doc).unwrap();
+        assert_eq!(RedoLog::replay(&path).unwrap().len(), 1);
+    }
+}

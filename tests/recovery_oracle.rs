@@ -1,0 +1,342 @@
+//! Crash-injection recovery suite: kill the durability layer at every
+//! write boundary, recover, and hold the recovered database to the full
+//! differential oracle — answers must be identical to a never-crashed
+//! replay, piece maps must validate, and the recovered store must answer
+//! *warm* (at cracked cost, not full-scan cost). See `PERSISTENCE.md`.
+
+use dbcracker::engine::scenario::{SCENARIO_COLUMN, SCENARIO_TABLE};
+use dbcracker::engine::{AdaptiveDb, DbScenarioRunner, OutputMode, RangeQuery, Table};
+use dbcracker::prelude::*;
+use std::path::PathBuf;
+
+const TABLE: &str = "t";
+const COLUMN: &str = "v";
+
+/// Fresh scratch directory for one test case (removed up front so reruns
+/// of a dirty tree start clean).
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dbcracker-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A deterministic pseudo-random stream (splitmix64) for window
+/// placement — no RNG crate needed.
+struct Mix(u64);
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn window(&mut self, domain: i64, width: i64) -> Window {
+        let lo = (self.next() % (domain - width).max(1) as u64) as i64;
+        Window::new(lo, lo + width)
+    }
+}
+
+fn base_column(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| (i * 37) % n as i64).collect()
+}
+
+fn db_with_table(base: &[i64], mode: ConcurrencyMode) -> AdaptiveDb {
+    let mut db = AdaptiveDb::new().with_concurrency(mode);
+    db.register(Table::from_int_columns(TABLE, vec![(COLUMN, base.to_vec())]).unwrap())
+        .unwrap();
+    db
+}
+
+/// The recovered db must give oracle-identical answers on both query
+/// paths (plain cracker and latched shared cracker) for every probe
+/// window, and its piece maps must pass full validation.
+fn assert_matches_oracle(db: &mut AdaptiveDb, oracle: &SortedOracle, windows: &[Window]) {
+    for &w in windows {
+        let want = oracle.select_oids(w);
+        let (mut plain, _) = db
+            .select(
+                &RangeQuery::new(TABLE, COLUMN, w.to_pred()),
+                OutputMode::Stream,
+            )
+            .unwrap();
+        plain.sort_unstable();
+        assert_eq!(plain, want, "plain path diverged on [{}, {})", w.lo, w.hi);
+        let shared = db.shared_cracker(TABLE, COLUMN).unwrap();
+        let mut latched = shared.select_oids(w.to_pred());
+        latched.sort_unstable();
+        assert_eq!(
+            latched, want,
+            "shared path diverged on [{}, {})",
+            w.lo, w.hi
+        );
+    }
+    db.shared_cracker(TABLE, COLUMN)
+        .unwrap()
+        .validate()
+        .expect("recovered piece map must validate");
+}
+
+#[test]
+fn checkpoint_recover_roundtrip_matches_oracle_in_both_modes() {
+    let n = 8_000;
+    let base = base_column(n);
+    for (mode, tag) in [
+        (ConcurrencyMode::SingleLock, "single"),
+        (ConcurrencyMode::Sharded { shards: 4 }, "sharded"),
+    ] {
+        let dir = scratch(&format!("roundtrip-{tag}"));
+        let mut oracle = SortedOracle::new(&base);
+        let mut db = db_with_table(&base, mode);
+        let mut mix = Mix(7);
+        // Crack both copies before attaching, so the checkpoint carries a
+        // non-trivial piece map.
+        for _ in 0..12 {
+            let w = mix.window(n as i64, 400);
+            db.select(
+                &RangeQuery::new(TABLE, COLUMN, w.to_pred()),
+                OutputMode::Count,
+            )
+            .unwrap();
+            db.shared_cracker(TABLE, COLUMN).unwrap().count(w.to_pred());
+        }
+        db.attach_durability(&dir, 1).unwrap();
+        // Updates after the initial checkpoint live only in the redo log.
+        for i in 0..60u32 {
+            let oid = n as u32 + i;
+            let value = (mix.next() % n as u64) as i64;
+            db.stage_insert(TABLE, COLUMN, oid, value).unwrap();
+            oracle.insert(oid, value);
+            if i % 3 == 0 {
+                let victim = (mix.next() % n as u64) as u32;
+                let found = db.stage_delete(TABLE, COLUMN, victim).unwrap();
+                assert_eq!(found, oracle.delete(victim));
+            }
+        }
+        // A checkpoint absorbs the overlay; more updates go to the new log.
+        let epoch = db.checkpoint().unwrap();
+        assert!(epoch >= 2);
+        for i in 60..90u32 {
+            let oid = n as u32 + i;
+            db.stage_insert(TABLE, COLUMN, oid, 5).unwrap();
+            oracle.insert(oid, 5);
+        }
+        drop(db);
+        let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+        assert_eq!(rec.concurrency(), mode, "mode survives recovery");
+        let probes: Vec<Window> = (0..20).map(|_| mix.window(n as i64, 700)).collect();
+        assert_matches_oracle(&mut rec, &oracle, &probes);
+        // The recovered db keeps logging: another round trip still agrees.
+        rec.stage_insert(TABLE, COLUMN, n as u32 + 500, -3).unwrap();
+        oracle.insert(n as u32 + 500, -3);
+        drop(rec);
+        let mut rec2 = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+        assert_matches_oracle(&mut rec2, &oracle, &probes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn crash_at_every_checkpoint_boundary_recovers_to_last_durable_state() {
+    // Arm the crash countdown at every durable-write boundary of a
+    // checkpoint in turn. Whether the checkpoint died or committed, the
+    // recovered database must be oracle-identical: every staged update
+    // was redo-logged (group commit = 1) before it applied, so no crash
+    // point may lose state or leave it silently wrong.
+    let n = 4_000;
+    let base = base_column(n);
+    let mut committed = 0;
+    let mut died = 0;
+    for k in 0..10u32 {
+        let dir = scratch(&format!("ckpt-crash-{k}"));
+        let mut oracle = SortedOracle::new(&base);
+        let mut db = db_with_table(&base, ConcurrencyMode::SingleLock);
+        let mut mix = Mix(1000 + k as u64);
+        db.attach_durability(&dir, 1).unwrap();
+        for _ in 0..6 {
+            let w = mix.window(n as i64, 300);
+            db.select(
+                &RangeQuery::new(TABLE, COLUMN, w.to_pred()),
+                OutputMode::Count,
+            )
+            .unwrap();
+            db.shared_cracker(TABLE, COLUMN).unwrap().count(w.to_pred());
+        }
+        for i in 0..20u32 {
+            let oid = n as u32 + i;
+            db.stage_insert(TABLE, COLUMN, oid, i as i64).unwrap();
+            oracle.insert(oid, i as i64);
+        }
+        assert!(db.arm_checkpoint_crash(k));
+        match db.checkpoint() {
+            Ok(_) => committed += 1,
+            Err(_) => died += 1,
+        }
+        drop(db);
+        let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+        let probes: Vec<Window> = (0..12).map(|_| mix.window(n as i64, 500)).collect();
+        assert_matches_oracle(&mut rec, &oracle, &probes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(died > 0, "the low countdowns must kill the checkpoint");
+    assert!(committed > 0, "the high countdowns must let it commit");
+}
+
+#[test]
+fn crash_mid_log_append_loses_only_the_torn_record() {
+    let n = 2_000;
+    let base = base_column(n);
+    let dir = scratch("log-crash");
+    let mut oracle = SortedOracle::new(&base);
+    let mut db = db_with_table(&base, ConcurrencyMode::SingleLock);
+    db.attach_durability(&dir, 1).unwrap();
+    for i in 0..10u32 {
+        let oid = n as u32 + i;
+        db.stage_insert(TABLE, COLUMN, oid, 100 + i as i64).unwrap();
+        oracle.insert(oid, 100 + i as i64);
+    }
+    // The next append dies mid-write: the record is torn, nothing applies
+    // — in memory or in the oracle.
+    assert!(db.arm_log_crash(0));
+    assert!(db.stage_insert(TABLE, COLUMN, 9_999, 42).is_err());
+    drop(db);
+    let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+    let mut mix = Mix(99);
+    let probes: Vec<Window> = (0..10).map(|_| mix.window(n as i64, 300)).collect();
+    assert_matches_oracle(&mut rec, &oracle, &probes);
+    // The torn tail was repaired: post-recovery updates append cleanly
+    // and survive another crash/recover cycle.
+    rec.stage_insert(TABLE, COLUMN, 9_999, 42).unwrap();
+    oracle.insert(9_999, 42);
+    drop(rec);
+    let mut rec2 = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+    assert_matches_oracle(&mut rec2, &oracle, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_is_warm_not_cold() {
+    // The whole point of checkpointing the piece map: a recovered store
+    // repeats a pre-crash query at cracked cost, not full-scan cost. Costs
+    // are pinned via touched-tuple counters, not wall clock.
+    let n = 50_000;
+    let base = base_column(n);
+    let dir = scratch("warm");
+    let mut db = db_with_table(&base, ConcurrencyMode::SingleLock);
+    let hot = Window::new(20_000, 20_600);
+    let mut mix = Mix(5);
+    for _ in 0..30 {
+        let w = mix.window(n as i64, 800);
+        db.select(
+            &RangeQuery::new(TABLE, COLUMN, w.to_pred()),
+            OutputMode::Count,
+        )
+        .unwrap();
+    }
+    db.select(
+        &RangeQuery::new(TABLE, COLUMN, hot.to_pred()),
+        OutputMode::Count,
+    )
+    .unwrap();
+    let pieces_before = {
+        let shared = db.shared_cracker(TABLE, COLUMN).unwrap();
+        shared.count(hot.to_pred());
+        shared.piece_count()
+    };
+    db.attach_durability(&dir, 1).unwrap();
+    drop(db);
+
+    let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+    assert_eq!(
+        rec.shared_cracker(TABLE, COLUMN).unwrap().piece_count(),
+        pieces_before,
+        "every crack boundary must survive recovery"
+    );
+    // Warm: repeating the hot query on the recovered plain cracker.
+    let before = rec.total_crack_stats().tuples_touched;
+    rec.select(
+        &RangeQuery::new(TABLE, COLUMN, hot.to_pred()),
+        OutputMode::Count,
+    )
+    .unwrap();
+    let warm_cost = rec.total_crack_stats().tuples_touched - before;
+
+    // Cold: the same query on a fresh, never-cracked db.
+    let mut cold = db_with_table(&base, ConcurrencyMode::SingleLock);
+    let before = cold.total_crack_stats().tuples_touched;
+    cold.select(
+        &RangeQuery::new(TABLE, COLUMN, hot.to_pred()),
+        OutputMode::Count,
+    )
+    .unwrap();
+    let cold_cost = cold.total_crack_stats().tuples_touched - before;
+
+    assert!(
+        warm_cost * 10 < cold_cost,
+        "recovered query touched {warm_cost} tuples; cold scan touched {cold_cost} — recovery came back cold"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_replay_survives_a_mid_stream_restart() {
+    // Replay a seeded update-heavy scenario through the durable runner,
+    // checkpoint + restart halfway, and differentially check every
+    // post-restart select against the oracle.
+    for (mode, tag) in [
+        (ConcurrencyMode::SingleLock, "single"),
+        (ConcurrencyMode::Sharded { shards: 4 }, "sharded"),
+    ] {
+        let dir = scratch(&format!("scenario-{tag}"));
+        let mut scenario = UpdateHeavy::new(Mqs::paper_default(6_000, 40, 0.05), 2.0, 3, 23);
+        let mut oracle = SortedOracle::new(scenario.base());
+        let mut runner =
+            DbScenarioRunner::with_durability(&scenario, mode, &dir, 1).expect("attach");
+        let ops: Vec<Op> = (&mut scenario).collect();
+        let halfway = ops.len() / 2;
+        let mut selects_checked = 0;
+        for (i, op) in ops.into_iter().enumerate() {
+            if i == halfway {
+                runner.checkpoint().expect("mid-stream checkpoint");
+                runner.restart().expect("recover from checkpoint");
+            }
+            match op {
+                Op::Select(w) => {
+                    let mut got = runner.run_select(w);
+                    got.sort_unstable();
+                    assert_eq!(
+                        got,
+                        oracle.select_oids(w),
+                        "{tag}: post-restart select [{}, {}) diverged",
+                        w.lo,
+                        w.hi
+                    );
+                    selects_checked += 1;
+                }
+                Op::Insert { oid, value } => {
+                    runner.run_insert(oid, value);
+                    oracle.insert(oid, value);
+                }
+                Op::Delete { oid } => {
+                    assert_eq!(runner.run_delete(oid), oracle.delete(oid), "{tag}: delete");
+                }
+            }
+        }
+        assert!(selects_checked >= 20, "scenario must actually select");
+        // One more unannounced restart at stream end still agrees.
+        runner.restart().expect("second recovery");
+        let w = Window::new(1_000, 1_500);
+        let mut got = runner.run_select(w);
+        got.sort_unstable();
+        assert_eq!(got, oracle.select_oids(w));
+        let mut db = runner.into_db();
+        assert_eq!(db.catalog().table(SCENARIO_TABLE).unwrap().len(), 6_000);
+        assert!(db
+            .shared_cracker(SCENARIO_TABLE, SCENARIO_COLUMN)
+            .unwrap()
+            .validate()
+            .is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
