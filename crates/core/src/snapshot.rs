@@ -140,22 +140,56 @@ impl ColumnSnapshot {
     /// Cheap dirty-tracking fingerprint of a column's persistent state:
     /// two snapshots of the same column are byte-identical whenever its
     /// fingerprints match, so an unchanged fingerprint lets the
-    /// checkpoint layer skip re-serializing a warm column. Counter-based
-    /// (cracks/fusions/merges are monotone), so it never misses a
-    /// layout-changing operation.
+    /// checkpoint layer skip re-serializing a warm column. Layout changes
+    /// are counter-based (cracks/fusions/merges are monotone); the
+    /// overlay is covered by a content hash, *not* its length — the
+    /// overlay length is not monotone (deleting a staged insert cancels
+    /// it), so a cancel-plus-restage between checkpoints would collide
+    /// on length and silently carry a stale payload forward.
     pub fn fingerprint(col: &CrackerColumn<i64>) -> String {
         let s = col.stats();
         format!(
-            "n{}b{}c{}f{}m{}t{}p{}",
+            "n{}b{}c{}f{}m{}t{}o{:016x}",
             col.len(),
             col.index().boundary_count(),
             s.cracks,
             s.fusions,
             s.merges,
             s.tuples_moved,
-            col.pending_len()
+            overlay_hash(col)
         )
     }
+}
+
+/// FNV-1a over `bytes`, continuing from `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Content hash of a column's pending-update overlay: the staged inserts
+/// in staging order plus the pending-delete set in sorted order, each
+/// section prefixed by its length so no two distinct overlays share an
+/// encoding. Two columns hash equal exactly when their captured
+/// `pending_inserts`/`pending_deletes` would be equal — the property the
+/// fingerprint needs and the raw overlay *length* cannot provide.
+fn overlay_hash(col: &CrackerColumn<i64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let inserts = col.pending.staged_inserts();
+    fnv1a(&mut h, &(inserts.len() as u64).to_le_bytes());
+    for &(oid, v) in inserts {
+        fnv1a(&mut h, &oid.to_le_bytes());
+        fnv1a(&mut h, &v.to_le_bytes());
+    }
+    let mut deletes: Vec<u32> = col.pending.deleted_set().iter().collect();
+    deletes.sort_unstable();
+    fnv1a(&mut h, &(deletes.len() as u64).to_le_bytes());
+    for oid in deletes {
+        fnv1a(&mut h, &oid.to_le_bytes());
+    }
+    h
 }
 
 /// The persistent state of a [`ConcurrentColumn`] under either latching
@@ -334,6 +368,29 @@ mod tests {
         // A repeated warm query changes nothing persistent.
         col.select(RangePred::between(50, 100));
         assert_eq!(ColumnSnapshot::fingerprint(&col), f3);
+    }
+
+    #[test]
+    fn fingerprint_sees_overlay_swap_that_preserves_length() {
+        // Regression: deleting a staged insert cancels it (the overlay
+        // shrinks), so a cancel followed by one fresh staged insert leaves
+        // pending_len — and every monotone layout counter — unchanged. A
+        // length-based fingerprint collides here and the checkpoint layer
+        // would carry the stale overlay forward, resurrecting the
+        // cancelled insert and losing the fresh one on recovery.
+        let mut col = CrackerColumn::new((0..100).collect::<Vec<i64>>());
+        col.insert(500, 10);
+        let f_x = ColumnSnapshot::fingerprint(&col);
+        assert!(col.delete(500), "delete must cancel the staged insert");
+        col.insert(501, 20);
+        assert_eq!(col.pending_len(), 1, "overlay length is back to 1");
+        let f_z = ColumnSnapshot::fingerprint(&col);
+        assert_ne!(f_x, f_z, "same overlay length, different contents");
+        // Same contents, rebuilt independently, must still hash equal —
+        // otherwise incremental checkpoints would never reuse a payload.
+        let mut twin = CrackerColumn::new((0..100).collect::<Vec<i64>>());
+        twin.insert(501, 20);
+        assert_eq!(ColumnSnapshot::fingerprint(&twin), f_z);
     }
 
     #[test]

@@ -479,7 +479,10 @@ impl AdaptiveDb {
     /// With durability attached, the update is appended to the redo log
     /// *before* it is applied (write-ahead): a failed append stages
     /// nothing, so the in-memory state never runs ahead of what recovery
-    /// can reproduce.
+    /// can reproduce. The target is resolved *before* the append: a
+    /// rejected update (unknown table/column, non-int column) must error
+    /// without logging, or the poison record would make every future
+    /// replay of the log fail at recovery time.
     pub fn stage_insert(
         &mut self,
         table: &str,
@@ -487,6 +490,7 @@ impl AdaptiveDb {
         oid: u32,
         value: i64,
     ) -> EngineResult<()> {
+        self.cracker(table, column)?;
         if let Some(dur) = self.durability.as_mut() {
             dur.log.append(&WalRecord::Insert {
                 table: table.to_owned(),
@@ -505,9 +509,11 @@ impl AdaptiveDb {
 
     /// Stage a row deletion in every cracked copy of the column. Returns
     /// whether the single-threaded copy knew the OID. Logged write-ahead
-    /// like [`stage_insert`](Self::stage_insert); deletes of unknown OIDs
-    /// are logged too — replaying one is a harmless no-op.
+    /// like [`stage_insert`](Self::stage_insert) — and, like it, only
+    /// after the target column resolves; deletes of unknown OIDs in a
+    /// *valid* column are logged too — replaying one is a harmless no-op.
     pub fn stage_delete(&mut self, table: &str, column: &str, oid: u32) -> EngineResult<bool> {
+        self.cracker(table, column)?;
         if let Some(dur) = self.durability.as_mut() {
             dur.log.append(&WalRecord::Delete {
                 table: table.to_owned(),

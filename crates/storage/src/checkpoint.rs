@@ -113,6 +113,41 @@ fn payload_file_name(key: &str, epoch: u64) -> String {
     format!("{clean}-{:016x}.{epoch}.json", fnv(key))
 }
 
+/// True when `name` matches one of the store's own file-name patterns:
+/// `MANIFEST.json`, a payload `<key>-<16 hex>.<epoch>.json`, a redo log
+/// `wal.<epoch>.log`, or any of their `.tmp` staging siblings. GC only
+/// ever touches these — a foreign file a caller colocates in the
+/// checkpoint directory (e.g. a `persist` catalog snapshot, also
+/// `.json`) is never the store's to delete.
+fn is_store_artifact(name: &str) -> bool {
+    let base = name.strip_suffix(".tmp").unwrap_or(name);
+    if base == MANIFEST_NAME {
+        return true;
+    }
+    let all_digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if let Some(epoch) = base
+        .strip_prefix("wal.")
+        .and_then(|rest| rest.strip_suffix(".log"))
+    {
+        return all_digits(epoch);
+    }
+    if let Some(rest) = base.strip_suffix(".json") {
+        // `<sanitized key>-<16 hex FNV>.<epoch>` (see `payload_file_name`).
+        let Some((head, epoch)) = rest.rsplit_once('.') else {
+            return false;
+        };
+        let Some((key, hash)) = head.rsplit_once('-') else {
+            return false;
+        };
+        return all_digits(epoch)
+            && hash.len() == 16
+            && hash.bytes().all(|b| b.is_ascii_hexdigit())
+            && key.len() <= 48
+            && key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    false
+}
+
 /// One payload recorded in a [`Manifest`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ManifestEntry {
@@ -350,18 +385,18 @@ impl CheckpointWriter<'_> {
         }
         fs::rename(&tmp, &manifest_path).map_err(io)?;
         sync_dir(&self.store.dir)?;
-        // Commit point passed: reclaim everything the new manifest does
-        // not reference. Best-effort — an orphan costs disk, not
-        // correctness, and the next commit retries.
+        // Commit point passed: reclaim the store's *own* files the new
+        // manifest no longer references — only names matching the store's
+        // patterns (`is_store_artifact`); a foreign file colocated in the
+        // directory is never deleted. Best-effort — an orphan costs disk,
+        // not correctness, and the next commit retries.
         let mut keep: Vec<&str> = vec![MANIFEST_NAME, &manifest.log];
         keep.extend(manifest.entries.iter().map(|e| e.file.as_str()));
         if let Ok(dir) = fs::read_dir(&self.store.dir) {
             for entry in dir.flatten() {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
-                let ours =
-                    name.ends_with(".json") || name.ends_with(".log") || name.ends_with(".tmp");
-                if ours && !keep.iter().any(|k| *k == name) {
+                if is_store_artifact(&name) && !keep.iter().any(|k| *k == name) {
                     let _ = fs::remove_file(entry.path());
                 }
             }
@@ -475,6 +510,58 @@ mod tests {
         let m = w.commit().unwrap();
         assert!(m.entry("col/b").is_none());
         fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn gc_reclaims_only_the_stores_own_files() {
+        let dir = tmp_dir("gc-foreign");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &vec![1i64]).unwrap();
+        let m1 = w.commit().unwrap();
+        // Foreign files a caller colocates in the directory — including
+        // .json/.log/.tmp names that the old suffix-based GC destroyed.
+        let foreign = ["catalog.json", "notes.log", "scratch.tmp", "wal.x.log"];
+        for f in &foreign {
+            fs::write(dir.join(f), b"not ours").unwrap();
+        }
+        // Dirty payload forces a rewrite, making epoch 1's file stale.
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f2", &vec![2i64]).unwrap();
+        let m2 = w.commit().unwrap();
+        for f in &foreign {
+            assert!(dir.join(f).exists(), "GC must not delete foreign {f}");
+        }
+        // The store's own stale artifacts are still reclaimed.
+        assert!(!dir.join(&m1.entry("col/a").unwrap().file).exists());
+        assert!(!dir.join(&m1.log).exists());
+        assert!(dir.join(&m2.entry("col/a").unwrap().file).exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_artifact_pattern_matches_exactly_the_stores_names() {
+        assert!(is_store_artifact(MANIFEST_NAME));
+        assert!(is_store_artifact("MANIFEST.json.tmp"));
+        assert!(is_store_artifact("wal.12.log"));
+        assert!(is_store_artifact("wal.12.log.tmp"));
+        assert!(is_store_artifact(&payload_file_name("cracker/t/v", 3)));
+        assert!(is_store_artifact(&format!(
+            "{}.tmp",
+            payload_file_name("cracker/t/v", 3)
+        )));
+        for foreign in [
+            "catalog.json",
+            "notes.log",
+            "scratch.tmp",
+            "wal.x.log",
+            "wal..log",
+            "data-abc.3.json",             // hash not 16 hex chars
+            "key-0123456789abcdef.x.json", // epoch not numeric
+            "README.md",
+        ] {
+            assert!(!is_store_artifact(foreign), "{foreign} must be foreign");
+        }
     }
 
     #[test]

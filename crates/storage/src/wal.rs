@@ -17,7 +17,15 @@
 //! tolerates exactly that: an unparseable *last* line is ignored (the
 //! record was not durable), while a malformed line anywhere *before* the
 //! end means real corruption and fails loudly as
-//! [`StorageError::PersistFormat`].
+//! [`StorageError::PersistFormat`]. The two tail shapes are
+//! distinguished and reported ([`TornTail`]): a final line with **no
+//! trailing newline** is unambiguously a torn append, while a
+//! **newline-terminated but unparseable** final line is tolerated too
+//! (sector writes are not ordered, so the newline can land while the
+//! body does not) but is the shape genuine last-record corruption would
+//! take — repairing one is announced on stderr and surfaced to callers
+//! via [`RedoLog::replay_and_repair_reporting`], never discarded
+//! silently.
 
 use crate::error::{StorageError, StorageResult};
 use serde::{Deserialize, Serialize};
@@ -48,6 +56,24 @@ pub enum WalRecord {
         /// OID of the deleted tuple.
         oid: u32,
     },
+}
+
+/// A non-durable log tail discarded by replay, described so callers (and
+/// operators) can tell *what kind* of tail it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Bytes past the durable prefix (what repair truncates).
+    pub bytes: usize,
+    /// `false`: the tail had no trailing newline — unambiguously a torn
+    /// append, the expected crash artifact. `true`: the tail was a
+    /// complete, newline-terminated line whose body did not parse — still
+    /// tolerated (an unluckily-ordered torn append looks like this), but
+    /// also the shape genuine corruption of the last durable record (bit
+    /// rot, truncated value) would take, so it is worth an operator's
+    /// attention.
+    pub newline_terminated: bool,
+    /// Parse error of the discarded line (newline-terminated case only).
+    pub detail: String,
 }
 
 /// An open, append-only redo log.
@@ -165,23 +191,40 @@ impl RedoLog {
     /// tail off the file, so a recovered process can safely continue
     /// appending to the same log — without the repair, fresh appends
     /// would concatenate onto the partial line and corrupt the record
-    /// *after* the tear.
+    /// *after* the tear. Repairing a newline-terminated-but-unparseable
+    /// tail (possible last-record corruption, see [`TornTail`]) is
+    /// announced on stderr; use
+    /// [`replay_and_repair_reporting`](Self::replay_and_repair_reporting)
+    /// to receive the tail description instead.
     pub fn replay_and_repair(path: impl AsRef<Path>) -> StorageResult<Vec<WalRecord>> {
-        let Some(doc) = read_log(path.as_ref())? else {
-            return Ok(Vec::new());
+        Ok(Self::replay_and_repair_reporting(path)?.0)
+    }
+
+    /// [`replay_and_repair`](Self::replay_and_repair), returning a
+    /// description of the discarded tail (if any) alongside the records.
+    pub fn replay_and_repair_reporting(
+        path: impl AsRef<Path>,
+    ) -> StorageResult<(Vec<WalRecord>, Option<TornTail>)> {
+        let path = path.as_ref();
+        let Some(doc) = read_log(path)? else {
+            return Ok((Vec::new(), None));
         };
-        let (out, durable_len) = scan(&doc)?;
+        let (out, durable_len, tail) = scan(&doc)?;
         if durable_len < doc.len() {
-            let file = OpenOptions::new()
-                .write(true)
-                .open(path.as_ref())
-                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
-            file.set_len(durable_len as u64)
-                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
-            file.sync_all()
-                .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+            if let Some(t) = tail.as_ref().filter(|t| t.newline_terminated) {
+                eprintln!(
+                    "wal: discarding a complete but unparseable final record \
+                     ({} bytes) in {path:?}: {} — treated as a torn append, \
+                     but if this record was durable it is lost data",
+                    t.bytes, t.detail
+                );
+            }
+            let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+            let file = OpenOptions::new().write(true).open(path).map_err(io)?;
+            file.set_len(durable_len as u64).map_err(io)?;
+            file.sync_all().map_err(io)?;
         }
-        Ok(out)
+        Ok((out, tail))
     }
 }
 
@@ -194,9 +237,10 @@ fn read_log(path: &Path) -> StorageResult<Option<String>> {
     }
 }
 
-/// Parse the durable prefix of a log document: the records, plus the byte
-/// length of the prefix they occupy (everything past it is a torn tail).
-fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize)> {
+/// Parse the durable prefix of a log document: the records, the byte
+/// length of the prefix they occupy (everything past it is a discarded
+/// tail), and a description of that tail when one exists.
+fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize, Option<TornTail>)> {
     let mut out = Vec::new();
     let mut durable_len = 0usize;
     let mut lines = doc.split_inclusive('\n').peekable();
@@ -208,7 +252,12 @@ fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize)> {
                 // No trailing newline: can only legally happen on the
                 // final line — a torn append whose record was not durable.
                 debug_assert!(is_last);
-                return Ok((out, durable_len));
+                let tail = TornTail {
+                    bytes: doc.len() - durable_len,
+                    newline_terminated: false,
+                    detail: String::new(),
+                };
+                return Ok((out, durable_len, Some(tail)));
             }
             Some(body) => {
                 if body.is_empty() {
@@ -221,12 +270,19 @@ fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize)> {
                         durable_len += line.len();
                     }
                     Err(e) if is_last => {
-                        // A complete-looking but unparseable final line:
-                        // treat as torn (the newline may have landed while
-                        // the body did not — sector writes are not
-                        // ordered).
-                        let _ = e;
-                        return Ok((out, durable_len));
+                        // A complete, newline-terminated but unparseable
+                        // final line: tolerated like a torn append (the
+                        // newline may have landed while the body did not —
+                        // sector writes are not ordered), but reported as
+                        // such — this is also what genuine corruption of
+                        // the last durable record looks like, and it must
+                        // not vanish without a trace.
+                        let tail = TornTail {
+                            bytes: doc.len() - durable_len,
+                            newline_terminated: true,
+                            detail: e.to_string(),
+                        };
+                        return Ok((out, durable_len, Some(tail)));
                     }
                     Err(e) => {
                         return Err(StorageError::PersistFormat(format!(
@@ -238,7 +294,7 @@ fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize)> {
             }
         }
     }
-    Ok((out, durable_len))
+    Ok((out, durable_len, None))
 }
 
 #[cfg(test)]
@@ -356,6 +412,53 @@ mod tests {
         drop(log);
         assert_eq!(RedoLog::replay(&path).unwrap().len(), 2);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_tail_shapes_are_distinguished_and_reported() {
+        // A crash-torn tail has no trailing newline.
+        let path = tmp("tail-torn");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        log.set_crash_after(0);
+        assert!(log.append(&rec_i(2, 20)).is_err());
+        drop(log);
+        let (got, tail) = RedoLog::replay_and_repair_reporting(&path).unwrap();
+        assert_eq!(got, vec![rec_i(1, 10)]);
+        let tail = tail.expect("torn tail must be reported");
+        assert!(!tail.newline_terminated);
+        assert!(tail.bytes > 0);
+        std::fs::remove_file(&path).ok();
+
+        // A newline-terminated but unparseable final line is tolerated
+        // too, but reported as the possibly-corrupt shape, with the
+        // dropped byte count and the parse error.
+        let path = tmp("tail-corrupt");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        drop(log);
+        let mut doc = std::fs::read_to_string(&path).unwrap();
+        let durable = doc.len();
+        doc.push_str("garbage not json\n");
+        std::fs::write(&path, &doc).unwrap();
+        let (got, tail) = RedoLog::replay_and_repair_reporting(&path).unwrap();
+        assert_eq!(got, vec![rec_i(1, 10)]);
+        let tail = tail.expect("unparseable final line must be reported");
+        assert!(tail.newline_terminated);
+        assert_eq!(tail.bytes, "garbage not json\n".len());
+        assert!(!tail.detail.is_empty(), "parse error carried in detail");
+        // Repair truncated exactly to the durable prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), durable as u64);
+        std::fs::remove_file(&path).ok();
+
+        // A fully durable log reports no tail.
+        let path = tmp("tail-clean");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        drop(log);
+        let (_, tail) = RedoLog::replay_and_repair_reporting(&path).unwrap();
+        assert!(tail.is_none());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

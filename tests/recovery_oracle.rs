@@ -138,6 +138,84 @@ fn checkpoint_recover_roundtrip_matches_oracle_in_both_modes() {
 }
 
 #[test]
+fn checkpoint_sees_overlay_swap_that_preserves_length() {
+    // Regression for a fingerprint collision: deleting a staged insert
+    // cancels it, so cancel + one fresh staged insert leaves the overlay
+    // *length* (and every monotone layout counter) unchanged between
+    // checkpoints. A length-based fingerprint let the second checkpoint
+    // carry the stale overlay payload forward while rotating the redo log
+    // away — recovery then resurrected the cancelled insert and lost the
+    // fresh one, silently. The content-hashing fingerprint must rewrite.
+    let n = 2_000;
+    let base = base_column(n);
+    let dir = scratch("overlay-swap");
+    let mut oracle = SortedOracle::new(&base);
+    let mut db = db_with_table(&base, ConcurrencyMode::SingleLock);
+    // Create the shared copy up front so staged updates forward to it.
+    db.shared_cracker(TABLE, COLUMN).unwrap();
+    db.attach_durability(&dir, 1).unwrap();
+
+    // Stage insert X; checkpoint so X lands in the overlay payload.
+    let x = n as u32 + 1;
+    db.stage_insert(TABLE, COLUMN, x, 111).unwrap();
+    oracle.insert(x, 111);
+    db.checkpoint().unwrap();
+
+    // Cancel X, stage fresh Z: overlay length is back to 1 and no layout
+    // counter moved. Checkpoint again — the WAL records for both updates
+    // rotate away, so the payload *must* be rewritten.
+    let z = n as u32 + 2;
+    assert!(db.stage_delete(TABLE, COLUMN, x).unwrap());
+    assert!(oracle.delete(x));
+    db.stage_insert(TABLE, COLUMN, z, 222).unwrap();
+    oracle.insert(z, 222);
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+    let mut mix = Mix(41);
+    let mut probes: Vec<Window> = (0..8).map(|_| mix.window(n as i64, 400)).collect();
+    // Windows that pin X absent and Z present explicitly.
+    probes.push(Window::new(110, 112));
+    probes.push(Window::new(221, 223));
+    assert_matches_oracle(&mut rec, &oracle, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejected_update_leaves_no_poison_record_in_the_log() {
+    // Regression: an update against an unknown table/column was appended
+    // to the redo log *before* the target resolved, so one rejected
+    // update durably logged a record that every future recovery replayed
+    // — and failed on — permanently. Validation now precedes the append.
+    let n = 1_000;
+    let base = base_column(n);
+    let dir = scratch("poison");
+    let mut oracle = SortedOracle::new(&base);
+    let mut db = db_with_table(&base, ConcurrencyMode::SingleLock);
+    // Create the shared copy up front so staged updates forward to it.
+    db.shared_cracker(TABLE, COLUMN).unwrap();
+    db.attach_durability(&dir, 1).unwrap();
+    db.stage_insert(TABLE, COLUMN, n as u32, 7).unwrap();
+    oracle.insert(n as u32, 7);
+    // Rejected updates: unknown table, unknown column. Each must error
+    // without logging anything.
+    assert!(db.stage_insert("no_such_table", COLUMN, 1, 1).is_err());
+    assert!(db.stage_insert(TABLE, "no_such_column", 1, 1).is_err());
+    assert!(db.stage_delete("no_such_table", COLUMN, 1).is_err());
+    // Valid updates keep flowing after the rejections.
+    db.stage_insert(TABLE, COLUMN, n as u32 + 1, 9).unwrap();
+    oracle.insert(n as u32 + 1, 9);
+    drop(db);
+    // Recovery replays the log — a poison record would fail it here.
+    let mut rec = AdaptiveDb::recover(&dir, CrackerConfig::default(), 1).unwrap();
+    let mut mix = Mix(43);
+    let probes: Vec<Window> = (0..8).map(|_| mix.window(n as i64, 300)).collect();
+    assert_matches_oracle(&mut rec, &oracle, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn crash_at_every_checkpoint_boundary_recovers_to_last_durable_state() {
     // Arm the crash countdown at every durable-write boundary of a
     // checkpoint in turn. Whether the checkpoint died or committed, the
