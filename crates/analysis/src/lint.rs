@@ -21,6 +21,13 @@
 //! * **`allow-needs-reason`** — every `#[allow(…)]` / `#![allow(…)]` in
 //!   non-test code must have a justification comment on the same line or
 //!   the line directly above.
+//! * **`durability-io`** — inside the durability layer
+//!   (`storage::checkpoint`, `storage::wal`, `storage::persist`) no raw
+//!   file I/O outside the `storage::fault` injector facade: every
+//!   create/write/fsync/rename/truncate must name the `injector` (or one
+//!   of the facade helpers) so chaos tests can arm it. Crash-simulation
+//!   sites that *deliberately* bypass injection carry a
+//!   `lint: allow(durability-io) — reason` waiver.
 //!
 //! The "parser" is a small lexer that blanks comments, strings, and char
 //! literals (so `"unsafe"` in a string does not count) and records
@@ -66,6 +73,29 @@ impl fmt::Display for Finding {
 /// a scheduler *out of* OS primitives (instrumenting those would be
 /// turtles all the way down).
 const RAW_SYNC_ALLOWED: &[&str] = &["crates/core/src/sync.rs", "crates/analysis/src/sched.rs"];
+
+/// Durability-layer files where the `durability-io` rule applies. The
+/// facade itself (`crates/storage/src/fault.rs`) is deliberately *not*
+/// listed: it is the one place raw I/O is supposed to live.
+const DURABILITY_SCOPED: &[&str] = &[
+    "crates/storage/src/checkpoint.rs",
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/persist.rs",
+];
+
+/// Raw file-I/O tokens the `durability-io` rule hunts for. Lexer-level
+/// like everything here: a line that names the `injector` is taken as
+/// going through the facade and is exempt.
+const RAW_IO_TOKENS: &[&str] = &[
+    "fs::",
+    "File::",
+    "OpenOptions",
+    ".sync_all(",
+    ".sync_data(",
+    ".set_len(",
+    ".write_all(",
+    ".read_to_string(",
+];
 
 /// Source text after lexing: code with comments/strings blanked, plus
 /// the comment text per line.
@@ -350,6 +380,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let is_bin = rel_str.contains("/src/bin/") || rel_str.ends_with("/main.rs");
     let raw_sync_exempt = RAW_SYNC_ALLOWED.iter().any(|p| rel_str.ends_with(p));
+    let durability_scoped = DURABILITY_SCOPED.iter().any(|p| rel_str.ends_with(p));
     let mut findings = Vec::new();
     let mut push = |line: usize, rule: &'static str, message: String| {
         findings.push(Finding {
@@ -389,7 +420,8 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     }
 
     // ---- line-scoped rules.
-    for (idx, line_code) in lexed.code.lines().enumerate() {
+    let code_lines: Vec<&str> = lexed.code.lines().collect();
+    for (idx, &line_code) in code_lines.iter().enumerate() {
         let line = idx + 1;
         let test = in_test.get(line).copied().unwrap_or(false);
 
@@ -427,6 +459,31 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
                         ),
                     );
                 }
+            }
+        }
+
+        if durability_scoped && !test {
+            let trimmed = line_code.trim_start();
+            let is_import = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+            // A rustfmt-split method chain puts `self.injector` on the line
+            // above the `.write_all(...)` continuation; count both as facade.
+            let through_facade = line_code.contains("injector")
+                || (trimmed.starts_with('.')
+                    && idx > 0
+                    && code_lines[idx - 1].contains("injector"));
+            if !is_import
+                && !through_facade
+                && RAW_IO_TOKENS.iter().any(|t| line_code.contains(t))
+                && !comment_near(&lexed, line, 1, "lint: allow(durability-io)")
+            {
+                push(
+                    line,
+                    "durability-io",
+                    "raw file I/O in the durability layer bypasses the `storage::fault` \
+                     injector facade; route it through the injector or waive with \
+                     `// lint: allow(durability-io) — why`"
+                        .into(),
+                );
             }
         }
 
@@ -593,6 +650,41 @@ mod tests {
             rules("// retained for the ffi layer\n#[allow(dead_code)]\nfn f() {}\n").is_empty()
         );
         assert!(rules("#[allow(dead_code)] // retained for the ffi layer\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn durability_io_flagged_in_scope_and_waivable() {
+        let src = "fn f() { fs::write(p, b).ok(); }\n";
+        let scoped = lint_source(Path::new("crates/storage/src/wal.rs"), src);
+        assert_eq!(
+            scoped.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec!["durability-io"]
+        );
+        let waived = "fn f() {\n    // lint: allow(durability-io) — crash sim bypasses injection\n    fs::write(p, b).ok();\n}\n";
+        assert!(lint_source(Path::new("crates/storage/src/wal.rs"), waived).is_empty());
+    }
+
+    #[test]
+    fn durability_io_exempts_facade_calls_imports_and_other_files() {
+        // Calls through the injector are the sanctioned route.
+        let facade =
+            "fn f() { injector.write_all(P, file, b)?; self.injector.sync_file(P, &f)?; }\n";
+        assert!(lint_source(Path::new("crates/storage/src/checkpoint.rs"), facade).is_empty());
+        // Imports alone do no I/O.
+        let import = "use std::fs::File;\nuse std::fs;\n";
+        assert!(lint_source(Path::new("crates/storage/src/wal.rs"), import).is_empty());
+        // rustfmt may split the facade call across lines; the continuation
+        // under a `self.injector` receiver is still the sanctioned route.
+        let split = "fn f() {\n    let _ = self\n        .injector\n        .write_all(P, &mut self.file, half);\n}\n";
+        assert!(lint_source(Path::new("crates/storage/src/wal.rs"), split).is_empty());
+        // The rule is scoped: the facade itself and unrelated crates may
+        // touch files directly.
+        let raw = "fn f() { fs::write(p, b).ok(); }\n";
+        assert!(lint_source(Path::new("crates/storage/src/fault.rs"), raw).is_empty());
+        assert!(lint_source(Path::new("crates/sim/src/lib.rs"), raw).is_empty());
+        // Test code inside a scoped file is exempt too.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { fs::write(p, b).ok(); }\n}\n";
+        assert!(lint_source(Path::new("crates/storage/src/wal.rs"), test_only).is_empty());
     }
 
     #[test]

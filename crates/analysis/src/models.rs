@@ -16,6 +16,8 @@
 //! | [`admission_gate`]         | `AdmissionGate::admit` / permit release  | no deadlock, permits conserved             |
 //! | [`admission_gate_buggy`]   | (unlock-then-sleep wait)                 | explorer finds the lost-wakeup deadlock    |
 //! | [`eligibility_notify`]     | `Wake::{None,One,All}` release policy    | capped waiters never stall eligible ones   |
+//! | [`gate_timeout`]           | `AdmissionGate::try_acquire_for`         | every exit path clears the waiting set     |
+//! | [`gate_timeout_leaky`]     | (timeout path forgets `remove_one`)      | explorer finds the phantom-waiter leak     |
 
 use crate::sched::{Explorer, Model, Report};
 
@@ -220,6 +222,130 @@ pub fn admission_gate(threads: usize) -> Report {
 /// waiter sleeps forever. The explorer must report a deadlock.
 pub fn admission_gate_buggy(threads: usize) -> Report {
     Explorer::default().explore(move |m| gate(m, threads, false))
+}
+
+#[derive(Debug, Clone, Default)]
+struct TimedGateState {
+    in_flight: usize,
+    waiting: usize,
+    admitted: usize,
+    timed_out: usize,
+    shed: usize,
+}
+
+/// Wait-queue bound of the timed-gate model (`max_waiters`).
+const TIMED_MAX_WAITERS: usize = 1;
+
+/// `AdmissionGate::try_acquire_for` over one permit with a wait queue of
+/// one: a query at a full gate either sheds instantly (queue full), or
+/// queues and later admits, or queues and *times out*. The explorer has
+/// no timed-wait primitive, so the bounded wait is modeled as a yield
+/// window ([`crate::sched::Ctx::step`]): whether the permit frees inside
+/// it is a scheduler branch, which is exactly the nondeterminism a real
+/// `wait_timeout` exposes. The property is the waiting-set bookkeeping:
+/// **every** exit path — admitted, timed out, shed — must remove the
+/// operation from the waiting count, or phantom waiters inflate the
+/// queue bound and shed every later query at an empty gate.
+/// `leak_on_timeout = true` deletes the removal on the timeout path —
+/// the seeded bug.
+fn timed_gate(m: &mut Model, leak_on_timeout: bool) {
+    let mx = m.mutex("gate");
+    let cv = m.condvar("released");
+    let st = m.cell(TimedGateState::default());
+    let threads = 3usize;
+
+    for t in 0..threads {
+        let st = st.clone();
+        m.thread(["t0", "t1", "t2"][t], move |ctx| {
+            // try_acquire_for(): fast path under the gate mutex.
+            ctx.lock(mx);
+            if st.with(|g| g.in_flight) < 1 {
+                st.with(|g| {
+                    g.in_flight += 1;
+                    g.admitted += 1;
+                });
+                ctx.unlock(mx);
+                ctx.step("query under permit");
+                // AdmissionPermit::drop
+                ctx.lock(mx);
+                st.with(|g| g.in_flight -= 1);
+                ctx.unlock(mx);
+                ctx.notify_one(cv);
+                return;
+            }
+            // Shed: the wait queue is already at its bound.
+            if st.with(|g| g.waiting) >= TIMED_MAX_WAITERS {
+                st.with(|g| g.shed += 1);
+                ctx.unlock(mx);
+                return;
+            }
+            // Queue, then wait at most the deadline budget.
+            st.with(|g| g.waiting += 1);
+            ctx.unlock(mx);
+            ctx.step("bounded wait window");
+            ctx.lock(mx);
+            if st.with(|g| g.in_flight) < 1 {
+                st.with(|g| {
+                    g.waiting -= 1;
+                    g.in_flight += 1;
+                    g.admitted += 1;
+                });
+                ctx.unlock(mx);
+                ctx.step("query under permit");
+                ctx.lock(mx);
+                st.with(|g| g.in_flight -= 1);
+                ctx.unlock(mx);
+                ctx.notify_one(cv);
+                return;
+            }
+            // Timed out. The seeded bug forgets to leave the waiting
+            // set — the phantom waiter that sheds every later query.
+            if !leak_on_timeout {
+                st.with(|g| g.waiting -= 1);
+            }
+            st.with(|g| g.timed_out += 1);
+            ctx.unlock(mx);
+        });
+    }
+
+    let st = st.clone();
+    m.check(move || {
+        st.with(|g| {
+            if g.waiting != 0 {
+                return Err(format!(
+                    "{} phantom waiter(s) left in the waiting set — later queries \
+                     would shed at an empty gate",
+                    g.waiting
+                ));
+            }
+            if g.in_flight != 0 {
+                return Err(format!("{} permits leaked", g.in_flight));
+            }
+            if g.admitted + g.timed_out + g.shed != threads {
+                return Err(format!(
+                    "accounting hole: {} admitted + {} timed out + {} shed != {threads}",
+                    g.admitted, g.timed_out, g.shed
+                ));
+            }
+            if g.admitted == 0 {
+                return Err("nobody ever held the permit".into());
+            }
+            Ok(())
+        })
+    });
+}
+
+/// Correct timed gate: on every schedule the waiting set drains to zero
+/// and every query is accounted admitted, timed out, or shed.
+pub fn gate_timeout() -> Report {
+    Explorer::default().explore(move |m| timed_gate(m, false))
+}
+
+/// The seeded waiting-set leak: the timeout path returns without
+/// `remove_one`, so a timed-out waiter is counted as queued forever. The
+/// explorer must return a counterexample schedule.
+pub fn gate_timeout_leaky() -> Report {
+    Explorer::default().explore(move |m| timed_gate(m, true))
 }
 
 #[derive(Debug, Clone, Default)]

@@ -83,6 +83,41 @@ fn seeded_lost_wakeup_is_caught_as_deadlock() {
 }
 
 #[test]
+fn gate_timeout_clears_the_waiting_set_on_every_schedule() {
+    // try_acquire_for: admitted, timed out, or shed — every exit path
+    // must remove the operation from the waiting set, on all schedules.
+    let report = models::gate_timeout();
+    report.assert_clean();
+    assert!(report.complete, "bounded space should be exhausted");
+    assert!(
+        report.schedules > 10,
+        "three timed queries on one permit must contend (got {})",
+        report.schedules
+    );
+}
+
+#[test]
+fn seeded_waiting_set_leak_is_caught() {
+    // Deleting the remove on the timeout path leaves a phantom waiter
+    // whose queue-bound contribution sheds every later query; the
+    // explorer must surface a schedule that reaches the leak.
+    let report = models::gate_timeout_leaky();
+    assert!(
+        !report.failures.is_empty(),
+        "explorer missed the seeded waiting-set leak after {} schedules",
+        report.schedules
+    );
+    let f = &report.failures[0];
+    assert_eq!(f.kind, FailureKind::Check, "caught by the post-condition");
+    assert!(
+        f.message.contains("phantom waiter"),
+        "unexpected failure message: {}",
+        f.message
+    );
+    assert!(!f.trace.is_empty(), "counterexample must carry a schedule");
+}
+
+#[test]
 fn eligibility_notify_policy_is_stall_free() {
     // The Wake::{None,One,All} release policy from AdmissionPermit::drop:
     // on every schedule all three queries finish — notify_one never

@@ -106,6 +106,10 @@ pub struct CrackerColumn<T> {
     stats: CrackStats,
     sorted: SortedPieces,
     pub(crate) pending: PendingUpdates<T>,
+    /// Chaos hook: crack countdown after which the column tears its own
+    /// state and panics, simulating a kernel dying mid-reorganization.
+    /// `None` (the default, and the state after firing) is a no-op.
+    panic_after: Option<u32>,
 }
 
 impl<T: CrackValue> CrackerColumn<T> {
@@ -127,6 +131,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             stats: CrackStats::default(),
             sorted: SortedPieces::new(),
             pending: PendingUpdates::new(),
+            panic_after: None,
         }
     }
 
@@ -147,6 +152,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             stats: CrackStats::default(),
             sorted: SortedPieces::new(),
             pending: PendingUpdates::new(),
+            panic_after: None,
         }
     }
 
@@ -282,12 +288,49 @@ impl<T: CrackValue> CrackerColumn<T> {
     /// This is the Ξ cracker: afterwards the qualifying tuples occupy the
     /// contiguous `core` range (modulo cut-off edges and pending updates).
     pub fn select(&mut self, pred: RangePred<T>) -> Selection {
+        match self.select_with_guard(pred, None) {
+            Some(sel) => sel,
+            // lint: allow(unwrap) — an ungoverned select has no guard to fail
+            None => unreachable!("ungoverned select cannot be abandoned"),
+        }
+    }
+
+    /// Like [`select`](Self::select), but polling `keep_going` at each
+    /// **crack-step boundary** — on entry and between the two boundary
+    /// resolutions — and returning `None` once it reports false.
+    ///
+    /// This is the core's cooperative-cancellation point. The contract on
+    /// abandonment: any boundary already resolved stays *fully* cracked
+    /// (its piece partitioned and recorded), the rest of the column stays
+    /// untouched, so the piece map still satisfies
+    /// [`CrackerIndex::check_pieces`] and — because cracking is a
+    /// semantic no-op reorganization — every later query returns exactly
+    /// what it would have returned anyway. A cancelled query costs its
+    /// own answer, never anybody else's.
+    pub fn select_guarded(
+        &mut self,
+        pred: RangePred<T>,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Selection> {
+        self.select_with_guard(pred, Some(keep_going))
+    }
+
+    fn select_with_guard(
+        &mut self,
+        pred: RangePred<T>,
+        guard: Option<&dyn Fn() -> bool>,
+    ) -> Option<Selection> {
+        if let Some(g) = guard {
+            if !g() {
+                return None;
+            }
+        }
         self.stats.queries += 1;
         self.index.next_tick();
         if self.pending.should_merge(self.config.merge_threshold) {
             self.merge_pending();
         }
-        let mut sel = self.select_cracked(pred);
+        let mut sel = self.select_cracked(pred, guard)?;
         // Pending updates overlay: scan the staging areas.
         if !self.pending.is_empty() {
             sel.pending_oids = self.pending.matching_inserts(&pred);
@@ -300,7 +343,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             }
         }
         self.enforce_piece_budget();
-        sel
+        Some(sel)
     }
 
     /// Count qualifying tuples (the paper's Figure 1(c) operation).
@@ -386,10 +429,16 @@ impl<T: CrackValue> CrackerColumn<T> {
     }
 
     /// The cracked-area part of a select: resolve both bounds, cracking
-    /// where needed, and assemble core + edges.
-    fn select_cracked(&mut self, pred: RangePred<T>) -> Selection {
+    /// where needed, and assemble core + edges. `guard` is polled between
+    /// the two boundary resolutions (each an atomic crack step); `None`
+    /// is returned only on abandonment, never for an empty answer.
+    fn select_cracked(
+        &mut self,
+        pred: RangePred<T>,
+        guard: Option<&dyn Fn() -> bool>,
+    ) -> Option<Selection> {
         if pred.is_empty_range() || self.vals.is_empty() {
-            return Selection::empty();
+            return Some(Selection::empty());
         }
         let start_key = pred.low.map(|b| {
             if b.inclusive {
@@ -420,6 +469,7 @@ impl<T: CrackValue> CrackerColumn<T> {
                     && !self.sorted.contains(piece1.start)
                     && (self.config.sort_below == 0 || piece1.len() > self.config.sort_below)
                 {
+                    self.panic_tick();
                     let (p1, p2) = self.kernel.crack_three(
                         &mut self.vals,
                         &mut self.oids,
@@ -433,12 +483,12 @@ impl<T: CrackValue> CrackerColumn<T> {
                     self.stats.cracks += 1;
                     self.index.insert(k1, p1);
                     self.index.insert(k2, p2);
-                    return Selection {
+                    return Some(Selection {
                         core: p1..p2,
                         edges: Vec::new(),
                         pending_oids: Vec::new(),
                         deleted_hits: 0,
-                    };
+                    });
                 }
             }
         }
@@ -447,12 +497,20 @@ impl<T: CrackValue> CrackerColumn<T> {
             None => Resolved::Exact(0),
             Some(k) => self.resolve_boundary(k),
         };
+        // The crack-step boundary: the start bound is fully resolved (its
+        // piece either untouched or completely partitioned and recorded),
+        // the end bound not yet started — abandoning here is safe.
+        if let Some(g) = guard {
+            if !g() {
+                return None;
+            }
+        }
         let end = match end_key {
             None => Resolved::Exact(self.vals.len()),
             Some(k) => self.resolve_boundary(k),
         };
 
-        match (start, end) {
+        Some(match (start, end) {
             (Resolved::Exact(s), Resolved::Exact(e)) => Selection {
                 core: s..e.max(s),
                 edges: Vec::new(),
@@ -506,7 +564,7 @@ impl<T: CrackValue> CrackerColumn<T> {
                     }
                 }
             }
-        }
+        })
     }
 
     /// Find (or create by cracking) the split position for `key`.
@@ -533,6 +591,7 @@ impl<T: CrackValue> CrackerColumn<T> {
             }
             unreachable!("piece was just sorted");
         }
+        self.panic_tick();
         let pos = self.kernel.crack_two(
             &mut self.vals,
             &mut self.oids,
@@ -564,6 +623,80 @@ impl<T: CrackValue> CrackerColumn<T> {
             return Err("oids and values misaligned".into());
         }
         Ok(())
+    }
+
+    /// Like [`select_oids_into`](Self::select_oids_into) over a whole
+    /// batch, polling `keep_going` per predicate *and* per crack step.
+    /// Returns the number of predicates fully answered — always a prefix
+    /// of `preds`; `outs` beyond that prefix are untouched.
+    ///
+    /// # Panics
+    /// Panics if `preds` and `outs` differ in length.
+    pub fn select_oids_batch_guarded(
+        &mut self,
+        preds: &[RangePred<T>],
+        outs: &mut [Vec<u32>],
+        keep_going: &dyn Fn() -> bool,
+    ) -> usize {
+        assert_eq!(preds.len(), outs.len(), "one output buffer per predicate");
+        for (i, (pred, out)) in preds.iter().zip(outs.iter_mut()).enumerate() {
+            match self.select_guarded(*pred, keep_going) {
+                Some(sel) => self.selection_oids_into(&sel, out),
+                None => return i,
+            }
+        }
+        preds.len()
+    }
+
+    /// Validate the piece map in `O(n + p)` and, when it no longer
+    /// describes the value array, **discard all crack state** — boundary
+    /// index and sorted-piece marks — degrading the column to a single
+    /// cold virgin piece. Returns whether a rebuild happened.
+    ///
+    /// This is the panic-containment repair: a kernel that died
+    /// mid-reorganization can leave moves the index does not describe,
+    /// but it only ever *permutes* paired `(value, oid)` slots, so the
+    /// column's content is intact and forgetting the crack state is
+    /// always a correct (merely cold) recovery. Pending updates are
+    /// preserved — they live outside the cracked area.
+    pub fn heal(&mut self) -> bool {
+        if self.index.check_pieces(&self.vals).is_ok() {
+            return false;
+        }
+        self.index = CrackerIndex::new(self.vals.len());
+        self.sorted = SortedPieces::new();
+        true
+    }
+
+    /// Chaos hook: after `after` more cracks, the next crack tears the
+    /// column (a paired swap the piece map does not describe) and panics —
+    /// the simulated mid-kernel death that [`heal`](Self::heal) and the
+    /// concurrent wrappers' containment must recover from. Fires once.
+    pub fn arm_panic_on_crack(&mut self, after: u32) {
+        self.panic_after = Some(after);
+    }
+
+    /// The countdown behind [`arm_panic_on_crack`](Self::arm_panic_on_crack),
+    /// polled at every crack site before the kernel runs.
+    fn panic_tick(&mut self) {
+        let Some(n) = self.panic_after.as_mut() else {
+            return;
+        };
+        if *n > 0 {
+            *n -= 1;
+            return;
+        }
+        self.panic_after = None;
+        // Tear paired state: swap the first and last (value, oid) slots
+        // together. Content (the multiset of pairs) stays intact, but any
+        // recorded boundary between them is now a lie — exactly the shape
+        // of a crack that moved tuples and died before recording.
+        let n = self.vals.len();
+        if n >= 2 {
+            self.vals.swap(0, n - 1);
+            self.oids.swap(0, n - 1);
+        }
+        panic!("injected panic mid-crack (armed by arm_panic_on_crack)");
     }
 }
 
@@ -773,6 +906,64 @@ mod tests {
         v
     }
 
+    #[test]
+    fn guarded_select_abandons_between_crack_steps_without_tearing() {
+        let orig: Vec<i64> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        let mut c = col(orig.clone());
+        // Pre-crack so the guarded query's two bounds land in different
+        // pieces and it takes the two-step (crack-two + crack-two) path.
+        c.select(RangePred::between(400, 500));
+        let before = c.piece_count();
+        // Allow only the entry poll: the guard fails at the crack-step
+        // boundary, after the start bound is resolved but before the end.
+        let polls = std::cell::Cell::new(0usize);
+        let guard = || {
+            polls.set(polls.get() + 1);
+            polls.get() <= 1
+        };
+        let pred = RangePred::between(200, 700);
+        assert!(c.select_guarded(pred, &guard).is_none(), "must abandon");
+        assert_eq!(polls.get(), 2, "entry poll plus one boundary poll");
+        // The start boundary was fully cracked and kept; nothing is torn.
+        assert!(c.piece_count() > before, "resolved step is not rolled back");
+        c.index().check_pieces(c.values()).unwrap();
+        c.validate().unwrap();
+        // And the abandoned query changed no later observable answer.
+        let mut got = c.select_oids(pred);
+        got.sort_unstable();
+        assert_eq!(got, oracle(&orig, &pred));
+    }
+
+    #[test]
+    fn heal_rebuilds_a_torn_piece_map_and_preserves_answers() {
+        let orig: Vec<i64> = (0..500).map(|i| (i * 13) % 500).collect();
+        let mut c = col(orig.clone());
+        let pred = RangePred::between(100, 400);
+        c.select(pred);
+        assert!(!c.heal(), "an intact piece map must not be rebuilt");
+        // Tear it: the armed crack swaps a paired slot across recorded
+        // boundaries and panics before recording anything.
+        c.arm_panic_on_crack(0);
+        let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.select(RangePred::between(50, 60))
+        }));
+        assert!(torn.is_err(), "the armed crack must panic");
+        assert!(
+            c.index().check_pieces(c.values()).is_err(),
+            "the tear must actually violate the piece map"
+        );
+        assert!(c.heal(), "a torn piece map must be rebuilt");
+        c.index().check_pieces(c.values()).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.piece_count(), 1, "healed column degraded to cold");
+        // Content survived: every answer still matches the oracle.
+        for pred in [pred, RangePred::between(50, 60), RangePred::le(10)] {
+            let mut got = c.select_oids(pred);
+            got.sort_unstable();
+            assert_eq!(got, oracle(&orig, &pred));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_arbitrary_query_sequences_agree_with_oracle(
@@ -861,6 +1052,60 @@ mod tests {
                 }
                 c.validate().map_err(TestCaseError::fail)?;
             }
+        }
+
+        #[test]
+        fn prop_guarded_select_at_any_poll_leaves_valid_state_and_answers(
+            orig in proptest::collection::vec(-500i64..500, 2..300),
+            queries in proptest::collection::vec((-520i64..520, 1i64..80), 1..12),
+            cancel_at in 0usize..40,
+        ) {
+            // Cancel after an arbitrary number of guard polls, at whatever
+            // block/crack-step boundary that lands on; the piece map must
+            // stay valid and every answer — before and after — must match
+            // the oracle.
+            let mut c = CrackerColumn::new(orig.clone());
+            let preds: Vec<RangePred<i64>> = queries
+                .iter()
+                .map(|&(lo, w)| RangePred::between(lo, lo + w))
+                .collect();
+            let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+            let polls = std::cell::Cell::new(0usize);
+            let guard = || {
+                polls.set(polls.get() + 1);
+                polls.get() <= cancel_at
+            };
+            let done = c.select_oids_batch_guarded(&preds, &mut outs, &guard);
+            prop_assert!(done <= preds.len());
+            c.index().check_pieces(c.values()).map_err(TestCaseError::fail)?;
+            c.validate().map_err(TestCaseError::fail)?;
+            let oracle = |pred: &RangePred<i64>| {
+                let mut want: Vec<u32> = orig
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| pred.matches(v))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                want.sort_unstable();
+                want
+            };
+            // Completed prefix answered correctly, remainder untouched.
+            for (i, pred) in preds.iter().enumerate() {
+                if i < done {
+                    let mut got = outs[i].clone();
+                    got.sort_unstable();
+                    prop_assert_eq!(got, oracle(pred), "completed pred {} wrong", i);
+                } else {
+                    prop_assert!(outs[i].is_empty(), "abandoned pred {} has output", i);
+                }
+            }
+            // The cancelled work must not alter later observable results.
+            for pred in &preds {
+                let mut got = c.select_oids(*pred);
+                got.sort_unstable();
+                prop_assert_eq!(got, oracle(pred));
+            }
+            c.validate().map_err(TestCaseError::fail)?;
         }
 
         #[test]

@@ -71,6 +71,44 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         }
     }
 
+    /// Run a cracking select with **panic containment**: a kernel dying
+    /// mid-reorganization would otherwise leave the shared column torn
+    /// for every later query (our locks don't poison). Catch the unwind,
+    /// heal the column — validate the piece map in `O(n+p)`, rebuild it
+    /// cold if the panic left moves it does not describe — and only then
+    /// propagate, so the panicking query still fails loudly but the
+    /// column degrades to cold instead of wedging.
+    fn select_contained(column: &mut CrackerColumn<T>, pred: RangePred<T>) -> Selection {
+        let attempt =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| column.select(pred)));
+        match attempt {
+            Ok(sel) => sel,
+            Err(payload) => {
+                column.heal();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// [`select_contained`](Self::select_contained) for the guarded
+    /// (cancellable) path.
+    fn select_guarded_contained(
+        column: &mut CrackerColumn<T>,
+        pred: RangePred<T>,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Option<Selection> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            column.select_guarded(pred, keep_going)
+        }));
+        match attempt {
+            Ok(sel) => sel,
+            Err(payload) => {
+                column.heal();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
     /// Count qualifying tuples. Lock-shared when the boundaries already
     /// exist; lock-exclusive (cracking) otherwise.
     pub fn count(&self, pred: RangePred<T>) -> usize {
@@ -83,7 +121,7 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         if let Some(sel) = guard.try_select_readonly(pred) {
             return sel.count();
         }
-        guard.select(pred).count()
+        Self::select_contained(&mut guard, pred).count()
     }
 
     /// Qualifying OIDs (unordered), same locking discipline as
@@ -109,7 +147,7 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         // Double-check, as in `count`.
         let sel = match guard.try_select_readonly(pred) {
             Some(sel) => sel,
-            None => guard.select(pred),
+            None => Self::select_contained(&mut guard, pred),
         };
         guard.selection_oids_into(&sel, out);
     }
@@ -150,10 +188,63 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         for (pred, out) in preds[done..].iter().zip(outs[done..].iter_mut()) {
             let sel = match guard.try_select_readonly(*pred) {
                 Some(sel) => sel,
-                None => guard.select(*pred),
+                None => Self::select_contained(&mut guard, *pred),
             };
             guard.selection_oids_into(&sel, out);
         }
+    }
+
+    /// The cancellable twin of
+    /// [`select_oids_batch_into`](Self::select_oids_batch_into):
+    /// `keep_going` is polled before every predicate (both the read-only
+    /// prefix and the cracking remainder) and at every crack-step
+    /// boundary inside a cold select. Returns the number of predicates
+    /// fully answered — always a prefix; `outs` beyond it are untouched,
+    /// and the column is left with every piece either untouched or fully
+    /// cracked (never torn), so later queries are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `preds` and `outs` differ in length.
+    pub fn select_oids_batch_guarded(
+        &self,
+        preds: &[RangePred<T>],
+        outs: &mut [Vec<u32>],
+        keep_going: &dyn Fn() -> bool,
+    ) -> usize {
+        assert_eq!(preds.len(), outs.len(), "one output buffer per predicate");
+        let _budget = lockdep::LatchBudget::new(LATCH_CLASS, 2, "batch select amortization");
+        let mut done = 0;
+        {
+            let guard = self.inner.read();
+            for (pred, out) in preds.iter().zip(outs.iter_mut()) {
+                if !keep_going() {
+                    return done;
+                }
+                match guard.try_select_readonly(*pred) {
+                    Some(sel) => {
+                        guard.selection_oids_into(&sel, out);
+                        done += 1;
+                    }
+                    None => break,
+                }
+            }
+            if done == preds.len() {
+                return done;
+            }
+        }
+        let mut guard = self.inner.write();
+        for (pred, out) in preds[done..].iter().zip(outs[done..].iter_mut()) {
+            let sel = match guard.try_select_readonly(*pred) {
+                Some(sel) => sel,
+                None => match Self::select_guarded_contained(&mut guard, *pred, keep_going) {
+                    Some(sel) => sel,
+                    None => return done,
+                },
+            };
+            guard.selection_oids_into(&sel, out);
+            done += 1;
+        }
+        done
     }
 
     /// Allocating convenience wrapper over
@@ -166,7 +257,22 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
 
     /// Run a cracking select unconditionally (exclusive).
     pub fn select(&self, pred: RangePred<T>) -> Selection {
-        self.inner.write().select(pred)
+        let mut guard = self.inner.write();
+        Self::select_contained(&mut guard, pred)
+    }
+
+    /// Chaos hook: arm the wrapped column's panic-on-crack countdown
+    /// (see [`CrackerColumn::arm_panic_on_crack`]).
+    pub fn arm_panic_on_crack(&self, after: u32) {
+        self.inner.write().arm_panic_on_crack(after);
+    }
+
+    /// Validate-or-rebuild the piece map (see [`CrackerColumn::heal`]).
+    /// Exposed so recovery paths can force a heal; the select paths
+    /// already heal automatically when a contained panic unwinds through
+    /// them.
+    pub fn heal(&self) -> bool {
+        self.inner.write().heal()
     }
 
     /// Stage an insert (exclusive).
@@ -387,5 +493,69 @@ mod tests {
         assert_eq!(col.len(), 4, "delete is staged, not yet merged");
         col.merge_pending();
         assert_eq!(col.len(), 3);
+    }
+
+    #[test]
+    fn a_panicking_crack_is_contained_and_the_column_heals() {
+        let vals: Vec<i64> = (0..2000).map(|i| (i * 29) % 2000).collect();
+        let col = SharedCrackerColumn::new(vals.clone());
+        col.count(RangePred::between(500, 1500)); // crack some boundaries
+        col.arm_panic_on_crack(0);
+        // The injected panic tears a pair across pieces and unwinds; the
+        // wrapper heals the column and re-raises so the query still fails.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            col.count(RangePred::between(100, 200))
+        }));
+        assert!(r.is_err(), "the panicking query must fail loudly");
+        // The lock is parking_lot-backed (no poisoning) and the column
+        // already healed: every later query answers from a cold rebuild.
+        col.validate().unwrap();
+        assert!(!col.heal(), "containment already healed the piece map");
+        for pred in [
+            RangePred::between(100, 200),
+            RangePred::between(500, 1500),
+            RangePred::le(50),
+        ] {
+            assert_eq!(col.count(pred), oracle(&vals, &pred), "pred {pred:?}");
+        }
+    }
+
+    #[test]
+    fn guarded_batch_stops_at_a_block_boundary_and_reports_the_prefix() {
+        let vals: Vec<i64> = (0..3000).map(|i| (i * 17) % 3000).collect();
+        let col = SharedCrackerColumn::new(vals.clone());
+        let preds: Vec<RangePred<i64>> = (0..6)
+            .map(|i| RangePred::between(i * 400, i * 400 + 300))
+            .collect();
+        // Fail the guard once the third predicate has been admitted.
+        let polls = std::cell::Cell::new(0usize);
+        let guard = || {
+            polls.set(polls.get() + 1);
+            polls.get() <= 2
+        };
+        let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+        let done = col.select_oids_batch_guarded(&preds, &mut outs, &guard);
+        assert!(done < preds.len(), "the batch must be cut short");
+        for (i, out) in outs.iter().enumerate() {
+            if i < done {
+                let mut got = out.clone();
+                got.sort_unstable();
+                let mut expect: Vec<u32> = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| preds[i].matches(v))
+                    .map(|(p, _)| p as u32)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "completed pred {i}");
+            } else {
+                assert!(out.is_empty(), "abandoned pred {i} left no output");
+            }
+        }
+        col.validate().unwrap();
+        // The abandoned suffix changed no later observable answer.
+        for pred in &preds {
+            assert_eq!(col.count(*pred), oracle(&vals, pred));
+        }
     }
 }

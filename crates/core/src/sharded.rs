@@ -104,6 +104,22 @@ impl<T> Latch<'_, T> {
     }
 }
 
+/// Run a cracking select on one shard with panic containment: heal the
+/// shard (validate-or-rebuild its piece map) before letting the unwind
+/// continue, so a kernel dying mid-reorganization degrades that shard to
+/// cold instead of leaving it torn for every later query. The mirror of
+/// `SharedCrackerColumn`'s containment, per shard.
+fn select_contained<T: CrackValue>(column: &mut CrackerColumn<T>, pred: RangePred<T>) -> Selection {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| column.select(pred)));
+    match attempt {
+        Ok(sel) => sel,
+        Err(payload) => {
+            column.heal();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// How a concurrently shared cracked column is latched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConcurrencyMode {
@@ -340,7 +356,7 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
             let mut write = self.shards[i].write();
             let sel = match write.try_select_readonly(p) {
                 Some(sel) => sel,
-                None => write.select(p),
+                None => select_contained(&mut write, p),
             };
             guards.push(Latch::Write(write));
             sels.push(sel);
@@ -409,7 +425,7 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
             for (idx, p) in &jobs[done..] {
                 let sel = match write.try_select_readonly(*p) {
                     Some(sel) => sel,
-                    None => write.select(*p),
+                    None => select_contained(&mut write, *p),
                 };
                 consume(*idx, &write, &sel);
             }
@@ -459,6 +475,36 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
         let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
         self.select_oids_batch_into(preds, &mut outs);
         outs
+    }
+
+    /// The cancellable twin of
+    /// [`select_oids_batch_into`](Self::select_oids_batch_into):
+    /// `keep_going` is polled before every predicate, and each predicate's
+    /// answer is all-or-nothing (a predicate's per-shard cracks each run
+    /// to completion — pieces are never left torn). Returns the number of
+    /// predicates fully answered — always a prefix; `outs` beyond it are
+    /// untouched. The poll sits at predicate granularity here (rather
+    /// than the single-lock path's crack-step granularity) because a
+    /// straddling predicate's partial cross-shard answer could not be
+    /// discarded without double-cracking; each per-shard crack remains an
+    /// atomic step either way.
+    ///
+    /// # Panics
+    /// Panics if `preds` and `outs` differ in length.
+    pub fn select_oids_batch_guarded(
+        &self,
+        preds: &[RangePred<T>],
+        outs: &mut [Vec<u32>],
+        keep_going: &dyn Fn() -> bool,
+    ) -> usize {
+        assert_eq!(preds.len(), outs.len(), "one output buffer per predicate");
+        for (i, (pred, out)) in preds.iter().zip(outs.iter_mut()).enumerate() {
+            if !keep_going() {
+                return i;
+            }
+            self.select_oids_into(*pred, out);
+        }
+        preds.len()
     }
 
     /// Qualifying `(oid, value)` pairs, same latching discipline as
@@ -514,6 +560,29 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
         for shard in &self.shards {
             shard.write().merge_pending();
         }
+    }
+
+    /// Chaos hook: arm the first shard's panic-on-crack countdown (see
+    /// [`CrackerColumn::arm_panic_on_crack`]). Arming one shard keeps the
+    /// blast radius of one `arm` call at exactly one panic — the countdown
+    /// disarms itself when it fires, so later queries run clean — while
+    /// still exercising the per-shard containment path.
+    pub fn arm_panic_on_crack(&self, after: u32) {
+        if let Some(shard) = self.shards.first() {
+            shard.write().arm_panic_on_crack(after);
+        }
+    }
+
+    /// Validate-or-rebuild every shard's piece map (see
+    /// [`CrackerColumn::heal`]); returns whether any shard was rebuilt.
+    /// The select paths already heal the affected shard automatically
+    /// when a contained panic unwinds through them.
+    pub fn heal(&self) -> bool {
+        let mut rebuilt = false;
+        for shard in &self.shards {
+            rebuilt |= shard.write().heal();
+        }
+        rebuilt
     }
 
     /// Aggregate cost counters over all shards.
@@ -668,6 +737,44 @@ impl<T: CrackValue> ConcurrentColumn<T> {
         match self {
             ConcurrentColumn::Single(c) => c.select_oids_batch(preds),
             ConcurrentColumn::Sharded(c) => c.select_oids_batch(preds),
+        }
+    }
+
+    /// The cancellable batch select: `keep_going` is polled at safe
+    /// boundaries (per predicate in both modes, plus per crack step in
+    /// single-lock mode) and the batch stops — piece maps valid, later
+    /// answers unaffected — once it reports false. Returns the number of
+    /// predicates fully answered, always a prefix of `preds`.
+    ///
+    /// # Panics
+    /// Panics if `preds` and `outs` differ in length.
+    pub fn select_oids_batch_guarded(
+        &self,
+        preds: &[RangePred<T>],
+        outs: &mut [Vec<u32>],
+        keep_going: &dyn Fn() -> bool,
+    ) -> usize {
+        match self {
+            ConcurrentColumn::Single(c) => c.select_oids_batch_guarded(preds, outs, keep_going),
+            ConcurrentColumn::Sharded(c) => c.select_oids_batch_guarded(preds, outs, keep_going),
+        }
+    }
+
+    /// Chaos hook: arm the panic-on-crack countdown (the first shard in
+    /// sharded mode). See [`CrackerColumn::arm_panic_on_crack`].
+    pub fn arm_panic_on_crack(&self, after: u32) {
+        match self {
+            ConcurrentColumn::Single(c) => c.arm_panic_on_crack(after),
+            ConcurrentColumn::Sharded(c) => c.arm_panic_on_crack(after),
+        }
+    }
+
+    /// Validate-or-rebuild the piece map(s); returns whether anything was
+    /// rebuilt. See [`CrackerColumn::heal`].
+    pub fn heal(&self) -> bool {
+        match self {
+            ConcurrentColumn::Single(c) => c.heal(),
+            ConcurrentColumn::Sharded(c) => c.heal(),
         }
     }
 
@@ -994,5 +1101,64 @@ mod tests {
         let mut pairs = col.select_pairs(RangePred::between(15, 35));
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 30), (2, 20), (4, 25)]);
+    }
+
+    #[test]
+    fn a_panicking_crack_in_one_shard_is_contained_and_heals() {
+        let vals: Vec<i64> = (0..4_000).map(|i| (i * 23) % 4_000).collect();
+        let col = ShardedCrackerColumn::new(vals.clone(), 4);
+        col.count(RangePred::between(1_000, 3_000)); // crack boundaries
+        col.arm_panic_on_crack(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            col.count(RangePred::between(100, 300))
+        }));
+        assert!(r.is_err(), "the panicking query must fail loudly");
+        // The torn shard healed inside the containment wrapper and the
+        // countdown disarmed itself, so later queries run clean.
+        col.validate().unwrap();
+        assert!(!col.heal(), "containment already healed the torn shard");
+        for pred in [
+            RangePred::between(100, 300),
+            RangePred::between(1_000, 3_000),
+            RangePred::le(50),
+        ] {
+            let mut got = col.select_oids(pred);
+            got.sort_unstable();
+            assert_eq!(got, oracle(&vals, &pred), "pred {pred:?}");
+        }
+    }
+
+    #[test]
+    fn guarded_batch_cuts_short_between_predicates_only() {
+        let vals: Vec<i64> = (0..3_000).map(|i| (i * 41) % 3_000).collect();
+        let col = ShardedCrackerColumn::new(vals.clone(), 4);
+        let preds: Vec<RangePred<i64>> = (0..5)
+            .map(|i| RangePred::between(i * 500, i * 500 + 400))
+            .collect();
+        // Sharded batches poll at predicate granularity: a predicate that
+        // starts runs on every shard it touches, so the guard admits two.
+        let polls = std::cell::Cell::new(0usize);
+        let guard = || {
+            polls.set(polls.get() + 1);
+            polls.get() <= 2
+        };
+        let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+        let done = col.select_oids_batch_guarded(&preds, &mut outs, &guard);
+        assert_eq!(done, 2, "exactly the admitted prefix completes");
+        for (i, out) in outs.iter().enumerate() {
+            if i < done {
+                let mut got = out.clone();
+                got.sort_unstable();
+                assert_eq!(got, oracle(&vals, &preds[i]), "completed pred {i}");
+            } else {
+                assert!(out.is_empty(), "abandoned pred {i} left no output");
+            }
+        }
+        col.validate().unwrap();
+        for pred in &preds {
+            let mut got = col.select_oids(*pred);
+            got.sort_unstable();
+            assert_eq!(got, oracle(&vals, pred));
+        }
     }
 }

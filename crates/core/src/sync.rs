@@ -332,6 +332,35 @@ impl Condvar {
         }
     }
 
+    /// Like [`Condvar::wait`], but give up after `timeout`: returns the
+    /// re-acquired guard plus `true` when the wait timed out (the bounded
+    /// wait the admission gate's `try_acquire_for` builds on). Spurious
+    /// wakeups are possible; callers must re-check their predicate *and*
+    /// their own deadline.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (inner, lock, tracked) = guard.into_parts();
+        // Same bookkeeping as `wait`: the mutex is released inside.
+        drop(tracked);
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        let tracked = lockdep::on_acquire(lock.id, lockdep::Mode::Write, Location::caller());
+        (
+            MutexGuard {
+                inner: std::mem::ManuallyDrop::new(inner),
+                lock,
+                tracked: Some(tracked),
+            },
+            res.timed_out(),
+        )
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -663,6 +692,32 @@ mod tests {
                 g = cv.wait(g);
             }
             assert_eq!(*g, 2);
+        });
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_still_returns_the_lock() {
+        let m = Mutex::with_class(0usize, "t_sync_to");
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(5));
+        assert!(timed_out, "nobody notified: the wait must time out");
+        assert_eq!(*g, 0);
+        drop(g);
+        // And the notified path reports no timeout.
+        std::thread::scope(|s| {
+            let m = &m;
+            let cv = &cv;
+            s.spawn(move || {
+                *m.lock() = 1;
+                cv.notify_all();
+            });
+            let mut g = m.lock();
+            let mut timed_out = false;
+            while *g < 1 && !timed_out {
+                (g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_secs(5));
+            }
+            assert_eq!(*g, 1, "the notification must arrive well before 5s");
         });
     }
 

@@ -54,9 +54,11 @@
 //! lock-order graph under `LOCK_ANALYSIS=1`. The critical sections are a
 //! few counter updates and never overlap query execution.
 
+use crate::error::{EngineError, EngineResult};
 use cracker_core::sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// A counting gate bounding in-flight operations, with a per-session cap
 /// so one session cannot monopolize the permits. See the module doc for
@@ -67,6 +69,11 @@ pub struct AdmissionGate {
     released: Condvar,
     total: usize,
     session_cap: usize,
+    /// Bound on concurrently *waiting* operations: once this many waiters
+    /// queue, further bounded acquisitions are shed immediately instead of
+    /// joining the queue (load shedding — an unbounded queue just converts
+    /// overload into latency). `usize::MAX` = unbounded, the default.
+    max_waiters: usize,
     wakes: WakeStats,
 }
 
@@ -112,12 +119,21 @@ impl AdmissionGate {
     /// A gate with `total` permits of which any one session may hold at
     /// most `session_cap` (clamped into `1..=total`).
     pub fn new(total: usize, session_cap: usize) -> Self {
+        Self::with_wait_bound(total, session_cap, usize::MAX)
+    }
+
+    /// Like [`AdmissionGate::new`], with a bound on the wait queue: once
+    /// `max_waiters` operations are already queued, further
+    /// [`try_acquire_for`](Self::try_acquire_for) calls are shed
+    /// immediately with [`EngineError::Overloaded`] instead of waiting.
+    pub fn with_wait_bound(total: usize, session_cap: usize, max_waiters: usize) -> Self {
         let total = total.max(1);
         AdmissionGate {
             state: Mutex::with_class(GateState::default(), "admission"),
             released: Condvar::new(),
             total,
             session_cap: session_cap.clamp(1, total),
+            max_waiters,
             wakes: WakeStats::default(),
         }
     }
@@ -165,6 +181,75 @@ impl AdmissionGate {
         AdmissionPermit {
             gate: self,
             session,
+        }
+    }
+
+    /// Operations currently blocked waiting for a permit (diagnostic
+    /// snapshot; also the input to the wait-queue bound).
+    pub fn waiting(&self) -> usize {
+        self.state.lock().waiting.values().sum()
+    }
+
+    /// Take a permit for `session`, waiting **at most** `timeout` — the
+    /// bounded form of [`admit`](Self::admit) that a governed query uses
+    /// so its deadline also bounds time spent queuing. Fails typed:
+    /// [`EngineError::Overloaded`] when the wait queue is already at its
+    /// bound (shed immediately, `waited` ≈ zero) or when every session
+    /// slot stayed busy for the whole timeout.
+    ///
+    /// Every exit path — admitted, timed out, shed — removes this
+    /// operation from the waiting set, so a timed-out waiter can never
+    /// skew the wakeup policy's eligibility input (the leak the
+    /// `analysis::models::gate_timeout_leaky` model demonstrates).
+    pub fn try_acquire_for(
+        &self,
+        session: u64,
+        timeout: Duration,
+    ) -> EngineResult<AdmissionPermit<'_>> {
+        let start = Instant::now();
+        let mut st = self.state.lock();
+        if self.admissible(&st, session) {
+            self.book(&mut st, session);
+            return Ok(AdmissionPermit {
+                gate: self,
+                session,
+            });
+        }
+        let queued: usize = st.waiting.values().sum();
+        if queued >= self.max_waiters {
+            return Err(EngineError::Overloaded {
+                capacity: self.total,
+                waited: Duration::ZERO,
+            });
+        }
+        *st.waiting.entry(session).or_insert(0) += 1;
+        loop {
+            let elapsed = start.elapsed();
+            let Some(remaining) = timeout.checked_sub(elapsed) else {
+                remove_one(&mut st.waiting, session);
+                return Err(EngineError::Overloaded {
+                    capacity: self.total,
+                    waited: elapsed,
+                });
+            };
+            let (guard, timed_out) = self.released.wait_timeout(st, remaining);
+            st = guard;
+            self.wakes.wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.admissible(&st, session) {
+                remove_one(&mut st.waiting, session);
+                self.book(&mut st, session);
+                return Ok(AdmissionPermit {
+                    gate: self,
+                    session,
+                });
+            }
+            if timed_out {
+                remove_one(&mut st.waiting, session);
+                return Err(EngineError::Overloaded {
+                    capacity: self.total,
+                    waited: start.elapsed(),
+                });
+            }
         }
     }
 
@@ -385,6 +470,76 @@ mod tests {
         });
         assert_eq!(done.load(Ordering::Relaxed), 4);
         assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn try_acquire_for_times_out_with_a_typed_overload_and_leaks_no_waiter() {
+        let gate = AdmissionGate::new(1, 1);
+        let _held = gate.admit(0);
+        let err = gate
+            .try_acquire_for(1, std::time::Duration::from_millis(10))
+            .unwrap_err();
+        assert!(err.is_overload(), "{err}");
+        assert!(
+            matches!(
+                err,
+                crate::error::EngineError::Overloaded { capacity: 1, .. }
+            ),
+            "{err}"
+        );
+        assert_eq!(
+            gate.waiting(),
+            0,
+            "a timed-out waiter must leave the waiting set"
+        );
+        // The gate is fully usable afterwards.
+        drop(_held);
+        assert!(gate
+            .try_acquire_for(1, std::time::Duration::from_millis(10))
+            .is_ok());
+    }
+
+    #[test]
+    fn try_acquire_for_admits_when_a_slot_frees_in_time() {
+        let gate = AdmissionGate::new(1, 1);
+        std::thread::scope(|s| {
+            let gate = &gate;
+            let held = gate.admit(0);
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(held);
+            });
+            let permit = gate
+                .try_acquire_for(1, std::time::Duration::from_secs(10))
+                .expect("the slot frees after ~20ms, well inside the budget");
+            drop(permit);
+        });
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.waiting(), 0);
+    }
+
+    #[test]
+    fn a_full_wait_queue_sheds_immediately_without_waiting() {
+        // Wait bound zero: a bounded acquisition that cannot be admitted
+        // right now is shed at once — deterministic load shedding, no
+        // timing involved.
+        let gate = AdmissionGate::with_wait_bound(1, 1, 0);
+        let _held = gate.admit(0);
+        let start = std::time::Instant::now();
+        let err = gate
+            .try_acquire_for(1, std::time::Duration::from_secs(60))
+            .unwrap_err();
+        assert!(err.is_overload(), "{err}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "shedding must not consume the timeout"
+        );
+        match err {
+            crate::error::EngineError::Overloaded { waited, .. } => {
+                assert_eq!(waited, std::time::Duration::ZERO, "shed, not timed out")
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
     }
 
     #[test]

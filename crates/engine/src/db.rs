@@ -17,6 +17,7 @@ use crate::durability::{
 };
 use crate::error::{EngineError, EngineResult};
 use crate::exec::batch::{refine_conjunct, BlockScratch};
+use crate::governor::Governor;
 use crate::query::{AggFunc, OutputMode, RangeQuery};
 use crate::table::Table;
 use cracker_core::group::{aggregate_groups, omega_crack};
@@ -31,6 +32,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+use storage::fault::{FaultKind, RetryPolicy};
 use storage::wal::{RedoLog, WalRecord};
 use storage::{CheckpointStore, Manifest, StorageError};
 
@@ -123,8 +125,14 @@ impl AdaptiveDb {
     /// policy). Callers take a permit via [`admit`](Self::admit) around
     /// each gated operation.
     pub fn with_admission(mut self, gate: AdmissionGate) -> Self {
-        self.admission = Some(Arc::new(gate));
+        self.set_admission(gate);
         self
+    }
+
+    /// Install (or replace) the admission gate on an already-built
+    /// database — for harnesses that construct or recover the db first.
+    pub fn set_admission(&mut self, gate: AdmissionGate) {
+        self.admission = Some(Arc::new(gate));
     }
 
     /// The installed admission gate, if any. The `Arc` can be cloned into
@@ -345,6 +353,102 @@ impl AdaptiveDb {
         Ok(self.shared_cracker(table, attr)?.select_oids_batch(preds))
     }
 
+    /// Take an admission permit for a *governed* operation: the wait is
+    /// bounded by the governor's remaining deadline budget (queue time is
+    /// query time), surfacing [`EngineError::Overloaded`] instead of
+    /// blocking past it. An unbounded governor waits like
+    /// [`admit`](Self::admit). Returns `None` when no gate is installed.
+    fn admit_governed<'g>(
+        gate: Option<&'g AdmissionGate>,
+        governor: &Governor,
+        session: u64,
+    ) -> EngineResult<Option<AdmissionPermit<'g>>> {
+        match gate {
+            Some(g) => Ok(Some(match governor.remaining() {
+                Some(rem) => g.try_acquire_for(session, rem)?,
+                None => g.admit(session),
+            })),
+            None => Ok(None),
+        }
+    }
+
+    /// [`select`](Self::select) under a [`Governor`]: the query first
+    /// passes the admission gate (waiting at most its remaining deadline
+    /// budget), then polls the governor at every safe crack-step boundary.
+    /// A query stopped mid-flight surfaces the governor's typed error
+    /// ([`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`] /
+    /// [`EngineError::Overloaded`]) and leaves every piece either
+    /// untouched or fully cracked — later queries answer exactly as if the
+    /// stopped one had never run. See `ROBUSTNESS.md`.
+    pub fn select_governed(
+        &mut self,
+        q: &RangeQuery,
+        mode: OutputMode,
+        governor: &Governor,
+        session: u64,
+    ) -> EngineResult<(Vec<u32>, RunStats)> {
+        governor.check()?;
+        let gate = self.admission.clone();
+        let _permit = Self::admit_governed(gate.as_deref(), governor, session)?;
+        // The wait may have consumed the rest of the budget: re-check
+        // before paying for any cracking.
+        governor.check()?;
+        let start = Instant::now();
+        let col = self.cracker(&q.table, &q.attr)?;
+        let before = *col.stats();
+        let guard = governor.as_guard();
+        let Some(sel) = col.select_guarded(q.pred, &guard) else {
+            governor.check()?;
+            unreachable!("the guard failed but the governor reports no violation");
+        };
+        let delta = col.stats().delta_since(&before);
+        let oids = match mode {
+            OutputMode::Count => Vec::new(),
+            _ => col.selection_oids(&sel),
+        };
+        let mut stats = RunStats {
+            tuples_read: delta.tuples_touched + delta.edge_scanned,
+            tuples_written: delta.tuples_moved,
+            result_count: sel.count() as u64,
+            ..Default::default()
+        };
+        if mode == OutputMode::Materialize {
+            stats.tables_created = 1;
+            stats.tuples_written += stats.result_count;
+        }
+        stats.elapsed = start.elapsed();
+        Ok((oids, stats))
+    }
+
+    /// [`shared_select_batch`](Self::shared_select_batch) under a
+    /// [`Governor`]: admission is bounded by the remaining deadline
+    /// budget and the governor is polled between predicates (and, in
+    /// single-lock mode, between crack steps). A batch stopped mid-flight
+    /// surfaces the governor's typed error; completed work is kept but
+    /// nothing partial is returned.
+    pub fn shared_select_batch_governed(
+        &mut self,
+        table: &str,
+        attr: &str,
+        preds: &[RangePred<i64>],
+        governor: &Governor,
+        session: u64,
+    ) -> EngineResult<Vec<Vec<u32>>> {
+        governor.check()?;
+        let gate = self.admission.clone();
+        let _permit = Self::admit_governed(gate.as_deref(), governor, session)?;
+        governor.check()?;
+        let col = self.shared_cracker(table, attr)?;
+        let guard = governor.as_guard();
+        let mut outs: Vec<Vec<u32>> = preds.iter().map(|_| Vec::new()).collect();
+        let done = col.select_oids_batch_guarded(preds, &mut outs, &guard);
+        if done < preds.len() {
+            governor.check()?;
+            unreachable!("the guard failed but the governor reports no violation");
+        }
+        Ok(outs)
+    }
+
     /// Equi-join two tables on integer attributes via the ^ cracker:
     /// both join columns are wedge-cracked (the non-matching tuples are
     /// clustered away) and only the matching areas are joined.
@@ -541,7 +645,12 @@ impl AdaptiveDb {
         let mut store = CheckpointStore::open(dir.as_ref())?;
         let manifest = self.write_checkpoint(&mut store)?;
         let epoch = manifest.epoch;
-        self.durability = Some(Durability::from_manifest(store, &manifest, group_commit)?);
+        self.durability = Some(Durability::from_manifest(
+            store,
+            &manifest,
+            group_commit,
+            RetryPolicy::default(),
+        )?);
         Ok(epoch)
     }
 
@@ -556,18 +665,39 @@ impl AdaptiveDb {
     /// fingerprint is unchanged since the previous epoch are carried
     /// forward without rewriting. Returns the committed epoch.
     ///
-    /// On error the previous epoch (and its log) stays authoritative —
-    /// updates keep appending to the old log, so nothing is lost.
+    /// On error the previous epoch (and its log) normally stays
+    /// authoritative — updates keep appending to the old log, so nothing
+    /// is lost. One error is *ambiguous*: a failure after the manifest
+    /// rename (the directory fsync) may leave the new manifest already
+    /// committed on disk. The manifest is therefore re-read on every
+    /// failure; if a newer epoch landed, the handle adopts it — logging
+    /// must follow the manifest recovery would load, or post-checkpoint
+    /// updates would replay against the wrong epoch. The error is still
+    /// surfaced (it is the commit's *durability* that is in doubt);
+    /// retrying `checkpoint()` produces an unambiguous epoch.
     pub fn checkpoint(&mut self) -> EngineResult<u64> {
         let mut dur = self.durability.take().ok_or_else(not_attached)?;
         match self.write_checkpoint(&mut dur.store) {
             Ok(manifest) => {
                 let epoch = manifest.epoch;
-                let gc = dur.group_commit;
-                self.durability = Some(Durability::from_manifest(dur.store, &manifest, gc)?);
+                // Rotate the live log handle in place: its injector,
+                // retry policy, and group-commit carry over. On rotation
+                // failure the handle is poisoned (see
+                // `Durability::rotate_to`) — surfaced, not swallowed.
+                let rotated = dur.rotate_to(&manifest);
+                self.durability = Some(dur);
+                rotated?;
                 Ok(epoch)
             }
             Err(e) => {
+                if let Ok(Some(m)) = dur.store.manifest() {
+                    if m.epoch > dur.epoch {
+                        // Ambiguous commit that actually landed: adopt it.
+                        // A rotation failure here poisons the log; the
+                        // original error below is the one surfaced.
+                        let _ = dur.rotate_to(&m);
+                    }
+                }
                 self.durability = Some(dur);
                 Err(e)
             }
@@ -711,7 +841,12 @@ impl AdaptiveDb {
                 }
             }
         }
-        db.durability = Some(Durability::from_manifest(store, &manifest, group_commit)?);
+        db.durability = Some(Durability::from_manifest(
+            store,
+            &manifest,
+            group_commit,
+            RetryPolicy::default(),
+        )?);
         Ok(db)
     }
 
@@ -739,6 +874,62 @@ impl AdaptiveDb {
             }
             None => false,
         }
+    }
+
+    /// Arm a deterministic I/O fault at one of the named injection points
+    /// of [`storage::fault`] (see `ALL_POINTS` there): `"wal."`-prefixed
+    /// points are armed on the current redo log's injector, checkpoint
+    /// points on the store's. After `after` clean passes the point fails
+    /// `fires` times with `kind`, then heals. Returns `false` when no
+    /// durability is attached. Chaos-suite hook — see `ROBUSTNESS.md`.
+    ///
+    /// The redo-log handle is rotated *in place* by checkpoints, so armed
+    /// WAL faults survive rotation — `"wal.open"` in particular fires at
+    /// the next rotation itself.
+    pub fn arm_io_fault(&mut self, point: &str, after: u32, kind: FaultKind, fires: u32) -> bool {
+        match self.durability.as_mut() {
+            Some(d) => {
+                if point.starts_with("wal.") {
+                    d.log.injector_mut().arm(point, after, kind, fires);
+                } else {
+                    d.store.injector_mut().arm(point, after, kind, fires);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total I/O faults the durability layer has injected so far
+    /// (checkpoint store + current redo log).
+    pub fn io_faults_injected(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map(|d| d.store.faults_injected() + d.log.faults_injected())
+            .unwrap_or(0)
+    }
+
+    /// Install the retry policy the durability layer applies to transient
+    /// I/O faults — on the checkpoint store, the current redo log, and
+    /// (via the durability handle) every log the next rotations open.
+    /// Returns `false` when no durability is attached.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) -> bool {
+        match self.durability.as_mut() {
+            Some(d) => {
+                d.store.set_retry_policy(retry);
+                d.log.set_retry_policy(retry);
+                d.retry = retry;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The redo log's poison reason, if a failed group-commit fsync has
+    /// poisoned it (updates fail typed until a checkpoint rotates the
+    /// log). `None` when healthy or when no durability is attached.
+    pub fn wal_poisoned(&self) -> Option<&str> {
+        self.durability.as_ref().and_then(|d| d.log.poisoned())
     }
 
     /// Aggregate crack statistics across all cracked columns, including
@@ -1117,6 +1308,59 @@ mod tests {
         let q = RangeQuery::new("t", "v", band);
         let (_, stats) = db.select(&q, OutputMode::Count).unwrap();
         assert_eq!(stats.result_count, 10);
+    }
+
+    #[test]
+    fn governed_select_surfaces_typed_errors_and_changes_no_answers() {
+        let mut db = db();
+        let q = RangeQuery::new("r", "a", RangePred::between(10, 40));
+        let (want, _) = db.select(&q, OutputMode::Stream).unwrap();
+
+        // Pre-cancelled: typed, and nothing observable moved.
+        let g = crate::governor::Governor::unbounded();
+        g.token().cancel();
+        let q2 = RangeQuery::new("r", "a", RangePred::between(50, 80));
+        assert!(matches!(
+            db.select_governed(&q2, OutputMode::Stream, &g, 1),
+            Err(EngineError::Cancelled)
+        ));
+
+        // Expired deadline: typed with the original budget.
+        let g = crate::governor::Governor::with_deadline(std::time::Duration::ZERO);
+        match db.select_governed(&q2, OutputMode::Stream, &g, 1) {
+            Err(EngineError::DeadlineExceeded { budget }) => {
+                assert_eq!(budget, std::time::Duration::ZERO)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+
+        // A healthy governor answers exactly like the ungoverned path.
+        let g = crate::governor::Governor::unbounded();
+        let (got, _) = db.select_governed(&q, OutputMode::Stream, &g, 1).unwrap();
+        assert_eq!(got, want);
+
+        // The governed batch path agrees with the ungoverned batch.
+        let preds = vec![RangePred::between(10, 40), RangePred::between(50, 80)];
+        let governed = db
+            .shared_select_batch_governed("r", "a", &preds, &g, 1)
+            .unwrap();
+        let plain = db.shared_select_batch("r", "a", &preds).unwrap();
+        assert_eq!(governed, plain);
+    }
+
+    #[test]
+    fn governed_select_sheds_on_a_saturated_gate_within_its_budget() {
+        let mut db = db().with_admission(AdmissionGate::new(1, 1));
+        let gate = Arc::clone(db.admission().unwrap());
+        let _held = gate.try_admit(99).expect("slot free");
+        let g = crate::governor::Governor::with_deadline(std::time::Duration::from_millis(20));
+        let q = RangeQuery::new("r", "a", RangePred::between(10, 40));
+        match db.select_governed(&q, OutputMode::Stream, &g, 1) {
+            Err(EngineError::Overloaded { capacity, .. }) => assert_eq!(capacity, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The shed query cracked nothing.
+        assert_eq!(db.cracked_columns(), 0);
     }
 
     #[test]

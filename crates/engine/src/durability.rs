@@ -21,6 +21,7 @@
 
 use crate::error::{EngineError, EngineResult};
 use serde::{Deserialize, Serialize};
+use storage::fault::RetryPolicy;
 use storage::wal::RedoLog;
 use storage::{CheckpointStore, Manifest, StorageError};
 
@@ -83,29 +84,59 @@ pub struct Durability {
     pub(crate) store: CheckpointStore,
     /// Open append handle on the current epoch's redo log.
     pub(crate) log: RedoLog,
-    /// Group-commit interval re-applied after every log rotation.
-    pub(crate) group_commit: usize,
+    /// Retry policy for transient I/O faults, re-applied to the fresh
+    /// log handle after every rotation (the store keeps its own copy).
+    pub(crate) retry: RetryPolicy,
     /// Epoch of the last committed checkpoint.
     pub(crate) epoch: u64,
 }
 
 impl Durability {
     /// Pair `store` with the redo log the committed `manifest` names,
-    /// applying `group_commit` to the fresh log handle.
+    /// applying `group_commit` and the store's retry policy to the fresh
+    /// log handle.
     pub(crate) fn from_manifest(
         store: CheckpointStore,
         manifest: &Manifest,
         group_commit: usize,
+        retry: RetryPolicy,
     ) -> EngineResult<Self> {
-        let log = RedoLog::open_append(store.log_path(manifest))
+        let mut log = RedoLog::open_append(store.log_path(manifest))
             .map_err(EngineError::from)?
             .with_group_commit(group_commit);
+        log.set_retry_policy(retry);
         Ok(Durability {
             store,
             log,
-            group_commit,
+            retry,
             epoch: manifest.epoch,
         })
+    }
+
+    /// Rotate the live log handle onto `manifest`'s log path, keeping its
+    /// injector, retry policy, and group-commit setting (and clearing any
+    /// poison — the commit that produced `manifest` folded the overlay
+    /// into durable payloads).
+    ///
+    /// If the new epoch's log cannot be opened, the handle is *poisoned*
+    /// instead: the manifest already committed, so appending to the stale
+    /// path would silently lose records at recovery. Updates then fail
+    /// typed until a later checkpoint rotates successfully.
+    pub(crate) fn rotate_to(&mut self, manifest: &Manifest) -> EngineResult<()> {
+        match self.log.rotate(self.store.log_path(manifest)) {
+            Ok(()) => {
+                self.epoch = manifest.epoch;
+                Ok(())
+            }
+            Err(e) => {
+                self.log.poison(&format!(
+                    "log rotation to epoch {} failed: {e}",
+                    manifest.epoch
+                ));
+                self.epoch = manifest.epoch;
+                Err(EngineError::from(e))
+            }
+        }
     }
 }
 

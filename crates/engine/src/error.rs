@@ -39,6 +39,25 @@ pub enum EngineError {
         /// Budget that was exceeded.
         budget: usize,
     },
+    /// The query observed its governor's cancel token and stopped at a
+    /// safe boundary. No partial results were published; crack state is
+    /// valid (each piece either untouched or fully cracked).
+    Cancelled,
+    /// The query overran its governor deadline and stopped at a safe
+    /// boundary, with the same state guarantees as [`EngineError::Cancelled`].
+    DeadlineExceeded {
+        /// The deadline budget the query was given.
+        budget: std::time::Duration,
+    },
+    /// The admission gate refused the query to protect the system: every
+    /// session slot stayed busy for the whole bounded wait (or the wait
+    /// queue itself was full). Shed load or retry later.
+    Overloaded {
+        /// Concurrent-session capacity of the gate.
+        capacity: usize,
+        /// How long the query waited before giving up.
+        waited: std::time::Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +79,42 @@ impl fmt::Display for EngineError {
                 f,
                 "optimizer resource space exhausted: {joins}-way join exceeds budget {budget}"
             ),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded { budget } => {
+                write!(f, "query deadline exceeded (budget {budget:?})")
+            }
+            EngineError::Overloaded { capacity, waited } => write!(
+                f,
+                "admission gate overloaded: all {capacity} sessions busy for {waited:?}"
+            ),
+        }
+    }
+}
+
+impl EngineError {
+    /// True when the fault is environmental and retrying the same request
+    /// may succeed. Delegates to [`StorageError::is_transient`] for
+    /// storage-layer failures; engine-level scheduling refusals
+    /// (cancel/deadline/overload) are *not* transient — they carry
+    /// intent, and the taxonomy keeps them typed apart.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Storage(e) if e.is_transient())
+    }
+
+    /// True when durable state itself is damaged and needs repair, never
+    /// a retry. Only storage can report corruption.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, EngineError::Storage(e) if e.is_corruption())
+    }
+
+    /// True when the request was refused (or abandoned) to protect the
+    /// system under load: the admission gate shed it, its deadline
+    /// elapsed, or the storage layer signalled capacity exhaustion.
+    pub fn is_overload(&self) -> bool {
+        match self {
+            EngineError::Overloaded { .. } | EngineError::DeadlineExceeded { .. } => true,
+            EngineError::Storage(e) => e.is_overload(),
+            _ => false,
         }
     }
 }
@@ -104,5 +159,91 @@ mod tests {
         let e: EngineError = StorageError::UnknownBat("x".into()).into();
         assert!(matches!(e, EngineError::Storage(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn every_variant_has_a_pinned_classification() {
+        use std::time::Duration;
+        // One row per variant: (error, transient, corruption, overload).
+        // Storage wrapping must preserve the storage-layer classification.
+        let table: Vec<(EngineError, bool, bool, bool)> = vec![
+            (EngineError::UnknownTable("t".into()), false, false, false),
+            (EngineError::DuplicateTable("t".into()), false, false, false),
+            (
+                EngineError::UnknownColumn {
+                    table: "t".into(),
+                    column: "c".into(),
+                },
+                false,
+                false,
+                false,
+            ),
+            (
+                EngineError::WrongColumnType {
+                    column: "c".into(),
+                    expected: "int".into(),
+                },
+                false,
+                false,
+                false,
+            ),
+            (EngineError::RaggedColumns("t".into()), false, false, false),
+            (
+                EngineError::Storage(StorageError::PersistIo("io".into())),
+                true,
+                false,
+                false,
+            ),
+            (
+                EngineError::Storage(StorageError::PersistFormat("bad".into())),
+                false,
+                true,
+                false,
+            ),
+            (
+                EngineError::Storage(StorageError::PoolExhausted { capacity: 2 }),
+                false,
+                false,
+                true,
+            ),
+            (
+                EngineError::Storage(StorageError::WalPoisoned("f".into())),
+                false,
+                false,
+                false,
+            ),
+            (
+                EngineError::OptimizerExhausted {
+                    joins: 9,
+                    budget: 3,
+                },
+                false,
+                false,
+                false,
+            ),
+            (EngineError::Cancelled, false, false, false),
+            (
+                EngineError::DeadlineExceeded {
+                    budget: Duration::from_millis(5),
+                },
+                false,
+                false,
+                true,
+            ),
+            (
+                EngineError::Overloaded {
+                    capacity: 4,
+                    waited: Duration::from_millis(5),
+                },
+                false,
+                false,
+                true,
+            ),
+        ];
+        for (e, transient, corruption, overload) in table {
+            assert_eq!(e.is_transient(), transient, "{e}: transient");
+            assert_eq!(e.is_corruption(), corruption, "{e}: corruption");
+            assert_eq!(e.is_overload(), overload, "{e}: overload");
+        }
     }
 }

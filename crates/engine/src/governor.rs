@@ -1,0 +1,191 @@
+//! Query governance: deadlines, cooperative cancellation, and the glue
+//! that ties them to admission control.
+//!
+//! Cracking does physical reorganization *on the query path*, so "stop
+//! this query" is a more delicate request here than in a read-only
+//! scan-based engine: killing a query mid-crack could leave a piece map
+//! describing positions the value array no longer has. The governor
+//! therefore never preempts — it exposes a [`CancelToken`] that the
+//! execution layers poll at **safe boundaries** only:
+//!
+//! * between predicates of a batch (the block-at-a-time executor checks
+//!   before each block), and
+//! * between crack steps — each `select` against one piece either runs
+//!   to completion or is never started, so the piece map stays valid and
+//!   every piece is either untouched or fully cracked.
+//!
+//! A query stopped this way leaves the column in a state
+//! [`cracker_core::CrackerIndex::check_pieces`] accepts, and — because
+//! cracking is semantically a no-op reorganization — later queries return
+//! exactly the answers they would have returned anyway. That is the
+//! "graceful" in graceful degradation: cancellation costs the cancelled
+//! query its answer, never anybody else's.
+//!
+//! [`Governor`] bundles a token with an optional deadline and converts
+//! both into the typed errors of the taxonomy
+//! ([`EngineError::Cancelled`], [`EngineError::DeadlineExceeded`]); its
+//! remaining-time view also bounds how long the query may queue at the
+//! [`crate::admission::AdmissionGate`], so a query never spends its whole
+//! deadline waiting for a slot it can no longer use.
+
+use crate::error::{EngineError, EngineResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag. Cloning is cheap (an `Arc`); any clone can
+/// cancel, every clone observes it. Polling is a single relaxed-ordering
+/// atomic load — cheap enough for per-block boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the target
+    /// query's next safe boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-query governance: a [`CancelToken`] plus an optional deadline.
+///
+/// The governed execution paths call [`Governor::check`] at each safe
+/// boundary and abandon the query on `Err`. A governor with no deadline
+/// and an untouched token never fails a check.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    cancel: CancelToken,
+    /// Wall-clock budget and its expiry, kept together so errors can
+    /// report the budget the caller actually asked for.
+    deadline: Option<(Duration, Instant)>,
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl Governor {
+    /// A governor with no deadline and a fresh token: checks always pass
+    /// until someone cancels.
+    pub fn unbounded() -> Self {
+        Governor {
+            cancel: CancelToken::new(),
+            deadline: None,
+        }
+    }
+
+    /// A governor whose query must finish within `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Governor {
+            cancel: CancelToken::new(),
+            deadline: Some((budget, Instant::now() + budget)),
+        }
+    }
+
+    /// Attach an externally owned token (e.g. one the session keeps to
+    /// cancel the query from another thread).
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The token governed queries poll; clone it to cancel from elsewhere.
+    pub fn token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Time left before the deadline: `None` when unbounded, zero when
+    /// already past. This is also the right bound for admission waits —
+    /// queue time is query time.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|(_, at)| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The safe-boundary poll: `Err(Cancelled)` once the token fires,
+    /// `Err(DeadlineExceeded)` once the budget elapses, `Ok` otherwise.
+    /// Cancellation wins ties (it is the more specific intent).
+    pub fn check(&self) -> EngineResult<()> {
+        if self.cancel.is_cancelled() {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some((budget, at)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(EngineError::DeadlineExceeded { budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// The poll as a plain predicate, the shape the storage-agnostic
+    /// cancellable kernels in `cracker_core` take: `true` = keep going.
+    pub fn as_guard(&self) -> impl Fn() -> bool + '_ {
+        move || self.check().is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_governor_always_passes() {
+        let g = Governor::unbounded();
+        assert!(g.check().is_ok());
+        assert!(g.remaining().is_none());
+        assert!((g.as_guard())());
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_every_clone() {
+        let g = Governor::unbounded();
+        let handle = g.token();
+        let g2 = g.clone();
+        handle.cancel();
+        assert!(matches!(g.check(), Err(EngineError::Cancelled)));
+        assert!(matches!(g2.check(), Err(EngineError::Cancelled)));
+        assert!(!(g.as_guard())());
+    }
+
+    #[test]
+    fn deadline_expiry_is_typed_with_the_original_budget() {
+        let budget = Duration::from_millis(1);
+        let g = Governor::with_deadline(budget);
+        std::thread::sleep(Duration::from_millis(5));
+        match g.check() {
+            Err(EngineError::DeadlineExceeded { budget: b }) => assert_eq!(b, budget),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(g.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_wins_over_an_expired_deadline() {
+        let g = Governor::with_deadline(Duration::from_millis(1));
+        g.token().cancel();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(g.check(), Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn remaining_bounds_admission_waits() {
+        let g = Governor::with_deadline(Duration::from_secs(60));
+        let rem = g.remaining().unwrap();
+        assert!(rem <= Duration::from_secs(60));
+        assert!(rem > Duration::from_secs(59), "fresh budget nearly intact");
+    }
+}

@@ -19,6 +19,9 @@
 //!   the crack kernels instead of probing per tuple;
 //! * [`admission`] — a semaphore-style gate with per-session fairness so
 //!   update bursts cannot starve concurrent readers;
+//! * [`governor`] — per-query deadlines and cooperative cancellation,
+//!   polled at safe crack-step boundaries so an abandoned query never
+//!   leaves a column torn (see `ROBUSTNESS.md`);
 //! * [`durability`] — checkpoint/redo-log wiring so crack state survives
 //!   restarts *warm* (protocol in `PERSISTENCE.md`);
 //! * [`engines`] — the three interchangeable access methods the
@@ -41,6 +44,7 @@ pub mod durability;
 pub mod engines;
 pub mod error;
 pub mod exec;
+pub mod governor;
 pub mod plan;
 pub mod profile;
 pub mod query;
@@ -57,9 +61,10 @@ pub use db::AdaptiveDb;
 pub use durability::{DbMeta, TableMeta};
 pub use engines::{CrackEngine, QueryEngine, ScanEngine, SortEngine, StochasticEngine};
 pub use error::{EngineError, EngineResult};
+pub use governor::{CancelToken, Governor};
 pub use profile::EngineProfile;
 pub use query::{OutputMode, RangeQuery};
-pub use scenario::DbScenarioRunner;
+pub use scenario::{ChaosReport, DbScenarioRunner};
 pub use schema::{ColumnDef, Schema};
 pub use sql_crack::SqlLevelCracker;
 pub use table::Table;

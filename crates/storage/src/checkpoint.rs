@@ -35,11 +35,23 @@
 //! the writer aborts exactly as a dying process would — leaving a torn
 //! temp file behind — so tests can probe every write boundary
 //! (`tests/recovery_oracle.rs` does, exhaustively).
+//!
+//! **Fault injection and retry:** every file operation flows through the
+//! [`crate::fault`] facade, so tests can also arm *non-fatal* faults
+//! (EIO / ENOSPC / short-write / failed-fsync) at the store's named
+//! boundaries. Transient faults are retried under the store's
+//! [`RetryPolicy`]; each retry restarts the enclosing durable sequence
+//! from scratch (the temp file is recreated, rewritten and re-fsynced),
+//! which is why even a failed fsync is safe to retry *here* — unlike in
+//! the WAL, no byte of a checkpoint file is ever trusted durable until
+//! the whole sequence, including a fresh fsync of fresh bytes, has
+//! succeeded. Hard faults (ENOSPC, corruption) propagate typed on first
+//! occurrence and the previous epoch stays authoritative.
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{self, sibling_tmp_path, FaultInjector, RetryPolicy};
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
-use std::fs::{self, File};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Name of the manifest file inside a checkpoint directory.
@@ -47,50 +59,6 @@ pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
 /// Manifest format version.
 const MANIFEST_VERSION: u32 = 1;
-
-/// The sibling temp path `write_atomic` stages through: `<file>.tmp` in
-/// the same directory (same filesystem, so the rename is atomic).
-pub(crate) fn sibling_tmp_path(path: &Path) -> PathBuf {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_default();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-/// Fsync a directory so a just-renamed entry is durable (no-op off Unix,
-/// where opening a directory for sync is not portable).
-fn sync_dir(dir: &Path) -> StorageResult<()> {
-    #[cfg(unix)]
-    {
-        let d = File::open(dir).map_err(|e| StorageError::PersistIo(e.to_string()))?;
-        d.sync_all()
-            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
-    }
-    #[cfg(not(unix))]
-    let _ = dir;
-    Ok(())
-}
-
-/// Write `bytes` to `path` atomically: sibling temp file, fsync, rename,
-/// directory fsync. A crash at any point leaves the previous content of
-/// `path` (or its absence) intact.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> StorageResult<()> {
-    let tmp = sibling_tmp_path(path);
-    let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
-    let mut file = File::create(&tmp).map_err(io)?;
-    file.write_all(bytes).map_err(io)?;
-    file.sync_all().map_err(io)?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(io)?;
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            sync_dir(parent)?;
-        }
-    }
-    Ok(())
-}
 
 /// FNV-1a over a string — stable, dependency-free file-name salt.
 fn fnv(s: &str) -> u64 {
@@ -187,22 +155,45 @@ pub struct CheckpointStore {
     dir: PathBuf,
     /// Crash-injection countdown over durable writer operations.
     crash_after: Option<u32>,
+    /// Deterministic I/O fault injection at the store's named boundaries.
+    injector: FaultInjector,
+    /// Retry policy for transient faults (each retry restarts the
+    /// enclosing durable sequence from scratch).
+    retry: RetryPolicy,
 }
 
 impl CheckpointStore {
     /// Open (creating if necessary) a checkpoint directory.
     pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        fault::create_dir_all(&dir)?;
         Ok(CheckpointStore {
             dir,
             crash_after: None,
+            injector: FaultInjector::new(),
+            retry: RetryPolicy::default(),
         })
     }
 
     /// The directory this store owns.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The fault injector every file operation of this store flows
+    /// through — arm error points here (see [`crate::fault`]).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Total faults injected into this store so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.injected()
+    }
+
+    /// Replace the retry policy for transient faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Arm the crash-injection countdown: the writer's `n`-th next durable
@@ -235,10 +226,8 @@ impl CheckpointStore {
     /// silently treated as empty.
     pub fn manifest(&self) -> StorageResult<Option<Manifest>> {
         let path = self.dir.join(MANIFEST_NAME);
-        let doc = match fs::read_to_string(&path) {
-            Ok(doc) => doc,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(StorageError::PersistIo(e.to_string())),
+        let Some(doc) = fault::read_to_string_opt(&path)? else {
+            return Ok(None);
         };
         let manifest: Manifest =
             serde_json::from_str(&doc).map_err(|e| StorageError::PersistFormat(e.to_string()))?;
@@ -253,8 +242,10 @@ impl CheckpointStore {
 
     /// Deserialize the payload a manifest entry points at.
     pub fn read_payload<T: DeserializeOwned>(&self, entry: &ManifestEntry) -> StorageResult<T> {
-        let doc = fs::read_to_string(self.dir.join(&entry.file))
-            .map_err(|e| StorageError::PersistIo(format!("payload {:?}: {e}", entry.key)))?;
+        let doc = fault::read_to_string(
+            &format!("payload {:?}", entry.key),
+            &self.dir.join(&entry.file),
+        )?;
         serde_json::from_str(&doc)
             .map_err(|e| StorageError::PersistFormat(format!("payload {:?}: {e}", entry.key)))
     }
@@ -344,9 +335,16 @@ impl CheckpointWriter<'_> {
     /// Atomically publish this epoch: create its empty redo log, then
     /// rename the new manifest into place (the commit point), then
     /// garbage-collect files no longer referenced. Consumes the writer.
+    ///
+    /// Transient faults in any durable sequence are retried under the
+    /// store's [`RetryPolicy`] (the sequence restarts from scratch, see
+    /// the module doc). A failure *after* the manifest rename (the
+    /// directory fsync) is reported — the caller must treat the commit
+    /// outcome as ambiguous and re-read the manifest to learn which
+    /// epoch is authoritative.
     pub fn commit(self) -> StorageResult<Manifest> {
+        let retry = self.store.retry;
         let log = format!("wal.{}.log", self.epoch);
-        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
         // The new epoch's (empty) log must be durable before any manifest
         // names it.
         if self.store.crash_now() {
@@ -354,9 +352,12 @@ impl CheckpointWriter<'_> {
                 "injected crash before log creation".to_string(),
             ));
         }
-        let log_file = File::create(self.store.dir.join(&log)).map_err(io)?;
-        log_file.sync_all().map_err(io)?;
-        drop(log_file);
+        let log_target = self.store.dir.join(&log);
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_LOG_CREATE, || {
+            let log_file = injector.create(fault::CKPT_LOG_CREATE, &log_target)?;
+            injector.sync_file(fault::CKPT_LOG_FSYNC, &log_file)
+        })?;
         let manifest = Manifest {
             version: MANIFEST_VERSION,
             epoch: self.epoch,
@@ -369,22 +370,32 @@ impl CheckpointWriter<'_> {
         let tmp = sibling_tmp_path(&manifest_path);
         if self.store.crash_now() {
             // Die mid-write: a torn manifest temp file, target untouched.
+            // lint: allow(durability-io) — crash simulation must bypass the injector
             let _ = fs::write(&tmp, &doc.as_bytes()[..doc.len() / 2]);
             return Err(StorageError::Persist(
                 "injected crash during manifest write".to_string(),
             ));
         }
-        let mut file = File::create(&tmp).map_err(io)?;
-        file.write_all(doc.as_bytes()).map_err(io)?;
-        file.sync_all().map_err(io)?;
-        drop(file);
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_MANIFEST_WRITE, || {
+            let mut file = injector.create(fault::CKPT_MANIFEST_CREATE, &tmp)?;
+            injector.write_all(fault::CKPT_MANIFEST_WRITE, &mut file, doc.as_bytes())?;
+            injector.sync_file(fault::CKPT_MANIFEST_FSYNC, &file)
+        })?;
         if self.store.crash_now() {
             return Err(StorageError::Persist(
                 "injected crash before manifest rename".to_string(),
             ));
         }
-        fs::rename(&tmp, &manifest_path).map_err(io)?;
-        sync_dir(&self.store.dir)?;
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_MANIFEST_RENAME, || {
+            injector.rename(fault::CKPT_MANIFEST_RENAME, &tmp, &manifest_path)
+        })?;
+        let dir = self.store.dir.clone();
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_DIR_FSYNC, || {
+            injector.sync_dir(fault::CKPT_DIR_FSYNC, &dir)
+        })?;
         // Commit point passed: reclaim the store's *own* files the new
         // manifest no longer references — only names matching the store's
         // patterns (`is_store_artifact`); a foreign file colocated in the
@@ -392,41 +403,46 @@ impl CheckpointWriter<'_> {
         // not correctness, and the next commit retries.
         let mut keep: Vec<&str> = vec![MANIFEST_NAME, &manifest.log];
         keep.extend(manifest.entries.iter().map(|e| e.file.as_str()));
-        if let Ok(dir) = fs::read_dir(&self.store.dir) {
-            for entry in dir.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
-                if is_store_artifact(&name) && !keep.iter().any(|k| *k == name) {
-                    let _ = fs::remove_file(entry.path());
-                }
+        for (name, path) in fault::dir_entries(&self.store.dir) {
+            if is_store_artifact(&name) && !keep.iter().any(|k| *k == name) {
+                fault::remove_file_quiet(&path);
             }
         }
         Ok(manifest)
     }
 
-    /// Write one payload file through the temp-fsync-rename protocol with
-    /// the crash countdown applied at both durable boundaries.
+    /// Write one payload file through the temp-fsync-rename protocol,
+    /// with the crash countdown applied at both durable boundaries and
+    /// the fault injector at every operation. Transient faults restart
+    /// the whole sequence (fresh temp file) under the retry policy.
     fn write_with_injection(&mut self, file: &str, bytes: &[u8]) -> StorageResult<()> {
         let target = self.store.dir.join(file);
         let tmp = sibling_tmp_path(&target);
-        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
         if self.store.crash_now() {
             // Die mid-write, leaving a torn temp file.
+            // lint: allow(durability-io) — crash simulation must bypass the injector
             let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
             return Err(StorageError::Persist(
                 "injected crash during payload write".to_string(),
             ));
         }
-        let mut f = File::create(&tmp).map_err(io)?;
-        f.write_all(bytes).map_err(io)?;
-        f.sync_all().map_err(io)?;
-        drop(f);
-        if self.store.crash_now() {
+        let crash_before_rename = self.store.crash_now();
+        let retry = self.store.retry;
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_PAYLOAD_WRITE, || {
+            let mut f = injector.create(fault::CKPT_PAYLOAD_CREATE, &tmp)?;
+            injector.write_all(fault::CKPT_PAYLOAD_WRITE, &mut f, bytes)?;
+            injector.sync_file(fault::CKPT_PAYLOAD_FSYNC, &f)
+        })?;
+        if crash_before_rename {
             return Err(StorageError::Persist(
                 "injected crash before payload rename".to_string(),
             ));
         }
-        fs::rename(&tmp, &target).map_err(io)?;
+        let injector = &mut self.store.injector;
+        retry.run(fault::CKPT_PAYLOAD_RENAME, || {
+            injector.rename(fault::CKPT_PAYLOAD_RENAME, &tmp, &target)
+        })?;
         Ok(())
     }
 }
@@ -629,6 +645,91 @@ mod tests {
             store.read_payload::<Vec<i64>>(&entry).unwrap_err(),
             StorageError::PersistIo(_)
         ));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn transient_payload_fault_is_retried_and_the_checkpoint_commits() {
+        use crate::fault::FaultKind;
+        let dir = tmp_dir("retry-payload");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_retry_policy(RetryPolicy::new(3, std::time::Duration::from_micros(1)));
+        store
+            .injector_mut()
+            .arm(fault::CKPT_PAYLOAD_WRITE, 0, FaultKind::Eio, 1);
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &vec![7i64, 8]).unwrap();
+        let m = w.commit().unwrap();
+        assert_eq!(store.faults_injected(), 1, "the armed fault fired");
+        let a: Vec<i64> = store.read_payload(m.entry("col/a").unwrap()).unwrap();
+        assert_eq!(a, vec![7, 8], "retried write landed the full payload");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn short_write_fault_retries_to_a_complete_payload() {
+        use crate::fault::FaultKind;
+        let dir = tmp_dir("retry-short");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_retry_policy(RetryPolicy::new(2, std::time::Duration::from_micros(1)));
+        store
+            .injector_mut()
+            .arm(fault::CKPT_PAYLOAD_WRITE, 0, FaultKind::ShortWrite, 1);
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &vec![1i64, 2, 3, 4, 5]).unwrap();
+        let m = w.commit().unwrap();
+        // The retry recreated the temp file from scratch, so the torn
+        // half-write cannot have leaked into the durable payload.
+        let a: Vec<i64> = store.read_payload(m.entry("col/a").unwrap()).unwrap();
+        assert_eq!(a, vec![1, 2, 3, 4, 5]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_transient_error_and_keep_the_old_manifest() {
+        use crate::fault::FaultKind;
+        let dir = tmp_dir("retry-exhaust");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f1", &vec![1i64]).unwrap();
+        let m1 = w.commit().unwrap();
+        // Epoch 2: the manifest fsync fails more times than the policy
+        // tolerates, so the commit must fail transiently — and epoch 1
+        // must remain the authoritative durable state.
+        store.set_retry_policy(RetryPolicy::new(1, std::time::Duration::from_micros(1)));
+        store
+            .injector_mut()
+            .arm(fault::CKPT_MANIFEST_FSYNC, 0, FaultKind::FsyncFail, 10);
+        let mut w = store.begin().unwrap();
+        w.put("col/a", "f2", &vec![2i64]).unwrap();
+        let err = w.commit().unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        store.injector_mut().disarm_all();
+        let m = store.manifest().unwrap().unwrap();
+        assert_eq!(m, m1, "failed commit must not move the manifest");
+        let a: Vec<i64> = store.read_payload(m.entry("col/a").unwrap()).unwrap();
+        assert_eq!(a, vec![1]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn enospc_is_typed_disk_full_and_never_retried() {
+        use crate::fault::FaultKind;
+        let dir = tmp_dir("enospc");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.set_retry_policy(RetryPolicy::new(5, std::time::Duration::from_micros(1)));
+        store
+            .injector_mut()
+            .arm(fault::CKPT_PAYLOAD_WRITE, 0, FaultKind::Enospc, 1);
+        let mut w = store.begin().unwrap();
+        let err = w.put("col/a", "f1", &vec![1i64]).unwrap_err();
+        assert!(matches!(err, StorageError::DiskFull(_)), "{err}");
+        drop(w);
+        assert_eq!(
+            store.faults_injected(),
+            1,
+            "a hard fault must not be retried into further injections"
+        );
         fs::remove_dir_all(dir).ok();
     }
 }

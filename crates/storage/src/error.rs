@@ -41,6 +41,16 @@ pub enum StorageError {
     /// Persistence failed at the I/O layer (open/read/write/fsync/rename):
     /// the environment is at fault and a retry may succeed.
     PersistIo(String),
+    /// The device is out of space (ENOSPC). Unlike a generic I/O error a
+    /// retry cannot help until an operator frees space, so this is typed
+    /// apart from [`StorageError::PersistIo`] and never retried.
+    DiskFull(String),
+    /// The redo log is poisoned: a group-commit fsync failed, so the
+    /// durability of everything since the last successful sync is unknown
+    /// (the kernel may have dropped the dirty pages — the classic
+    /// fsyncgate trap). Every later append is refused with this error
+    /// until the log rotates to a fresh epoch file.
+    WalPoisoned(String),
     /// A persisted artifact is malformed (bad JSON, wrong version, broken
     /// BAT invariants): retrying cannot help, the file itself is bad.
     PersistFormat(String),
@@ -75,12 +85,39 @@ impl fmt::Display for StorageError {
             }
             StorageError::Persist(msg) => write!(f, "persistence error: {msg}"),
             StorageError::PersistIo(msg) => write!(f, "persistence I/O error: {msg}"),
+            StorageError::DiskFull(msg) => write!(f, "device out of space: {msg}"),
+            StorageError::WalPoisoned(msg) => {
+                write!(f, "redo log poisoned until rotation: {msg}")
+            }
             StorageError::PersistFormat(msg) => write!(f, "persisted data malformed: {msg}"),
             StorageError::UnknownPage(id) => write!(f, "unknown page {id}"),
             StorageError::PoolExhausted { capacity } => {
                 write!(f, "buffer pool exhausted: all {capacity} frames in use")
             }
         }
+    }
+}
+
+impl StorageError {
+    /// True when the fault is environmental and a bounded retry of the
+    /// *same* operation may succeed (the class
+    /// [`crate::fault::RetryPolicy`] retries). Exactly the I/O-layer
+    /// failures: a flaky device, a transient EIO, an interrupted write.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::PersistIo(_))
+    }
+
+    /// True when durable state itself is damaged (malformed artifact):
+    /// retrying cannot help and recovery/repair is required.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::PersistFormat(_))
+    }
+
+    /// True when the failure is a capacity/overload signal — the request
+    /// was refused to protect the system, and backing off (or shedding
+    /// load) is the right response rather than retrying immediately.
+    pub fn is_overload(&self) -> bool {
+        matches!(self, StorageError::PoolExhausted { .. })
     }
 }
 
@@ -113,6 +150,65 @@ mod tests {
             StorageError::PersistFormat("bad json".into()).to_string(),
             "persisted data malformed: bad json"
         );
+    }
+
+    #[test]
+    fn every_variant_has_a_pinned_classification() {
+        // One row per variant: (error, transient, corruption, overload).
+        // Adding a variant without deciding its class should fail here.
+        let table: Vec<(StorageError, bool, bool, bool)> = vec![
+            (
+                StorageError::TypeMismatch {
+                    expected: AtomType::Int,
+                    found: AtomType::Str,
+                },
+                false,
+                false,
+                false,
+            ),
+            (
+                StorageError::OutOfBounds { index: 1, len: 0 },
+                false,
+                false,
+                false,
+            ),
+            (StorageError::UnknownBat("b".into()), false, false, false),
+            (StorageError::DuplicateBat("b".into()), false, false, false),
+            (
+                StorageError::Misaligned { left: 1, right: 2 },
+                false,
+                false,
+                false,
+            ),
+            (
+                StorageError::SharedMutation("b".into()),
+                false,
+                false,
+                false,
+            ),
+            (StorageError::Persist("p".into()), false, false, false),
+            (StorageError::PersistIo("io".into()), true, false, false),
+            (StorageError::DiskFull("full".into()), false, false, false),
+            (StorageError::WalPoisoned("f".into()), false, false, false),
+            (
+                StorageError::PersistFormat("bad".into()),
+                false,
+                true,
+                false,
+            ),
+            (StorageError::UnknownPage(3), false, false, false),
+            (
+                StorageError::PoolExhausted { capacity: 4 },
+                false,
+                false,
+                true,
+            ),
+        ];
+        for (e, transient, corruption, overload) in table {
+            assert_eq!(e.is_transient(), transient, "{e}: transient");
+            assert_eq!(e.is_corruption(), corruption, "{e}: corruption");
+            assert_eq!(e.is_overload(), overload, "{e}: overload");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod bat;
 pub mod catalog;
 pub mod checkpoint;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod ops;
 pub mod page;
@@ -63,6 +64,7 @@ pub use bat::{Bat, HeadColumn, TailData};
 pub use catalog::StoreCatalog;
 pub use checkpoint::{CheckpointStore, CheckpointWriter, Manifest, ManifestEntry};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultInjector, FaultKind, RetryPolicy};
 pub use page::{IoStats, MemDisk, PageBuf, PageId, PageStore, DEFAULT_PAGE_SIZE};
 pub use paged::PagedColumn;
 pub use pool::{BufferPool, PoolStats};

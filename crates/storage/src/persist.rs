@@ -22,11 +22,9 @@
 
 use crate::bat::Bat;
 use crate::catalog::StoreCatalog;
-use crate::checkpoint::write_atomic;
 use crate::error::{StorageError, StorageResult};
+use crate::fault::write_atomic;
 use serde::{Deserialize, Serialize};
-use std::fs::File;
-use std::io::BufReader;
 use std::path::Path;
 
 /// On-disk snapshot format.
@@ -65,9 +63,9 @@ pub fn save_catalog(catalog: &StoreCatalog, path: impl AsRef<Path>) -> StorageRe
 /// invariants) as [`StorageError::PersistFormat`] — a malformed BAT is
 /// rejected here rather than registered.
 pub fn load_catalog(path: impl AsRef<Path>) -> StorageResult<StoreCatalog> {
-    let file = File::open(path).map_err(|e| StorageError::PersistIo(e.to_string()))?;
-    let snap: Snapshot = serde_json::from_reader(BufReader::new(file))
-        .map_err(|e| StorageError::PersistFormat(e.to_string()))?;
+    let doc = crate::fault::read_to_string("snapshot", path.as_ref())?;
+    let snap: Snapshot =
+        serde_json::from_str(&doc).map_err(|e| StorageError::PersistFormat(e.to_string()))?;
     if snap.version != SNAPSHOT_VERSION {
         return Err(StorageError::PersistFormat(format!(
             "unsupported snapshot version {}",
@@ -172,7 +170,7 @@ mod tests {
         save_catalog(&cat, &path).unwrap();
         // Simulate a crash mid-save: a partial temp file next to the
         // target (exactly what an interrupted `write_atomic` leaves).
-        let tmp_path = crate::checkpoint::sibling_tmp_path(&path);
+        let tmp_path = crate::fault::sibling_tmp_path(&path);
         std::fs::write(&tmp_path, b"{\"version\":1,\"bats\":[{\"nam").unwrap();
         let back = load_catalog(&path).unwrap();
         assert_eq!(back.get("r_a").unwrap().ints().unwrap(), &[1, 2, 3]);

@@ -26,11 +26,25 @@
 //! take — repairing one is announced on stderr and surfaced to callers
 //! via [`RedoLog::replay_and_repair_reporting`], never discarded
 //! silently.
+//!
+//! **Faults and poison.** Every file operation flows through the
+//! [`crate::fault`] facade, so tests can arm deterministic EIO /
+//! ENOSPC / short-write / failed-fsync at the log's named boundaries.
+//! A failed *write* is retried under the log's [`RetryPolicy`] after
+//! rolling the file back to the last acknowledged length (so a torn
+//! half-record never ends up with a fresh record concatenated onto it).
+//! A failed group-commit **fsync** is never retried: the kernel may
+//! have dropped the dirty pages, so the log **poisons** itself — the
+//! un-acknowledged tail is rolled back best-effort, and every later
+//! append fails with [`StorageError::WalPoisoned`] until the log
+//! [`rotate`](RedoLog::rotate)s to a fresh epoch file (which a
+//! checkpoint commit does). Anything else would let appends *after* a
+//! failed fsync claim durability the device never promised.
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{self, FaultInjector, RetryPolicy};
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::fs::File;
 use std::path::{Path, PathBuf};
 
 /// One redo record: a staged update against a named cracked column.
@@ -89,6 +103,16 @@ pub struct RedoLog {
     appended: u64,
     /// Crash-injection countdown over appends (test hook).
     crash_after: Option<u32>,
+    /// Bytes acknowledged to callers (append returned `Ok`): the rollback
+    /// point when a write or group-commit fsync fails mid-record.
+    acked_len: u64,
+    /// Set when a group-commit fsync failed: the reason, kept until
+    /// [`rotate`](Self::rotate).
+    poisoned: Option<String>,
+    /// Deterministic I/O fault injection at the log's named boundaries.
+    injector: FaultInjector,
+    /// Retry policy for transient write faults (never fsync).
+    retry: RetryPolicy,
 }
 
 impl RedoLog {
@@ -96,11 +120,12 @@ impl RedoLog {
     /// to continue the log the current manifest names.
     pub fn open_append(path: impl Into<PathBuf>) -> StorageResult<Self> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        let mut injector = FaultInjector::new();
+        let file = injector.open_append(fault::WAL_OPEN, &path)?;
+        let acked_len = file
+            .metadata()
+            .map_err(|e| StorageError::PersistIo(e.to_string()))?
+            .len();
         Ok(RedoLog {
             path,
             file,
@@ -108,6 +133,10 @@ impl RedoLog {
             unsynced: 0,
             appended: 0,
             crash_after: None,
+            acked_len,
+            poisoned: None,
+            injector,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -137,9 +166,40 @@ impl RedoLog {
         self.crash_after = Some(n);
     }
 
+    /// The fault injector every file operation of this log flows
+    /// through — arm error points here (see [`crate::fault`]).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Total faults injected into this log so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.injected()
+    }
+
+    /// Replace the retry policy for transient append-write faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The poison reason, when a failed group-commit fsync has poisoned
+    /// the log (cleared only by [`rotate`](Self::rotate)).
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
     /// Append one record, fsyncing per the group-commit interval.
+    ///
+    /// A transient write fault is retried under the log's
+    /// [`RetryPolicy`], rolling the file back to the last acknowledged
+    /// length first so a retried record never concatenates onto its own
+    /// torn half. A failed group-commit fsync is **not** retried: the
+    /// un-acknowledged tail is rolled back best-effort and the log is
+    /// poisoned until rotation (see the module doc).
     pub fn append(&mut self, rec: &WalRecord) -> StorageResult<()> {
-        let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
+        if let Some(reason) = &self.poisoned {
+            return Err(StorageError::WalPoisoned(reason.clone()));
+        }
         let mut line =
             serde_json::to_string(rec).map_err(|e| StorageError::Persist(e.to_string()))?;
         line.push('\n');
@@ -148,29 +208,94 @@ impl RedoLog {
                 // Die mid-write: half the record reaches the file, no
                 // newline, no fsync of the rest.
                 let half = &line.as_bytes()[..line.len() / 2];
-                let _ = self.file.write_all(half);
-                let _ = self.file.sync_all();
+                let _ = self
+                    .injector
+                    .write_all(fault::WAL_APPEND_WRITE, &mut self.file, half);
+                let _ = self.injector.sync_file(fault::WAL_APPEND_FSYNC, &self.file);
                 return Err(StorageError::Persist(
                     "injected crash during log append".to_string(),
                 ));
             }
             *n -= 1;
         }
-        self.file.write_all(line.as_bytes()).map_err(io)?;
-        self.appended += 1;
+        // Each write attempt first rolls the file back to the acked
+        // prefix — a short write on attempt N must not leak a torn
+        // half-record under attempt N+1's bytes.
+        let RedoLog {
+            file,
+            injector,
+            retry,
+            acked_len,
+            ..
+        } = self;
+        retry.run(fault::WAL_APPEND_WRITE, || {
+            injector.set_len(fault::WAL_APPEND_WRITE, file, *acked_len)?;
+            injector.write_all(fault::WAL_APPEND_WRITE, file, line.as_bytes())
+        })?;
         self.unsynced += 1;
         if self.unsynced >= self.group_commit {
-            self.sync()?;
+            if let Err(e) = self.injector.sync_file(fault::WAL_APPEND_FSYNC, &self.file) {
+                // fsyncgate: durability of everything since the last
+                // successful sync is unknown. Roll back the record we
+                // have not acknowledged, refuse the append, and poison
+                // the log so no later append can claim durability.
+                // lint: allow(durability-io) — the rollback itself must not be injectable
+                let _ = self.file.set_len(self.acked_len);
+                self.poisoned = Some(e.to_string());
+                return Err(e);
+            }
+            self.unsynced = 0;
         }
+        self.acked_len += line.len() as u64;
+        self.appended += 1;
         Ok(())
     }
 
-    /// Force everything appended so far to durable storage.
+    /// Force everything appended so far to durable storage. Failure
+    /// poisons the log (no rollback: the unsynced records were already
+    /// acknowledged under the group-commit contract, so their loss is a
+    /// crash-shaped event for recovery, not something to silently undo).
     pub fn sync(&mut self) -> StorageResult<()> {
-        self.file
-            .sync_all()
-            .map_err(|e| StorageError::PersistIo(e.to_string()))?;
+        if let Some(reason) = &self.poisoned {
+            return Err(StorageError::WalPoisoned(reason.clone()));
+        }
+        if let Err(e) = self.injector.sync_file(fault::WAL_APPEND_FSYNC, &self.file) {
+            self.poisoned = Some(e.to_string());
+            return Err(e);
+        }
         self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Poison the log explicitly: every later append fails typed
+    /// ([`StorageError::WalPoisoned`]) until [`rotate`](Self::rotate)
+    /// succeeds. For callers that discover the open handle no longer
+    /// matches the authoritative manifest (e.g. a checkpoint committed
+    /// but the new epoch's log failed to open) — appending to a stale
+    /// path would silently lose the records at recovery.
+    pub fn poison(&mut self, reason: &str) {
+        self.poisoned = Some(reason.to_owned());
+    }
+
+    /// Rotate to a fresh epoch file at `new_path`: open it for append,
+    /// reset the acknowledged length, and clear any poison. This is the
+    /// only way a poisoned log becomes usable again — the checkpoint
+    /// commit that rotates the log has folded the overlay into durable
+    /// payloads, so the poisoned epoch's unknown tail no longer matters.
+    pub fn rotate(&mut self, new_path: impl Into<PathBuf>) -> StorageResult<()> {
+        let path = new_path.into();
+        let file = self.injector.open_append(fault::WAL_OPEN, &path)?;
+        let acked_len = file
+            .metadata()
+            .map_err(|e| StorageError::PersistIo(e.to_string()))?
+            .len();
+        self.path = path;
+        self.file = file;
+        self.unsynced = 0;
+        self.appended = 0;
+        self.crash_after = None;
+        self.acked_len = acked_len;
+        self.poisoned = None;
         Ok(())
     }
 
@@ -219,10 +344,7 @@ impl RedoLog {
                     t.bytes, t.detail
                 );
             }
-            let io = |e: std::io::Error| StorageError::PersistIo(e.to_string());
-            let file = OpenOptions::new().write(true).open(path).map_err(io)?;
-            file.set_len(durable_len as u64).map_err(io)?;
-            file.sync_all().map_err(io)?;
+            fault::truncate_file(path, durable_len as u64)?;
         }
         Ok((out, tail))
     }
@@ -230,11 +352,7 @@ impl RedoLog {
 
 /// Read a log file, mapping absence to `None` (an empty log).
 fn read_log(path: &Path) -> StorageResult<Option<String>> {
-    match std::fs::read_to_string(path) {
-        Ok(doc) => Ok(Some(doc)),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-        Err(e) => Err(StorageError::PersistIo(e.to_string())),
-    }
+    fault::read_to_string_opt(path)
 }
 
 /// Parse the durable prefix of a log document: the records, the byte
@@ -300,6 +418,7 @@ fn scan(doc: &str) -> StorageResult<(Vec<WalRecord>, usize, Option<TornTail>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -478,6 +597,104 @@ mod tests {
             RedoLog::replay(&path).unwrap_err(),
             StorageError::PersistFormat(_)
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failed_group_commit_fsync_poisons_until_rotation() {
+        // The satellite regression: append → injected fsync failure →
+        // every later append must fail typed until `rotate`, and the
+        // un-acknowledged record must not survive in the file.
+        let path = tmp("poison");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.append(&rec_i(1, 10)).unwrap();
+        log.injector_mut()
+            .arm(fault::WAL_APPEND_FSYNC, 0, FaultKind::FsyncFail, 1);
+        let err = log.append(&rec_i(2, 20)).unwrap_err();
+        assert!(err.is_transient(), "the fsync fault itself is I/O-shaped");
+        assert!(log.poisoned().is_some(), "log must be poisoned");
+        // Later appends are refused with the typed poison error even
+        // though nothing is armed any more.
+        let err = log.append(&rec_i(3, 30)).unwrap_err();
+        assert!(
+            matches!(err, StorageError::WalPoisoned(_)),
+            "got {err} instead of WalPoisoned"
+        );
+        assert!(matches!(
+            log.sync().unwrap_err(),
+            StorageError::WalPoisoned(_)
+        ));
+        // Only the acknowledged record is in the file.
+        assert_eq!(RedoLog::replay(&path).unwrap(), vec![rec_i(1, 10)]);
+        // Rotation to a fresh epoch file clears the poison.
+        let path2 = tmp("poison-rotated");
+        log.rotate(&path2).unwrap();
+        assert!(log.poisoned().is_none());
+        log.append(&rec_i(4, 40)).unwrap();
+        drop(log);
+        assert_eq!(RedoLog::replay(&path2).unwrap(), vec![rec_i(4, 40)]);
+        assert_eq!(
+            RedoLog::replay(&path).unwrap(),
+            vec![rec_i(1, 10)],
+            "the poisoned epoch keeps only its acknowledged prefix"
+        );
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(path2).ok();
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_to_success() {
+        let path = tmp("retry");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.set_retry_policy(RetryPolicy::new(3, std::time::Duration::ZERO));
+        log.append(&rec_i(1, 10)).unwrap();
+        // Two consecutive short writes, then the device recovers: the
+        // append must succeed and the torn halves must not leak into the
+        // record stream.
+        log.injector_mut()
+            .arm(fault::WAL_APPEND_WRITE, 0, FaultKind::ShortWrite, 2);
+        log.append(&rec_i(2, 20)).unwrap();
+        assert_eq!(log.faults_injected(), 2);
+        drop(log);
+        assert_eq!(
+            RedoLog::replay(&path).unwrap(),
+            vec![rec_i(1, 10), rec_i(2, 20)],
+            "retried append must leave a clean record stream"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_typed_error_and_keep_the_log_clean() {
+        let path = tmp("exhaust");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.set_retry_policy(RetryPolicy::new(1, std::time::Duration::ZERO));
+        log.append(&rec_i(1, 10)).unwrap();
+        log.injector_mut()
+            .arm(fault::WAL_APPEND_WRITE, 0, FaultKind::ShortWrite, 5);
+        let err = log.append(&rec_i(2, 20)).unwrap_err();
+        assert!(err.is_transient());
+        assert!(log.poisoned().is_none(), "write faults do not poison");
+        log.injector_mut().disarm_all();
+        // The failed record's torn half was rolled back on the retry
+        // path, so the next append continues a clean stream.
+        log.append(&rec_i(3, 30)).unwrap();
+        drop(log);
+        let got = RedoLog::replay_and_repair(&path).unwrap();
+        assert_eq!(got, vec![rec_i(1, 10), rec_i(3, 30)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hard_enospc_propagates_without_retry() {
+        let path = tmp("enospc");
+        let mut log = RedoLog::open_append(&path).unwrap();
+        log.set_retry_policy(RetryPolicy::new(5, std::time::Duration::ZERO));
+        log.injector_mut()
+            .arm(fault::WAL_APPEND_WRITE, 0, FaultKind::Enospc, 1);
+        let err = log.append(&rec_i(1, 1)).unwrap_err();
+        assert!(matches!(err, StorageError::DiskFull(_)));
+        assert_eq!(log.faults_injected(), 1, "hard faults are not retried");
         std::fs::remove_file(path).ok();
     }
 

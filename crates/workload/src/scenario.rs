@@ -47,6 +47,8 @@ const ENDPOINT_SALT: u64 = 0x5CEA_0001_D00D_BEEF;
 const JITTER_SALT: u64 = 0x5CEA_0002_CAFE_F00D;
 /// Salt separating the update stream (values, victims) from the data seed.
 const UPDATE_SALT: u64 = 0x5CEA_0003_FEED_5EED;
+/// Salt separating a chaos schedule's action stream from its seed.
+const CHAOS_SALT: u64 = 0x5CEA_0004_BAD5_EED5;
 
 /// One step of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -680,9 +682,125 @@ impl ScenarioRunner {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos schedules
+// ---------------------------------------------------------------------------
+
+/// One disturbance a chaos harness injects between scenario steps.
+///
+/// The schedule is storage-agnostic on purpose — this crate knows nothing
+/// about checkpoint stores, redo logs, or admission gates. Fault points
+/// and kinds are therefore raw indices; the interpreting runner (the
+/// engine crate's chaos replay) maps them onto its own injection-point
+/// and fault-kind tables by modulo, so every drawn value is meaningful
+/// regardless of how many points the runner exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Arm a deterministic I/O fault: `point`/`kind` index the runner's
+    /// injection-point and fault-kind tables (modulo their lengths),
+    /// `fires` bounds how many times the fault triggers before healing.
+    ArmFault {
+        /// Raw injection-point index (runner maps modulo its table).
+        point: u32,
+        /// Raw fault-kind index (runner maps modulo its table).
+        kind: u32,
+        /// How many times the armed fault fires before healing.
+        fires: u32,
+    },
+    /// Run the next query pre-cancelled: it must fail typed and change
+    /// no later observable answer.
+    CancelNext,
+    /// Run the next query with an already-expired deadline.
+    DeadlineNext,
+    /// Saturate admission so the next query is shed at the gate.
+    ShedNext,
+    /// Arm a panic on the next crack: the query fails loudly, the column
+    /// heals (degrades to cold), answers stay exact.
+    PanicNext,
+    /// Take a checkpoint (rotates the redo log, clearing any poison).
+    Checkpoint,
+    /// Simulate a process restart: recover from the durability directory
+    /// and continue the replay warm.
+    Restart,
+}
+
+/// A seeded list of `(step, action)` pairs, sorted by step: before
+/// replaying scenario step `i`, the harness performs every action
+/// scheduled at `i`. Two schedules built with the same `(steps, seed,
+/// intensity)` are identical — chaos runs replay bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    actions: Vec<(usize, ChaosAction)>,
+}
+
+impl ChaosSchedule {
+    /// Draw a schedule over `steps` scenario steps: each step receives an
+    /// action with probability `intensity` (clamped to `[0, 1]`), the
+    /// action mix weighted toward I/O faults — the failure class with the
+    /// most distinct points to cover.
+    pub fn seeded(steps: usize, seed: u64, intensity: f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ CHAOS_SALT);
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut actions = Vec::new();
+        for step in 0..steps {
+            if !rng.gen_bool(intensity) {
+                continue;
+            }
+            let action = match rng.gen_range(0..100u32) {
+                0..=39 => ChaosAction::ArmFault {
+                    point: rng.gen::<u32>(),
+                    kind: rng.gen::<u32>(),
+                    fires: rng.gen_range(1..4u32),
+                },
+                40..=51 => ChaosAction::CancelNext,
+                52..=61 => ChaosAction::DeadlineNext,
+                62..=71 => ChaosAction::ShedNext,
+                72..=79 => ChaosAction::PanicNext,
+                80..=89 => ChaosAction::Checkpoint,
+                _ => ChaosAction::Restart,
+            };
+            actions.push((step, action));
+        }
+        ChaosSchedule { actions }
+    }
+
+    /// Build a schedule from explicit `(step, action)` pairs — for tests
+    /// that want a hand-crafted disturbance pattern rather than a seeded
+    /// draw.
+    pub fn from_actions(actions: Vec<(usize, ChaosAction)>) -> Self {
+        ChaosSchedule { actions }
+    }
+
+    /// The scheduled `(step, action)` pairs, ascending by step.
+    pub fn actions(&self) -> &[(usize, ChaosAction)] {
+        &self.actions
+    }
+
+    /// Actions scheduled before step `step`, in schedule order.
+    pub fn at(&self, step: usize) -> impl Iterator<Item = ChaosAction> + '_ {
+        self.actions
+            .iter()
+            .filter(move |(s, _)| *s == step)
+            .map(|&(_, a)| a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaos_schedules_are_deterministic_and_scale_with_intensity() {
+        let a = ChaosSchedule::seeded(500, 42, 0.3);
+        let b = ChaosSchedule::seeded(500, 42, 0.3);
+        assert_eq!(a, b, "same parameters, same schedule");
+        assert!(!a.actions().is_empty(), "intensity 0.3 over 500 steps");
+        assert!(ChaosSchedule::seeded(500, 42, 0.0).actions().is_empty());
+        assert_eq!(ChaosSchedule::seeded(200, 7, 1.0).actions().len(), 200);
+        let (step, action) = a.actions()[0];
+        assert!(a.at(step).any(|x| x == action), "at() surfaces its step");
+        assert_eq!(a.at(usize::MAX).count(), 0);
+    }
 
     fn collect_ops<S: Scenario>(mut s: S) -> (Vec<i64>, Vec<Op>) {
         let base = s.base().to_vec();

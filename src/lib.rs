@@ -60,16 +60,16 @@ pub mod prelude {
     };
     pub use cracker_core::{CrackPolicy, PolicyCracker, StochasticCracker, StochasticPolicy};
     pub use engine::{
-        CrackEngine, DbCatalog, DbScenarioRunner, EngineProfile, OutputMode, QueryEngine,
-        RangeQuery, RunStats, ScanEngine, SortEngine, StochasticEngine, Table,
+        ChaosReport, CrackEngine, DbCatalog, DbScenarioRunner, EngineProfile, OutputMode,
+        QueryEngine, RangeQuery, RunStats, ScanEngine, SortEngine, StochasticEngine, Table,
     };
     pub use sim::{fig2_series, fig3_series, GranuleSim};
     pub use sql::{QueryOutput, SqlSession};
     pub use storage::{Atom, AtomType, Bat, BatView, StoreCatalog};
     pub use workload::homerun::homerun_sequence;
     pub use workload::scenario::{
-        Op, RunReport, Scenario, ScenarioExecutor, ScenarioRunner, Shift, ShiftingHotSet,
-        SortedOracle, UpdateHeavy, ZipfQueries,
+        ChaosAction, ChaosSchedule, Op, RunReport, Scenario, ScenarioExecutor, ScenarioRunner,
+        Shift, ShiftingHotSet, SortedOracle, UpdateHeavy, ZipfQueries,
     };
     pub use workload::strolling::strolling_sequence;
     pub use workload::{Contraction, Mqs, Profile, Tapestry, Window};
