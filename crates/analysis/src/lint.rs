@@ -28,6 +28,14 @@
 //!   of the facade helpers) so chaos tests can arm it. Crash-simulation
 //!   sites that *deliberately* bypass injection carry a
 //!   `lint: allow(durability-io) — reason` waiver.
+//! * **`per-tuple-alloc`** — inside the operator pipeline
+//!   (`engine::exec`), no per-tuple allocation in hot loops: a
+//!   `.clone()` / `vec![…]` / `Vec::new()` inside a `for`/`while`/`loop`
+//!   body is exactly the per-row cost the block-at-a-time rework
+//!   removed, and this rule keeps it from creeping back. Tuple-path
+//!   reference code (whose per-row rows are its contract) and
+//!   deliberate bridges carry a `lint: allow(per-tuple-alloc) — reason`
+//!   waiver.
 //!
 //! The "parser" is a small lexer that blanks comments, strings, and char
 //! literals (so `"unsafe"` in a string does not count) and records
@@ -95,6 +103,19 @@ const RAW_IO_TOKENS: &[&str] = &[
     ".set_len(",
     ".write_all(",
     ".read_to_string(",
+];
+
+/// Allocation tokens the `per-tuple-alloc` rule hunts for inside loop
+/// bodies of `engine::exec` files. Lexer-level: `.cloned()` covers the
+/// iterator adaptor, `.clone()` the direct call; `unwrap_or`-style
+/// names never match because the token list requires the exact call.
+const PER_TUPLE_ALLOC_TOKENS: &[&str] = &[
+    ".clone()",
+    ".cloned()",
+    ".to_vec()",
+    "vec![",
+    "Vec::new(",
+    "Vec::with_capacity(",
 ];
 
 /// Source text after lexing: code with comments/strings blanked, plus
@@ -314,6 +335,65 @@ fn test_lines(code: &str) -> Vec<bool> {
     is_test
 }
 
+/// Mark every line inside a `for`/`while`/`loop` body by matching the
+/// braces of the block that follows the keyword in the blanked source.
+/// `impl Trait for Type { … }` also contains the word `for`; a real
+/// loop header is distinguished by the word `in` before its brace.
+fn loop_lines(code: &str) -> Vec<bool> {
+    let line_count = code.lines().count() + 1;
+    let mut in_loop = vec![false; line_count + 1];
+    let bytes = code.as_bytes();
+    let line_of = |pos: usize| 1 + code[..pos].bytes().filter(|b| *b == b'\n').count();
+    for kw in ["for", "while", "loop"] {
+        let mut from = 0;
+        while let Some(found) = code[from..].find(kw) {
+            let pos = from + found;
+            from = pos + kw.len();
+            if !word_at(code, pos, kw) {
+                continue;
+            }
+            // Scan the header to its opening brace; hitting `;` or `}`
+            // first means this was not a loop header (e.g. `for<'a>`
+            // bounds in a where-clause ending the item).
+            let mut j = pos + kw.len();
+            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' && bytes[j] != b'}' {
+                j += 1;
+            }
+            if j >= bytes.len() || bytes[j] != b'{' {
+                continue;
+            }
+            if kw == "for" {
+                let header = &code[pos..j];
+                let is_loop = header
+                    .match_indices("in")
+                    .any(|(k, _)| word_at(header, k, "in"));
+                if !is_loop {
+                    continue;
+                }
+            }
+            let mut depth = 0usize;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let (a, b) = (line_of(pos), line_of(j.min(bytes.len().saturating_sub(1))));
+            for flag in in_loop.iter_mut().take(b.min(line_count) + 1).skip(a) {
+                *flag = true;
+            }
+        }
+    }
+    in_loop
+}
+
 /// True when `code[pos..]` starts with `word` as a whole identifier.
 fn word_at(code: &str, pos: usize, word: &str) -> bool {
     if !code[pos..].starts_with(word) {
@@ -381,6 +461,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     let is_bin = rel_str.contains("/src/bin/") || rel_str.ends_with("/main.rs");
     let raw_sync_exempt = RAW_SYNC_ALLOWED.iter().any(|p| rel_str.ends_with(p));
     let durability_scoped = DURABILITY_SCOPED.iter().any(|p| rel_str.ends_with(p));
+    let exec_scoped = rel_str.contains("crates/engine/src/exec/");
     let mut findings = Vec::new();
     let mut push = |line: usize, rule: &'static str, message: String| {
         findings.push(Finding {
@@ -421,6 +502,11 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
 
     // ---- line-scoped rules.
     let code_lines: Vec<&str> = lexed.code.lines().collect();
+    let in_loop = if exec_scoped {
+        loop_lines(&lexed.code)
+    } else {
+        Vec::new()
+    };
     for (idx, &line_code) in code_lines.iter().enumerate() {
         let line = idx + 1;
         let test = in_test.get(line).copied().unwrap_or(false);
@@ -485,6 +571,22 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
                         .into(),
                 );
             }
+        }
+
+        if exec_scoped
+            && !test
+            && in_loop.get(line).copied().unwrap_or(false)
+            && PER_TUPLE_ALLOC_TOKENS.iter().any(|t| line_code.contains(t))
+            && !comment_near(&lexed, line, 1, "lint: allow(per-tuple-alloc)")
+        {
+            push(
+                line,
+                "per-tuple-alloc",
+                "per-tuple allocation inside an `engine::exec` hot loop; move it out of \
+                 the loop, reuse a scratch buffer, or waive with \
+                 `// lint: allow(per-tuple-alloc) — why`"
+                    .into(),
+            );
         }
 
         if !test
@@ -685,6 +787,48 @@ mod tests {
         // Test code inside a scoped file is exempt too.
         let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { fs::write(p, b).ok(); }\n}\n";
         assert!(lint_source(Path::new("crates/storage/src/wal.rs"), test_only).is_empty());
+    }
+
+    #[test]
+    fn per_tuple_alloc_flagged_in_exec_loops_and_waivable() {
+        let src =
+            "fn f(rows: &[Row]) {\n    for r in rows {\n        let x = r.clone();\n    }\n}\n";
+        let scoped = lint_source(Path::new("crates/engine/src/exec/ops.rs"), src);
+        assert_eq!(
+            scoped.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec!["per-tuple-alloc"]
+        );
+        // A waiver on the line above clears it.
+        let waived = "fn f(rows: &[Row]) {\n    for r in rows {\n        // lint: allow(per-tuple-alloc) — emitted rows are owned by contract\n        let x = r.clone();\n    }\n}\n";
+        assert!(lint_source(Path::new("crates/engine/src/exec/ops.rs"), waived).is_empty());
+        // `while` and bare `loop` bodies are hot loops too.
+        let while_loop = "fn f() {\n    while go() {\n        let v = Vec::new();\n    }\n    loop {\n        let v = vec![0u8; 4];\n        break;\n    }\n}\n";
+        let found = lint_source(Path::new("crates/engine/src/exec/vector.rs"), while_loop);
+        assert_eq!(found.len(), 2);
+        // Outside a loop (one-time setup) allocation is fine.
+        let setup = "fn f() {\n    let mut out = Vec::with_capacity(8);\n    out.push(1);\n}\n";
+        assert!(lint_source(Path::new("crates/engine/src/exec/ops.rs"), setup).is_empty());
+        // The rule is scoped: the same loop elsewhere passes.
+        assert!(lint(src).is_empty());
+        // Test code inside a scoped file is exempt.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    fn t() { for r in rows { r.clone(); } }\n}\n";
+        assert!(lint_source(Path::new("crates/engine/src/exec/ops.rs"), test_only).is_empty());
+    }
+
+    #[test]
+    fn impl_for_blocks_are_not_loops() {
+        // `impl Trait for Type` contains the word `for` but is no loop:
+        // allocations directly inside its methods must not be flagged.
+        let src = "impl Operator for ScanOp {\n    fn next(&mut self) -> Option<Row> {\n        let mut row = Vec::with_capacity(self.arity);\n        Some(row)\n    }\n}\n";
+        assert!(lint_source(Path::new("crates/engine/src/exec/ops.rs"), src).is_empty());
+        // But a real loop inside such a method is still covered.
+        let src = "impl Operator for ScanOp {\n    fn next(&mut self) -> Option<Row> {\n        for c in &self.cols {\n            let v = c.to_vec();\n        }\n        None\n    }\n}\n";
+        let found = lint_source(Path::new("crates/engine/src/exec/ops.rs"), src);
+        assert_eq!(
+            found.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec!["per-tuple-alloc"]
+        );
     }
 
     #[test]

@@ -280,6 +280,18 @@ impl<T: CrackValue> SharedCrackerColumn<T> {
         self.inner.write().insert(oid, value);
     }
 
+    /// Stage a batch of inserts under a single exclusive latch
+    /// acquisition — N staged rows cost one lock round-trip instead of N.
+    pub fn insert_batch(&self, rows: &[(u32, T)]) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.write();
+        for &(oid, value) in rows {
+            guard.insert(oid, value);
+        }
+    }
+
     /// Stage a delete (exclusive). Returns whether the OID was found.
     pub fn delete(&self, oid: u32) -> bool {
         self.inner.write().delete(oid)

@@ -527,10 +527,80 @@ impl<T: CrackValue> ShardedCrackerColumn<T> {
         ShardedSelection { parts }
     }
 
+    /// The inclusive `(first, last)` shard-index range `pred` can have
+    /// matches in, or `None` for an empty range — the morsel enumeration
+    /// entry point: a caller that wants to claim shards as independent
+    /// morsels asks for the touched range once, then answers each shard
+    /// with [`select_shard_oids_into`](Self::select_shard_oids_into).
+    pub fn touched_shards(&self, pred: &RangePred<T>) -> Option<(usize, usize)> {
+        if pred.is_empty_range() {
+            return None;
+        }
+        Some(self.touched(pred))
+    }
+
+    /// Answer `pred` on a single shard, appending its qualifying OIDs to
+    /// `out` — the morsel execution entry point. The predicate is clamped
+    /// to the shard exactly as [`select_oids`](Self::select_oids) would
+    /// (border shards see the original bounds, interior shards the
+    /// unbounded predicate), and the per-shard two-phase latch protocol is
+    /// followed: optimistic read latch, then write latch with a read-only
+    /// double-check. Shards outside the touched range contribute nothing.
+    /// Because each call latches exactly one shard and the latch is
+    /// released before the next claim, concurrent morsel workers never
+    /// hold two shard latches at once — the ascending-order deadlock rule
+    /// is satisfied vacuously.
+    pub fn select_shard_oids_into(&self, shard: usize, pred: RangePred<T>, out: &mut Vec<u32>) {
+        let Some((first, last)) = self.touched_shards(&pred) else {
+            return;
+        };
+        if shard < first || shard > last {
+            return;
+        }
+        let p = Self::shard_pred(&pred, shard, first, last);
+        {
+            let read = self.shards[shard].read();
+            if let Some(sel) = read.try_select_readonly(p) {
+                read.selection_oids_into(&sel, out);
+                return;
+            }
+        }
+        let mut write = self.shards[shard].write();
+        let sel = match write.try_select_readonly(p) {
+            Some(sel) => sel,
+            None => select_contained(&mut write, p),
+        };
+        write.selection_oids_into(&sel, out);
+    }
+
     /// Stage an insert, routed to the shard owning `value` (one exclusive
     /// shard latch).
     pub fn insert(&self, oid: u32, value: T) {
         self.shards[self.shard_of(value)].write().insert(oid, value);
+    }
+
+    /// Stage a batch of inserts under one exclusive latch acquisition per
+    /// *touched* shard (ascending index order, matching the global latch
+    /// rule): rows are bucketed by owning shard first, then each bucket is
+    /// applied in one critical section — N staged rows cost at most
+    /// `shard_count` latch round-trips instead of N.
+    pub fn insert_batch(&self, rows: &[(u32, T)]) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut buckets: Vec<Vec<(u32, T)>> = vec![Vec::new(); self.shards.len()];
+        for &(oid, value) in rows {
+            buckets[self.shard_of(value)].push((oid, value));
+        }
+        for (s, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut col = self.shards[s].write();
+            for &(oid, value) in bucket {
+                col.insert(oid, value);
+            }
+        }
     }
 
     /// Stage a delete. The value (hence shard) of `oid` is unknown, so
@@ -786,11 +856,33 @@ impl<T: CrackValue> ConcurrentColumn<T> {
         }
     }
 
+    /// Stage a batch of inserts under amortized latching: one write-latch
+    /// acquisition total (single-lock mode) or one per touched shard
+    /// (sharded mode, ascending index order).
+    pub fn insert_batch(&self, rows: &[(u32, T)]) {
+        match self {
+            ConcurrentColumn::Single(c) => c.insert_batch(rows),
+            ConcurrentColumn::Sharded(c) => c.insert_batch(rows),
+        }
+    }
+
     /// Stage a delete; returns whether the OID was found.
     pub fn delete(&self, oid: u32) -> bool {
         match self {
             ConcurrentColumn::Single(c) => c.delete(oid),
             ConcurrentColumn::Sharded(c) => c.delete(oid),
+        }
+    }
+
+    /// The sharded column behind this handle, when built in sharded mode
+    /// — the morsel scheduler needs the per-shard claim surface
+    /// ([`ShardedCrackerColumn::touched_shards`] /
+    /// [`ShardedCrackerColumn::select_shard_oids_into`]), which a
+    /// column-wide lock cannot offer.
+    pub fn as_sharded(&self) -> Option<&ShardedCrackerColumn<T>> {
+        match self {
+            ConcurrentColumn::Single(_) => None,
+            ConcurrentColumn::Sharded(c) => Some(c),
         }
     }
 

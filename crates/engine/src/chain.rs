@@ -23,6 +23,8 @@
 //!   exactly the three regimes the paper observed.
 
 use crate::error::{EngineError, EngineResult};
+use crate::exec::batch::BLOCK_OIDS;
+use crate::exec::ExecMode;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -99,6 +101,20 @@ pub fn run_chain(
     relations: &[BinaryRelation],
     strategy: ChainStrategy,
 ) -> EngineResult<ChainReport> {
+    run_chain_with(relations, strategy, ExecMode::from_env())
+}
+
+/// [`run_chain`] with an explicit pipeline choice. [`ExecMode::Vector`]
+/// evaluates each hash step through a CSR-shaped join index (dense key
+/// slots, one prefix-summed adjacency arena instead of a `Vec` per key)
+/// probed a block of frontier entries at a time; [`ExecMode::Tuple`] is
+/// the original per-entry walk. Both produce identical reports — the
+/// read/comparison accounting does not depend on the pipeline.
+pub fn run_chain_with(
+    relations: &[BinaryRelation],
+    strategy: ChainStrategy,
+    mode: ExecMode,
+) -> EngineResult<ChainReport> {
     let start = Instant::now();
     let steps = relations.len().saturating_sub(1);
     let mut report = ChainReport {
@@ -149,23 +165,31 @@ pub fn run_chain(
         .collect();
     report.tuples_read += first.len() as u64;
 
+    let mut scratch: Vec<(u32, i64)> = Vec::new();
     for rel in &relations[1..] {
         match effective {
             ChainStrategy::HashChain => {
-                let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
-                for (i, &av) in rel.a.iter().enumerate() {
-                    index.entry(av).or_default().push(i);
-                }
                 report.tuples_read += rel.len() as u64 + frontier.len() as u64;
-                let mut next = Vec::with_capacity(frontier.len());
-                for &(origin, v) in &frontier {
-                    if let Some(rows) = index.get(&v) {
-                        for &row in rows {
-                            next.push((origin, rel.b[row]));
+                match mode {
+                    ExecMode::Vector => {
+                        hash_step_vector(rel, &mut frontier, &mut scratch);
+                    }
+                    ExecMode::Tuple => {
+                        let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+                        for (i, &av) in rel.a.iter().enumerate() {
+                            index.entry(av).or_default().push(i);
                         }
+                        let mut next = Vec::with_capacity(frontier.len());
+                        for &(origin, v) in &frontier {
+                            if let Some(rows) = index.get(&v) {
+                                for &row in rows {
+                                    next.push((origin, rel.b[row]));
+                                }
+                            }
+                        }
+                        frontier = next;
                     }
                 }
-                frontier = next;
             }
             ChainStrategy::NestedLoop => {
                 report.tuples_read += rel.len() as u64 + frontier.len() as u64;
@@ -186,6 +210,63 @@ pub fn run_chain(
     report.rows = frontier.len();
     report.elapsed = start.elapsed();
     Ok(report)
+}
+
+/// One vectorized hash-chain step. The join index is CSR-shaped: keys
+/// get dense ids on a first pass (counting fan-out), a prefix sum turns
+/// the counts into offsets, and a second pass scatters row numbers into
+/// a single adjacency arena — no per-key `Vec` allocations. The frontier
+/// is then probed a [`BLOCK_OIDS`] chunk at a time into `scratch`, which
+/// is swapped with the frontier and reused (its capacity persists across
+/// steps).
+fn hash_step_vector(
+    rel: &BinaryRelation,
+    frontier: &mut Vec<(u32, i64)>,
+    scratch: &mut Vec<(u32, i64)>,
+) {
+    // Pass 1: dense ids + fan-out counts.
+    let mut slot: HashMap<i64, u32> = HashMap::with_capacity(rel.len());
+    let mut counts: Vec<u32> = Vec::new();
+    for &av in &rel.a {
+        match slot.get(&av) {
+            Some(&id) => counts[id as usize] += 1,
+            None => {
+                slot.insert(av, counts.len() as u32);
+                counts.push(1);
+            }
+        }
+    }
+    // Prefix sum: starts[id]..starts[id+1] is key id's adjacency span.
+    let mut starts: Vec<u32> = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    starts.push(0);
+    for &c in &counts {
+        acc += c;
+        starts.push(acc);
+    }
+    // Pass 2: scatter row numbers into the arena.
+    let mut fill: Vec<u32> = starts[..counts.len()].to_vec();
+    let mut adj: Vec<u32> = vec![0; rel.len()];
+    for (i, &av) in rel.a.iter().enumerate() {
+        let id = slot[&av] as usize;
+        adj[fill[id] as usize] = i as u32;
+        fill[id] += 1;
+    }
+    // Probe block-at-a-time into the reused scratch buffer.
+    scratch.clear();
+    scratch.reserve(frontier.len());
+    for chunk in frontier.chunks(BLOCK_OIDS) {
+        for &(origin, v) in chunk {
+            if let Some(&id) = slot.get(&v) {
+                let lo = starts[id as usize] as usize;
+                let hi = starts[id as usize + 1] as usize;
+                for &row in &adj[lo..hi] {
+                    scratch.push((origin, rel.b[row as usize]));
+                }
+            }
+        }
+    }
+    std::mem::swap(frontier, scratch);
 }
 
 /// Build `k` copies of a permutation relation (`a` = identity, `b` = the
@@ -303,6 +384,25 @@ mod tests {
         let r = run_chain(&rels, ChainStrategy::HashChain).unwrap();
         assert_eq!(r.rows, 10);
         assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn vector_and_tuple_hash_chains_agree() {
+        // Permutations, fan-out, and dead-end keys: the CSR leg must
+        // reproduce the tuple leg's rows and read counts exactly.
+        let rels = permutation_chain(&perm(64), 6);
+        let v = run_chain_with(&rels, ChainStrategy::HashChain, ExecMode::Vector).unwrap();
+        let t = run_chain_with(&rels, ChainStrategy::HashChain, ExecMode::Tuple).unwrap();
+        assert_eq!((v.rows, v.tuples_read), (t.rows, t.tuples_read));
+
+        let r1 = BinaryRelation::new(vec![0, 0, 5], vec![1, 2, 99]);
+        let r2 = BinaryRelation::new(vec![1, 2, 2, 3], vec![7, 8, 9, 10]);
+        let r3 = BinaryRelation::new(vec![8, 9], vec![0, 0]);
+        let rels = vec![r1, r2, r3];
+        let v = run_chain_with(&rels, ChainStrategy::HashChain, ExecMode::Vector).unwrap();
+        let t = run_chain_with(&rels, ChainStrategy::HashChain, ExecMode::Tuple).unwrap();
+        assert_eq!((v.rows, v.tuples_read), (t.rows, t.tuples_read));
+        assert_eq!(v.rows, 2, "paths 0->2->8->0 and 0->2->9->0");
     }
 
     #[test]

@@ -633,6 +633,157 @@ impl AdaptiveDb {
         Ok(found)
     }
 
+    /// Stage a batch of row insertions into one column, amortizing the
+    /// per-update overheads of [`stage_insert`](Self::stage_insert):
+    /// with durability attached the whole batch becomes **one** redo-log
+    /// group append (one buffered write, one group-commit decision), and
+    /// the shared latched copy absorbs it through
+    /// `ConcurrentColumn::insert_batch` — one lock acquisition
+    /// (single-lock mode) or one write latch per touched shard (sharded
+    /// mode) instead of one per row.
+    ///
+    /// The write-ahead contract is preserved batch-wide: the target
+    /// column is resolved *before* anything is logged (a rejected batch
+    /// must error without poisoning the log), and the group append is
+    /// all-or-nothing — a failed append stages **nothing**, so the
+    /// in-memory state never runs ahead of what recovery can reproduce.
+    pub fn stage_insert_batch(
+        &mut self,
+        table: &str,
+        column: &str,
+        rows: &[(u32, i64)],
+    ) -> EngineResult<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.cracker(table, column)?;
+        if let Some(dur) = self.durability.as_mut() {
+            let recs: Vec<WalRecord> = rows
+                .iter()
+                .map(|&(oid, value)| WalRecord::Insert {
+                    table: table.to_owned(),
+                    column: column.to_owned(),
+                    oid,
+                    value,
+                })
+                .collect();
+            dur.log.append_batch(&recs)?;
+        }
+        let col = self.cracker(table, column)?;
+        for &(oid, value) in rows {
+            col.insert(oid, value);
+        }
+        let key = (table.to_owned(), column.to_owned());
+        if let Some(shared) = self.shared.get(&key) {
+            shared.insert_batch(rows);
+        }
+        Ok(())
+    }
+
+    /// Append whole rows to a base table: the catalog gains a grown
+    /// incarnation of the table (new rows take the next dense OIDs), and
+    /// every *already-cracked* copy of each column — single-threaded and
+    /// shared — absorbs its slice of the new rows through the staged
+    /// overlay via [`stage_insert_batch`](Self::stage_insert_batch), so
+    /// cracked state survives the append instead of being rebuilt.
+    /// Returns the OID of the first appended row.
+    ///
+    /// Rows are validated against the schema (arity, all-int) before
+    /// anything is staged or logged. Sideways cracker maps over the table
+    /// are invalidated — they snapshot two columns at once and cannot
+    /// absorb a one-column overlay; the next `select_project` rebuilds
+    /// them over the grown base.
+    pub fn append_rows(&mut self, table: &str, rows: &[Vec<i64>]) -> EngineResult<u32> {
+        let t = self.catalog.table(table)?;
+        let names: Vec<String> = t.schema().names().iter().map(|s| s.to_string()).collect();
+        let start = t.len() as u32;
+        if rows.iter().any(|r| r.len() != names.len()) {
+            return Err(EngineError::RaggedColumns(table.to_owned()));
+        }
+        if rows.is_empty() {
+            return Ok(start);
+        }
+        // Build the grown incarnation first (also proves every column is
+        // an int column before anything is staged or logged).
+        let mut cols: Vec<(&str, Vec<i64>)> = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            let mut vals = t.ints(name)?.to_vec();
+            vals.extend(rows.iter().map(|r| r[i]));
+            cols.push((name.as_str(), vals));
+        }
+        let grown = Table::from_int_columns(table, cols)?;
+        // Stage each column's slice into its cracked copies *before*
+        // swapping the catalog: cracked copies snapshot the base at
+        // first touch, so they must absorb the new rows as overlay
+        // entries (the grown base is what *future* first touches see).
+        // Only columns with live cracked state (or a WAL to feed) need
+        // staging.
+        for (i, name) in names.iter().enumerate() {
+            let key = (table.to_owned(), name.clone());
+            if self.crackers.contains_key(&key)
+                || self.shared.contains_key(&key)
+                || self.durability.is_some()
+            {
+                let batch: Vec<(u32, i64)> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(j, r)| (start + j as u32, r[i]))
+                    .collect();
+                self.stage_insert_batch(table, name, &batch)?;
+            }
+        }
+        self.catalog.replace(grown);
+        // Sideways maps snapshot (head, tail) pairs; invalidate rather
+        // than serve answers missing the appended rows.
+        self.maps.retain(|(t, _, _), _| t != table);
+        Ok(start)
+    }
+
+    /// Morsel-parallel OID selection over the shared cracked copy of a
+    /// column — the engine face of [`crate::exec::morsel`]. On a sharded
+    /// column the predicate's touched shards are claimed by up to
+    /// `workers` threads (extra workers ride non-blocking admission
+    /// permits when a gate is installed); on a single-lock column the
+    /// query runs sequentially under the governor's guard — one big latch
+    /// has no morsels to hand out. Either way the governor is polled at
+    /// safe boundaries and a tripped guard surfaces its typed error with
+    /// no partial answer.
+    pub fn select_morsel(
+        &mut self,
+        table: &str,
+        attr: &str,
+        pred: RangePred<i64>,
+        workers: usize,
+        governor: &Governor,
+        session: u64,
+    ) -> EngineResult<Vec<u32>> {
+        governor.check()?;
+        let gate = self.admission.clone();
+        self.shared_cracker(table, attr)?;
+        let key = (table.to_owned(), attr.to_owned());
+        // lint: allow(unwrap) — shared_cracker above created the entry
+        let col = self.shared.get(&key).expect("created above");
+        match col.as_sharded() {
+            Some(sharded) => crate::exec::morsel::morsel_select_oids(
+                sharded,
+                pred,
+                workers,
+                gate.as_deref().map(|g| (g, session)),
+                governor,
+            ),
+            None => {
+                let guard = governor.as_guard();
+                let mut outs = vec![Vec::new()];
+                let done = col.select_oids_batch_guarded(&[pred], &mut outs, &guard);
+                if done < 1 {
+                    governor.check()?;
+                    unreachable!("the guard failed but the governor reports no violation");
+                }
+                Ok(outs.pop().unwrap_or_default())
+            }
+        }
+    }
+
     /// Attach a durability directory: take an initial checkpoint of the
     /// current state into `dir` and start redo-logging staged updates with
     /// the given group-commit interval (`1` = every update fsync'd before
@@ -1361,6 +1512,107 @@ mod tests {
         }
         // The shed query cracked nothing.
         assert_eq!(db.cracked_columns(), 0);
+    }
+
+    #[test]
+    fn batch_staging_matches_per_row_staging() {
+        let mut db = AdaptiveDb::new().with_concurrency(ConcurrencyMode::Sharded { shards: 4 });
+        db.register(Table::from_int_columns("t", vec![("v", (0..1000).collect())]).unwrap())
+            .unwrap();
+        // Build both copies so the batch must reach each of them.
+        db.shared_cracker("t", "v").unwrap();
+        db.select(
+            &RangeQuery::new("t", "v", RangePred::lt(100)),
+            OutputMode::Count,
+        )
+        .unwrap();
+        let rows: Vec<(u32, i64)> = (0..50).map(|i| (2000 + i as u32, i * 13 % 997)).collect();
+        db.stage_insert_batch("t", "v", &rows).unwrap();
+        db.stage_insert_batch("t", "v", &[]).unwrap();
+        let band = RangePred::between(0, 996);
+        let want = 1000 - 3 + rows.len(); // base 997..=999 excluded
+        assert_eq!(db.shared_cracker("t", "v").unwrap().count(band), want);
+        let (_, stats) = db
+            .select(&RangeQuery::new("t", "v", band), OutputMode::Count)
+            .unwrap();
+        assert_eq!(stats.result_count as usize, want);
+        // Unknown targets error without staging anything.
+        assert!(db.stage_insert_batch("t", "zzz", &[(1, 1)]).is_err());
+        assert!(db.stage_insert_batch("zzz", "v", &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn append_rows_grows_base_and_cracked_copies() {
+        let mut db = db();
+        // Crack `a`, build a sideways map, then append whole rows.
+        db.select(
+            &RangeQuery::new("r", "a", RangePred::ge(50)),
+            OutputMode::Count,
+        )
+        .unwrap();
+        db.select_project("r", "a", "k", RangePred::lt(10)).unwrap();
+        assert_eq!(db.map_count(), 1);
+        let start = db.append_rows("r", &[vec![3, 200], vec![7, 201]]).unwrap();
+        assert_eq!(start, 100);
+        assert_eq!(db.catalog().table("r").unwrap().len(), 102);
+        assert_eq!(
+            db.catalog().table("r").unwrap().ints("a").unwrap()[100],
+            200
+        );
+        // The cracked copy of `a` saw the new rows via the overlay.
+        let (oids, _) = db
+            .select(
+                &RangeQuery::new("r", "a", RangePred::ge(200)),
+                OutputMode::Stream,
+            )
+            .unwrap();
+        assert_eq!(oids, vec![100, 101]);
+        // `k` was never cracked: its first touch snapshots the grown base.
+        let (oids, _) = db
+            .select(
+                &RangeQuery::new("r", "k", RangePred::eq(7)),
+                OutputMode::Stream,
+            )
+            .unwrap();
+        assert!(oids.contains(&101), "appended k=7 row visible: {oids:?}");
+        // Sideways maps were invalidated; the rebuilt one sees the rows.
+        assert_eq!(db.map_count(), 0);
+        let tails = db
+            .select_project("r", "a", "k", RangePred::ge(200))
+            .unwrap();
+        assert_eq!(tails.len(), 2);
+        // Ragged rows are rejected before anything is staged.
+        assert!(db.append_rows("r", &[vec![1]]).is_err());
+        assert_eq!(db.append_rows("r", &[]).unwrap(), 102);
+    }
+
+    #[test]
+    fn select_morsel_agrees_with_sequential_in_both_modes() {
+        let vals: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 20_000).collect();
+        for mode in [
+            ConcurrencyMode::SingleLock,
+            ConcurrencyMode::Sharded { shards: 8 },
+        ] {
+            let mut db = AdaptiveDb::new()
+                .with_concurrency(mode)
+                .with_admission(AdmissionGate::new(8, 8));
+            db.register(Table::from_int_columns("t", vec![("v", vals.clone())]).unwrap())
+                .unwrap();
+            let pred = RangePred::between(500, 15_000);
+            let g = Governor::unbounded();
+            let mut par = db.select_morsel("t", "v", pred, 8, &g, 1).unwrap();
+            par.sort_unstable();
+            let mut seq = db.shared_cracker("t", "v").unwrap().select_oids(pred);
+            seq.sort_unstable();
+            assert_eq!(par, seq, "{mode:?}");
+            // A cancelled governor surfaces typed, with no partial answer.
+            let g = Governor::unbounded();
+            g.token().cancel();
+            assert!(matches!(
+                db.select_morsel("t", "v", pred, 8, &g, 1),
+                Err(EngineError::Cancelled)
+            ));
+        }
     }
 
     #[test]

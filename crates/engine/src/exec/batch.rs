@@ -129,6 +129,7 @@ impl BlockOidScan {
     pub fn new(table: &Table, attrs: &[&str], oids: Vec<u32>) -> EngineResult<Self> {
         let mut columns = Vec::with_capacity(attrs.len());
         for a in attrs {
+            // lint: allow(per-tuple-alloc) — one copy per projected column at construction
             columns.push(table.ints(a)?.to_vec());
         }
         Ok(BlockOidScan {

@@ -25,6 +25,7 @@ impl GroupByOp {
         while let Some(row) = input.next() {
             let v = agg_col.and_then(|c| row[c].as_int()).unwrap_or(0);
             let entry = groups
+                // lint: allow(per-tuple-alloc) — tuple reference path; VecGroup is the block twin
                 .entry(row[key].clone())
                 .or_insert((0, 0, i64::MAX, i64::MIN));
             entry.0 += 1;

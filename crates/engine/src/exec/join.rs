@@ -13,12 +13,24 @@ use storage::Atom;
 
 /// Equality hash join: builds on the left input, probes with the right.
 /// Output rows are `left ++ right`.
+///
+/// Build rows are **moved once** into an arena and indexed by row
+/// number; the key `Atom` is cloned once per *distinct* key (not per
+/// build row), and the pending-match buffer holds arena indices and is
+/// reused across probe rows. Output rows are materialized only when
+/// actually emitted.
 pub struct HashJoinOp {
-    build: HashMap<Atom, Vec<Row>>,
+    /// Build-side rows, owned exactly once.
+    arena: Vec<Row>,
+    /// Key → arena row numbers.
+    index: HashMap<Atom, Vec<u32>>,
     right: Box<dyn Operator>,
     right_key: usize,
-    /// Pending output rows for the current probe row.
-    pending: Vec<Row>,
+    /// Arena indices still to emit for the current probe row; capacity
+    /// persists across probes.
+    pending: Vec<u32>,
+    /// The probe row the pending indices join against.
+    probe: Row,
     arity: usize,
 }
 
@@ -32,15 +44,26 @@ impl HashJoinOp {
         right_key: usize,
     ) -> Self {
         let arity = left.arity() + right.arity();
-        let mut build: HashMap<Atom, Vec<Row>> = HashMap::new();
+        let mut arena: Vec<Row> = Vec::new();
+        let mut index: HashMap<Atom, Vec<u32>> = HashMap::new();
         while let Some(row) = left.next() {
-            build.entry(row[left_key].clone()).or_default().push(row);
+            let i = arena.len() as u32;
+            match index.get_mut(&row[left_key]) {
+                Some(list) => list.push(i),
+                None => {
+                    // lint: allow(per-tuple-alloc) — one key clone + one Vec per distinct key, not per row
+                    index.insert(row[left_key].clone(), vec![i]);
+                }
+            }
+            arena.push(row);
         }
         HashJoinOp {
-            build,
+            arena,
+            index,
             right,
             right_key,
             pending: Vec::new(),
+            probe: Row::new(),
             arity,
         }
     }
@@ -49,16 +72,16 @@ impl HashJoinOp {
 impl Operator for HashJoinOp {
     fn next(&mut self) -> Option<Row> {
         loop {
-            if let Some(row) = self.pending.pop() {
+            if let Some(i) = self.pending.pop() {
+                // lint: allow(per-tuple-alloc) — materializing the emitted output row (owned by contract)
+                let mut row = self.arena[i as usize].clone();
+                // lint: allow(per-tuple-alloc) — same emitted row's right half
+                row.extend(self.probe.iter().cloned());
                 return Some(row);
             }
-            let probe = self.right.next()?;
-            if let Some(matches) = self.build.get(&probe[self.right_key]) {
-                for m in matches {
-                    let mut row = m.clone();
-                    row.extend(probe.iter().cloned());
-                    self.pending.push(row);
-                }
+            self.probe = self.right.next()?;
+            if let Some(matches) = self.index.get(&self.probe[self.right_key]) {
+                self.pending.extend_from_slice(matches);
             }
         }
     }
@@ -124,7 +147,9 @@ impl Operator for NestedLoopJoinOp {
                 self.left_cursor += 1;
                 self.comparisons += 1;
                 if l[self.left_key] == probe[self.right_key] {
+                    // lint: allow(per-tuple-alloc) — tuple reference path; emitted rows are owned by contract
                     let mut row = l.clone();
+                    // lint: allow(per-tuple-alloc) — same emitted row's right half
                     row.extend(probe.iter().cloned());
                     return Some(row);
                 }

@@ -1,25 +1,85 @@
-//! Volcano-style query execution.
+//! Query execution: a block-at-a-time Volcano tree with a
+//! tuple-at-a-time reference twin.
 //!
 //! "Most systems use a Volcano-like query evaluation scheme \[Gra93\].
 //! Tuples are read from source relations and passed up the tree through
-//! filter-, join-, and projection-nodes" (§3.4.1). This module is that
-//! scheme: pull-based [`Operator`]s composed into trees. The cracker can
-//! be "put in front of a filter node" in exactly this pipeline — see
-//! [`ops::XiTapOp`], which captures the non-qualifying tuples a filter
-//! would discard, turning a plain scan into a Ξ crack as a byproduct.
+//! filter-, join-, and projection-nodes" (§3.4.1). This module keeps
+//! that pull-based tree shape but moves data in **blocks**: the default
+//! pipeline ([`vector`]) exchanges columnar [`vector::RowBlock`]s of up
+//! to [`batch::BLOCK_OIDS`] tuples between [`vector::VectorOperator`]s,
+//! while the original tuple-at-a-time [`Operator`] tree survives
+//! unchanged as the differential reference the block pipeline is
+//! oracle-tested against. [`ExecMode`] (env knob `DBCRACKER_EXEC`)
+//! selects between them end-to-end — planner, join chains, SQL.
+//!
+//! # Block size
+//!
+//! Both the gather layer ([`batch`]) and the operator pipeline
+//! ([`vector`]) use [`batch::BLOCK_OIDS`] = 1024 as the block size: 1k
+//! `i64`s is an 8 KiB lane — small enough that a block's lanes, a hit
+//! list, and a stretch of the source column coexist in L1; large enough
+//! that per-block bookkeeping (a virtual call, two buffer clears, one
+//! kernel dispatch) amortizes to noise and the SIMD kernels run
+//! full-width for hundreds of iterations. Filters hand whole integer
+//! lanes to the `cracker_core::kernel` residual scans, so a filter over
+//! a block costs the same vectorized loop as the crack itself.
+//!
+//! # Morsel claiming and governor polls
+//!
+//! Scans over a sharded column parallelize at shard granularity:
+//! [`morsel`] turns the predicate's touched shard range into
+//! independently claimable morsels pulled from one atomic counter by a
+//! bounded worker pool (extra workers ride non-blocking
+//! `AdmissionGate::try_admit` permits). Each morsel holds exactly one
+//! shard latch and releases it before the next claim. The
+//! `Governor` deadline/cancel guard is polled at block boundaries —
+//! before every morsel claim — because a shard's crack is an atomic
+//! step and a partial cross-shard answer could not be discarded without
+//! double-cracking; a tripped guard aborts the whole query with no
+//! partial answer. See the [`morsel`] module doc for the full
+//! discipline.
+//!
+//! The Ξ-tap exists in both pipelines ([`ops::XiTapOp`],
+//! [`vector::VecXiTap`]): the cracker "put in front of a filter node"
+//! captures the non-qualifying tuples per block, so
+//! cracking-as-byproduct survives vectorization.
 
 pub mod batch;
 pub mod group;
 pub mod join;
+pub mod morsel;
 pub mod ops;
 pub mod planner;
+pub mod vector;
 
 use storage::Atom;
 
-/// A row flowing through the operator tree.
+/// A row flowing through the tuple-at-a-time operator tree.
 pub type Row = Vec<Atom>;
 
-/// A pull-based physical operator.
+/// Which operator pipeline executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Block-at-a-time columnar pipeline ([`vector`]) — the default.
+    #[default]
+    Vector,
+    /// Tuple-at-a-time Volcano pipeline — the differential reference.
+    Tuple,
+}
+
+impl ExecMode {
+    /// Resolve from the `DBCRACKER_EXEC` environment variable:
+    /// `tuple` selects the reference pipeline, anything else (including
+    /// unset) the vectorized default.
+    pub fn from_env() -> Self {
+        match std::env::var("DBCRACKER_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("tuple") => ExecMode::Tuple,
+            _ => ExecMode::Vector,
+        }
+    }
+}
+
+/// A pull-based tuple-at-a-time physical operator.
 pub trait Operator {
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self) -> Option<Row>;

@@ -12,7 +12,10 @@ use crate::error::{EngineError, EngineResult};
 use crate::exec::group::GroupByOp;
 use crate::exec::join::HashJoinOp;
 use crate::exec::ops::{FilterOp, ProjectOp, TableScanOp};
-use crate::exec::{Operator, Row};
+use crate::exec::vector::{
+    self, VecFilter, VecGroup, VecHashJoin, VecProject, VecTableScan, VectorOperator,
+};
+use crate::exec::{ExecMode, Operator, Row};
 use crate::plan::Plan;
 use crate::query::RangeQuery;
 
@@ -23,16 +26,59 @@ struct Typed {
     names: Vec<String>,
 }
 
+/// [`Typed`]'s block-at-a-time twin.
+struct TypedVec {
+    op: Box<dyn VectorOperator>,
+    names: Vec<String>,
+}
+
 /// Lower and execute `plan` against `catalog`, materializing all rows.
+/// Pipeline selected by [`ExecMode::from_env`] (`DBCRACKER_EXEC`).
 pub fn execute_plan(plan: &Plan, catalog: &DbCatalog) -> EngineResult<Vec<Row>> {
-    let typed = lower(plan, catalog)?;
-    Ok(crate::exec::run_to_vec(typed.op))
+    execute_plan_with(plan, catalog, ExecMode::from_env())
 }
 
 /// Lower and execute, returning only the row count (no materialization).
+/// Pipeline selected by [`ExecMode::from_env`] (`DBCRACKER_EXEC`).
 pub fn execute_plan_count(plan: &Plan, catalog: &DbCatalog) -> EngineResult<usize> {
-    let typed = lower(plan, catalog)?;
-    Ok(crate::exec::run_count(typed.op))
+    execute_plan_count_with(plan, catalog, ExecMode::from_env())
+}
+
+/// [`execute_plan`] with an explicit pipeline choice — the
+/// differential-testing entry point (env-independent, race-free).
+pub fn execute_plan_with(
+    plan: &Plan,
+    catalog: &DbCatalog,
+    mode: ExecMode,
+) -> EngineResult<Vec<Row>> {
+    match mode {
+        ExecMode::Vector => {
+            let typed = lower_vector(plan, catalog)?;
+            Ok(vector::run_vector_to_vec(typed.op))
+        }
+        ExecMode::Tuple => {
+            let typed = lower(plan, catalog)?;
+            Ok(crate::exec::run_to_vec(typed.op))
+        }
+    }
+}
+
+/// [`execute_plan_count`] with an explicit pipeline choice.
+pub fn execute_plan_count_with(
+    plan: &Plan,
+    catalog: &DbCatalog,
+    mode: ExecMode,
+) -> EngineResult<usize> {
+    match mode {
+        ExecMode::Vector => {
+            let typed = lower_vector(plan, catalog)?;
+            Ok(vector::run_vector_count(typed.op))
+        }
+        ExecMode::Tuple => {
+            let typed = lower(plan, catalog)?;
+            Ok(crate::exec::run_count(typed.op))
+        }
+    }
 }
 
 /// The output column names `plan` produces.
@@ -116,10 +162,84 @@ fn lower(plan: &Plan, catalog: &DbCatalog) -> EngineResult<Typed> {
     }
 }
 
+/// Lower `plan` onto the block-at-a-time pipeline — the vectorized twin
+/// of [`lower`], producing the same output columns in the same order.
+fn lower_vector(plan: &Plan, catalog: &DbCatalog) -> EngineResult<TypedVec> {
+    match plan {
+        Plan::Scan { table } => {
+            let t = catalog.table(table)?;
+            let mut names = vec!["_oid".to_owned()];
+            names.extend(t.schema().names().iter().map(|s| s.to_string()));
+            Ok(TypedVec {
+                op: Box::new(VecTableScan::new(t)),
+                names,
+            })
+        }
+        Plan::Select { query, input } => {
+            let child = lower_vector(input, catalog)?;
+            let idx = position_of(&child.names, &query.attr)?;
+            Ok(TypedVec {
+                op: Box::new(VecFilter::new(child.op, idx, query.pred)),
+                names: child.names,
+            })
+        }
+        Plan::Join { step, left, right } => {
+            let l = lower_vector(left, catalog)?;
+            let r = lower_vector(right, catalog)?;
+            let lk = position_of(&l.names, &step.left_attr)?;
+            let rk = position_of(&r.names, &step.right_attr)?;
+            let mut names = l.names;
+            names.extend(r.names);
+            Ok(TypedVec {
+                op: Box::new(VecHashJoin::new(l.op, lk, r.op, rk)),
+                names,
+            })
+        }
+        Plan::Project { attrs, input } => {
+            let child = lower_vector(input, catalog)?;
+            let indices = attrs
+                .iter()
+                .map(|a| position_of(&child.names, a))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(TypedVec {
+                op: Box::new(VecProject::new(child.op, indices)),
+                names: attrs.clone(),
+            })
+        }
+        Plan::GroupBy {
+            attr,
+            agg,
+            agg_attr,
+            input,
+        } => {
+            let child = lower_vector(input, catalog)?;
+            let key = position_of(&child.names, attr)?;
+            let agg_col = match agg_attr {
+                Some(a) => Some(position_of(&child.names, a)?),
+                None => None,
+            };
+            Ok(TypedVec {
+                op: Box::new(VecGroup::new(child.op, key, *agg, agg_col)),
+                names: vec![attr.clone(), format!("{agg:?}").to_lowercase()],
+            })
+        }
+    }
+}
+
 /// Convenience: build, push down, and execute a whole DNF term.
+/// Pipeline selected by [`ExecMode::from_env`] (`DBCRACKER_EXEC`).
 pub fn execute_term(term: &crate::query::QueryTerm, catalog: &DbCatalog) -> EngineResult<Vec<Row>> {
+    execute_term_with(term, catalog, ExecMode::from_env())
+}
+
+/// [`execute_term`] with an explicit pipeline choice.
+pub fn execute_term_with(
+    term: &crate::query::QueryTerm,
+    catalog: &DbCatalog,
+    mode: ExecMode,
+) -> EngineResult<Vec<Row>> {
     let plan = Plan::from_term(term).push_down_selections();
-    execute_plan(&plan, catalog)
+    execute_plan_with(&plan, catalog, mode)
 }
 
 /// Convenience wrapper building the canonical single-selection plan.

@@ -388,7 +388,7 @@ impl SqlSession {
                     .buffers
                     .get_mut(table)
                     .ok_or_else(|| SqlError::semantic(format!("unknown table {table:?}"), *span))?;
-                if let Some(row) = rows.first() {
+                for row in rows {
                     if row.len() != buf.columns.len() {
                         return Err(SqlError::semantic(
                             format!(
@@ -405,7 +405,16 @@ impl SqlSession {
                         col.push(*v);
                     }
                 }
-                self.dirty = true;
+                // Fast path: while the adaptive db is in sync with the
+                // buffers, route the batch through the staged-update
+                // surface — one overlay batch per column — so cracked
+                // state survives the insert instead of being rebuilt
+                // cold on the next query. Any refusal falls back to the
+                // dirty full rebuild (correct either way; the buffers
+                // stay the source of truth).
+                if !self.dirty && self.db.append_rows(table, rows).is_err() {
+                    self.dirty = true;
+                }
                 Ok(QueryOutput::Affected {
                     message: format!("inserted {} rows into {table}", rows.len()),
                 })
@@ -1274,6 +1283,29 @@ mod tests {
         assert_eq!(outs[2].row_count(), 2);
         s.execute_one("drop table t").unwrap();
         assert!(s.execute_one("select * from t").is_err());
+    }
+
+    #[test]
+    fn insert_keeps_cracked_state_warm() {
+        let mut s = session();
+        // Crack `a`, then insert: the staged-batch fast path must keep
+        // the cracked copy (no cold rebuild) and still see the new rows.
+        s.execute_one("select count(*) from r where a >= 50")
+            .unwrap();
+        assert_eq!(s.cracked_columns(), 1);
+        s.execute_one("insert into r values (3, 500), (7, 501)")
+            .unwrap();
+        assert_eq!(s.cracked_columns(), 1, "insert must not rebuild cold");
+        let out = s
+            .execute_one("select count(*) from r where a >= 500")
+            .unwrap();
+        assert_eq!(rows(&out)[0][0], 2);
+        let out = s.execute_one("select count(*) from r where k = 3").unwrap();
+        assert_eq!(rows(&out)[0][0], 11, "uncracked column sees grown base");
+        // A ragged insert is rejected before touching any state.
+        assert!(s.execute_one("insert into r values (1)").is_err());
+        let out = s.execute_one("select count(*) from r").unwrap();
+        assert_eq!(rows(&out)[0][0], 102);
     }
 
     #[test]
